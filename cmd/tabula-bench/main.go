@@ -1,0 +1,96 @@
+// Command tabula-bench reproduces the paper's experimental evaluation:
+// every table and figure of Section V has a named experiment that prints
+// the corresponding rows/series.
+//
+// Usage:
+//
+//	tabula-bench -experiment fig11a [-rows 60000] [-queries 60] [-seed 42]
+//	tabula-bench -experiment all -out results.txt
+//	tabula-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/tabula-db/tabula/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (fig8a..fig14b, table1, table2) or 'all'")
+		rows       = flag.Int("rows", harness.DefaultScale.Rows, "synthetic NYCtaxi rows")
+		queries    = flag.Int("queries", harness.DefaultScale.Queries, "queries per workload")
+		seed       = flag.Int64("seed", harness.DefaultScale.Seed, "random seed")
+		out        = flag.String("out", "", "also write reports to this file")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "tabula-bench: -experiment is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var ids []string
+	if *experiment == "all" {
+		ids = harness.ExperimentIDs()
+	} else {
+		for _, id := range strings.Split(*experiment, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := harness.Experiments[id]; !ok {
+				fmt.Fprintf(os.Stderr, "tabula-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	scale := harness.Scale{Rows: *rows, Queries: *queries, Seed: *seed}
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	writers := []io.Writer{os.Stdout}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	w := io.MultiWriter(writers...)
+
+	fmt.Fprintf(w, "tabula-bench: rows=%d queries=%d seed=%d\n\n", *rows, *queries, *seed)
+	seen := map[string]bool{}
+	for _, id := range ids {
+		reps, err := harness.Experiments[id](scale, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, r := range reps {
+			// fig10a/fig10b (and the a/b query-sweep pairs) share runners
+			// that return both panels; drop duplicates when running 'all'.
+			key := r.ID + "|" + r.Title
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintln(w, r.String())
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command tabula-cli is an interactive shell for the Tabula SQL dialect.
+// It starts with a synthetic NYCtaxi table registered as 'nyctaxi'.
+// Statements end with a semicolon or a blank line; \q quits.
+//
+//	$ tabula-cli -taxi-rows 50000
+//	tabula> CREATE TABLE c AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
+//	   ...> FROM nyctaxi GROUPBY CUBE(payment_type)
+//	   ...> HAVING mean_loss(fare_amount, Sam_global) > 0.1;
+//	tabula> SELECT sample FROM c WHERE payment_type = 'cash';
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/tabula-db/tabula"
+)
+
+const maxDisplayRows = 20
+
+func main() {
+	var (
+		taxiRows = flag.Int("taxi-rows", 50000, "rows of synthetic NYCtaxi data (0 to skip)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	db := tabula.Open()
+	if *taxiRows > 0 {
+		fmt.Fprintf(os.Stderr, "generating %d synthetic taxi rides as table 'nyctaxi' ...\n", *taxiRows)
+		db.RegisterTable("nyctaxi", tabula.GenerateTaxi(*taxiRows, *seed))
+	}
+	fmt.Fprintln(os.Stderr, `Tabula SQL shell. Built-in losses: mean_loss, heatmap_loss, regression_loss, histogram_loss. End statements with ';'. Type \q to quit.`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var split statementSplitter
+	prompt := func() {
+		if split.Pending() {
+			fmt.Fprint(os.Stderr, "   ...> ")
+		} else {
+			fmt.Fprint(os.Stderr, "tabula> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch strings.TrimSpace(line) {
+		case `\q`, "exit", "quit":
+			return
+		}
+		if stmt, ok := split.Feed(line); ok && stmt != "" {
+			run(db, stmt)
+		}
+		prompt()
+	}
+	if stmt, ok := split.Flush(); ok && stmt != "" {
+		run(db, stmt)
+	}
+}
+
+func run(db *tabula.DB, stmt string) {
+	res, err := db.Exec(stmt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	if res.Message != "" {
+		fmt.Println(res.Message)
+	}
+	if res.Table == nil {
+		return
+	}
+	printTable(res.Table, res.FromGlobal)
+}
+
+func printTable(t *tabula.Table, fromGlobal bool) {
+	cols := make([]string, 0, t.NumCols())
+	for _, f := range t.Schema() {
+		cols = append(cols, f.Name)
+	}
+	fmt.Println(strings.Join(cols, " | "))
+	n := t.NumRows()
+	show := n
+	if show > maxDisplayRows {
+		show = maxDisplayRows
+	}
+	for r := 0; r < show; r++ {
+		cells := make([]string, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			cells[c] = t.Value(r, c).String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if n > show {
+		fmt.Printf("... (%d rows total)\n", n)
+	}
+	if fromGlobal {
+		fmt.Println("-- answered from the global sample (non-iceberg cell)")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+)
+
+// statementSplitter accumulates input lines into SQL statements. A
+// statement ends at a line whose last non-space character is ';', or at
+// a blank line following non-blank content (so pasted multi-line
+// statements without semicolons still execute).
+type statementSplitter struct {
+	pending strings.Builder
+}
+
+// Feed consumes one input line and returns a completed statement (without
+// the trailing semicolon) when one is ready, or ok=false while the
+// splitter is still accumulating.
+func (s *statementSplitter) Feed(line string) (stmt string, ok bool) {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" {
+		if s.pending.Len() == 0 {
+			return "", false
+		}
+		return s.take(), true
+	}
+	s.pending.WriteString(line)
+	s.pending.WriteByte('\n')
+	if strings.HasSuffix(trimmed, ";") {
+		return s.take(), true
+	}
+	return "", false
+}
+
+// Pending reports whether a partial statement is buffered.
+func (s *statementSplitter) Pending() bool { return s.pending.Len() > 0 }
+
+// Flush returns any buffered partial statement (used at EOF).
+func (s *statementSplitter) Flush() (string, bool) {
+	if s.pending.Len() == 0 {
+		return "", false
+	}
+	return s.take(), true
+}
+
+func (s *statementSplitter) take() string {
+	stmt := strings.TrimSpace(s.pending.String())
+	s.pending.Reset()
+	stmt = strings.TrimSuffix(stmt, ";")
+	return strings.TrimSpace(stmt)
+}

@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func TestSplitterSemicolon(t *testing.T) {
+	var s statementSplitter
+	if _, ok := s.Feed("SELECT * FROM t"); ok {
+		t.Fatal("statement should not complete without terminator")
+	}
+	if !s.Pending() {
+		t.Fatal("should be pending")
+	}
+	stmt, ok := s.Feed("WHERE a = 1;")
+	if !ok || stmt != "SELECT * FROM t\nWHERE a = 1" {
+		t.Fatalf("got %q ok=%v", stmt, ok)
+	}
+	if s.Pending() {
+		t.Fatal("should be drained")
+	}
+}
+
+func TestSplitterBlankLineTerminates(t *testing.T) {
+	var s statementSplitter
+	s.Feed("SELECT sample FROM c")
+	stmt, ok := s.Feed("   ")
+	if !ok || stmt != "SELECT sample FROM c" {
+		t.Fatalf("got %q ok=%v", stmt, ok)
+	}
+}
+
+func TestSplitterBlankWithoutPending(t *testing.T) {
+	var s statementSplitter
+	if _, ok := s.Feed(""); ok {
+		t.Fatal("blank line with nothing pending should not emit")
+	}
+}
+
+func TestSplitterSingleLine(t *testing.T) {
+	var s statementSplitter
+	stmt, ok := s.Feed("SELECT 1;")
+	if !ok || stmt != "SELECT 1" {
+		t.Fatalf("got %q ok=%v", stmt, ok)
+	}
+}
+
+func TestSplitterFlush(t *testing.T) {
+	var s statementSplitter
+	s.Feed("SELECT unfinished")
+	stmt, ok := s.Flush()
+	if !ok || stmt != "SELECT unfinished" {
+		t.Fatalf("got %q ok=%v", stmt, ok)
+	}
+	if _, ok := s.Flush(); ok {
+		t.Fatal("second flush should be empty")
+	}
+}
+
+func TestSplitterTrailingWhitespaceSemicolon(t *testing.T) {
+	var s statementSplitter
+	stmt, ok := s.Feed("  SELECT 2 ;  ")
+	if !ok || stmt != "SELECT 2" {
+		t.Fatalf("got %q ok=%v", stmt, ok)
+	}
+}

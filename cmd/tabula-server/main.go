@@ -1,0 +1,78 @@
+// Command tabula-server runs the Tabula middleware as an HTTP service:
+// it loads or generates a dataset, optionally pre-builds a sampling cube,
+// and serves dashboard queries.
+//
+// Usage:
+//
+//	tabula-server -addr :8080 -taxi-rows 100000 \
+//	  -init "CREATE TABLE taxi_cube AS SELECT payment_type, vendor_name, SAMPLING(*, 0.1) AS sample FROM nyctaxi GROUPBY CUBE(payment_type, vendor_name) HAVING mean_loss(fare_amount, Sam_global) > 0.1"
+//
+// then:
+//
+//	curl -s localhost:8080/query -d '{"cube":"taxi_cube","where":{"payment_type":"cash"}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/tabula-db/tabula"
+	"github.com/tabula-db/tabula/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		taxiRows = flag.Int("taxi-rows", 100000, "rows of synthetic NYCtaxi data to register as 'nyctaxi' (0 to skip)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		initSQL  = flag.String("init", "", "semicolon-separated statements to execute at startup")
+		cubeFile = flag.String("load-cube", "", "load a persisted cube file and register it as 'cube'")
+	)
+	flag.Parse()
+
+	db := tabula.Open()
+	if *taxiRows > 0 {
+		log.Printf("generating %d synthetic taxi rides ...", *taxiRows)
+		db.RegisterTable("nyctaxi", tabula.GenerateTaxi(*taxiRows, *seed))
+	}
+	srv := server.New(db)
+	if *cubeFile != "" {
+		f, err := os.Open(*cubeFile)
+		if err != nil {
+			log.Fatalf("tabula-server: %v", err)
+		}
+		cube, err := tabula.LoadCube(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("tabula-server: loading cube: %v", err)
+		}
+		db.RegisterCube("cube", cube)
+		srv.TrackCube("cube")
+		log.Printf("loaded cube from %s (%d samples, theta=%g)", *cubeFile, cube.NumPersistedSamples(), cube.Theta())
+	}
+	if *initSQL != "" {
+		for _, stmt := range strings.Split(*initSQL, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			res, err := db.Exec(stmt)
+			if err != nil {
+				log.Fatalf("tabula-server: init statement failed: %v", err)
+			}
+			if res.Message != "" {
+				log.Print(res.Message)
+				var name string
+				if n, _ := fmt.Sscanf(res.Message, "sampling cube %s created", &name); n == 1 {
+					srv.TrackCube(name)
+				}
+			}
+		}
+	}
+	log.Printf("tabula middleware listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,336 @@
+package tabula
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"github.com/tabula-db/tabula/internal/core"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/geo"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+var errNotCreateAggregate = fmt.Errorf("tabula: statement is not CREATE AGGREGATE")
+
+// builtinLossNames maps SQL-visible loss names to constructors over
+// target attributes. The generic name "loss" resolves to a user-declared
+// CREATE AGGREGATE of that name first, then falls back to mean_loss.
+var builtinLossNames = map[string]func(targets []string, metric geo.Metric) (loss.Func, error){
+	"mean_loss": func(t []string, _ geo.Metric) (loss.Func, error) {
+		if len(t) != 1 {
+			return nil, fmt.Errorf("tabula: mean_loss takes one target attribute")
+		}
+		return loss.NewMean(t[0]), nil
+	},
+	"heatmap_loss": func(t []string, m geo.Metric) (loss.Func, error) {
+		if len(t) != 1 {
+			return nil, fmt.Errorf("tabula: heatmap_loss takes one target attribute")
+		}
+		return loss.NewHeatmap(t[0], m), nil
+	},
+	"regression_loss": func(t []string, _ geo.Metric) (loss.Func, error) {
+		if len(t) != 2 {
+			return nil, fmt.Errorf("tabula: regression_loss takes two target attributes (x, y)")
+		}
+		return loss.NewRegression(t[0], t[1]), nil
+	},
+	"histogram_loss": func(t []string, _ geo.Metric) (loss.Func, error) {
+		if len(t) != 1 {
+			return nil, fmt.Errorf("tabula: histogram_loss takes one target attribute")
+		}
+		return loss.NewHistogram(t[0]), nil
+	},
+	"topk_loss": func(t []string, _ geo.Metric) (loss.Func, error) {
+		if len(t) != 1 {
+			return nil, fmt.Errorf("tabula: topk_loss takes one target attribute")
+		}
+		return loss.NewTopK(t[0], 10), nil
+	},
+	"distinct_loss": func(t []string, _ geo.Metric) (loss.Func, error) {
+		if len(t) != 1 {
+			return nil, fmt.Errorf("tabula: distinct_loss takes one target attribute")
+		}
+		return loss.NewDistinct(t[0]), nil
+	},
+}
+
+// DB is the middleware's front door: it names raw tables, sampling
+// cubes, and user-declared loss aggregates, and executes the paper's SQL
+// dialect against them. A DB is safe for concurrent use.
+type DB struct {
+	mu         sync.RWMutex
+	catalog    *engine.Catalog
+	cubes      map[string]*core.Tabula
+	aggregates map[string]*engine.CreateAggregate
+	// Options applied to cube builds.
+	metric geo.Metric
+	params func(p *Params) // optional hook to adjust build params
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithMetric sets the distance metric used by heatmap_loss and the DSL's
+// AVGMINDIST on POINT targets (default Euclidean).
+func WithMetric(m Metric) Option { return func(db *DB) { db.metric = m } }
+
+// WithBuildParams installs a hook that adjusts the Params of every cube
+// built via Exec (e.g. to tune sampler options).
+func WithBuildParams(hook func(*Params)) Option { return func(db *DB) { db.params = hook } }
+
+// Open creates an empty middleware instance.
+func Open(opts ...Option) *DB {
+	db := &DB{
+		catalog:    engine.NewCatalog(),
+		cubes:      make(map[string]*core.Tabula),
+		aggregates: make(map[string]*engine.CreateAggregate),
+		metric:     geo.Euclidean,
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// RegisterTable names a raw table for use in SQL statements.
+func (db *DB) RegisterTable(name string, t *Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.catalog.Register(name, t)
+}
+
+// RegisterCube names an already-built (or loaded) sampling cube.
+func (db *DB) RegisterCube(name string, c *Cube) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.cubes[strings.ToLower(name)] = c
+}
+
+// CubeByName returns a registered cube.
+func (db *DB) CubeByName(name string) (*Cube, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.cubes[strings.ToLower(name)]
+	return c, ok
+}
+
+// Result is the outcome of Exec: a table of rows for SELECT statements
+// (cube queries return the sample), or a status message for DDL.
+type Result struct {
+	// Table holds SELECT output (nil for DDL statements).
+	Table *Table
+	// FromGlobal reports whether a cube query was answered from the
+	// global sample.
+	FromGlobal bool
+	// Message describes the effect of a DDL statement.
+	Message string
+}
+
+// Exec parses and executes one statement of the Tabula SQL dialect:
+//
+//   - CREATE AGGREGATE name(Raw, Sam) RETURN type AS BEGIN expr END
+//     declares a user-defined accuracy loss.
+//   - CREATE TABLE cube AS SELECT attrs…, SAMPLING(*, θ) AS sample FROM
+//     tbl GROUPBY CUBE(attrs…) HAVING lossName(target…, Sam_global) > θ
+//     initializes a sampling cube (lossName is a built-in — mean_loss,
+//     heatmap_loss, regression_loss, histogram_loss — or a declared
+//     aggregate).
+//   - SELECT sample FROM cube WHERE a = v AND … fetches a materialized
+//     sample from a cube.
+//   - Any other SELECT executes against the raw tables.
+func (db *DB) Exec(sql string) (*Result, error) {
+	st, err := engine.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *engine.CreateAggregate:
+		db.mu.Lock()
+		db.aggregates[strings.ToLower(s.Name)] = s
+		db.mu.Unlock()
+		return &Result{Message: fmt.Sprintf("aggregate %s declared", s.Name)}, nil
+	case *engine.CreateSamplingCube:
+		return db.execCreateCube(s)
+	case *engine.CreateTableAs:
+		db.mu.RLock()
+		out, err := db.catalog.ExecuteSelect(s.Select)
+		db.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		db.RegisterTable(s.Name, out)
+		return &Result{Message: fmt.Sprintf("table %s created: %d rows, %d columns", s.Name, out.NumRows(), out.NumCols())}, nil
+	case *engine.SelectStmt:
+		return db.execSelect(s)
+	default:
+		return nil, fmt.Errorf("tabula: unsupported statement %T", st)
+	}
+}
+
+// resolveLoss maps the HAVING clause's loss name to a loss.Func.
+func (db *DB) resolveLoss(name string, targets []string) (loss.Func, error) {
+	db.mu.RLock()
+	decl, declared := db.aggregates[strings.ToLower(name)]
+	db.mu.RUnlock()
+	if declared {
+		return loss.Compile(decl, targets, db.metric)
+	}
+	if ctor, ok := builtinLossNames[strings.ToLower(name)]; ok {
+		return ctor(targets, db.metric)
+	}
+	return nil, fmt.Errorf("tabula: unknown loss function %q (declare it with CREATE AGGREGATE or use a built-in: mean_loss, heatmap_loss, regression_loss, histogram_loss)", name)
+}
+
+func (db *DB) execCreateCube(s *engine.CreateSamplingCube) (*Result, error) {
+	db.mu.RLock()
+	tbl, err := db.catalog.Table(s.Source)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	f, err := db.resolveLoss(s.LossName, s.TargetAttrs)
+	if err != nil {
+		return nil, err
+	}
+	p := core.DefaultParams(f, s.Threshold, s.CubedAttrs...)
+	if db.params != nil {
+		db.params(&p)
+	}
+	cube, err := core.Build(tbl, p)
+	if err != nil {
+		return nil, err
+	}
+	db.RegisterCube(s.CubeName, cube)
+	st := cube.Stats()
+	return &Result{Message: fmt.Sprintf(
+		"sampling cube %s created: %d/%d iceberg cells, %d samples persisted, %s",
+		s.CubeName, st.NumIcebergCells, st.NumCells, st.NumPersistedSamples, st.InitTime)}, nil
+}
+
+func (db *DB) execSelect(s *engine.SelectStmt) (*Result, error) {
+	// Cube query?
+	if cube, ok := db.CubeByName(s.From); ok {
+		if err := validateCubeProjection(s); err != nil {
+			return nil, err
+		}
+		eq, in, err := cubePredicates(s.Where)
+		if err != nil {
+			return nil, err
+		}
+		if len(in) > 0 {
+			// Fold the equality predicates into single-value IN lists.
+			for _, c := range eq {
+				in = append(in, core.ConditionIn{Attr: c.Attr, Values: []dataset.Value{c.Value}})
+			}
+			res, err := cube.QueryIn(in)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Table: res.Sample, FromGlobal: res.FromGlobal}, nil
+		}
+		res, err := cube.Query(eq)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: res.Sample, FromGlobal: res.FromGlobal}, nil
+	}
+	db.mu.RLock()
+	out, err := db.catalog.ExecuteSelect(s)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: out}, nil
+}
+
+// validateCubeProjection enforces the dialect's cube-query form:
+// SELECT sample (or *) FROM cube.
+func validateCubeProjection(s *engine.SelectStmt) error {
+	if s.Star {
+		return nil
+	}
+	if len(s.Items) != 1 {
+		return fmt.Errorf("tabula: cube queries select exactly one item: sample")
+	}
+	cr, ok := s.Items[0].Expr.(*engine.ColRef)
+	if !ok || !strings.EqualFold(cr.Name, "sample") {
+		return fmt.Errorf("tabula: cube queries must SELECT sample, got %s", s.Items[0].Expr.String())
+	}
+	if len(s.GroupBy) != 0 || s.Having != nil {
+		return fmt.Errorf("tabula: cube queries do not support GROUP BY or HAVING")
+	}
+	return nil
+}
+
+// cubePredicates translates a conjunction of equality and IN predicates
+// into cube query conditions.
+func cubePredicates(e engine.Expr) ([]core.Condition, []core.ConditionIn, error) {
+	if e == nil {
+		return nil, nil, nil
+	}
+	var eq []core.Condition
+	var in []core.ConditionIn
+	var walk func(e engine.Expr) error
+	walk = func(e engine.Expr) error {
+		switch x := e.(type) {
+		case *engine.Binary:
+			switch x.Op {
+			case engine.OpAnd:
+				if err := walk(x.L); err != nil {
+					return err
+				}
+				return walk(x.R)
+			case engine.OpEq:
+				cr, crOK := x.L.(*engine.ColRef)
+				lit, litOK := x.R.(*engine.Lit)
+				if !crOK || !litOK {
+					// Allow "literal = column" too.
+					cr, crOK = x.R.(*engine.ColRef)
+					lit, litOK = x.L.(*engine.Lit)
+				}
+				if !crOK || !litOK {
+					return fmt.Errorf("tabula: cube predicates take the form attribute = literal, got %s", x.String())
+				}
+				eq = append(eq, core.Condition{Attr: cr.Name, Value: lit.V})
+				return nil
+			default:
+				return fmt.Errorf("tabula: cube WHERE clauses support only = and IN predicates joined by AND, got %s", x.String())
+			}
+		case *engine.InList:
+			cr, ok := x.X.(*engine.ColRef)
+			if !ok {
+				return fmt.Errorf("tabula: IN needs an attribute on the left, got %s", x.X.String())
+			}
+			c := core.ConditionIn{Attr: cr.Name}
+			for _, v := range x.Values {
+				lit, ok := v.(*engine.Lit)
+				if !ok {
+					return fmt.Errorf("tabula: IN list entries must be literals, got %s", v.String())
+				}
+				c.Values = append(c.Values, lit.V)
+			}
+			in = append(in, c)
+			return nil
+		default:
+			return fmt.Errorf("tabula: cube WHERE clauses support only = and IN predicates joined by AND, got %s", e.String())
+		}
+	}
+	if err := walk(e); err != nil {
+		return nil, nil, err
+	}
+	return eq, in, nil
+}
+
+// LoadCSV reads a CSV stream (with header) into a table registered under
+// name, using the supplied schema for typing.
+func (db *DB) LoadCSV(name string, r io.Reader, schema Schema) (*Table, error) {
+	t, err := dataset.ReadCSV(r, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.RegisterTable(name, t)
+	return t, nil
+}

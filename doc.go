@@ -1,0 +1,38 @@
+// Package tabula is a middleware framework that sits between a SQL data
+// system and a geospatial visualization dashboard, making dashboard
+// interactions fast by answering queries from a pre-materialized
+// *sampling cube* instead of the raw table — while guaranteeing, with
+// 100% confidence, that the accuracy loss of every returned sample
+// (under a user-defined loss function) never exceeds a user-chosen
+// threshold θ.
+//
+// It is a from-scratch Go implementation of the system described in
+// "Turbocharging Geospatial Visualization Dashboards via a Materialized
+// Sampling Cube Approach" (Yu and Sarwat, ICDE 2020).
+//
+// # Quick start
+//
+//	db := tabula.Open()
+//	db.RegisterTable("rides", table) // or db.LoadCSV / nyctaxi generator
+//
+//	// Initialize a sampling cube with the paper's SQL dialect:
+//	_, err := db.Exec(`
+//	    CREATE TABLE ride_cube AS
+//	    SELECT payment_type, passenger_count, SAMPLING(*, 0.1) AS sample
+//	    FROM rides
+//	    GROUPBY CUBE(payment_type, passenger_count)
+//	    HAVING mean_loss(fare_amount, Sam_global) > 0.1`)
+//
+//	// Dashboard interactions fetch materialized samples:
+//	res, err := db.Exec(`SELECT sample FROM ride_cube
+//	                     WHERE payment_type = 'cash' AND passenger_count = 1`)
+//
+// The Go-native API (Build, Cube.Query) offers the same functionality
+// without SQL, and user-defined loss functions can be declared either in
+// SQL (CREATE AGGREGATE ... BEGIN expr END) or as Go values implementing
+// LossFunc.
+//
+// Built-in loss functions mirror the paper: NewMeanLoss (Function 1),
+// NewHeatmapLoss (Function 2, the VAS/POIsam visualization-aware loss),
+// NewRegressionLoss (Function 3), and NewHistogramLoss.
+package tabula

@@ -1,0 +1,86 @@
+package tabula_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tabula-db/tabula"
+)
+
+// ExampleBuild shows the Go-native initialization path: a sampling cube
+// over the synthetic taxi data with the statistical-mean loss.
+func ExampleBuild() {
+	rides := tabula.GenerateTaxi(20000, 42)
+	f := tabula.NewMeanLoss("fare_amount")
+	cube, err := tabula.Build(rides, tabula.DefaultParams(f, 0.1, "payment_type", "vendor_name"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cube.Query([]tabula.Condition{
+		{Attr: "payment_type", Value: tabula.StringValue("dispute")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("answered from global sample:", res.FromGlobal)
+	fmt.Println("sample non-empty:", res.Sample.NumRows() > 0)
+	// Output:
+	// answered from global sample: false
+	// sample non-empty: true
+}
+
+// ExampleDB_Exec shows the SQL front door: declare, initialize, query.
+func ExampleDB_Exec() {
+	db := tabula.Open()
+	db.RegisterTable("nyctaxi", tabula.GenerateTaxi(20000, 42))
+	if _, err := db.Exec(`
+		CREATE TABLE ride_cube AS
+		SELECT payment_type, SAMPLING(*, 0.1) AS sample
+		FROM nyctaxi
+		GROUPBY CUBE(payment_type)
+		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT sample FROM ride_cube WHERE payment_type = 'dispute'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("got a sample:", res.Table.NumRows() > 0)
+	// Output:
+	// got a sample: true
+}
+
+// ExampleCompileLoss compiles the paper's Function 1 from the CREATE
+// AGGREGATE DSL and evaluates it directly.
+func ExampleCompileLoss() {
+	f, err := tabula.CompileLoss(`
+		CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS
+		BEGIN ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw) END`,
+		tabula.Euclidean, "fare_amount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rides := tabula.GenerateTaxi(1000, 42)
+	full := tabula.View{Table: rides, All: true}
+	fmt.Printf("loss(T, T) = %v\n", f.Loss(full, full))
+	// Output:
+	// loss(T, T) = 0
+}
+
+// ExampleGreedySample runs the accuracy-loss-aware sampler (Algorithm 1)
+// standalone: the returned sample always satisfies the threshold.
+func ExampleGreedySample() {
+	rides := tabula.GenerateTaxi(2000, 42)
+	f := tabula.NewHistogramLoss("fare_amount")
+	view := tabula.View{Table: rides, All: true}
+	rows, err := tabula.GreedySample(f, view, 1.0, tabula.DefaultGreedyOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := tabula.View{Table: rides, Rows: rows}
+	fmt.Println("threshold met:", f.Loss(view, sample) <= 1.0)
+	fmt.Println("sample much smaller than raw:", len(rows) < 200)
+	// Output:
+	// threshold met: true
+	// sample much smaller than raw: true
+}

@@ -1,0 +1,105 @@
+// Regression analysis: the paper's third dashboard task. The analyst
+// fits tip-vs-fare regression lines for different ride populations; the
+// sampling cube with the regression-angle loss guarantees the fitted line
+// from the sample is within θ degrees of the line from the raw data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/tabula-db/tabula"
+)
+
+func main() {
+	rides := tabula.GenerateTaxi(120000, 42)
+	f := tabula.NewRegressionLoss("fare_amount", "tip_amount")
+	const theta = 2.0 // degrees
+
+	cube, err := tabula.Build(rides, tabula.DefaultParams(f, theta,
+		"payment_type", "vendor_name", "pickup_weekday"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := cube.Stats()
+	fmt.Printf("cube built in %s: %d/%d iceberg cells, %d samples persisted\n",
+		st.InitTime, st.NumIcebergCells, st.NumCells, st.NumPersistedSamples)
+
+	populations := [][]tabula.Condition{
+		{{Attr: "payment_type", Value: tabula.StringValue("credit")}},
+		{{Attr: "payment_type", Value: tabula.StringValue("cash")}},
+		{{Attr: "payment_type", Value: tabula.StringValue("credit")},
+			{Attr: "pickup_weekday", Value: tabula.StringValue("Sat")}},
+	}
+	for _, conds := range populations {
+		res, err := cube.Query(conds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampleSlope, sampleIntercept := fitLine(res.Sample)
+		rawView := filter(rides, conds)
+		rawTbl := rawView.Materialize()
+		rawSlope, rawIntercept := fitLine(rawTbl)
+		angleErr := math.Abs(angle(rawSlope) - angle(sampleSlope))
+		fmt.Printf("%-60s raw: y=%.3fx%+.3f  sample(%d tuples): y=%.3fx%+.3f  Δangle %.2f° (θ=%g°)\n",
+			condsString(conds), rawSlope, rawIntercept,
+			res.Sample.NumRows(), sampleSlope, sampleIntercept, angleErr, theta)
+		if angleErr > theta {
+			log.Fatal("guarantee violated — this must never happen")
+		}
+	}
+	fmt.Println("all regression lines within the threshold ✓")
+}
+
+// fitLine computes the least-squares tip = slope·fare + intercept.
+func fitLine(t *tabula.Table) (slope, intercept float64) {
+	x := t.Schema().ColumnIndex("fare_amount")
+	y := t.Schema().ColumnIndex("tip_amount")
+	var n, sx, sy, sxy, sxx float64
+	for r := 0; r < t.NumRows(); r++ {
+		xv, yv := t.Value(r, x).F, t.Value(r, y).F
+		n++
+		sx += xv
+		sy += yv
+		sxy += xv * yv
+		sxx += xv * xv
+	}
+	den := n*sxx - sx*sx
+	if n < 2 || den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+func angle(slope float64) float64 { return math.Atan(slope) * 180 / math.Pi }
+
+func filter(t *tabula.Table, conds []tabula.Condition) tabula.View {
+	var rows []int32
+	for r := 0; r < t.NumRows(); r++ {
+		ok := true
+		for _, c := range conds {
+			if !t.Value(r, t.Schema().ColumnIndex(c.Attr)).Equal(c.Value) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, int32(r))
+		}
+	}
+	return tabula.View{Table: t, Rows: rows}
+}
+
+func condsString(conds []tabula.Condition) string {
+	s := ""
+	for i, c := range conds {
+		if i > 0 {
+			s += " AND "
+		}
+		s += fmt.Sprintf("%s=%s", c.Attr, c.Value.String())
+	}
+	return s
+}

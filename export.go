@@ -1,0 +1,188 @@
+package tabula
+
+import (
+	"github.com/tabula-db/tabula/internal/core"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/geo"
+	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/nyctaxi"
+	"github.com/tabula-db/tabula/internal/sampling"
+	"github.com/tabula-db/tabula/internal/viz"
+)
+
+// Re-exported data types. The implementation lives in internal packages;
+// these aliases are the supported public names.
+type (
+	// Table is an in-memory columnar table.
+	Table = dataset.Table
+	// Schema describes a table's columns.
+	Schema = dataset.Schema
+	// Field is one schema column.
+	Field = dataset.Field
+	// Value is a dynamically typed scalar.
+	Value = dataset.Value
+	// View is a row-subset of a table.
+	View = dataset.View
+	// Point is a 2-D geospatial point (X = longitude, Y = latitude).
+	Point = geo.Point
+	// BBox is an axis-aligned bounding box.
+	BBox = geo.BBox
+	// Metric is a point-distance function.
+	Metric = geo.Metric
+	// LossFunc is a user-defined accuracy loss function.
+	LossFunc = loss.Func
+	// Cube is an initialized materialized sampling cube.
+	Cube = core.Tabula
+	// Params configures cube initialization.
+	Params = core.Params
+	// Stats reports cube initialization metrics.
+	Stats = core.Stats
+	// Condition is one WHERE-clause equality predicate.
+	Condition = core.Condition
+	// QueryResult is the middleware's answer to a dashboard query.
+	QueryResult = core.QueryResult
+	// GreedyOptions tunes the accuracy-loss-aware sampler.
+	GreedyOptions = sampling.GreedyOptions
+)
+
+// Column type constants.
+const (
+	// TypeInt64 is a 64-bit integer column.
+	TypeInt64 = dataset.Int64
+	// TypeFloat64 is a double-precision column.
+	TypeFloat64 = dataset.Float64
+	// TypeString is a dictionary-encoded categorical column.
+	TypeString = dataset.String
+	// TypePoint is a geospatial point column.
+	TypePoint = dataset.Point
+)
+
+// Distance metrics for the heatmap loss.
+const (
+	// Euclidean is straight-line distance in the plane.
+	Euclidean = geo.Euclidean
+	// Manhattan is L1 distance.
+	Manhattan = geo.Manhattan
+	// Haversine is great-circle distance in meters.
+	Haversine = geo.Haversine
+)
+
+// Value constructors.
+var (
+	// IntValue wraps an int64.
+	IntValue = dataset.IntValue
+	// FloatValue wraps a float64.
+	FloatValue = dataset.FloatValue
+	// StringValue wraps a string.
+	StringValue = dataset.StringValue
+	// PointValue wraps a Point.
+	PointValue = dataset.PointValue
+)
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema Schema) *Table { return dataset.NewTable(schema) }
+
+// NewMeanLoss returns the paper's Function 1: the relative error between
+// the statistical means of raw data and sample on the given numeric
+// column.
+func NewMeanLoss(column string) LossFunc { return loss.NewMean(column) }
+
+// NewHeatmapLoss returns the paper's Function 2: the visualization-aware
+// average minimum distance between raw points and sample points on a
+// POINT column, under the chosen metric.
+func NewHeatmapLoss(column string, metric Metric) LossFunc {
+	return loss.NewHeatmap(column, metric)
+}
+
+// NewRegressionLoss returns the paper's Function 3: the absolute angle
+// difference (degrees) between the least-squares lines of raw data and
+// sample, regressing yColumn on xColumn.
+func NewRegressionLoss(xColumn, yColumn string) LossFunc {
+	return loss.NewRegression(xColumn, yColumn)
+}
+
+// NewHistogramLoss returns the 1-D histogram-aware loss: the average
+// distance from each raw value to the nearest sampled value of the
+// column.
+func NewHistogramLoss(column string) LossFunc { return loss.NewHistogram(column) }
+
+// CompileLoss compiles a CREATE AGGREGATE declaration (the paper's
+// user-defined loss DSL) into a LossFunc bound to the target attributes.
+// metric applies when AVGMINDIST runs on a POINT target.
+func CompileLoss(createAggregateSQL string, metric Metric, targets ...string) (LossFunc, error) {
+	st, err := engine.Parse(createAggregateSQL)
+	if err != nil {
+		return nil, err
+	}
+	decl, ok := st.(*engine.CreateAggregate)
+	if !ok {
+		return nil, errNotCreateAggregate
+	}
+	return loss.Compile(decl, targets, metric)
+}
+
+// DefaultParams returns the paper's default cube configuration.
+func DefaultParams(f LossFunc, theta float64, cubedAttrs ...string) Params {
+	return core.DefaultParams(f, theta, cubedAttrs...)
+}
+
+// Build initializes a sampling cube over the table (the Go-native
+// equivalent of the CREATE TABLE … SAMPLING(*, θ) … statement).
+func Build(tbl *Table, p Params) (*Cube, error) { return core.Build(tbl, p) }
+
+// LoadCube restores a cube previously persisted with Cube.Save.
+var LoadCube = core.Load
+
+// GenerateTaxi builds the synthetic NYC-taxi dataset used throughout the
+// examples and benchmarks: n rides with the paper's seven categorical
+// filter attributes, Manhattan/JFK/LGA pickup hotspots, and correlated
+// fares and tips.
+func GenerateTaxi(n int, seed int64) *Table { return nyctaxi.Generate(n, seed) }
+
+// TaxiCubedAttrs lists the seven categorical attributes of the synthetic
+// taxi schema, in the paper's order.
+func TaxiCubedAttrs() []string { return append([]string(nil), nyctaxi.CubedAttrs...) }
+
+// GreedySample runs the accuracy-loss-aware greedy sampler (Algorithm 1)
+// directly: it returns table row ids whose sample satisfies
+// loss(raw, sample) ≤ theta.
+func GreedySample(f LossFunc, raw View, theta float64, opts GreedyOptions) ([]int32, error) {
+	return sampling.Greedy(f, raw, theta, opts)
+}
+
+// DefaultGreedyOptions is the sampler configuration Tabula uses.
+var DefaultGreedyOptions = sampling.DefaultGreedyOptions
+
+// SerflingSize returns the Serfling-inequality global sample size for a
+// relative error epsilon and confidence delta.
+var SerflingSize = sampling.SerflingSize
+
+// RenderHeatmapPNG rasterizes points into a width×height heat-map PNG
+// over the given bounds — a stand-in for the dashboard's map layer used
+// by the examples and the visualization-time experiments.
+var RenderHeatmapPNG = viz.RenderHeatmapPNG
+
+// TaxiBounds is the spatial extent of the synthetic taxi dataset.
+var TaxiBounds = nyctaxi.Bounds
+
+// CalibrateTheta finds, by bisection, the tightest loss threshold whose
+// sampling cube fits a memory budget; see core.CalibrateTheta.
+var CalibrateTheta = core.CalibrateTheta
+
+// CalibrateResult reports a calibration outcome.
+type CalibrateResult = core.CalibrateResult
+
+// ConditionIn is a multi-select (IN list) predicate for Cube.QueryIn.
+type ConditionIn = core.ConditionIn
+
+// AppendStats reports what one Cube.Append did.
+type AppendStats = core.AppendStats
+
+// NewTopKLoss returns the top-K loss: the fraction of the raw data's K
+// largest distinct values of the column missing from the sample.
+func NewTopKLoss(column string, k int) LossFunc { return loss.NewTopK(column, k) }
+
+// NewDistinctLoss returns the distinct-coverage loss: the fraction of
+// the raw data's distinct values of the column missing from the sample.
+func NewDistinctLoss(column string) LossFunc { return loss.NewDistinct(column) }

@@ -1,0 +1,3 @@
+module github.com/tabula-db/tabula
+
+go 1.22

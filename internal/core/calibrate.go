@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// CalibrateResult reports the outcome of threshold calibration.
+type CalibrateResult struct {
+	// Theta is the tightest threshold whose cube fit the budget.
+	Theta float64
+	// Cube is the corresponding initialized instance.
+	Cube *Tabula
+	// Trials records every (theta, bytes) pair probed, in probe order.
+	Trials []CalibrateTrial
+}
+
+// CalibrateTrial is one probe of the calibration search.
+type CalibrateTrial struct {
+	Theta float64
+	Bytes int64
+	Fits  bool
+}
+
+// CalibrateTheta finds, by bisection over [loTheta, hiTheta], the
+// tightest (smallest) accuracy-loss threshold whose materialized
+// sampling cube fits within maxBytes of memory. This automates the
+// practitioner's knob the paper leaves manual: pick the best accuracy
+// the memory budget affords.
+//
+// The cube footprint is monotone non-increasing in theta (a looser
+// threshold yields fewer iceberg cells and smaller samples), which makes
+// bisection sound. The search runs `steps` probes (each probe builds a
+// cube with params p at the probed threshold), so expect steps × one
+// initialization of cost. It returns an error when even hiTheta's cube
+// exceeds the budget.
+func CalibrateTheta(tbl *dataset.Table, p Params, loTheta, hiTheta float64, maxBytes int64, steps int) (*CalibrateResult, error) {
+	if loTheta <= 0 || hiTheta <= loTheta {
+		return nil, fmt.Errorf("core: calibration needs 0 < loTheta < hiTheta, got [%v, %v]", loTheta, hiTheta)
+	}
+	if steps < 1 {
+		steps = 6
+	}
+	res := &CalibrateResult{}
+	probe := func(theta float64) (*Tabula, int64, error) {
+		pp := p
+		pp.Theta = theta
+		cube, err := Build(tbl, pp)
+		if err != nil {
+			return nil, 0, err
+		}
+		bytes := cube.Stats().TotalBytes()
+		res.Trials = append(res.Trials, CalibrateTrial{Theta: theta, Bytes: bytes, Fits: bytes <= maxBytes})
+		return cube, bytes, nil
+	}
+	// The loosest threshold must fit, or no threshold in range does.
+	cube, bytes, err := probe(hiTheta)
+	if err != nil {
+		return nil, err
+	}
+	if bytes > maxBytes {
+		return nil, fmt.Errorf("core: even theta=%v needs %d bytes (budget %d)", hiTheta, bytes, maxBytes)
+	}
+	res.Theta, res.Cube = hiTheta, cube
+	lo, hi := loTheta, hiTheta
+	for i := 1; i < steps; i++ {
+		mid := (lo + hi) / 2
+		cube, bytes, err = probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if bytes <= maxBytes {
+			// mid fits: tighten further.
+			res.Theta, res.Cube = mid, cube
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+)
+
+// Persistence format (little-endian):
+//
+//	magic "TBLC" | version u16
+//	theta f64 | lossName str | nattrs u16 | per attr: name str, dict (u32 count + values)
+//	global sample (dataset binary)
+//	cube table: u32 count + (key u64, sampleID i32)*
+//	sample table: u32 count + each sample (dataset binary)
+//
+// Values inside dictionaries are (type u8, payload); str is u32 len +
+// bytes. The raw table is NOT persisted: a loaded instance answers
+// queries but cannot be rebuilt.
+const (
+	persistMagic   = "TBLC"
+	persistVersion = 1
+)
+
+func writeStr(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readStr(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("core: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeValue(w io.Writer, v dataset.Value) error {
+	if err := binary.Write(w, binary.LittleEndian, uint8(v.Type)); err != nil {
+		return err
+	}
+	switch v.Type {
+	case dataset.Int64:
+		return binary.Write(w, binary.LittleEndian, v.I)
+	case dataset.Float64:
+		return binary.Write(w, binary.LittleEndian, v.F)
+	case dataset.String:
+		return writeStr(w, v.S)
+	case dataset.Point:
+		if err := binary.Write(w, binary.LittleEndian, v.P.X); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, v.P.Y)
+	}
+	return fmt.Errorf("core: cannot persist value type %v", v.Type)
+}
+
+func readValue(r io.Reader) (dataset.Value, error) {
+	var t uint8
+	if err := binary.Read(r, binary.LittleEndian, &t); err != nil {
+		return dataset.Value{}, err
+	}
+	switch dataset.Type(t) {
+	case dataset.Int64:
+		var i int64
+		err := binary.Read(r, binary.LittleEndian, &i)
+		return dataset.IntValue(i), err
+	case dataset.Float64:
+		var f float64
+		err := binary.Read(r, binary.LittleEndian, &f)
+		return dataset.FloatValue(f), err
+	case dataset.String:
+		s, err := readStr(r)
+		return dataset.StringValue(s), err
+	case dataset.Point:
+		var v dataset.Value
+		v.Type = dataset.Point
+		if err := binary.Read(r, binary.LittleEndian, &v.P.X); err != nil {
+			return dataset.Value{}, err
+		}
+		err := binary.Read(r, binary.LittleEndian, &v.P.Y)
+		return v, err
+	}
+	return dataset.Value{}, fmt.Errorf("core: bad persisted value type %d", t)
+}
+
+// Save serializes the materialized sampling cube so a restarted
+// middleware can keep answering queries without re-initialization.
+func (t *Tabula) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(persistVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.params.Theta); err != nil {
+		return err
+	}
+	if err := writeStr(bw, t.lossName()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(t.params.CubedAttrs))); err != nil {
+		return err
+	}
+	for ai, name := range t.params.CubedAttrs {
+		if err := writeStr(bw, name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.attrVals[ai]))); err != nil {
+			return err
+		}
+		for _, v := range t.attrVals[ai] {
+			if err := writeValue(bw, v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.global.WriteBinary(bw); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.cubeTable))); err != nil {
+		return err
+	}
+	keys := make([]uint64, 0, len(t.cubeTable))
+	for k := range t.cubeTable {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if err := binary.Write(bw, binary.LittleEndian, k); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, t.cubeTable[k]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.samples))); err != nil {
+		return err
+	}
+	for _, s := range t.samples {
+		if err := s.WriteBinary(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs a query-serving Tabula instance from a Save stream.
+// The loaded instance answers queries with the original guarantee but
+// cannot be rebuilt (the raw table is not part of the cube).
+func Load(r io.Reader) (*Tabula, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("core: bad cube magic %q", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported cube version %d", version)
+	}
+	t := &Tabula{cubeTable: make(map[uint64]int32)}
+	if err := binary.Read(br, binary.LittleEndian, &t.params.Theta); err != nil {
+		return nil, err
+	}
+	name, err := readStr(br)
+	if err != nil {
+		return nil, err
+	}
+	t.loadedLossName = name
+	var nattrs uint16
+	if err := binary.Read(br, binary.LittleEndian, &nattrs); err != nil {
+		return nil, err
+	}
+	cards := make([]int, nattrs)
+	t.attrVals = make([][]dataset.Value, nattrs)
+	for ai := 0; ai < int(nattrs); ai++ {
+		aname, err := readStr(br)
+		if err != nil {
+			return nil, err
+		}
+		t.params.CubedAttrs = append(t.params.CubedAttrs, aname)
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		vals := make([]dataset.Value, n)
+		for i := range vals {
+			v, err := readValue(br)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		t.attrVals[ai] = vals
+		cards[ai] = len(vals)
+	}
+	t.codec, err = engine.NewKeyCodec(cards)
+	if err != nil {
+		return nil, err
+	}
+	if t.global, err = dataset.ReadBinary(br); err != nil {
+		return nil, fmt.Errorf("core: reading global sample: %w", err)
+	}
+	t.schema = t.global.Schema()
+	var nCells uint32
+	if err := binary.Read(br, binary.LittleEndian, &nCells); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nCells; i++ {
+		var key uint64
+		var id int32
+		if err := binary.Read(br, binary.LittleEndian, &key); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, err
+		}
+		t.cubeTable[key] = id
+	}
+	var nSamples uint32
+	if err := binary.Read(br, binary.LittleEndian, &nSamples); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nSamples; i++ {
+		s, err := dataset.ReadBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading sample %d: %w", i, err)
+		}
+		t.samples = append(t.samples, s)
+	}
+	for _, id := range t.cubeTable {
+		if int(id) < 0 || int(id) >= len(t.samples) {
+			return nil, fmt.Errorf("core: cube table references missing sample %d", id)
+		}
+	}
+	// Recompute footprint stats for the loaded instance.
+	t.stats.GlobalSampleSize = t.global.NumRows()
+	t.stats.NumPersistedSamples = len(t.samples)
+	t.stats.GlobalSampleBytes = t.global.Footprint()
+	t.stats.CubeTableBytes = int64(len(t.cubeTable)) * cubeTableEntryBytes
+	for _, s := range t.samples {
+		t.stats.SampleTableBytes += s.Footprint()
+	}
+	return t, nil
+}

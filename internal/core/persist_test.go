@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// Truncating a persisted cube at any offset must yield an error (never a
+// panic, never a silently short cube).
+func TestLoadTruncatedStreams(t *testing.T) {
+	tbl := taxiTable(800, 111)
+	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.08)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	offsets := []int{0, 1, 3, 4, 5, 10, 50, len(full) / 4, len(full) / 2, len(full) - 1}
+	for _, off := range offsets {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked at truncation %d: %v", off, r)
+				}
+			}()
+			if _, err := Load(bytes.NewReader(full[:off])); err == nil {
+				t.Errorf("Load of %d/%d bytes should fail", off, len(full))
+			}
+		}()
+	}
+}
+
+// Randomly corrupting single bytes must never panic; it may load (benign
+// payload flips) or error, but a loaded cube must stay internally
+// consistent enough to answer queries without crashing.
+func TestLoadCorruptedBytes(t *testing.T) {
+	tbl := taxiTable(500, 112)
+	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.1)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), full...)
+		pos := r.Intn(len(corrupted))
+		corrupted[pos] ^= byte(1 + r.Intn(255))
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("Load panicked with byte %d flipped: %v", pos, rec)
+				}
+			}()
+			loaded, err := Load(bytes.NewReader(corrupted))
+			if err != nil {
+				return // rejected, fine
+			}
+			// If it loaded, a query must not crash.
+			_, _ = loaded.Query(nil)
+		}()
+	}
+}
+
+// Save must be deterministic: two saves of the same cube are identical
+// byte-for-byte (sorted cube-table iteration).
+func TestSaveDeterministic(t *testing.T) {
+	tbl := taxiTable(1000, 113)
+	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.08)
+	var a, b bytes.Buffer
+	if err := tab.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Save output differs between calls")
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// ConditionIn is one multi-select predicate of a dashboard query:
+// attr IN (values...). A single-value ConditionIn is equivalent to a
+// plain Condition.
+type ConditionIn struct {
+	Attr   string
+	Values []dataset.Value
+}
+
+// QueryIn answers a dashboard query whose WHERE clause is a conjunction
+// of IN predicates over cubed attributes (the multi-select filters real
+// dashboards generate). The queried population is the disjoint union of
+// the matching cube cells; the answer is the union of those cells'
+// materialized samples (each persisted sample included at most once).
+//
+// The deterministic guarantee carries over ONLY for merge-safe losses
+// (see loss.MergeSafe): per-cell loss ≤ θ implies union loss ≤ θ for the
+// average-minimum-distance family. For non-merge-safe losses (mean,
+// regression) QueryIn returns an error directing the caller to issue
+// per-cell queries instead.
+func (t *Tabula) QueryIn(conds []ConditionIn) (*QueryResult, error) {
+	if t.params.Loss != nil && !loss.IsMergeSafe(t.params.Loss) {
+		return nil, fmt.Errorf("core: loss %q is not merge-safe; IN queries would void the guarantee (issue per-value queries instead)", t.lossName())
+	}
+	if t.params.Loss == nil {
+		return nil, fmt.Errorf("core: IN queries need the live loss function; a cube restored by Load answers only equality queries")
+	}
+	attrIdx := make(map[string]int, len(t.params.CubedAttrs))
+	for i, name := range t.params.CubedAttrs {
+		attrIdx[name] = i
+	}
+	// Per attribute: candidate codes (nil = unconstrained).
+	codesPerAttr := make([][]int32, len(t.attrVals))
+	for _, c := range conds {
+		ai, ok := attrIdx[c.Attr]
+		if !ok {
+			return nil, fmt.Errorf("core: attribute %q is not a cubed attribute", c.Attr)
+		}
+		if codesPerAttr[ai] != nil {
+			return nil, fmt.Errorf("core: attribute %q constrained twice", c.Attr)
+		}
+		if len(c.Values) == 0 {
+			return nil, fmt.Errorf("core: empty IN list for %q", c.Attr)
+		}
+		var codes []int32
+		for _, v := range c.Values {
+			if code := t.codeOf(ai, v); code != engine.NullCode {
+				codes = append(codes, code)
+			}
+		}
+		if len(codes) == 0 {
+			// No known value matches: empty population.
+			return &QueryResult{Sample: dataset.NewTable(t.schema), SampleID: -1}, nil
+		}
+		codesPerAttr[ai] = codes
+	}
+
+	// Enumerate the cross-product of constrained codes and collect the
+	// distinct samples that answer the member cells.
+	sampleIDs := make(map[int32]bool)
+	useGlobal := false
+	addr := make([]int32, len(t.attrVals))
+	var rec func(ai int)
+	rec = func(ai int) {
+		if ai == len(codesPerAttr) {
+			key := t.codec.Encode(addr)
+			if id, ok := t.cubeTable[key]; ok {
+				sampleIDs[id] = true
+			} else {
+				useGlobal = true
+			}
+			return
+		}
+		if codesPerAttr[ai] == nil {
+			addr[ai] = engine.NullCode
+			rec(ai + 1)
+			return
+		}
+		for _, code := range codesPerAttr[ai] {
+			addr[ai] = code
+			rec(ai + 1)
+		}
+	}
+	rec(0)
+
+	// Assemble the union sample.
+	union := dataset.NewTable(t.schema)
+	appendAll := func(s *dataset.Table) {
+		vals := make([]dataset.Value, s.NumCols())
+		for r := 0; r < s.NumRows(); r++ {
+			for c := range vals {
+				vals[c] = s.Value(r, c)
+			}
+			union.MustAppendRow(vals...)
+		}
+	}
+	ids := make([]int32, 0, len(sampleIDs))
+	for id := range sampleIDs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		appendAll(t.samples[id])
+	}
+	if useGlobal {
+		appendAll(t.global)
+	}
+	return &QueryResult{Sample: union, FromGlobal: useGlobal && len(ids) == 0, SampleID: -1}, nil
+}

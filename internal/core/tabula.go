@@ -1,0 +1,405 @@
+// Package core implements the Tabula middleware itself: initialization of
+// the partially materialized sampling cube (global sample → dry run →
+// real run → representative sample selection) and the query processor
+// that answers dashboard queries from materialized samples with a
+// deterministic accuracy-loss guarantee.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/tabula-db/tabula/internal/cube"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/samgraph"
+	"github.com/tabula-db/tabula/internal/sampling"
+)
+
+// Params configures Tabula initialization — the inputs of the paper's
+// Section II: the user-defined loss function, the accuracy loss threshold
+// θ, and the cubed attributes. The remaining fields tune internals and
+// have sensible zero-value behaviour via DefaultParams.
+type Params struct {
+	// Loss is the user-defined accuracy loss function.
+	Loss loss.Func
+	// Theta is the accuracy loss threshold; every sample Tabula returns
+	// is guaranteed to have loss ≤ Theta against the raw query answer.
+	Theta float64
+	// CubedAttrs are the attributes dashboards filter on (WHERE-clause
+	// predicates must use a subset of them).
+	CubedAttrs []string
+	// Epsilon and Delta size the global sample via Serfling's
+	// inequality; the paper's defaults are 0.05 and 0.01.
+	Epsilon float64
+	Delta   float64
+	// Seed drives the global random sample (deterministic experiments).
+	Seed int64
+	// Greedy configures the per-cell sampler.
+	Greedy sampling.GreedyOptions
+	// Cost selects the real-run access-path policy.
+	Cost cube.CostPolicy
+	// SampleSelection enables representative sample selection; disabling
+	// it yields the paper's Tabula* ablation.
+	SampleSelection bool
+	// SamGraph tunes the selection similarity join.
+	SamGraph samgraph.BuildOptions
+	// Workers bounds initialization parallelism (0 = GOMAXPROCS).
+	Workers int
+	// EnableAppend keeps the raw table, encoding, and per-cell loss
+	// states alive after Build so Append can maintain the cube
+	// incrementally. Costs extra memory proportional to the cell count.
+	EnableAppend bool
+}
+
+// DefaultParams returns the paper's default configuration for the given
+// loss, threshold and cubed attributes.
+func DefaultParams(f loss.Func, theta float64, cubedAttrs ...string) Params {
+	return Params{
+		Loss:            f,
+		Theta:           theta,
+		CubedAttrs:      cubedAttrs,
+		Epsilon:         0.05,
+		Delta:           0.01,
+		Greedy:          sampling.DefaultGreedyOptions(),
+		Cost:            cube.CostModelInequation1,
+		SampleSelection: true,
+	}
+}
+
+// Stats reports initialization outcomes — the quantities the paper's
+// experiment section measures (initialization-time breakdown, memory
+// footprint breakdown, cell inventories).
+type Stats struct {
+	// Timing breakdown (Figures 8 and 10a).
+	GlobalSampleTime time.Duration
+	DryRunTime       time.Duration
+	RealRunTime      time.Duration
+	SelectionTime    time.Duration
+	InitTime         time.Duration
+
+	// Cube inventory (Figure 5a annotations).
+	NumCuboids        int
+	NumIcebergCuboids int
+	NumCells          int
+	NumIcebergCells   int
+
+	// Sample inventory.
+	GlobalSampleSize    int
+	NumPersistedSamples int
+	SamGraphEdges       int
+	SamGraphPairsTested int64
+
+	// Memory footprint breakdown in bytes (Figures 9 and 10b): the three
+	// physical components of Tabula.
+	GlobalSampleBytes int64
+	CubeTableBytes    int64
+	SampleTableBytes  int64
+}
+
+// TotalBytes is the full footprint of the materialized sampling cube.
+func (s Stats) TotalBytes() int64 {
+	return s.GlobalSampleBytes + s.CubeTableBytes + s.SampleTableBytes
+}
+
+// Tabula is an initialized middleware instance holding the partially
+// materialized sampling cube of Figure 4: a cube table mapping iceberg
+// cells to sample ids and a sample table of persisted representative
+// samples, plus the global sample answering non-iceberg queries.
+type Tabula struct {
+	schema    dataset.Schema
+	params    Params
+	attrVals  [][]dataset.Value // per cubed attribute: code -> value
+	codec     *engine.KeyCodec
+	global    *dataset.Table
+	cubeTable map[uint64]int32
+	samples   []*dataset.Table
+	stats     Stats
+	// loadedLossName carries the loss name of an instance restored by
+	// Load, which has no live loss.Func.
+	loadedLossName string
+	// maint is non-nil for appendable cubes (Params.EnableAppend).
+	maint *maintenance
+}
+
+// lossName returns the configured or persisted loss name.
+func (t *Tabula) lossName() string {
+	if t.params.Loss != nil {
+		return t.params.Loss.Name()
+	}
+	return t.loadedLossName
+}
+
+// Build initializes Tabula over the raw table: it draws the global
+// sample, runs the dry-run and real-run stages, optionally runs
+// representative sample selection, and materializes the cube.
+func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
+	if p.Loss == nil {
+		return nil, fmt.Errorf("core: Params.Loss is required")
+	}
+	if p.Theta < 0 {
+		return nil, fmt.Errorf("core: negative loss threshold %v", p.Theta)
+	}
+	if len(p.CubedAttrs) == 0 {
+		return nil, fmt.Errorf("core: at least one cubed attribute is required")
+	}
+	if p.Epsilon == 0 {
+		p.Epsilon = 0.05
+	}
+	if p.Delta == 0 {
+		p.Delta = 0.01
+	}
+	t := &Tabula{
+		schema:    tbl.Schema().Clone(),
+		params:    p,
+		cubeTable: make(map[uint64]int32),
+	}
+	cols := make([]int, len(p.CubedAttrs))
+	for i, name := range p.CubedAttrs {
+		idx := tbl.Schema().ColumnIndex(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: unknown cubed attribute %q", name)
+		}
+		cols[i] = idx
+	}
+	start := time.Now()
+
+	// Stage 0: encode attributes and draw the global random sample.
+	enc, err := engine.NewCatEncoding(tbl, cols)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := engine.NewKeyCodec(enc.Cardinalities())
+	if err != nil {
+		return nil, err
+	}
+	t.codec = codec
+	t.attrVals = make([][]dataset.Value, enc.NumAttrs())
+	for ai := range t.attrVals {
+		vals := make([]dataset.Value, enc.Cardinality(ai))
+		for c := range vals {
+			vals[c] = enc.Value(ai, int32(c))
+		}
+		t.attrVals[ai] = vals
+	}
+
+	k, err := sampling.SerflingSize(p.Epsilon, p.Delta)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	globalRows := sampling.Random(dataset.FullView(tbl), k, rng)
+	sort.Slice(globalRows, func(i, j int) bool { return globalRows[i] < globalRows[j] })
+	globalView := dataset.NewView(tbl, globalRows)
+	t.global = globalView.Materialize()
+	t.stats.GlobalSampleSize = t.global.NumRows()
+	t.stats.GlobalSampleTime = time.Since(start)
+
+	// Stage 1: dry run — iceberg cell lookup from one scan.
+	dr, ok := p.Loss.(loss.DryRunner)
+	if !ok {
+		return nil, fmt.Errorf("core: loss %q is not algebraic (no DryRunner); Tabula requires an algebraic loss", p.Loss.Name())
+	}
+	ev, err := dr.BindSample(tbl, globalView)
+	if err != nil {
+		return nil, err
+	}
+	dryStart := time.Now()
+	dry, kept, err := cube.DryRunKeep(tbl, enc, codec, ev, p.Theta, p.EnableAppend)
+	if err != nil {
+		return nil, err
+	}
+	if p.EnableAppend {
+		t.maint = &maintenance{raw: tbl, enc: enc, states: kept, ev: ev}
+	}
+	t.stats.DryRunTime = time.Since(dryStart)
+	t.stats.NumCuboids = dry.Lattice.NumCuboids()
+	t.stats.NumIcebergCuboids = len(dry.IcebergCuboids())
+	t.stats.NumCells = dry.TotalCells()
+	t.stats.NumIcebergCells = dry.TotalIcebergCells()
+
+	// Stage 2: real run — materialize local samples for iceberg cells.
+	realStart := time.Now()
+	real, err := cube.RealRun(tbl, enc, codec, dry, p.Loss, p.Theta, cube.RealRunOptions{
+		Greedy:      p.Greedy,
+		Cost:        p.Cost,
+		Workers:     p.Workers,
+		KeepRawRows: p.SampleSelection,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.stats.RealRunTime = time.Since(realStart)
+
+	// Stage 3: representative sample selection (or 1:1 persistence for
+	// Tabula*).
+	selStart := time.Now()
+	if p.SampleSelection && len(real.Cells) > 0 {
+		vertices := make([]samgraph.Vertex, len(real.Cells))
+		for i, c := range real.Cells {
+			vertices[i] = samgraph.Vertex{Rows: c.Rows, SampleRows: c.SampleRows}
+		}
+		graph, err := samgraph.Build(tbl, vertices, p.Loss, p.Theta, p.SamGraph)
+		if err != nil {
+			return nil, err
+		}
+		sel := samgraph.Select(graph)
+		if err := samgraph.Verify(graph, sel); err != nil {
+			return nil, fmt.Errorf("core: sample selection self-check failed: %w", err)
+		}
+		t.stats.SamGraphEdges = graph.NumEdges()
+		t.stats.SamGraphPairsTested = graph.PairsTested
+		repID := make(map[int]int32, len(sel.Representatives))
+		for _, v := range sel.Representatives {
+			id := int32(len(t.samples))
+			t.samples = append(t.samples, dataset.NewView(tbl, real.Cells[v].SampleRows).Materialize())
+			repID[v] = id
+		}
+		for i, c := range real.Cells {
+			c.SampleID = repID[sel.AssignedTo[i]]
+			t.cubeTable[c.Key] = c.SampleID
+		}
+	} else {
+		for _, c := range real.Cells {
+			c.SampleID = int32(len(t.samples))
+			t.samples = append(t.samples, dataset.NewView(tbl, c.SampleRows).Materialize())
+			t.cubeTable[c.Key] = c.SampleID
+		}
+	}
+	t.stats.SelectionTime = time.Since(selStart)
+	t.stats.NumPersistedSamples = len(t.samples)
+	t.stats.InitTime = time.Since(start)
+
+	// Memory accounting (Figure 9's three components).
+	t.stats.GlobalSampleBytes = t.global.Footprint()
+	t.stats.CubeTableBytes = int64(len(t.cubeTable)) * cubeTableEntryBytes
+	for _, s := range t.samples {
+		t.stats.SampleTableBytes += s.Footprint()
+	}
+	return t, nil
+}
+
+// cubeTableEntryBytes approximates one cube-table entry: an 8-byte key, a
+// 4-byte sample id, and hash-map overhead.
+const cubeTableEntryBytes = 8 + 4 + 36
+
+// Stats returns the initialization statistics.
+func (t *Tabula) Stats() Stats { return t.stats }
+
+// Schema returns the raw table's schema (samples share it).
+func (t *Tabula) Schema() dataset.Schema { return t.schema }
+
+// Theta returns the configured accuracy loss threshold.
+func (t *Tabula) Theta() float64 { return t.params.Theta }
+
+// LossName returns the configured loss function's name.
+func (t *Tabula) LossName() string { return t.lossName() }
+
+// CubedAttrs returns the configured cubed attribute names.
+func (t *Tabula) CubedAttrs() []string { return append([]string(nil), t.params.CubedAttrs...) }
+
+// GlobalSample returns the materialized global sample.
+func (t *Tabula) GlobalSample() *dataset.Table { return t.global }
+
+// NumPersistedSamples returns the sample-table size.
+func (t *Tabula) NumPersistedSamples() int { return len(t.samples) }
+
+// Condition is one equality predicate of a dashboard query's WHERE
+// clause: attr = value, where attr must be a cubed attribute.
+type Condition struct {
+	Attr  string
+	Value dataset.Value
+}
+
+// QueryResult is the middleware's answer to a dashboard query.
+type QueryResult struct {
+	// Sample is the materialized sample to feed the visualization; never
+	// nil (it may be empty when the queried population is empty).
+	Sample *dataset.Table
+	// FromGlobal reports whether the global sample answered the query
+	// (non-iceberg cell).
+	FromGlobal bool
+	// CellKey is the cube cell the query addressed.
+	CellKey uint64
+	// SampleID is the sample-table id used (-1 for the global sample or
+	// an empty answer).
+	SampleID int32
+}
+
+// Query answers a dashboard query whose WHERE clause is a conjunction of
+// equality predicates over cubed attributes: it maps the predicates to a
+// cube cell, returns the cell's materialized local sample if the cell is
+// iceberg, and the global sample otherwise. The returned sample's loss
+// against the raw query answer is ≤ Theta with 100% confidence.
+//
+// A value never seen in the raw table addresses an empty population; the
+// answer is an empty sample (loss 0 by convention).
+func (t *Tabula) Query(conds []Condition) (*QueryResult, error) {
+	codes := make([]int32, len(t.attrVals))
+	for i := range codes {
+		codes[i] = engine.NullCode
+	}
+	attrIdx := make(map[string]int, len(t.params.CubedAttrs))
+	for i, name := range t.params.CubedAttrs {
+		attrIdx[name] = i
+	}
+	for _, c := range conds {
+		ai, ok := attrIdx[c.Attr]
+		if !ok {
+			return nil, fmt.Errorf("core: attribute %q is not a cubed attribute (cube has %v)", c.Attr, t.params.CubedAttrs)
+		}
+		if codes[ai] != engine.NullCode {
+			return nil, fmt.Errorf("core: attribute %q constrained twice", c.Attr)
+		}
+		code := t.codeOf(ai, c.Value)
+		if code == engine.NullCode {
+			// Unknown value: the population is empty.
+			return &QueryResult{Sample: dataset.NewTable(t.schema), SampleID: -1}, nil
+		}
+		codes[ai] = code
+	}
+	key := t.codec.Encode(codes)
+	if id, ok := t.cubeTable[key]; ok {
+		return &QueryResult{Sample: t.samples[id], CellKey: key, SampleID: id}, nil
+	}
+	return &QueryResult{Sample: t.global, FromGlobal: true, CellKey: key, SampleID: -1}, nil
+}
+
+// QueryByValues is a convenience Query over (attr, string-or-int) pairs
+// with values given in display form; it parses each value against the
+// attribute's column type.
+func (t *Tabula) QueryByValues(conds map[string]string) (*QueryResult, error) {
+	out := make([]Condition, 0, len(conds))
+	// Deterministic order for error messages.
+	attrs := make([]string, 0, len(conds))
+	for a := range conds {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		f, ok := t.schema.Field(a)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown attribute %q", a)
+		}
+		v, err := dataset.ParseValue(f.Type, conds[a])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Condition{Attr: a, Value: v})
+	}
+	return t.Query(out)
+}
+
+// codeOf maps a value of cubed attribute ai to its dense code, or
+// NullCode when the value never occurs in the raw table.
+func (t *Tabula) codeOf(ai int, v dataset.Value) int32 {
+	for c, val := range t.attrVals[ai] {
+		if val.Equal(v) {
+			return int32(c)
+		}
+	}
+	return engine.NullCode
+}

@@ -1,0 +1,55 @@
+package cube
+
+import (
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+)
+
+// NullLabel is how rolled-up ("*") coordinates print in cell tables,
+// matching the paper's "(null)" notation in Table I and Figure 4.
+const NullLabel = "(null)"
+
+// CellAddress renders a cell key as one display value per cubed
+// attribute, using NullLabel for rolled-up coordinates.
+func CellAddress(enc *engine.CatEncoding, codec *engine.KeyCodec, key uint64) []string {
+	codes := codec.Decode(key, nil)
+	out := make([]string, len(codes))
+	for ai, c := range codes {
+		if c == engine.NullCode {
+			out[ai] = NullLabel
+		} else {
+			out[ai] = enc.Value(ai, c).String()
+		}
+	}
+	return out
+}
+
+// IcebergCellTable materializes the dry run's iceberg cell inventory as a
+// table with one VARCHAR column per cubed attribute — the paper's
+// Table Ia (mask < 0, all cuboids in top-down order) or Tables Ib–Id (a
+// single cuboid's iceberg cells).
+func IcebergCellTable(dry *DryRunResult, enc *engine.CatEncoding, codec *engine.KeyCodec, attrNames []string, mask int) *dataset.Table {
+	schema := make(dataset.Schema, len(attrNames))
+	for i, n := range attrNames {
+		schema[i] = dataset.Field{Name: n, Type: dataset.String}
+	}
+	out := dataset.NewTable(schema)
+	emit := func(m int) {
+		for _, key := range dry.Cuboids[m].IcebergKeys {
+			addr := CellAddress(enc, codec, key)
+			vals := make([]dataset.Value, len(addr))
+			for i, s := range addr {
+				vals[i] = dataset.StringValue(s)
+			}
+			out.MustAppendRow(vals...)
+		}
+	}
+	if mask >= 0 {
+		emit(mask)
+		return out
+	}
+	for _, m := range dry.Lattice.TopDownOrder() {
+		emit(m)
+	}
+	return out
+}

@@ -1,0 +1,451 @@
+package cube
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/geo"
+	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/sampling"
+)
+
+func TestLatticeStructure(t *testing.T) {
+	l := NewLattice(3)
+	if l.NumCuboids() != 8 || l.Base() != 7 {
+		t.Fatalf("cuboids=%d base=%d", l.NumCuboids(), l.Base())
+	}
+	if got := l.Attrs(0b101); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Attrs(101) = %v", got)
+	}
+	// Parents/children are inverse relations.
+	for m := 0; m < l.NumCuboids(); m++ {
+		for _, p := range l.Parents(m) {
+			found := false
+			for _, c := range l.Children(p) {
+				if c == m {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("parent %b of %b lacks child link", p, m)
+			}
+		}
+	}
+	// DerivationParent adds exactly one attribute.
+	for m := 0; m < l.Base(); m++ {
+		p := l.DerivationParent(m)
+		if d := p &^ m; p&m != m || d == 0 || d&(d-1) != 0 {
+			t.Fatalf("DerivationParent(%b) = %b", m, p)
+		}
+	}
+}
+
+func TestLatticeTopDownOrder(t *testing.T) {
+	l := NewLattice(4)
+	order := l.TopDownOrder()
+	if len(order) != 16 || order[0] != l.Base() || order[15] != 0 {
+		t.Fatalf("order = %v", order)
+	}
+	pos := make(map[int]int)
+	for i, m := range order {
+		pos[m] = i
+	}
+	for _, m := range order {
+		if m != l.Base() && pos[l.DerivationParent(m)] >= pos[m] {
+			t.Fatalf("derivation parent of %b comes after it", m)
+		}
+	}
+}
+
+// taxiMini builds a small 3-attribute table mirroring the running example
+// (trip distance bucket, passenger count, payment method) with a skewed
+// fare distribution in some cells so icebergs exist.
+func taxiMini(n int, seed int64) *dataset.Table {
+	schema := dataset.Schema{
+		{Name: "distance", Type: dataset.String},
+		{Name: "passengers", Type: dataset.Int64},
+		{Name: "payment", Type: dataset.String},
+		{Name: "fare", Type: dataset.Float64},
+		{Name: "pickup", Type: dataset.Point},
+	}
+	t := dataset.NewTable(schema)
+	r := rand.New(rand.NewSource(seed))
+	dists := []string{"[0,5)", "[5,10)", "[10,15)"}
+	pays := []string{"cash", "credit", "dispute"}
+	for i := 0; i < n; i++ {
+		d := dists[r.Intn(3)]
+		p := pays[r.Intn(3)]
+		c := int64(1 + r.Intn(3))
+		fare := 10 + r.Float64()*5
+		// Skew: disputes on long trips have wildly different fares, so
+		// the global sample misrepresents those cells.
+		if p == "dispute" && d == "[10,15)" {
+			fare = 200 + r.Float64()*100
+		}
+		t.MustAppendRow(
+			dataset.StringValue(d),
+			dataset.IntValue(c),
+			dataset.StringValue(p),
+			dataset.FloatValue(fare),
+			dataset.PointValue(geo.Point{X: -74 + r.Float64()*0.2, Y: 40.6 + r.Float64()*0.2}),
+		)
+	}
+	return t
+}
+
+func setupCube(t *testing.T, tbl *dataset.Table) (*engine.CatEncoding, *engine.KeyCodec) {
+	t.Helper()
+	enc, err := engine.NewCatEncoding(tbl, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := engine.NewKeyCodec(enc.Cardinalities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, codec
+}
+
+func globalSample(tbl *dataset.Table, k int, seed int64) dataset.View {
+	rng := rand.New(rand.NewSource(seed))
+	rows := sampling.Random(dataset.FullView(tbl), k, rng)
+	return dataset.NewView(tbl, rows)
+}
+
+func TestDryRunFindsSkewedIcebergs(t *testing.T) {
+	tbl := taxiMini(5000, 61)
+	enc, codec := setupCube(t, tbl)
+	f := loss.NewMean("fare")
+	sam := globalSample(tbl, 200, 1)
+	ev, err := f.BindSample(tbl, sam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := 0.10
+	dry, err := DryRun(tbl, enc, codec, ev, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry.RowsScanned != 5000 {
+		t.Fatalf("RowsScanned = %d", dry.RowsScanned)
+	}
+	if dry.TotalIcebergCells() == 0 {
+		t.Fatal("expected iceberg cells from the skewed dispute/long-trip population")
+	}
+	// The <[10,15), *, dispute> cell must be iceberg: its mean fare is
+	// ~250 while the global sample's is ~12.
+	dCode := enc.CodeOf(0, dataset.StringValue("[10,15)"))
+	pCode := enc.CodeOf(2, dataset.StringValue("dispute"))
+	key := codec.Encode([]int32{dCode, engine.NullCode, pCode})
+	mask := 0b101 // distance & payment
+	found := false
+	for _, k := range dry.Cuboids[mask].IcebergKeys {
+		if k == key {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("skewed cell <[10,15), *, dispute> not marked iceberg")
+	}
+	// Every iceberg verdict must match a direct loss computation.
+	full := dataset.FullView(tbl)
+	for _, m := range dry.Lattice.TopDownOrder() {
+		attrs := dry.Lattice.Attrs(m)
+		groups := engine.GroupRows(enc, codec, attrs, full)
+		iceberg := make(map[uint64]bool, len(dry.Cuboids[m].IcebergKeys))
+		for _, k := range dry.Cuboids[m].IcebergKeys {
+			iceberg[k] = true
+		}
+		if len(groups) != dry.Cuboids[m].NumCells {
+			t.Fatalf("cuboid %b: NumCells %d != %d groups", m, dry.Cuboids[m].NumCells, len(groups))
+		}
+		for key, rows := range groups {
+			direct := f.Loss(dataset.NewView(tbl, rows), sam)
+			if (direct > theta) != iceberg[key] {
+				t.Fatalf("cuboid %b cell %d: direct loss %v vs iceberg=%v", m, key, direct, iceberg[key])
+			}
+		}
+	}
+}
+
+// The lattice derivation must agree with per-cuboid recomputation for
+// every loss type (the algebraic-measure correctness property).
+func TestDryRunMatchesRecompute(t *testing.T) {
+	tbl := taxiMini(2000, 62)
+	enc, codec := setupCube(t, tbl)
+	sam := globalSample(tbl, 150, 2)
+	losses := []loss.Func{
+		loss.NewMean("fare"),
+		loss.NewHistogram("fare"),
+		loss.NewHeatmap("pickup", geo.Euclidean),
+		loss.NewRegression("fare", "fare"),
+	}
+	for _, f := range losses {
+		ev, err := f.(loss.DryRunner).BindSample(tbl, sam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta := 0.05
+		fast, err := DryRun(tbl, enc, codec, ev, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := DryRunRecompute(tbl, enc, codec, ev, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range fast.Cuboids {
+			a, b := fast.Cuboids[m], slow.Cuboids[m]
+			if a.NumCells != b.NumCells || len(a.IcebergKeys) != len(b.IcebergKeys) {
+				t.Fatalf("%s cuboid %b: fast %d/%d vs slow %d/%d cells/icebergs",
+					f.Name(), m, a.NumCells, len(a.IcebergKeys), b.NumCells, len(b.IcebergKeys))
+			}
+			for i := range a.IcebergKeys {
+				if a.IcebergKeys[i] != b.IcebergKeys[i] {
+					t.Fatalf("%s cuboid %b: iceberg key mismatch", f.Name(), m)
+				}
+			}
+		}
+		if slow.RowsScanned != fast.RowsScanned*int64(fast.Lattice.NumCuboids()) {
+			t.Fatalf("recompute scanned %d rows, fast %d", slow.RowsScanned, fast.RowsScanned)
+		}
+	}
+}
+
+func TestInequation1(t *testing.T) {
+	// Degenerate inputs never pick the join path.
+	if Inequation1(0, 1, 10) || Inequation1(100, 0, 10) || Inequation1(100, 1, 1) {
+		t.Fatal("degenerate inputs must choose group-all")
+	}
+	// One iceberg cell among many in a huge table: join wins.
+	if !Inequation1(700_000_000, 1, 3000) {
+		t.Fatal("single iceberg cell in 700M rows should choose join-first")
+	}
+	// Nearly all cells iceberg: group-all wins.
+	if Inequation1(1000_000, 2900, 3000) {
+		t.Fatal("mostly-iceberg cuboid should choose group-all")
+	}
+}
+
+func TestRealRunSamplesMeetThreshold(t *testing.T) {
+	tbl := taxiMini(3000, 63)
+	enc, codec := setupCube(t, tbl)
+	f := loss.NewMean("fare")
+	sam := globalSample(tbl, 150, 3)
+	ev, err := f.BindSample(tbl, sam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := 0.08
+	dry, err := DryRun(tbl, enc, codec, ev, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := RealRun(tbl, enc, codec, dry, f, theta, RealRunOptions{
+		Greedy:      sampling.DefaultGreedyOptions(),
+		KeepRawRows: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(real.Cells) != dry.TotalIcebergCells() {
+		t.Fatalf("cells = %d, icebergs = %d", len(real.Cells), dry.TotalIcebergCells())
+	}
+	for _, c := range real.Cells {
+		if len(c.SampleRows) == 0 {
+			t.Fatalf("cell %d has empty sample", c.Key)
+		}
+		got := f.Loss(dataset.NewView(tbl, c.Rows), dataset.NewView(tbl, c.SampleRows))
+		if got > theta {
+			t.Fatalf("cell %d: local sample loss %v > %v", c.Key, got, theta)
+		}
+		// Sample rows must come from the cell's raw rows.
+		valid := make(map[int32]bool, len(c.Rows))
+		for _, r := range c.Rows {
+			valid[r] = true
+		}
+		for _, r := range c.SampleRows {
+			if !valid[r] {
+				t.Fatalf("cell %d: sample row %d not in cell population", c.Key, r)
+			}
+		}
+	}
+}
+
+// Both Algorithm 2 paths must produce identical cell populations.
+func TestRealRunPathsEquivalent(t *testing.T) {
+	tbl := taxiMini(2000, 64)
+	enc, codec := setupCube(t, tbl)
+	f := loss.NewMean("fare")
+	sam := globalSample(tbl, 150, 4)
+	ev, err := f.BindSample(tbl, sam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := 0.08
+	dry, err := DryRun(tbl, enc, codec, ev, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(policy CostPolicy) map[uint64]int {
+		real, err := RealRun(tbl, enc, codec, dry, f, theta, RealRunOptions{
+			Greedy: sampling.DefaultGreedyOptions(), Cost: policy, KeepRawRows: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[uint64]int)
+		for _, c := range real.Cells {
+			out[c.Key] = len(c.Rows)
+		}
+		return out
+	}
+	a := runWith(CostForceGroupAll)
+	b := runWith(CostForceJoinFirst)
+	if len(a) != len(b) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, n := range a {
+		if b[k] != n {
+			t.Fatalf("cell %d: group-all %d rows, join-first %d rows", k, n, b[k])
+		}
+	}
+}
+
+func TestIcebergCellTable(t *testing.T) {
+	tbl := taxiMini(3000, 65)
+	enc, codec := setupCube(t, tbl)
+	f := loss.NewMean("fare")
+	sam := globalSample(tbl, 150, 5)
+	ev, err := f.BindSample(tbl, sam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := DryRun(tbl, enc, codec, ev, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"distance", "passengers", "payment"}
+	all := IcebergCellTable(dry, enc, codec, names, -1)
+	if all.NumRows() != dry.TotalIcebergCells() {
+		t.Fatalf("table rows %d != icebergs %d", all.NumRows(), dry.TotalIcebergCells())
+	}
+	if all.NumCols() != 3 {
+		t.Fatalf("cols = %d", all.NumCols())
+	}
+	// A single-cuboid table contains nulls exactly at the masked-out attrs.
+	mask := 0b001 // distance only
+	one := IcebergCellTable(dry, enc, codec, names, mask)
+	for i := 0; i < one.NumRows(); i++ {
+		if one.Value(i, 0).S == NullLabel {
+			t.Fatal("grouped attribute should not be null")
+		}
+		if one.Value(i, 1).S != NullLabel || one.Value(i, 2).S != NullLabel {
+			t.Fatal("ungrouped attributes should be null")
+		}
+	}
+}
+
+func TestDryRunStateBytesPositive(t *testing.T) {
+	tbl := taxiMini(500, 66)
+	enc, codec := setupCube(t, tbl)
+	f := loss.NewMean("fare")
+	ev, err := f.BindSample(tbl, globalSample(tbl, 50, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := DryRun(tbl, enc, codec, ev, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry.StateBytes <= 0 {
+		t.Fatalf("StateBytes = %d", dry.StateBytes)
+	}
+	if dry.TotalCells() < dry.Lattice.NumCuboids() {
+		t.Fatalf("TotalCells = %d", dry.TotalCells())
+	}
+}
+
+func TestRollUpKey(t *testing.T) {
+	codec, err := engine.NewKeyCodec([]int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := codec.Encode([]int32{2, 1, 4})
+	up := rollUpKey(codec, key, 1)
+	want := codec.Encode([]int32{2, engine.NullCode, 4})
+	if up != want {
+		t.Fatalf("rollUpKey = %d, want %d", up, want)
+	}
+	// Rolling up a null coordinate is a no-op.
+	if rollUpKey(codec, up, 1) != up {
+		t.Fatal("rolling up null changed the key")
+	}
+}
+
+func TestRealRunNoIcebergs(t *testing.T) {
+	// With a huge theta nothing is iceberg; RealRun returns no cells.
+	tbl := taxiMini(1000, 67)
+	enc, codec := setupCube(t, tbl)
+	f := loss.NewMean("fare")
+	ev, err := f.BindSample(tbl, globalSample(tbl, 100, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := DryRun(tbl, enc, codec, ev, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dry.TotalIcebergCells() != 0 {
+		t.Fatal("no cell should be iceberg at theta=+Inf")
+	}
+	real, err := RealRun(tbl, enc, codec, dry, f, math.Inf(1), RealRunOptions{Greedy: sampling.DefaultGreedyOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(real.Cells) != 0 {
+		t.Fatalf("cells = %d", len(real.Cells))
+	}
+}
+
+// Iceberg sets are antitone in theta: every iceberg cell at a loose
+// threshold is also iceberg at any tighter one. CalibrateTheta's
+// bisection and the partial-materialization story both rest on this.
+func TestIcebergMonotoneInTheta(t *testing.T) {
+	tbl := taxiMini(3000, 68)
+	enc, codec := setupCube(t, tbl)
+	f := loss.NewMean("fare")
+	ev, err := f.BindSample(tbl, globalSample(tbl, 150, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetas := []float64{0.02, 0.05, 0.10, 0.20, 0.40}
+	var prev map[uint64]bool
+	var prevTheta float64
+	for _, theta := range thetas {
+		dry, err := DryRun(tbl, enc, codec, ev, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := make(map[uint64]bool)
+		for m := range dry.Cuboids {
+			for _, k := range dry.Cuboids[m].IcebergKeys {
+				cur[k] = true
+			}
+		}
+		if prev != nil {
+			for k := range cur {
+				if !prev[k] {
+					t.Fatalf("cell %d iceberg at theta=%v but not at tighter %v", k, theta, prevTheta)
+				}
+			}
+			if len(cur) > len(prev) {
+				t.Fatalf("iceberg count grew with theta: %d@%v -> %d@%v", len(prev), prevTheta, len(cur), theta)
+			}
+		}
+		prev, prevTheta = cur, theta
+	}
+}

@@ -1,0 +1,256 @@
+package cube
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// CuboidStats summarizes one cuboid after the dry run — the information
+// Figure 5a annotates each lattice vertex with: how many cells it has and
+// which of them are iceberg cells.
+type CuboidStats struct {
+	Mask        int
+	NumCells    int
+	IcebergKeys []uint64
+}
+
+// IsIceberg reports whether the cuboid holds at least one iceberg cell.
+func (c *CuboidStats) IsIceberg() bool { return len(c.IcebergKeys) > 0 }
+
+// DryRunResult is the outcome of the dry-run stage: per-cuboid cell and
+// iceberg-cell inventories, computed from a single scan of the raw table.
+type DryRunResult struct {
+	Lattice Lattice
+	Theta   float64
+	// Cuboids is indexed by cuboid mask.
+	Cuboids []CuboidStats
+	// RowsScanned counts raw-table rows touched (exactly N: the paper's
+	// headline dry-run property).
+	RowsScanned int64
+	// StateBytes is the peak memory the per-cell loss states occupied.
+	StateBytes int64
+}
+
+// TotalIcebergCells sums iceberg cells across all cuboids.
+func (r *DryRunResult) TotalIcebergCells() int {
+	var n int
+	for i := range r.Cuboids {
+		n += len(r.Cuboids[i].IcebergKeys)
+	}
+	return n
+}
+
+// TotalCells sums cells across all cuboids.
+func (r *DryRunResult) TotalCells() int {
+	var n int
+	for i := range r.Cuboids {
+		n += r.Cuboids[i].NumCells
+	}
+	return n
+}
+
+// IcebergCuboids returns the masks of cuboids holding iceberg cells, in
+// top-down lattice order.
+func (r *DryRunResult) IcebergCuboids() []int {
+	var out []int
+	for _, mask := range r.Lattice.TopDownOrder() {
+		if r.Cuboids[mask].IsIceberg() {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+// DryRun executes the dry-run stage: it builds the base cuboid's loss
+// states with one parallel scan of the table, derives every coarser
+// cuboid by merging states down the lattice (valid because the loss is
+// algebraic and the sample side is fixed to Sam_global), and marks as
+// iceberg every cell with loss(cell, Sam_global) > theta.
+func DryRun(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64) (*DryRunResult, error) {
+	res, _, err := DryRunKeep(tbl, enc, codec, ev, theta, false)
+	return res, err
+}
+
+// DryRunKeep is DryRun with an option to retain every cell's loss state
+// (keyed by cell key, unique across cuboids). Retained states enable
+// incremental cube maintenance: appended rows are folded into the states
+// and only affected cells are re-examined.
+func DryRunKeep(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64, keep bool) (*DryRunResult, map[uint64]loss.CellState, error) {
+	lat := NewLattice(enc.NumAttrs())
+	res := &DryRunResult{
+		Lattice: lat,
+		Theta:   theta,
+		Cuboids: make([]CuboidStats, lat.NumCuboids()),
+	}
+	n := tbl.NumRows()
+	res.RowsScanned = int64(n)
+	var kept map[uint64]loss.CellState
+	if keep {
+		kept = make(map[uint64]loss.CellState)
+	}
+
+	baseAttrs := lat.Attrs(lat.Base())
+	base := scanBaseCuboid(enc, codec, ev, baseAttrs, n)
+
+	// Derive all cuboids top-down. states[mask] is freed as soon as every
+	// cuboid deriving from it has been processed; with the fixed
+	// DerivationParent each parent can have up to n children, so we keep
+	// the map keyed by mask and drop entries when their children are done.
+	states := make(map[int]map[uint64]loss.CellState, lat.NumCuboids())
+	states[lat.Base()] = base
+	order := lat.TopDownOrder()
+	for _, mask := range order {
+		if mask != lat.Base() {
+			parent := lat.DerivationParent(mask)
+			pstates, ok := states[parent]
+			if !ok {
+				return nil, nil, fmt.Errorf("cube: internal error, parent cuboid %b not derived before %b", parent, mask)
+			}
+			// Remove the attribute that distinguishes parent from mask.
+			removed := parent &^ mask
+			attr := trailingAttr(removed)
+			cur := make(map[uint64]loss.CellState)
+			for key, st := range pstates {
+				ckey := rollUpKey(codec, key, attr)
+				dst, ok := cur[ckey]
+				if !ok {
+					dst = ev.NewState()
+					cur[ckey] = dst
+				}
+				ev.Merge(dst, st)
+			}
+			states[mask] = cur
+		}
+		cur := states[mask]
+		stats := &res.Cuboids[mask]
+		stats.Mask = mask
+		stats.NumCells = len(cur)
+		for key, st := range cur {
+			if ev.Loss(st) > theta {
+				stats.IcebergKeys = append(stats.IcebergKeys, key)
+			}
+		}
+		sort.Slice(stats.IcebergKeys, func(i, j int) bool { return stats.IcebergKeys[i] < stats.IcebergKeys[j] })
+		res.StateBytes += int64(len(cur)) * ev.StateBytes()
+		if keep {
+			for key, st := range cur {
+				kept[key] = st
+			}
+		}
+	}
+	return res, kept, nil
+}
+
+// scanBaseCuboid folds every table row into its base-cuboid cell state,
+// splitting the scan across GOMAXPROCS workers and merging the partial
+// maps (states are mergeable by construction).
+func scanBaseCuboid(enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, baseAttrs []int, n int) map[uint64]loss.CellState {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/8192+1 {
+		workers = n/8192 + 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partials := make([]map[uint64]loss.CellState, workers)
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partials[w] = map[uint64]loss.CellState{}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[uint64]loss.CellState)
+			for row := lo; row < hi; row++ {
+				key := engine.GroupKeys(enc, codec, baseAttrs, int32(row))
+				st, ok := m[key]
+				if !ok {
+					st = ev.NewState()
+					m[key] = st
+				}
+				ev.Add(st, int32(row))
+			}
+			partials[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	base := partials[0]
+	for _, p := range partials[1:] {
+		for key, st := range p {
+			if dst, ok := base[key]; ok {
+				ev.Merge(dst, st)
+			} else {
+				base[key] = st
+			}
+		}
+	}
+	return base
+}
+
+// DryRunRecompute is the ablation variant that rebuilds every cuboid's
+// states directly from the raw table (2^n scans) instead of deriving them
+// through the lattice. It must produce identical iceberg inventories; it
+// exists to measure what the algebraic derivation saves.
+func DryRunRecompute(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64) (*DryRunResult, error) {
+	lat := NewLattice(enc.NumAttrs())
+	res := &DryRunResult{
+		Lattice: lat,
+		Theta:   theta,
+		Cuboids: make([]CuboidStats, lat.NumCuboids()),
+	}
+	n := tbl.NumRows()
+	for _, mask := range lat.TopDownOrder() {
+		attrs := lat.Attrs(mask)
+		cur := make(map[uint64]loss.CellState)
+		for row := 0; row < n; row++ {
+			key := engine.GroupKeys(enc, codec, attrs, int32(row))
+			st, ok := cur[key]
+			if !ok {
+				st = ev.NewState()
+				cur[key] = st
+			}
+			ev.Add(st, int32(row))
+		}
+		res.RowsScanned += int64(n)
+		stats := &res.Cuboids[mask]
+		stats.Mask = mask
+		stats.NumCells = len(cur)
+		for key, st := range cur {
+			if ev.Loss(st) > theta {
+				stats.IcebergKeys = append(stats.IcebergKeys, key)
+			}
+		}
+		sort.Slice(stats.IcebergKeys, func(i, j int) bool { return stats.IcebergKeys[i] < stats.IcebergKeys[j] })
+		res.StateBytes += int64(len(cur)) * ev.StateBytes()
+	}
+	return res, nil
+}
+
+// trailingAttr returns the index of the single set bit in mask.
+func trailingAttr(mask int) int {
+	for a := 0; ; a++ {
+		if mask&(1<<a) != 0 {
+			return a
+		}
+	}
+}
+
+// rollUpKey clears attribute attr's digit in a cell key (sets it to the
+// null coordinate), producing the containing cell of the child cuboid.
+func rollUpKey(codec *engine.KeyCodec, key uint64, attr int) uint64 {
+	digit := codec.Digit(key, attr)
+	return key - digit*codec.Weight(attr)
+}

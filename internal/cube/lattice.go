@@ -1,0 +1,92 @@
+// Package cube implements the materialized sampling cube: the cuboid
+// lattice, the dry-run stage (single-scan iceberg-cell lookup over
+// algebraic loss states), the real-run stage (Algorithm 2, with the
+// Inequation 1 cost model choosing between a full GroupBy and an iceberg
+// semi-join), and the physical cube/sample table layout of Figure 4.
+package cube
+
+import (
+	"math/bits"
+)
+
+// Lattice is the cuboid lattice over n cubed attributes. A cuboid is
+// identified by the bitmask of attributes on its grouping list; the apex
+// cuboid (mask 0, "All" in Figure 5a) groups nothing and the base cuboid
+// (mask 2^n−1, "DCM" in the running example) groups everything.
+type Lattice struct {
+	n int
+}
+
+// NewLattice returns the lattice over n attributes.
+func NewLattice(n int) Lattice { return Lattice{n: n} }
+
+// NumAttrs returns the number of attributes.
+func (l Lattice) NumAttrs() int { return l.n }
+
+// NumCuboids returns 2^n, the total number of cuboids (GroupBy queries)
+// the classic CUBE operator would run.
+func (l Lattice) NumCuboids() int { return 1 << l.n }
+
+// Base returns the mask of the base (finest) cuboid.
+func (l Lattice) Base() int { return 1<<l.n - 1 }
+
+// Attrs expands a cuboid mask into attribute indexes, ascending.
+func (l Lattice) Attrs(mask int) []int {
+	attrs := make([]int, 0, bits.OnesCount(uint(mask)))
+	for a := 0; a < l.n; a++ {
+		if mask&(1<<a) != 0 {
+			attrs = append(attrs, a)
+		}
+	}
+	return attrs
+}
+
+// Parents returns the masks directly above mask (one more attribute).
+// Every cell of this cuboid can be derived by merging cells of any parent.
+func (l Lattice) Parents(mask int) []int {
+	var out []int
+	for a := 0; a < l.n; a++ {
+		if mask&(1<<a) == 0 {
+			out = append(out, mask|1<<a)
+		}
+	}
+	return out
+}
+
+// Children returns the masks directly below mask (one fewer attribute).
+func (l Lattice) Children(mask int) []int {
+	var out []int
+	for a := 0; a < l.n; a++ {
+		if mask&(1<<a) != 0 {
+			out = append(out, mask&^(1<<a))
+		}
+	}
+	return out
+}
+
+// DerivationParent returns the parent cuboid the dry run derives mask
+// from: the one adding the lowest missing attribute. Any parent works; a
+// fixed choice makes derivation deterministic.
+func (l Lattice) DerivationParent(mask int) int {
+	for a := 0; a < l.n; a++ {
+		if mask&(1<<a) == 0 {
+			return mask | 1<<a
+		}
+	}
+	return mask // base cuboid has no parent
+}
+
+// TopDownOrder returns all cuboid masks ordered from the base cuboid down
+// to the apex (descending attribute count), so each cuboid's derivation
+// parent precedes it.
+func (l Lattice) TopDownOrder() []int {
+	masks := make([]int, 0, l.NumCuboids())
+	for k := l.n; k >= 0; k-- {
+		for m := 0; m < l.NumCuboids(); m++ {
+			if bits.OnesCount(uint(m)) == k {
+				masks = append(masks, m)
+			}
+		}
+	}
+	return masks
+}

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// AggState is a mergeable partial aggregate. States of distributive and
+// algebraic measures (the only kinds the paper's dry-run stage can exploit)
+// can be merged bottom-up through the cuboid lattice: the state of a coarse
+// cell is the merge of the states of its finest descendant cells, so the
+// raw table is scanned exactly once.
+type AggState interface {
+	// Add folds one input value into the state.
+	Add(v dataset.Value)
+	// Merge folds another state of the same kind into the receiver.
+	Merge(o AggState)
+	// Value finalizes the aggregate.
+	Value() dataset.Value
+	// Clone returns a deep copy, used when a cuboid derivation must not
+	// alias its parents' states.
+	Clone() AggState
+}
+
+// AggFunc constructs states for one aggregate measure.
+type AggFunc interface {
+	Name() string
+	NewState() AggState
+}
+
+// NewAggFunc returns the builtin aggregate with the given (case
+// insensitive) name: COUNT, SUM, AVG, MIN, MAX, STDDEV, VAR, or
+// DISTINCT (the distinct-value count, in the paper's aggregate list).
+func NewAggFunc(name string) (AggFunc, error) {
+	up := strings.ToUpper(name)
+	switch up {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VAR", "DISTINCT":
+		return builtinAgg{name: up}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown aggregate %q", name)
+	}
+}
+
+type builtinAgg struct{ name string }
+
+func (b builtinAgg) Name() string { return b.name }
+
+func (b builtinAgg) NewState() AggState {
+	switch b.name {
+	case "COUNT":
+		return &countState{}
+	case "SUM":
+		return &sumState{}
+	case "AVG":
+		return &avgState{}
+	case "MIN":
+		return &minMaxState{min: true, cur: math.Inf(1)}
+	case "MAX":
+		return &minMaxState{min: false, cur: math.Inf(-1)}
+	case "STDDEV":
+		return &momentState{std: true}
+	case "VAR":
+		return &momentState{}
+	case "DISTINCT":
+		return NewDistinctState()
+	}
+	panic("engine: bad builtin aggregate " + b.name)
+}
+
+type countState struct{ n int64 }
+
+func (s *countState) Add(dataset.Value)    { s.n++ }
+func (s *countState) Merge(o AggState)     { s.n += o.(*countState).n }
+func (s *countState) Value() dataset.Value { return dataset.IntValue(s.n) }
+func (s *countState) Clone() AggState      { c := *s; return &c }
+
+type sumState struct{ sum float64 }
+
+func (s *sumState) Add(v dataset.Value)  { s.sum += v.Float() }
+func (s *sumState) Merge(o AggState)     { s.sum += o.(*sumState).sum }
+func (s *sumState) Value() dataset.Value { return dataset.FloatValue(s.sum) }
+func (s *sumState) Clone() AggState      { c := *s; return &c }
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) Add(v dataset.Value) { s.sum += v.Float(); s.n++ }
+func (s *avgState) Merge(o AggState)    { a := o.(*avgState); s.sum += a.sum; s.n += a.n }
+func (s *avgState) Value() dataset.Value {
+	if s.n == 0 {
+		return dataset.FloatValue(math.NaN())
+	}
+	return dataset.FloatValue(s.sum / float64(s.n))
+}
+func (s *avgState) Clone() AggState { c := *s; return &c }
+
+type minMaxState struct {
+	min bool
+	cur float64
+}
+
+func (s *minMaxState) Add(v dataset.Value) {
+	f := v.Float()
+	if s.min == (f < s.cur) {
+		s.cur = f
+	}
+}
+func (s *minMaxState) Merge(o AggState) {
+	m := o.(*minMaxState)
+	if s.min == (m.cur < s.cur) && m.cur != s.cur {
+		s.cur = m.cur
+	}
+}
+func (s *minMaxState) Value() dataset.Value { return dataset.FloatValue(s.cur) }
+func (s *minMaxState) Clone() AggState      { c := *s; return &c }
+
+// momentState tracks count, sum and sum of squares — enough for the
+// algebraic VARiance and STDDEV (population form).
+type momentState struct {
+	std   bool
+	n     int64
+	sum   float64
+	sumSq float64
+}
+
+func (s *momentState) Add(v dataset.Value) {
+	f := v.Float()
+	s.n++
+	s.sum += f
+	s.sumSq += f * f
+}
+func (s *momentState) Merge(o AggState) {
+	m := o.(*momentState)
+	s.n += m.n
+	s.sum += m.sum
+	s.sumSq += m.sumSq
+}
+func (s *momentState) Value() dataset.Value {
+	if s.n == 0 {
+		return dataset.FloatValue(math.NaN())
+	}
+	mean := s.sum / float64(s.n)
+	variance := s.sumSq/float64(s.n) - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric noise
+	}
+	if s.std {
+		return dataset.FloatValue(math.Sqrt(variance))
+	}
+	return dataset.FloatValue(variance)
+}
+func (s *momentState) Clone() AggState { c := *s; return &c }
+
+// RegressionState accumulates the sufficient statistics (n, Σx, Σy, Σxy,
+// Σx²) for a least-squares line — the paper's Function 3 uses the slope
+// converted to an angle in degrees. The state is algebraic, so the dry run
+// can merge it through the lattice.
+type RegressionState struct {
+	N            int64
+	SumX, SumY   float64
+	SumXY, SumXX float64
+}
+
+// AddXY folds one (x, y) observation.
+func (s *RegressionState) AddXY(x, y float64) {
+	s.N++
+	s.SumX += x
+	s.SumY += y
+	s.SumXY += x * y
+	s.SumXX += x * x
+}
+
+// MergeReg folds another regression state.
+func (s *RegressionState) MergeReg(o *RegressionState) {
+	s.N += o.N
+	s.SumX += o.SumX
+	s.SumY += o.SumY
+	s.SumXY += o.SumXY
+	s.SumXX += o.SumXX
+}
+
+// Slope returns the least-squares slope, per the paper's formula
+// slope = (nΣxy − Σx·Σy) / (nΣx² − (Σx)²). It returns NaN for degenerate
+// inputs (fewer than 2 points or zero x-variance).
+func (s *RegressionState) Slope() float64 {
+	n := float64(s.N)
+	den := n*s.SumXX - s.SumX*s.SumX
+	if s.N < 2 || den == 0 {
+		return math.NaN()
+	}
+	return (n*s.SumXY - s.SumX*s.SumY) / den
+}
+
+// Intercept returns the least-squares intercept, or NaN when degenerate.
+func (s *RegressionState) Intercept() float64 {
+	sl := s.Slope()
+	if math.IsNaN(sl) {
+		return math.NaN()
+	}
+	n := float64(s.N)
+	return (s.SumY - sl*s.SumX) / n
+}
+
+// Angle returns the slope converted to degrees in (−90°, 90°].
+func (s *RegressionState) Angle() float64 {
+	return math.Atan(s.Slope()) * 180 / math.Pi
+}
+
+// DistinctState counts distinct values of any scalar type (keys are the
+// values' canonical display forms), distributive by set union; Value
+// returns the distinct count.
+type DistinctState struct {
+	set map[string]struct{}
+}
+
+// NewDistinctState returns an empty distinct accumulator.
+func NewDistinctState() *DistinctState { return &DistinctState{set: make(map[string]struct{})} }
+
+// Add implements AggState.
+func (s *DistinctState) Add(v dataset.Value) { s.set[v.String()] = struct{}{} }
+
+// Merge implements AggState.
+func (s *DistinctState) Merge(o AggState) {
+	for k := range o.(*DistinctState).set {
+		s.set[k] = struct{}{}
+	}
+}
+
+// Value implements AggState, returning the distinct count.
+func (s *DistinctState) Value() dataset.Value { return dataset.IntValue(int64(len(s.set))) }
+
+// Clone implements AggState.
+func (s *DistinctState) Clone() AggState {
+	c := NewDistinctState()
+	for k := range s.set {
+		c.set[k] = struct{}{}
+	}
+	return c
+}
+
+// Keys returns the distinct value keys in ascending lexicographic order.
+func (s *DistinctState) Keys() []string {
+	out := make([]string, 0, len(s.set))
+	for k := range s.set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,284 @@
+// Package engine implements the SQL-subset data system substrate that
+// Tabula runs on: typed scalar expressions, filters, hash GroupBy, the
+// GROUP BY CUBE operator, hash equi-joins, an algebraic aggregate
+// framework, and a parser for the Tabula SQL dialect (including the
+// CREATE AGGREGATE accuracy-loss DSL).
+//
+// The paper deploys Tabula on Apache Spark SQL; this package is the
+// from-scratch stand-in. It preserves the properties the middleware relies
+// on: full-scan GroupBy cost proportional to the table size, the CUBE
+// operator's 2^n cuboid expansion, and single-pass construction of
+// algebraic aggregates.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// NullCode is the categorical code representing the cube's "*" (ALL /
+// rolled-up) coordinate in a cell address.
+const NullCode int32 = -1
+
+// CatEncoding densely encodes the values of a set of categorical columns
+// so that cube cells can be addressed with small integer coordinates. Both
+// String columns (via their dictionary) and Int64 columns (via a value
+// registry) are supported; these are the attribute types the paper's seven
+// NYCtaxi filter attributes take.
+type CatEncoding struct {
+	table *dataset.Table
+	cols  []int             // table column indexes, in cube-attribute order
+	codes [][]int32         // per attribute: dense code per row
+	cards []int             // per attribute: number of distinct values
+	vals  [][]dataset.Value // per attribute: code -> original value
+}
+
+// NewCatEncoding scans the table once per attribute and assigns each
+// distinct value a dense code in value order (deterministic across runs).
+func NewCatEncoding(t *dataset.Table, cols []int) (*CatEncoding, error) {
+	e := &CatEncoding{
+		table: t,
+		cols:  append([]int(nil), cols...),
+		codes: make([][]int32, len(cols)),
+		cards: make([]int, len(cols)),
+		vals:  make([][]dataset.Value, len(cols)),
+	}
+	n := t.NumRows()
+	for ai, c := range cols {
+		f := t.Schema()[c]
+		switch f.Type {
+		case dataset.String:
+			rowCodes, dict := t.StringCodes(c)
+			// Dictionary codes are dense already but ordered by first
+			// appearance; remap to sorted order for determinism.
+			order := make([]int32, len(dict))
+			sorted := make([]string, len(dict))
+			copy(sorted, dict)
+			sort.Strings(sorted)
+			rank := make(map[string]int32, len(dict))
+			for i, s := range sorted {
+				rank[s] = int32(i)
+			}
+			for i, s := range dict {
+				order[i] = rank[s]
+			}
+			codes := make([]int32, n)
+			for i, rc := range rowCodes {
+				codes[i] = order[rc]
+			}
+			e.codes[ai] = codes
+			e.cards[ai] = len(dict)
+			vals := make([]dataset.Value, len(dict))
+			for _, s := range sorted {
+				vals[rank[s]] = dataset.StringValue(s)
+			}
+			e.vals[ai] = vals
+		case dataset.Int64:
+			ints := t.Ints(c)
+			distinct := make(map[int64]struct{})
+			for _, v := range ints {
+				distinct[v] = struct{}{}
+			}
+			sorted := make([]int64, 0, len(distinct))
+			for v := range distinct {
+				sorted = append(sorted, v)
+			}
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			rank := make(map[int64]int32, len(sorted))
+			vals := make([]dataset.Value, len(sorted))
+			for i, v := range sorted {
+				rank[v] = int32(i)
+				vals[i] = dataset.IntValue(v)
+			}
+			codes := make([]int32, n)
+			for i, v := range ints {
+				codes[i] = rank[v]
+			}
+			e.codes[ai] = codes
+			e.cards[ai] = len(sorted)
+			e.vals[ai] = vals
+		default:
+			return nil, fmt.Errorf("engine: cube attribute %q has type %v; only VARCHAR and BIGINT can be cubed", f.Name, f.Type)
+		}
+	}
+	return e, nil
+}
+
+// NumAttrs returns the number of encoded attributes.
+func (e *CatEncoding) NumAttrs() int { return len(e.cols) }
+
+// Cardinality returns the distinct-value count of attribute ai.
+func (e *CatEncoding) Cardinality(ai int) int { return e.cards[ai] }
+
+// Cardinalities returns a copy of all attribute cardinalities.
+func (e *CatEncoding) Cardinalities() []int { return append([]int(nil), e.cards...) }
+
+// RowCodes returns the per-row dense codes of attribute ai. Callers must
+// not mutate the slice.
+func (e *CatEncoding) RowCodes(ai int) []int32 { return e.codes[ai] }
+
+// Value maps a code of attribute ai back to the original value.
+func (e *CatEncoding) Value(ai int, code int32) dataset.Value { return e.vals[ai][code] }
+
+// CodeOf maps a value of attribute ai to its dense code, or NullCode if
+// the value does not occur in the table.
+func (e *CatEncoding) CodeOf(ai int, v dataset.Value) int32 {
+	// Linear scan is fine: attribute cardinalities are dashboard-filter
+	// sized (a handful of buckets).
+	for c, val := range e.vals[ai] {
+		if val.Equal(v) {
+			return int32(c)
+		}
+	}
+	return NullCode
+}
+
+// Columns returns the table column indexes in attribute order.
+func (e *CatEncoding) Columns() []int { return append([]int(nil), e.cols...) }
+
+// AppendRows extends the per-row code arrays for table rows appended
+// after the encoding was built (rows from index `from` onward). It fails
+// if an appended row carries a categorical value outside the attribute's
+// existing domain — new domain values change the cube's address space
+// and require a full rebuild.
+func (e *CatEncoding) AppendRows(from int) error {
+	n := e.table.NumRows()
+	for ai := range e.cols {
+		if len(e.codes[ai]) != from {
+			return fmt.Errorf("engine: AppendRows(%d) but attribute %d has %d encoded rows", from, ai, len(e.codes[ai]))
+		}
+	}
+	// Validate and stage all attributes before committing any, so a new
+	// domain value leaves the encoding untouched.
+	staged := make([][]int32, len(e.cols))
+	for ai, c := range e.cols {
+		f := e.table.Schema()[c]
+		buf := make([]int32, 0, n-from)
+		switch f.Type {
+		case dataset.String:
+			rowCodes, dict := e.table.StringCodes(c)
+			// Map dictionary codes (which may have grown) to encoding
+			// codes via value lookup; cache per dict entry.
+			dictToEnc := make([]int32, len(dict))
+			for i := range dictToEnc {
+				dictToEnc[i] = -2 // unresolved
+			}
+			for row := from; row < n; row++ {
+				dc := rowCodes[row]
+				if dictToEnc[dc] == -2 {
+					dictToEnc[dc] = e.CodeOf(ai, dataset.StringValue(dict[dc]))
+				}
+				code := dictToEnc[dc]
+				if code == NullCode {
+					return fmt.Errorf("engine: appended row %d has new value %q for attribute %q; rebuild the cube", row, dict[dc], f.Name)
+				}
+				buf = append(buf, code)
+			}
+		case dataset.Int64:
+			ints := e.table.Ints(c)
+			cache := make(map[int64]int32)
+			for row := from; row < n; row++ {
+				v := ints[row]
+				code, ok := cache[v]
+				if !ok {
+					code = e.CodeOf(ai, dataset.IntValue(v))
+					cache[v] = code
+				}
+				if code == NullCode {
+					return fmt.Errorf("engine: appended row %d has new value %d for attribute %q; rebuild the cube", row, v, f.Name)
+				}
+				buf = append(buf, code)
+			}
+		}
+		staged[ai] = buf
+	}
+	for ai := range e.cols {
+		e.codes[ai] = append(e.codes[ai], staged[ai]...)
+	}
+	return nil
+}
+
+// Table returns the encoded table.
+func (e *CatEncoding) Table() *dataset.Table { return e.table }
+
+// Footprint returns the encoder's in-memory size in bytes.
+func (e *CatEncoding) Footprint() int64 {
+	var b int64
+	for _, c := range e.codes {
+		b += int64(cap(c)) * 4
+	}
+	b += int64(len(e.vals)) * 64
+	return b
+}
+
+// KeyCodec packs a cell address — one code per attribute, NullCode for the
+// rolled-up "*" coordinate — into a single uint64 using mixed-radix
+// encoding with radix card+1 per attribute (the +1 slot encodes null).
+type KeyCodec struct {
+	radices []uint64
+	weights []uint64
+}
+
+// NewKeyCodec builds a codec for attributes with the given cardinalities.
+// It fails if the address space exceeds 64 bits, which would require far
+// more cube cells than any dashboard workload materializes.
+func NewKeyCodec(cards []int) (*KeyCodec, error) {
+	k := &KeyCodec{
+		radices: make([]uint64, len(cards)),
+		weights: make([]uint64, len(cards)),
+	}
+	w := uint64(1)
+	for i, c := range cards {
+		k.radices[i] = uint64(c) + 1
+		k.weights[i] = w
+		next := w * k.radices[i]
+		if c < 0 || (w != 0 && next/w != k.radices[i]) {
+			return nil, fmt.Errorf("engine: cube address space overflows uint64 at attribute %d", i)
+		}
+		w = next
+	}
+	return k, nil
+}
+
+// Encode packs the cell address. Codes must be in [0, card) or NullCode.
+func (k *KeyCodec) Encode(codes []int32) uint64 {
+	var key uint64
+	for i, c := range codes {
+		d := uint64(0) // null
+		if c != NullCode {
+			d = uint64(c) + 1
+		}
+		key += d * k.weights[i]
+	}
+	return key
+}
+
+// Decode unpacks a key into the provided slice (allocating if nil).
+func (k *KeyCodec) Decode(key uint64, out []int32) []int32 {
+	if out == nil {
+		out = make([]int32, len(k.radices))
+	}
+	for i := range k.radices {
+		d := (key / k.weights[i]) % k.radices[i]
+		if d == 0 {
+			out[i] = NullCode
+		} else {
+			out[i] = int32(d - 1)
+		}
+	}
+	return out
+}
+
+// NumAttrs returns the number of attributes the codec addresses.
+func (k *KeyCodec) NumAttrs() int { return len(k.radices) }
+
+// Digit returns the raw mixed-radix digit of attribute ai in key (0 means
+// the null coordinate; code+1 otherwise).
+func (k *KeyCodec) Digit(key uint64, ai int) uint64 {
+	return (key / k.weights[ai]) % k.radices[ai]
+}
+
+// Weight returns the mixed-radix weight of attribute ai.
+func (k *KeyCodec) Weight(ai int) uint64 { return k.weights[ai] }

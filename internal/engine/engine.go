@@ -1,0 +1,431 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// Catalog names the tables known to the data system.
+type Catalog struct {
+	tables map[string]*dataset.Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*dataset.Table)}
+}
+
+// Register adds or replaces a named table.
+func (c *Catalog) Register(name string, t *dataset.Table) {
+	c.tables[strings.ToLower(name)] = t
+}
+
+// Table resolves a table by name (case insensitive).
+func (c *Catalog) Table(name string) (*dataset.Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExecuteSelect runs a plain SELECT statement (no CUBE) against the
+// catalog. It supports projection of columns and scalar expressions,
+// aggregate calls (COUNT/SUM/AVG/MIN/MAX/STDDEV/VAR) with optional GROUP
+// BY, WHERE filtering, HAVING on aggregate output aliases, and LIMIT.
+func (c *Catalog) ExecuteSelect(s *SelectStmt) (*dataset.Table, error) {
+	if s.GroupCube {
+		return nil, fmt.Errorf("engine: GROUP BY CUBE is handled by the sampling-cube builder, not ExecuteSelect")
+	}
+	src, err := c.Table(s.From)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := Filter(src, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	view := dataset.NewView(src, rows)
+	var out *dataset.Table
+	switch {
+	case s.Star:
+		out = view.Materialize()
+	case !containsAggregate(s.Items) && len(s.GroupBy) == 0:
+		out, err = projectView(src, view, s.Items)
+	default:
+		out, err = c.executeAggregate(src, view, s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.OrderBy != "" {
+		if out, err = sortTable(out, s.OrderBy, s.OrderDesc); err != nil {
+			return nil, err
+		}
+	}
+	return limitTable(out, s.Limit), nil
+}
+
+// sortTable returns a copy of t ordered by the named output column.
+func sortTable(t *dataset.Table, col string, desc bool) (*dataset.Table, error) {
+	idx := t.Schema().ColumnIndex(col)
+	if idx < 0 {
+		return nil, fmt.Errorf("engine: unknown ORDER BY column %q", col)
+	}
+	order := make([]int32, t.NumRows())
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := t.Value(int(order[a]), idx), t.Value(int(order[b]), idx)
+		if desc {
+			return vb.Less(va)
+		}
+		return va.Less(vb)
+	})
+	return dataset.NewView(t, order).Materialize(), nil
+}
+
+func containsAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *Call:
+		if _, err := NewAggFunc(x.Name); err == nil {
+			return true
+		}
+		if strings.EqualFold(x.Name, "COUNT") {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *Binary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *Unary:
+		return exprHasAggregate(x.X)
+	}
+	return false
+}
+
+// projectView evaluates scalar projections row by row.
+func projectView(src *dataset.Table, view dataset.View, items []SelectItem) (*dataset.Table, error) {
+	schema := make(dataset.Schema, len(items))
+	env := newRowEnv(src)
+	n := view.Len()
+	// Infer output types from the first row (or default to Float64).
+	vals := make([][]dataset.Value, n)
+	for i := 0; i < n; i++ {
+		env.setRow(int(view.RowID(i)))
+		row := make([]dataset.Value, len(items))
+		for j, it := range items {
+			v, err := Eval(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		vals[i] = row
+	}
+	for j, it := range items {
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.String()
+		}
+		typ := dataset.Float64
+		if n > 0 {
+			typ = vals[0][j].Type
+		} else if cr, ok := it.Expr.(*ColRef); ok {
+			if f, ok := src.Schema().Field(cr.Name); ok {
+				typ = f.Type
+			}
+		}
+		schema[j] = dataset.Field{Name: name, Type: typ}
+	}
+	out := dataset.NewTable(schema)
+	for _, row := range vals {
+		if err := out.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// aggEnv evaluates expressions where aggregate calls have been
+// pre-computed; it resolves group-by columns to the group's key values.
+type aggEnv struct {
+	groupCols map[string]dataset.Value
+	aggVals   map[string]dataset.Value
+}
+
+func (e *aggEnv) ColumnValue(qualifier, name string) (dataset.Value, error) {
+	if v, ok := e.groupCols[strings.ToLower(name)]; ok {
+		return v, nil
+	}
+	return dataset.Value{}, fmt.Errorf("engine: column %q is neither grouped nor aggregated", name)
+}
+
+func (e *aggEnv) CallFunc(name string, args []dataset.Value) (dataset.Value, error) {
+	return dataset.Value{}, ErrUnknownFunc
+}
+
+// evalAggExpr evaluates e, substituting aggregate Call nodes from the
+// precomputed map keyed by Call.String().
+func evalAggExpr(e Expr, env *aggEnv) (dataset.Value, error) {
+	if call, ok := e.(*Call); ok {
+		if v, ok := env.aggVals[call.String()]; ok {
+			return v, nil
+		}
+	}
+	switch x := e.(type) {
+	case *Binary:
+		l := &evaluatedExpr{}
+		r := &evaluatedExpr{}
+		lv, err := evalAggExpr(x.L, env)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		rv, err := evalAggExpr(x.R, env)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		l.v, r.v = lv, rv
+		return Eval(&Binary{Op: x.Op, L: l, R: r}, env)
+	case *Unary:
+		xv, err := evalAggExpr(x.X, env)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		return Eval(&Unary{Op: x.Op, X: &evaluatedExpr{v: xv}}, env)
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			av, err := evalAggExpr(a, env)
+			if err != nil {
+				return dataset.Value{}, err
+			}
+			args[i] = &evaluatedExpr{v: av}
+		}
+		return Eval(&Call{Name: x.Name, Args: args}, env)
+	default:
+		return Eval(e, env)
+	}
+}
+
+// evaluatedExpr wraps an already-computed value as an Expr leaf; Eval has a
+// case for it, so precomputed aggregate values flow through operators.
+type evaluatedExpr struct{ v dataset.Value }
+
+func (e *evaluatedExpr) String() string { return e.v.String() }
+
+// collectAggCalls gathers aggregate Call nodes within e.
+func collectAggCalls(e Expr, out map[string]*Call) {
+	switch x := e.(type) {
+	case *Call:
+		if _, err := NewAggFunc(x.Name); err == nil {
+			out[x.String()] = x
+			return
+		}
+		for _, a := range x.Args {
+			collectAggCalls(a, out)
+		}
+	case *Binary:
+		collectAggCalls(x.L, out)
+		collectAggCalls(x.R, out)
+	case *Unary:
+		collectAggCalls(x.X, out)
+	}
+}
+
+// executeAggregate runs grouped or global aggregation.
+func (c *Catalog) executeAggregate(src *dataset.Table, view dataset.View, s *SelectStmt) (*dataset.Table, error) {
+	// Gather all aggregate calls across projections and HAVING.
+	aggCalls := make(map[string]*Call)
+	for _, it := range s.Items {
+		collectAggCalls(it.Expr, aggCalls)
+	}
+	if s.Having != nil {
+		collectAggCalls(s.Having, aggCalls)
+	}
+	type aggSpec struct {
+		key string
+		fn  AggFunc
+		col int // -1 for COUNT(*)
+	}
+	var specs []aggSpec
+	for key, call := range aggCalls {
+		fn, err := NewAggFunc(call.Name)
+		if err != nil {
+			return nil, err
+		}
+		col := -1
+		if !call.Star {
+			if len(call.Args) != 1 {
+				return nil, fmt.Errorf("engine: aggregate %s expects one argument", call.Name)
+			}
+			cr, ok := call.Args[0].(*ColRef)
+			if !ok {
+				return nil, fmt.Errorf("engine: aggregate %s argument must be a column", call.Name)
+			}
+			col = src.Schema().ColumnIndex(cr.Name)
+			if col < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q", cr.Name)
+			}
+			// Numeric aggregates need numeric input; COUNT and DISTINCT
+			// accept any scalar type.
+			up := strings.ToUpper(call.Name)
+			if up != "COUNT" && up != "DISTINCT" {
+				if t := src.Schema()[col].Type; t != dataset.Int64 && t != dataset.Float64 {
+					return nil, fmt.Errorf("engine: %s(%s) needs a numeric column, got %v", up, cr.Name, t)
+				}
+			}
+		} else if !strings.EqualFold(call.Name, "COUNT") {
+			return nil, fmt.Errorf("engine: only COUNT supports (*)")
+		}
+		specs = append(specs, aggSpec{key: key, fn: fn, col: col})
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].key < specs[j].key })
+
+	groupCols := make([]int, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		idx := src.Schema().ColumnIndex(g)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown GROUP BY column %q", g)
+		}
+		groupCols[i] = idx
+	}
+
+	// Group rows by stringified key (generic; the cube path has its own
+	// dense-coded grouping).
+	type group struct {
+		keyVals []dataset.Value
+		states  []AggState
+	}
+	groups := make(map[string]*group)
+	order := []string{}
+	n := view.Len()
+	for i := 0; i < n; i++ {
+		row := int(view.RowID(i))
+		kb := strings.Builder{}
+		keyVals := make([]dataset.Value, len(groupCols))
+		for gi, gc := range groupCols {
+			v := src.Value(row, gc)
+			keyVals[gi] = v
+			kb.WriteString(v.String())
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyVals: keyVals, states: make([]AggState, len(specs))}
+			for si, sp := range specs {
+				g.states[si] = sp.fn.NewState()
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for si, sp := range specs {
+			if sp.col < 0 {
+				g.states[si].Add(dataset.IntValue(1))
+			} else {
+				g.states[si].Add(src.Value(row, sp.col))
+			}
+		}
+	}
+	// A global aggregate with no groups still yields one row.
+	if len(groupCols) == 0 && len(groups) == 0 {
+		g := &group{states: make([]AggState, len(specs))}
+		for si, sp := range specs {
+			g.states[si] = sp.fn.NewState()
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	sort.Strings(order)
+
+	// Build output schema: evaluate each projection per group.
+	schema := make(dataset.Schema, len(s.Items))
+	var outRows [][]dataset.Value
+	for _, k := range order {
+		g := groups[k]
+		env := &aggEnv{
+			groupCols: make(map[string]dataset.Value, len(groupCols)),
+			aggVals:   make(map[string]dataset.Value, len(specs)),
+		}
+		for gi := range groupCols {
+			env.groupCols[strings.ToLower(s.GroupBy[gi])] = g.keyVals[gi]
+		}
+		for si, sp := range specs {
+			env.aggVals[sp.key] = g.states[si].Value()
+		}
+		if s.Having != nil {
+			hv, err := evalAggExpr(s.Having, env)
+			if err != nil {
+				return nil, err
+			}
+			if !Truthy(hv) {
+				continue
+			}
+		}
+		row := make([]dataset.Value, len(s.Items))
+		for j, it := range s.Items {
+			v, err := evalAggExpr(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		outRows = append(outRows, row)
+	}
+	for j, it := range s.Items {
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.String()
+		}
+		typ := dataset.Float64
+		if len(outRows) > 0 {
+			typ = outRows[0][j].Type
+		}
+		schema[j] = dataset.Field{Name: name, Type: typ}
+	}
+	out := dataset.NewTable(schema)
+	for _, row := range outRows {
+		if err := out.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func limitTable(t *dataset.Table, limit int) *dataset.Table {
+	if limit < 0 || t.NumRows() <= limit {
+		return t
+	}
+	rows := make([]int32, limit)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return dataset.NewView(t, rows).Materialize()
+}

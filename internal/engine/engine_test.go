@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+func newTestCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	c.Register("rides", ridesTable(4000, 31))
+	return c
+}
+
+func mustSelect(t *testing.T, c *Catalog, src string) *dataset.Table {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out, err := c.ExecuteSelect(st.(*SelectStmt))
+	if err != nil {
+		t.Fatalf("execute %q: %v", src, err)
+	}
+	return out
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c := newTestCatalog(t)
+	if _, err := c.Table("RIDES"); err != nil {
+		t.Fatal("catalog should be case-insensitive")
+	}
+	if _, err := c.Table("nope"); err == nil {
+		t.Fatal("want unknown-table error")
+	}
+	if n := c.Names(); len(n) != 1 || n[0] != "rides" {
+		t.Fatalf("Names = %v", n)
+	}
+}
+
+func TestSelectStarLimit(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c, "SELECT * FROM rides LIMIT 7")
+	if out.NumRows() != 7 || out.NumCols() != 4 {
+		t.Fatalf("%dx%d", out.NumRows(), out.NumCols())
+	}
+}
+
+func TestSelectProjectionWhere(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c, "SELECT fare, fare * 2 AS dbl FROM rides WHERE payment = 'cash'")
+	if out.NumCols() != 2 {
+		t.Fatalf("cols = %d", out.NumCols())
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		if math.Abs(out.Value(i, 1).F-2*out.Value(i, 0).F) > 1e-12 {
+			t.Fatalf("row %d: dbl mismatch", i)
+		}
+	}
+}
+
+func TestSelectGlobalAggregate(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c, "SELECT COUNT(*) AS n, AVG(fare) AS af FROM rides")
+	if out.NumRows() != 1 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	if out.Value(0, 0).I != 4000 {
+		t.Fatalf("count = %v", out.Value(0, 0))
+	}
+	// Cross-check AVG against a manual scan.
+	tbl, _ := c.Table("rides")
+	var sum float64
+	for i := 0; i < tbl.NumRows(); i++ {
+		sum += tbl.Value(i, 2).F
+	}
+	want := sum / 4000
+	if math.Abs(out.Value(0, 1).F-want) > 1e-9 {
+		t.Fatalf("avg = %v, want %v", out.Value(0, 1).F, want)
+	}
+}
+
+func TestSelectGroupByHaving(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c,
+		"SELECT payment, COUNT(*) AS n FROM rides GROUP BY payment HAVING COUNT(*) > 0")
+	if out.NumRows() != 3 {
+		t.Fatalf("groups = %d", out.NumRows())
+	}
+	var total int64
+	for i := 0; i < out.NumRows(); i++ {
+		total += out.Value(i, 1).I
+	}
+	if total != 4000 {
+		t.Fatalf("group sizes sum to %d", total)
+	}
+	// Groups are emitted in deterministic (sorted-key) order.
+	if out.Value(0, 0).S > out.Value(1, 0).S {
+		t.Fatal("groups not sorted")
+	}
+}
+
+func TestSelectGroupByTwoCols(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c,
+		"SELECT payment, passengers, COUNT(*) AS n FROM rides GROUP BY payment, passengers")
+	if out.NumRows() != 12 { // 3 payments × 4 passenger counts
+		t.Fatalf("groups = %d", out.NumRows())
+	}
+}
+
+func TestSelectAggExprArithmetic(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c, "SELECT MAX(fare) - MIN(fare) AS range FROM rides")
+	if out.NumRows() != 1 || out.Value(0, 0).F <= 0 {
+		t.Fatalf("range = %+v", out.Value(0, 0))
+	}
+}
+
+func TestSelectHavingFiltersAll(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c,
+		"SELECT payment, COUNT(*) AS n FROM rides GROUP BY payment HAVING COUNT(*) > 1000000")
+	if out.NumRows() != 0 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+}
+
+func TestSelectEmptyGlobalAggregate(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c, "SELECT COUNT(*) AS n FROM rides WHERE fare < 0")
+	if out.NumRows() != 1 || out.Value(0, 0).I != 0 {
+		t.Fatalf("got %+v", out.Value(0, 0))
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	c := newTestCatalog(t)
+	bad := []string{
+		"SELECT * FROM missing",
+		"SELECT nosuch FROM rides",
+		"SELECT AVG(nosuch) FROM rides",
+		"SELECT fare FROM rides GROUP BY payment", // fare neither grouped nor aggregated
+		"SELECT SUM(*) FROM rides",
+		"SELECT payment, AVG(fare) FROM rides GROUP BY nosuch",
+	}
+	for _, src := range bad {
+		st, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := c.ExecuteSelect(st.(*SelectStmt)); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestSelectCubeRejected(t *testing.T) {
+	c := newTestCatalog(t)
+	st, err := Parse("SELECT payment, COUNT(*) AS n FROM rides GROUPBY CUBE(payment)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteSelect(st.(*SelectStmt)); err == nil {
+		t.Fatal("CUBE must be rejected by ExecuteSelect")
+	}
+}
+
+func TestSelectOrderBy(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c, "SELECT fare FROM rides WHERE payment = 'cash' ORDER BY fare LIMIT 5")
+	for i := 1; i < out.NumRows(); i++ {
+		if out.Value(i, 0).F < out.Value(i-1, 0).F {
+			t.Fatal("not ascending")
+		}
+	}
+	if out.NumRows() != 5 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	desc := mustSelect(t, c, "SELECT payment, AVG(fare) AS af FROM rides GROUP BY payment ORDER BY af DESC")
+	for i := 1; i < desc.NumRows(); i++ {
+		if desc.Value(i, 1).F > desc.Value(i-1, 1).F {
+			t.Fatal("not descending")
+		}
+	}
+	// ORDER BY must apply before LIMIT: the global max fare appears first.
+	top := mustSelect(t, c, "SELECT fare FROM rides ORDER BY fare DESC LIMIT 1")
+	all := mustSelect(t, c, "SELECT MAX(fare) AS m FROM rides")
+	if top.Value(0, 0).F != all.Value(0, 0).F {
+		t.Fatalf("top-1 %v != max %v", top.Value(0, 0).F, all.Value(0, 0).F)
+	}
+	// Unknown order column errors.
+	st, err := Parse("SELECT fare FROM rides ORDER BY ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteSelect(st.(*SelectStmt)); err == nil {
+		t.Fatal("want unknown-column error")
+	}
+}
+
+func TestSelectDistinctAggregate(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c, "SELECT DISTINCT(passengers) AS d FROM rides")
+	if out.NumRows() != 1 || out.Value(0, 0).I != 4 {
+		t.Fatalf("DISTINCT(passengers) = %+v", out.Value(0, 0))
+	}
+	grouped := mustSelect(t, c,
+		"SELECT payment, DISTINCT(passengers) AS d FROM rides GROUP BY payment")
+	for i := 0; i < grouped.NumRows(); i++ {
+		if d := grouped.Value(i, 1).I; d < 1 || d > 4 {
+			t.Fatalf("group %d distinct = %d", i, d)
+		}
+	}
+}
+
+func TestSelectDistinctOnStrings(t *testing.T) {
+	c := newTestCatalog(t)
+	out := mustSelect(t, c, "SELECT DISTINCT(payment) AS d FROM rides")
+	if out.Value(0, 0).I != 3 {
+		t.Fatalf("DISTINCT(payment) = %+v", out.Value(0, 0))
+	}
+}
+
+func TestSelectNumericAggregateOnStringRejected(t *testing.T) {
+	c := newTestCatalog(t)
+	st, err := Parse("SELECT AVG(payment) AS a FROM rides")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteSelect(st.(*SelectStmt)); err == nil {
+		t.Fatal("AVG on VARCHAR must be rejected")
+	}
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// Filter scans t and returns the ids of rows satisfying pred. It
+// parallelizes the scan across GOMAXPROCS workers; result order is
+// ascending row id either way.
+func Filter(t *dataset.Table, pred Expr) ([]int32, error) {
+	n := t.NumRows()
+	if pred == nil {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out, nil
+	}
+	// Columnar fast path for the most common dashboard predicate shape.
+	if preds, ok := CompileEqConjunction(t, pred); ok {
+		return FastEqFilter(t, preds)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/4096+1 {
+		workers = n/4096 + 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := make([][]int32, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			env := newRowEnv(t)
+			var ids []int32
+			for i := lo; i < hi; i++ {
+				env.setRow(i)
+				v, err := Eval(pred, env)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if Truthy(v) {
+					ids = append(ids, int32(i))
+				}
+			}
+			chunks[w] = ids
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out := make([]int32, 0, total)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out, nil
+}
+
+// GroupRows partitions the rows of view into cube cells under the given
+// grouping list. attrs are indexes into the encoding's attribute order; the
+// returned keys place NullCode at every attribute not in attrs, so keys
+// from different cuboids of the same codec never collide.
+func GroupRows(enc *CatEncoding, codec *KeyCodec, attrs []int, view dataset.View) map[uint64][]int32 {
+	weights := make([]uint64, len(attrs))
+	colCodes := make([][]int32, len(attrs))
+	for i, ai := range attrs {
+		weights[i] = codec.weights[ai]
+		colCodes[i] = enc.codes[ai]
+	}
+	out := make(map[uint64][]int32)
+	n := view.Len()
+	for i := 0; i < n; i++ {
+		row := view.RowID(i)
+		var key uint64
+		for a := range attrs {
+			key += (uint64(colCodes[a][row]) + 1) * weights[a]
+		}
+		out[key] = append(out[key], row)
+	}
+	return out
+}
+
+// GroupKeys computes only the cell key of each row under the grouping list
+// (no row-list materialization); used when the caller streams aggregate
+// states instead of collecting row ids.
+func GroupKeys(enc *CatEncoding, codec *KeyCodec, attrs []int, row int32) uint64 {
+	var key uint64
+	for _, ai := range attrs {
+		key += (uint64(enc.codes[ai][row]) + 1) * codec.weights[ai]
+	}
+	return key
+}
+
+// SemiJoinRows returns the rows of view whose cell key under the grouping
+// list is present in keys — the paper's "equi-join the raw table with the
+// iceberg cell table" path (Algorithm 2, second branch) whose cost the
+// Inequation 1 model weighs against a full GroupBy.
+func SemiJoinRows(enc *CatEncoding, codec *KeyCodec, attrs []int, view dataset.View, keys map[uint64]struct{}) []int32 {
+	weights := make([]uint64, len(attrs))
+	colCodes := make([][]int32, len(attrs))
+	for i, ai := range attrs {
+		weights[i] = codec.weights[ai]
+		colCodes[i] = enc.codes[ai]
+	}
+	var out []int32
+	n := view.Len()
+	for i := 0; i < n; i++ {
+		row := view.RowID(i)
+		var key uint64
+		for a := range attrs {
+			key += (uint64(colCodes[a][row]) + 1) * weights[a]
+		}
+		if _, ok := keys[key]; ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// AggregateView folds column col of the view through aggregate f.
+func AggregateView(view dataset.View, col int, f AggFunc) dataset.Value {
+	st := f.NewState()
+	n := view.Len()
+	for i := 0; i < n; i++ {
+		st.Add(view.Value(i, col))
+	}
+	return st.Value()
+}
+
+// HashJoin performs an inner equi-join between the rows of left and right
+// on the given column pairs, invoking emit for each matching (leftRow,
+// rightRow) pair. It builds the hash table on the smaller input.
+func HashJoin(left, right *dataset.Table, leftCols, rightCols []int, emit func(l, r int32)) error {
+	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
+		return fmt.Errorf("engine: HashJoin needs equal non-empty key column lists")
+	}
+	build, probe := left, right
+	buildCols, probeCols := leftCols, rightCols
+	swapped := false
+	if right.NumRows() < left.NumRows() {
+		build, probe = right, left
+		buildCols, probeCols = rightCols, leftCols
+		swapped = true
+	}
+	ht := make(map[string][]int32, build.NumRows())
+	keyOf := func(t *dataset.Table, row int, cols []int) string {
+		k := ""
+		for _, c := range cols {
+			k += t.Value(row, c).String() + "\x00"
+		}
+		return k
+	}
+	for i := 0; i < build.NumRows(); i++ {
+		k := keyOf(build, i, buildCols)
+		ht[k] = append(ht[k], int32(i))
+	}
+	for i := 0; i < probe.NumRows(); i++ {
+		k := keyOf(probe, i, probeCols)
+		for _, b := range ht[k] {
+			if swapped {
+				emit(int32(i), b)
+			} else {
+				emit(b, int32(i))
+			}
+		}
+	}
+	return nil
+}
+
+// CubeCells enumerates, for every one of the 2^n groupings of the encoded
+// attributes, the cell partitions of the view. This is the classic
+// exhaustive CUBE operator the FullSamCube and PartSamCube baselines pay
+// for; Tabula's initialization avoids it. The result maps cell key to row
+// ids across all cuboids (keys are globally unique because unused
+// attributes carry the null digit).
+func CubeCells(enc *CatEncoding, codec *KeyCodec, view dataset.View) map[uint64][]int32 {
+	n := enc.NumAttrs()
+	out := make(map[uint64][]int32)
+	for mask := 0; mask < 1<<n; mask++ {
+		attrs := attrsOfMask(mask, n)
+		for k, rows := range GroupRows(enc, codec, attrs, view) {
+			out[k] = rows
+		}
+	}
+	return out
+}
+
+// attrsOfMask expands a bitmask into attribute indexes.
+func attrsOfMask(mask, n int) []int {
+	var attrs []int
+	for a := 0; a < n; a++ {
+		if mask&(1<<a) != 0 {
+			attrs = append(attrs, a)
+		}
+	}
+	return attrs
+}

@@ -1,0 +1,450 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/geo"
+)
+
+func ridesSchema() dataset.Schema {
+	return dataset.Schema{
+		{Name: "payment", Type: dataset.String},
+		{Name: "passengers", Type: dataset.Int64},
+		{Name: "fare", Type: dataset.Float64},
+		{Name: "pickup", Type: dataset.Point},
+	}
+}
+
+func ridesTable(n int, seed int64) *dataset.Table {
+	t := dataset.NewTable(ridesSchema())
+	r := rand.New(rand.NewSource(seed))
+	pays := []string{"cash", "credit", "dispute"}
+	for i := 0; i < n; i++ {
+		t.MustAppendRow(
+			dataset.StringValue(pays[r.Intn(3)]),
+			dataset.IntValue(int64(1+r.Intn(4))),
+			dataset.FloatValue(2+r.Float64()*48),
+			dataset.PointValue(geo.Point{X: -74 + r.Float64()*0.4, Y: 40.6 + r.Float64()*0.3}),
+		)
+	}
+	return t
+}
+
+func TestFilterMatchesManualScan(t *testing.T) {
+	tbl := ridesTable(5000, 3)
+	pred, err := ParseExpr("payment = 'cash' AND fare > 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Filter(tbl, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int32
+	for i := 0; i < tbl.NumRows(); i++ {
+		if tbl.Value(i, 0).S == "cash" && tbl.Value(i, 2).F > 25 {
+			want = append(want, int32(i))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFilterNilPredicate(t *testing.T) {
+	tbl := ridesTable(10, 1)
+	rows, err := Filter(tbl, nil)
+	if err != nil || len(rows) != 10 {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+}
+
+func TestFilterBadPredicate(t *testing.T) {
+	tbl := ridesTable(10, 1)
+	pred, err := ParseExpr("nosuch = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Filter(tbl, pred); err == nil {
+		t.Fatal("want unknown-column error")
+	}
+}
+
+func newTestEncoding(t *testing.T, tbl *dataset.Table) (*CatEncoding, *KeyCodec) {
+	t.Helper()
+	enc, err := NewCatEncoding(tbl, []int{0, 1}) // payment, passengers
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := NewKeyCodec(enc.Cardinalities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, codec
+}
+
+func TestCatEncodingRoundTrip(t *testing.T) {
+	tbl := ridesTable(2000, 5)
+	enc, _ := newTestEncoding(t, tbl)
+	if enc.NumAttrs() != 2 {
+		t.Fatalf("NumAttrs = %d", enc.NumAttrs())
+	}
+	if enc.Cardinality(0) != 3 || enc.Cardinality(1) != 4 {
+		t.Fatalf("cards = %v", enc.Cardinalities())
+	}
+	for ai := 0; ai < 2; ai++ {
+		codes := enc.RowCodes(ai)
+		for row := 0; row < tbl.NumRows(); row += 97 {
+			orig := tbl.Value(row, enc.Columns()[ai])
+			if !enc.Value(ai, codes[row]).Equal(orig) {
+				t.Fatalf("attr %d row %d: decode mismatch", ai, row)
+			}
+			if enc.CodeOf(ai, orig) != codes[row] {
+				t.Fatalf("attr %d row %d: CodeOf mismatch", ai, row)
+			}
+		}
+	}
+	if enc.CodeOf(0, dataset.StringValue("zelle")) != NullCode {
+		t.Fatal("unknown value should map to NullCode")
+	}
+}
+
+func TestCatEncodingRejectsBadTypes(t *testing.T) {
+	tbl := ridesTable(10, 1)
+	if _, err := NewCatEncoding(tbl, []int{2}); err == nil {
+		t.Fatal("cubing a DOUBLE column should fail")
+	}
+	if _, err := NewCatEncoding(tbl, []int{3}); err == nil {
+		t.Fatal("cubing a POINT column should fail")
+	}
+}
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	codec, err := NewKeyCodec([]int{3, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := [][]int32{
+		{NullCode, NullCode, NullCode},
+		{0, 0, 0},
+		{2, 3, 6},
+		{NullCode, 2, NullCode},
+		{1, NullCode, 5},
+	}
+	seen := make(map[uint64]bool)
+	for _, a := range addrs {
+		k := codec.Encode(a)
+		if seen[k] {
+			t.Fatalf("key collision for %v", a)
+		}
+		seen[k] = true
+		got := codec.Decode(k, nil)
+		for i := range a {
+			if got[i] != a[i] {
+				t.Fatalf("decode(%v) = %v", a, got)
+			}
+		}
+	}
+}
+
+func TestKeyCodecExhaustiveUniqueness(t *testing.T) {
+	cards := []int{2, 3, 2}
+	codec, err := NewKeyCodec(cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64][]int32)
+	var rec func(addr []int32, i int)
+	rec = func(addr []int32, i int) {
+		if i == len(cards) {
+			k := codec.Encode(addr)
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("collision: %v and %v -> %d", prev, addr, k)
+			}
+			seen[k] = append([]int32(nil), addr...)
+			return
+		}
+		for c := int32(NullCode); c < int32(cards[i]); c++ {
+			addr[i] = c
+			rec(addr, i+1)
+		}
+	}
+	rec(make([]int32, 3), 0)
+	want := (2 + 1) * (3 + 1) * (2 + 1)
+	if len(seen) != want {
+		t.Fatalf("enumerated %d keys, want %d", len(seen), want)
+	}
+}
+
+func TestGroupRowsPartition(t *testing.T) {
+	tbl := ridesTable(3000, 7)
+	enc, codec := newTestEncoding(t, tbl)
+	groups := GroupRows(enc, codec, []int{0, 1}, dataset.FullView(tbl))
+	// Partition: every row appears exactly once.
+	var total int
+	for key, rows := range groups {
+		total += len(rows)
+		addr := codec.Decode(key, nil)
+		for _, row := range rows {
+			if enc.RowCodes(0)[row] != addr[0] || enc.RowCodes(1)[row] != addr[1] {
+				t.Fatalf("row %d in wrong cell %v", row, addr)
+			}
+		}
+	}
+	if total != 3000 {
+		t.Fatalf("partition covers %d rows", total)
+	}
+	// Grouping on the empty list yields one cell with everything.
+	all := GroupRows(enc, codec, nil, dataset.FullView(tbl))
+	if len(all) != 1 {
+		t.Fatalf("empty grouping produced %d cells", len(all))
+	}
+	for _, rows := range all {
+		if len(rows) != 3000 {
+			t.Fatalf("all-cell has %d rows", len(rows))
+		}
+	}
+}
+
+func TestSemiJoinRowsEquivalentToFilter(t *testing.T) {
+	tbl := ridesTable(2000, 9)
+	enc, codec := newTestEncoding(t, tbl)
+	// Choose two target cells: (cash, 1) and (credit, 3).
+	keys := make(map[uint64]struct{})
+	for _, want := range [][2]dataset.Value{
+		{dataset.StringValue("cash"), dataset.IntValue(1)},
+		{dataset.StringValue("credit"), dataset.IntValue(3)},
+	} {
+		addr := []int32{enc.CodeOf(0, want[0]), enc.CodeOf(1, want[1])}
+		keys[codec.Encode(addr)] = struct{}{}
+	}
+	got := SemiJoinRows(enc, codec, []int{0, 1}, dataset.FullView(tbl), keys)
+	var want []int32
+	for i := 0; i < tbl.NumRows(); i++ {
+		p, c := tbl.Value(i, 0).S, tbl.Value(i, 1).I
+		if (p == "cash" && c == 1) || (p == "credit" && c == 3) {
+			want = append(want, int32(i))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestCubeCellsCountsAndConsistency(t *testing.T) {
+	tbl := ridesTable(500, 11)
+	enc, codec := newTestEncoding(t, tbl)
+	cells := CubeCells(enc, codec, dataset.FullView(tbl))
+	// The apex cell (all null) holds every row.
+	apex := codec.Encode([]int32{NullCode, NullCode})
+	if len(cells[apex]) != 500 {
+		t.Fatalf("apex cell has %d rows", len(cells[apex]))
+	}
+	// Cell counts roll up: |<p, null>| = Σ_c |<p, c>|.
+	for p := int32(0); p < int32(enc.Cardinality(0)); p++ {
+		rolled := len(cells[codec.Encode([]int32{p, NullCode})])
+		var sum int
+		for c := int32(0); c < int32(enc.Cardinality(1)); c++ {
+			sum += len(cells[codec.Encode([]int32{p, c})])
+		}
+		if rolled != sum {
+			t.Fatalf("rollup mismatch for payment code %d: %d vs %d", p, rolled, sum)
+		}
+	}
+}
+
+func TestAggregateView(t *testing.T) {
+	tbl := ridesTable(1000, 13)
+	view := dataset.FullView(tbl)
+	for _, name := range []string{"COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VAR"} {
+		f, err := NewAggFunc(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := AggregateView(view, 2, f)
+		if math.IsNaN(v.Float()) {
+			t.Errorf("%s returned NaN", name)
+		}
+	}
+	if _, err := NewAggFunc("MEDIAN"); err == nil {
+		t.Fatal("MEDIAN is holistic and must be rejected")
+	}
+}
+
+// Merged aggregate states must equal states built from the concatenation —
+// the algebraic property the dry-run stage depends on.
+func TestAggStatesMergeEqualsConcat(t *testing.T) {
+	tbl := ridesTable(2000, 17)
+	half1 := dataset.NewView(tbl, seqRows(0, 1000))
+	half2 := dataset.NewView(tbl, seqRows(1000, 2000))
+	full := dataset.FullView(tbl)
+	for _, name := range []string{"COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV", "VAR"} {
+		f, _ := NewAggFunc(name)
+		s1, s2 := f.NewState(), f.NewState()
+		for i := 0; i < half1.Len(); i++ {
+			s1.Add(half1.Value(i, 2))
+		}
+		for i := 0; i < half2.Len(); i++ {
+			s2.Add(half2.Value(i, 2))
+		}
+		merged := s1.Clone()
+		merged.Merge(s2)
+		direct := AggregateView(full, 2, f)
+		if math.Abs(merged.Value().Float()-direct.Float()) > 1e-9*(1+math.Abs(direct.Float())) {
+			t.Errorf("%s: merged %v != direct %v", name, merged.Value(), direct)
+		}
+		// Clone independence: mutating the clone must not affect s1.
+		before := s1.Value()
+		c := s1.Clone()
+		c.Add(dataset.FloatValue(1e9))
+		if s1.Value() != before {
+			t.Errorf("%s: Clone aliases state", name)
+		}
+	}
+}
+
+func seqRows(lo, hi int) []int32 {
+	out := make([]int32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+func TestRegressionStateKnownLine(t *testing.T) {
+	s := &RegressionState{}
+	// y = 2x + 1 exactly.
+	for x := 0.0; x < 10; x++ {
+		s.AddXY(x, 2*x+1)
+	}
+	if math.Abs(s.Slope()-2) > 1e-12 {
+		t.Fatalf("slope = %v", s.Slope())
+	}
+	if math.Abs(s.Intercept()-1) > 1e-12 {
+		t.Fatalf("intercept = %v", s.Intercept())
+	}
+	wantAngle := math.Atan(2) * 180 / math.Pi
+	if math.Abs(s.Angle()-wantAngle) > 1e-12 {
+		t.Fatalf("angle = %v", s.Angle())
+	}
+}
+
+func TestRegressionStateMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	full := &RegressionState{}
+	a, b := &RegressionState{}, &RegressionState{}
+	for i := 0; i < 1000; i++ {
+		x := r.Float64() * 10
+		y := 3*x - 2 + r.NormFloat64()
+		full.AddXY(x, y)
+		if i%2 == 0 {
+			a.AddXY(x, y)
+		} else {
+			b.AddXY(x, y)
+		}
+	}
+	a.MergeReg(b)
+	if math.Abs(a.Slope()-full.Slope()) > 1e-9 {
+		t.Fatalf("merged slope %v != %v", a.Slope(), full.Slope())
+	}
+}
+
+func TestRegressionDegenerate(t *testing.T) {
+	s := &RegressionState{}
+	if !math.IsNaN(s.Slope()) {
+		t.Fatal("empty regression should be NaN")
+	}
+	s.AddXY(1, 1)
+	if !math.IsNaN(s.Slope()) {
+		t.Fatal("single-point regression should be NaN")
+	}
+	s.AddXY(1, 2) // zero x-variance
+	if !math.IsNaN(s.Slope()) {
+		t.Fatal("vertical line should be NaN")
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	left := dataset.NewTable(dataset.Schema{{Name: "k", Type: dataset.String}, {Name: "v", Type: dataset.Int64}})
+	right := dataset.NewTable(dataset.Schema{{Name: "k", Type: dataset.String}})
+	for _, k := range []string{"a", "b", "a", "c"} {
+		left.MustAppendRow(dataset.StringValue(k), dataset.IntValue(int64(left.NumRows())))
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		right.MustAppendRow(dataset.StringValue(k))
+	}
+	var pairs [][2]int32
+	err := HashJoin(left, right, []int{0}, []int{0}, func(l, r int32) {
+		pairs = append(pairs, [2]int32{l, r})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a" matches rows {0,2}×{0}, "c" matches {3}×{1}: 3 pairs.
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if err := HashJoin(left, right, []int{0}, nil, nil); err == nil {
+		t.Fatal("want key-arity error")
+	}
+}
+
+func TestFilterWithInPredicate(t *testing.T) {
+	tbl := ridesTable(2000, 57)
+	pred, err := ParseExpr("payment IN ('cash', 'dispute') AND passengers = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Filter(tbl, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows matched")
+	}
+	for _, r := range rows {
+		p := tbl.Value(int(r), 0).S
+		if (p != "cash" && p != "dispute") || tbl.Value(int(r), 1).I != 2 {
+			t.Fatalf("row %d violates IN predicate (%s, %d)", r, p, tbl.Value(int(r), 1).I)
+		}
+	}
+	// Count cross-check.
+	var want int
+	for i := 0; i < tbl.NumRows(); i++ {
+		p := tbl.Value(i, 0).S
+		if (p == "cash" || p == "dispute") && tbl.Value(i, 1).I == 2 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+}
+
+func TestInListPrintParse(t *testing.T) {
+	e, err := ParseExpr("payment IN ('a', 'b', 'c')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := e.String()
+	e2, err := ParseExpr(printed)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", printed, err)
+	}
+	if e2.String() != printed {
+		t.Fatalf("fixpoint violated: %q vs %q", printed, e2.String())
+	}
+}

@@ -1,0 +1,491 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// Expr is a scalar expression AST node. Expressions appear in WHERE
+// predicates, HAVING conditions, and the bodies of CREATE AGGREGATE loss
+// functions.
+type Expr interface {
+	// String renders the expression in the SQL dialect (parse→print→parse
+	// is a fixpoint, which the tests verify).
+	String() string
+}
+
+// ColRef references a column, optionally qualified ("Raw.fare"). In the
+// loss DSL the qualifier names the Raw or Sam dataset.
+type ColRef struct {
+	Qualifier string
+	Name      string
+}
+
+// String implements Expr.
+func (c *ColRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Lit is a literal value.
+type Lit struct {
+	V dataset.Value
+}
+
+// String implements Expr.
+func (l *Lit) String() string {
+	if l.V.Type == dataset.String {
+		return "'" + strings.ReplaceAll(l.V.S, "'", "''") + "'"
+	}
+	return l.V.String()
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operator kinds, in precedence groups.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR",
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// String implements Expr.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.String(), binOpNames[b.Op], b.R.String())
+}
+
+// Unary is unary negation or NOT.
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+// String implements Expr.
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.X.String() + ")"
+	}
+	return "(" + u.Op + u.X.String() + ")"
+}
+
+// InList is the SQL "x IN (v1, v2, …)" membership predicate.
+type InList struct {
+	X      Expr
+	Values []Expr
+}
+
+// String implements Expr.
+func (l *InList) String() string {
+	parts := make([]string, len(l.Values))
+	for i, v := range l.Values {
+		parts[i] = v.String()
+	}
+	return "(" + l.X.String() + " IN (" + strings.Join(parts, ", ") + "))"
+}
+
+// Call is a function call; Star marks the SQL "*" argument as in COUNT(*)
+// or SAMPLING(*, θ).
+type Call struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// String implements Expr.
+func (c *Call) String() string {
+	parts := make([]string, 0, len(c.Args)+1)
+	if c.Star {
+		parts = append(parts, "*")
+	}
+	for _, a := range c.Args {
+		parts = append(parts, a.String())
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// EvalEnv supplies the bindings an expression needs at evaluation time.
+type EvalEnv interface {
+	// ColumnValue resolves a (possibly qualified) column reference.
+	ColumnValue(qualifier, name string) (dataset.Value, error)
+	// CallFunc resolves a non-builtin function call; builtin scalar
+	// functions (ABS, SQRT, ...) are handled by Eval itself. May be nil
+	// behaviourally: return ErrUnknownFunc to reject.
+	CallFunc(name string, args []dataset.Value) (dataset.Value, error)
+}
+
+// ErrUnknownFunc is returned by EvalEnv.CallFunc for unresolvable names.
+var ErrUnknownFunc = fmt.Errorf("engine: unknown function")
+
+// boolVal encodes booleans as BIGINT 0/1, SQLite-style.
+func boolVal(b bool) dataset.Value {
+	if b {
+		return dataset.IntValue(1)
+	}
+	return dataset.IntValue(0)
+}
+
+// Truthy interprets a value as a boolean.
+func Truthy(v dataset.Value) bool {
+	switch v.Type {
+	case dataset.Int64:
+		return v.I != 0
+	case dataset.Float64:
+		return v.F != 0
+	default:
+		return false
+	}
+}
+
+// Eval evaluates e in env.
+func Eval(e Expr, env EvalEnv) (dataset.Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.V, nil
+	case *evaluatedExpr:
+		return x.v, nil
+	case *ColRef:
+		return env.ColumnValue(x.Qualifier, x.Name)
+	case *Unary:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		switch x.Op {
+		case "-":
+			switch v.Type {
+			case dataset.Int64:
+				return dataset.IntValue(-v.I), nil
+			case dataset.Float64:
+				return dataset.FloatValue(-v.F), nil
+			}
+			return dataset.Value{}, fmt.Errorf("engine: negating %v value", v.Type)
+		case "NOT":
+			return boolVal(!Truthy(v)), nil
+		}
+		return dataset.Value{}, fmt.Errorf("engine: unknown unary operator %q", x.Op)
+	case *Binary:
+		return evalBinary(x, env)
+	case *InList:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		for _, cand := range x.Values {
+			cv, err := Eval(cand, env)
+			if err != nil {
+				return dataset.Value{}, err
+			}
+			if valueCompareEq(v, cv) {
+				return boolVal(true), nil
+			}
+		}
+		return boolVal(false), nil
+	case *Call:
+		return evalCall(x, env)
+	default:
+		return dataset.Value{}, fmt.Errorf("engine: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(b *Binary, env EvalEnv) (dataset.Value, error) {
+	// AND/OR short-circuit.
+	if b.Op == OpAnd || b.Op == OpOr {
+		l, err := Eval(b.L, env)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		lt := Truthy(l)
+		if b.Op == OpAnd && !lt {
+			return boolVal(false), nil
+		}
+		if b.Op == OpOr && lt {
+			return boolVal(true), nil
+		}
+		r, err := Eval(b.R, env)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		return boolVal(Truthy(r)), nil
+	}
+	l, err := Eval(b.L, env)
+	if err != nil {
+		return dataset.Value{}, err
+	}
+	r, err := Eval(b.R, env)
+	if err != nil {
+		return dataset.Value{}, err
+	}
+	switch b.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return evalArith(b.Op, l, r)
+	case OpEq:
+		return boolVal(valueCompareEq(l, r)), nil
+	case OpNe:
+		return boolVal(!valueCompareEq(l, r)), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		c, err := valueCompareOrd(l, r)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		switch b.Op {
+		case OpLt:
+			return boolVal(c < 0), nil
+		case OpLe:
+			return boolVal(c <= 0), nil
+		case OpGt:
+			return boolVal(c > 0), nil
+		default:
+			return boolVal(c >= 0), nil
+		}
+	}
+	return dataset.Value{}, fmt.Errorf("engine: unknown binary operator %d", b.Op)
+}
+
+func evalArith(op BinOp, l, r dataset.Value) (dataset.Value, error) {
+	// Integer arithmetic stays integral except division.
+	if l.Type == dataset.Int64 && r.Type == dataset.Int64 && op != OpDiv {
+		switch op {
+		case OpAdd:
+			return dataset.IntValue(l.I + r.I), nil
+		case OpSub:
+			return dataset.IntValue(l.I - r.I), nil
+		case OpMul:
+			return dataset.IntValue(l.I * r.I), nil
+		}
+	}
+	if !isNumeric(l) || !isNumeric(r) {
+		return dataset.Value{}, fmt.Errorf("engine: arithmetic on %v and %v", l.Type, r.Type)
+	}
+	lf, rf := l.Float(), r.Float()
+	switch op {
+	case OpAdd:
+		return dataset.FloatValue(lf + rf), nil
+	case OpSub:
+		return dataset.FloatValue(lf - rf), nil
+	case OpMul:
+		return dataset.FloatValue(lf * rf), nil
+	case OpDiv:
+		return dataset.FloatValue(lf / rf), nil
+	}
+	return dataset.Value{}, fmt.Errorf("engine: bad arithmetic op %d", op)
+}
+
+func isNumeric(v dataset.Value) bool {
+	return v.Type == dataset.Int64 || v.Type == dataset.Float64
+}
+
+func valueCompareEq(l, r dataset.Value) bool {
+	if isNumeric(l) && isNumeric(r) {
+		return l.Float() == r.Float()
+	}
+	return l.Equal(r)
+}
+
+// valueCompareOrd returns -1/0/+1; it errors on incomparable types.
+func valueCompareOrd(l, r dataset.Value) (int, error) {
+	if isNumeric(l) && isNumeric(r) {
+		lf, rf := l.Float(), r.Float()
+		switch {
+		case lf < rf:
+			return -1, nil
+		case lf > rf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if l.Type == dataset.String && r.Type == dataset.String {
+		return strings.Compare(l.S, r.S), nil
+	}
+	return 0, fmt.Errorf("engine: cannot order %v and %v", l.Type, r.Type)
+}
+
+func evalCall(c *Call, env EvalEnv) (dataset.Value, error) {
+	name := strings.ToUpper(c.Name)
+	args := make([]dataset.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return dataset.Value{}, err
+		}
+		args[i] = v
+	}
+	if v, ok, err := evalBuiltinScalar(name, args); ok {
+		return v, err
+	}
+	v, err := env.CallFunc(name, args)
+	if err == ErrUnknownFunc {
+		return dataset.Value{}, fmt.Errorf("engine: unknown function %q", c.Name)
+	}
+	return v, err
+}
+
+// evalBuiltinScalar handles the builtin scalar math functions. The second
+// return reports whether the name was recognized.
+func evalBuiltinScalar(name string, args []dataset.Value) (dataset.Value, bool, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("engine: %s expects %d arguments, got %d", name, n, len(args))
+		}
+		for _, a := range args {
+			if !isNumeric(a) {
+				return fmt.Errorf("engine: %s expects numeric arguments", name)
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "ABS":
+		if err := need(1); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(math.Abs(args[0].Float())), true, nil
+	case "SQRT":
+		if err := need(1); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(math.Sqrt(args[0].Float())), true, nil
+	case "LN":
+		if err := need(1); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(math.Log(args[0].Float())), true, nil
+	case "EXP":
+		if err := need(1); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(math.Exp(args[0].Float())), true, nil
+	case "POW":
+		if err := need(2); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(math.Pow(args[0].Float(), args[1].Float())), true, nil
+	case "ATAN":
+		if err := need(1); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(math.Atan(args[0].Float())), true, nil
+	case "DEGREES":
+		if err := need(1); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(args[0].Float() * 180 / math.Pi), true, nil
+	case "LEAST":
+		if err := need(2); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(math.Min(args[0].Float(), args[1].Float())), true, nil
+	case "GREATEST":
+		if err := need(2); err != nil {
+			return dataset.Value{}, true, err
+		}
+		return dataset.FloatValue(math.Max(args[0].Float(), args[1].Float())), true, nil
+	case "BUCKET":
+		// BUCKET(x, width) returns the half-open range label "[lo,hi)"
+		// containing x — the dialect's way to derive categorical bucket
+		// attributes (e.g. the running example's trip-distance buckets)
+		// before cubing them.
+		if err := need(2); err != nil {
+			return dataset.Value{}, true, err
+		}
+		width := args[1].Float()
+		if width <= 0 {
+			return dataset.Value{}, true, fmt.Errorf("engine: BUCKET width must be positive, got %g", width)
+		}
+		k := math.Floor(args[0].Float() / width)
+		return dataset.StringValue(fmt.Sprintf("[%g,%g)", k*width, (k+1)*width)), true, nil
+	}
+	return dataset.Value{}, false, nil
+}
+
+// rowEnv evaluates column references against one row of a table.
+type rowEnv struct {
+	table *dataset.Table
+	row   int
+	// colIdx caches name -> column index lookups across rows.
+	colIdx map[string]int
+}
+
+// newRowEnv builds an environment for iterating rows of t.
+func newRowEnv(t *dataset.Table) *rowEnv {
+	return &rowEnv{table: t, colIdx: make(map[string]int)}
+}
+
+func (r *rowEnv) setRow(i int) { r.row = i }
+
+// ColumnValue implements EvalEnv.
+func (r *rowEnv) ColumnValue(qualifier, name string) (dataset.Value, error) {
+	idx, ok := r.colIdx[name]
+	if !ok {
+		idx = r.table.Schema().ColumnIndex(name)
+		if idx < 0 {
+			return dataset.Value{}, fmt.Errorf("engine: unknown column %q", name)
+		}
+		r.colIdx[name] = idx
+	}
+	return r.table.Value(r.row, idx), nil
+}
+
+// CallFunc implements EvalEnv; row contexts support only builtin scalars.
+func (r *rowEnv) CallFunc(name string, args []dataset.Value) (dataset.Value, error) {
+	return dataset.Value{}, ErrUnknownFunc
+}
+
+// ExprColumns collects the unqualified column names referenced by e.
+func ExprColumns(e Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *ColRef:
+			if !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Unary:
+			walk(x.X)
+		case *InList:
+			walk(x.X)
+			for _, v := range x.Values {
+				walk(v)
+			}
+		case *Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

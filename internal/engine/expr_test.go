@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// litEnv is an EvalEnv with fixed column bindings.
+type litEnv map[string]dataset.Value
+
+func (e litEnv) ColumnValue(q, name string) (dataset.Value, error) {
+	key := name
+	if q != "" {
+		key = q + "." + name
+	}
+	if v, ok := e[key]; ok {
+		return v, nil
+	}
+	if v, ok := e[name]; ok {
+		return v, nil
+	}
+	return dataset.Value{}, ErrUnknownFunc
+}
+
+func (e litEnv) CallFunc(name string, args []dataset.Value) (dataset.Value, error) {
+	return dataset.Value{}, ErrUnknownFunc
+}
+
+func evalStr(t *testing.T, src string, env EvalEnv) dataset.Value {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := Eval(e, env)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	env := litEnv{}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 4", 2.5},
+		{"2 * 3 - 4 / 2", 4},
+		{"-5 + 3", -2},
+		{"ABS(-4.5)", 4.5},
+		{"SQRT(16)", 4},
+		{"POW(2, 10)", 1024},
+		{"LEAST(3, 7)", 3},
+		{"GREATEST(3, 7)", 7},
+		{"DEGREES(ATAN(1))", 45},
+		{"EXP(0)", 1},
+		{"LN(1)", 0},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src, env)
+		if math.Abs(got.Float()-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.src, got.Float(), c.want)
+		}
+	}
+}
+
+func TestExprIntegerStaysIntegral(t *testing.T) {
+	v := evalStr(t, "2 + 3 * 4", litEnv{})
+	if v.Type != dataset.Int64 || v.I != 14 {
+		t.Fatalf("got %+v, want BIGINT 14", v)
+	}
+}
+
+func TestExprComparisons(t *testing.T) {
+	env := litEnv{"x": dataset.FloatValue(5), "s": dataset.StringValue("cash")}
+	truths := []string{
+		"x = 5", "x <> 6", "x < 6", "x <= 5", "x > 4", "x >= 5",
+		"s = 'cash'", "s <> 'credit'",
+		"x = 5 AND s = 'cash'", "x = 9 OR s = 'cash'",
+		"NOT (x = 9)",
+	}
+	for _, src := range truths {
+		if !Truthy(evalStr(t, src, env)) {
+			t.Errorf("%s should be true", src)
+		}
+	}
+	falses := []string{"x = 6", "x < 5", "s = 'credit'", "x = 5 AND s = 'credit'"}
+	for _, src := range falses {
+		if Truthy(evalStr(t, src, env)) {
+			t.Errorf("%s should be false", src)
+		}
+	}
+}
+
+func TestExprIntFloatComparison(t *testing.T) {
+	// BIGINT 1 must equal DOUBLE 1.0 in predicates.
+	env := litEnv{"c": dataset.IntValue(1)}
+	if !Truthy(evalStr(t, "c = 1.0", env)) {
+		t.Fatal("BIGINT 1 should equal 1.0")
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	bad := []string{
+		"'a' + 1",
+		"nosuchfunc(1)",
+		"'a' < 1",
+		"missingcol + 1",
+	}
+	for _, src := range bad {
+		e, err := ParseExpr(src)
+		if err != nil {
+			continue // parse errors also acceptable for this list
+		}
+		if _, err := Eval(e, litEnv{}); err == nil {
+			t.Errorf("%s should fail to evaluate", src)
+		}
+	}
+}
+
+func TestExprStringQuoting(t *testing.T) {
+	v := evalStr(t, "'it''s'", litEnv{})
+	if v.S != "it's" {
+		t.Fatalf("got %q", v.S)
+	}
+}
+
+// Parse→print→parse must be a fixpoint and evaluate identically.
+func TestExprPrintParseFixpoint(t *testing.T) {
+	srcs := []string{
+		"ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw)",
+		"1 + 2 * (3 - x) / y",
+		"a = 1 AND b = 'cash' OR NOT (c >= 2.5)",
+		"COUNT(*)",
+		"loss(pickup, Sam_global) > 0.1",
+		"-x + 4",
+	}
+	for _, src := range srcs {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := e1.String()
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", printed, err)
+		}
+		if e2.String() != printed {
+			t.Errorf("fixpoint violated: %q -> %q -> %q", src, printed, e2.String())
+		}
+	}
+}
+
+func TestExprColumns(t *testing.T) {
+	e, err := ParseExpr("a + b * ABS(c) - a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := ExprColumns(e)
+	if len(cols) != 3 {
+		t.Fatalf("cols = %v", cols)
+	}
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected column %q", c)
+		}
+	}
+}
+
+func TestExprRandomArithProperty(t *testing.T) {
+	// (a+b)*c evaluated through the AST matches Go arithmetic.
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		env := litEnv{
+			"a": dataset.FloatValue(a),
+			"b": dataset.FloatValue(b),
+			"c": dataset.FloatValue(c),
+		}
+		e, err := ParseExpr("(a + b) * c")
+		if err != nil {
+			return false
+		}
+		v, err := Eval(e, env)
+		if err != nil {
+			return false
+		}
+		want := (a + b) * c
+		if math.IsNaN(want) {
+			return math.IsNaN(v.Float())
+		}
+		return v.Float() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a ! b", "a @ b"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("a -- comment\n + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind != tokEOF {
+			texts = append(texts, tk.text)
+		}
+	}
+	if strings.Join(texts, " ") != "a + 1" {
+		t.Fatalf("tokens = %v", texts)
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// EqPredicate is one equality predicate of a conjunctive filter.
+type EqPredicate struct {
+	Col   int
+	Value dataset.Value
+}
+
+// CompileEqConjunction recognizes predicates of the form
+// `a = lit AND b = lit AND …` and compiles them for FastEqFilter. The
+// second return is false when the expression has any other shape.
+func CompileEqConjunction(t *dataset.Table, pred Expr) ([]EqPredicate, bool) {
+	var preds []EqPredicate
+	var walk func(e Expr) bool
+	walk = func(e Expr) bool {
+		b, ok := e.(*Binary)
+		if !ok {
+			return false
+		}
+		switch b.Op {
+		case OpAnd:
+			return walk(b.L) && walk(b.R)
+		case OpEq:
+			cr, crOK := b.L.(*ColRef)
+			lit, litOK := b.R.(*Lit)
+			if !crOK || !litOK {
+				cr, crOK = b.R.(*ColRef)
+				lit, litOK = b.L.(*Lit)
+			}
+			if !crOK || !litOK || cr.Qualifier != "" {
+				return false
+			}
+			col := t.Schema().ColumnIndex(cr.Name)
+			if col < 0 {
+				return false // let the generic path report the error
+			}
+			// Fast paths exist for exact-type matches only (plus int
+			// literals on float columns).
+			ft := t.Schema()[col].Type
+			switch {
+			case ft == dataset.String && lit.V.Type == dataset.String,
+				ft == dataset.Int64 && lit.V.Type == dataset.Int64,
+				ft == dataset.Float64 && (lit.V.Type == dataset.Float64 || lit.V.Type == dataset.Int64):
+				preds = append(preds, EqPredicate{Col: col, Value: lit.V})
+				return true
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	if pred == nil || !walk(pred) {
+		return nil, false
+	}
+	return preds, true
+}
+
+// FastEqFilter scans the table once and returns the rows satisfying ALL
+// equality predicates, using columnar fast paths: String predicates
+// compare dictionary codes (one int32 comparison per row instead of a
+// string), Int64 predicates compare against the raw column slice. This
+// is the scan the dashboard baselines (SampleFirst, SampleOnTheFly,
+// POIsam) pay per interaction.
+//
+// A predicate whose value does not occur in the column short-circuits to
+// an empty result without scanning.
+func FastEqFilter(t *dataset.Table, preds []EqPredicate) ([]int32, error) {
+	n := t.NumRows()
+	if len(preds) == 0 {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out, nil
+	}
+	// Compile each predicate into a per-row test over columnar storage.
+	type codeTest struct {
+		codes []int32
+		want  int32
+	}
+	type intTest struct {
+		ints []int64
+		want int64
+	}
+	type floatTest struct {
+		floats []float64
+		want   float64
+	}
+	var codeTests []codeTest
+	var intTests []intTest
+	var floatTests []floatTest
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= t.NumCols() {
+			return nil, fmt.Errorf("engine: filter column %d out of range", p.Col)
+		}
+		f := t.Schema()[p.Col]
+		switch f.Type {
+		case dataset.String:
+			if p.Value.Type != dataset.String {
+				return nil, fmt.Errorf("engine: column %q filter needs a string value", f.Name)
+			}
+			codes, dict := t.StringCodes(p.Col)
+			want := int32(-1)
+			for c, s := range dict {
+				if s == p.Value.S {
+					want = int32(c)
+					break
+				}
+			}
+			if want < 0 {
+				return nil, nil // value absent: empty result
+			}
+			codeTests = append(codeTests, codeTest{codes: codes, want: want})
+		case dataset.Int64:
+			if p.Value.Type != dataset.Int64 {
+				return nil, fmt.Errorf("engine: column %q filter needs an integer value", f.Name)
+			}
+			intTests = append(intTests, intTest{ints: t.Ints(p.Col), want: p.Value.I})
+		case dataset.Float64:
+			if p.Value.Type != dataset.Float64 && p.Value.Type != dataset.Int64 {
+				return nil, fmt.Errorf("engine: column %q filter needs a numeric value", f.Name)
+			}
+			floatTests = append(floatTests, floatTest{floats: t.Floats(p.Col), want: p.Value.Float()})
+		default:
+			return nil, fmt.Errorf("engine: cannot equality-filter %v column %q", f.Type, f.Name)
+		}
+	}
+	var out []int32
+rows:
+	for i := 0; i < n; i++ {
+		for _, ct := range codeTests {
+			if ct.codes[i] != ct.want {
+				continue rows
+			}
+		}
+		for _, it := range intTests {
+			if it.ints[i] != it.want {
+				continue rows
+			}
+		}
+		for _, ft := range floatTests {
+			if ft.floats[i] != ft.want {
+				continue rows
+			}
+		}
+		out = append(out, int32(i))
+	}
+	return out, nil
+}

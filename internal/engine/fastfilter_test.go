@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+func TestFastEqFilterMatchesGeneric(t *testing.T) {
+	tbl := ridesTable(4000, 51)
+	cases := []string{
+		"payment = 'cash'",
+		"payment = 'cash' AND passengers = 2",
+		"passengers = 1 AND payment = 'dispute'",
+		"'credit' = payment", // reversed operands
+	}
+	for _, src := range cases {
+		pred, err := ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds, ok := CompileEqConjunction(tbl, pred)
+		if !ok {
+			t.Fatalf("%q should compile to the fast path", src)
+		}
+		fast, err := FastEqFilter(tbl, preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Generic evaluation via the row-at-a-time path.
+		var want []int32
+		env := newRowEnv(tbl)
+		for i := 0; i < tbl.NumRows(); i++ {
+			env.setRow(i)
+			v, err := Eval(pred, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Truthy(v) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(fast) != len(want) {
+			t.Fatalf("%q: fast %d rows, generic %d rows", src, len(fast), len(want))
+		}
+		for i := range fast {
+			if fast[i] != want[i] {
+				t.Fatalf("%q: row mismatch at %d", src, i)
+			}
+		}
+	}
+}
+
+func TestCompileEqConjunctionRejectsOtherShapes(t *testing.T) {
+	tbl := ridesTable(10, 52)
+	for _, src := range []string{
+		"fare > 3",
+		"payment = 'cash' OR payment = 'credit'",
+		"NOT (payment = 'cash')",
+		"payment = passengers", // col = col
+		"payment <> 'cash'",
+	} {
+		pred, err := ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := CompileEqConjunction(tbl, pred); ok {
+			t.Errorf("%q should not compile to the fast path", src)
+		}
+	}
+	if _, ok := CompileEqConjunction(tbl, nil); ok {
+		t.Error("nil predicate should not compile")
+	}
+}
+
+func TestFastEqFilterAbsentValue(t *testing.T) {
+	tbl := ridesTable(100, 53)
+	rows, err := FastEqFilter(tbl, []EqPredicate{{Col: 0, Value: dataset.StringValue("zelle")}})
+	if err != nil || rows != nil {
+		t.Fatalf("absent value: rows=%v err=%v", rows, err)
+	}
+}
+
+func TestFastEqFilterErrors(t *testing.T) {
+	tbl := ridesTable(10, 54)
+	if _, err := FastEqFilter(tbl, []EqPredicate{{Col: 99, Value: dataset.IntValue(1)}}); err == nil {
+		t.Fatal("out-of-range column should fail")
+	}
+	if _, err := FastEqFilter(tbl, []EqPredicate{{Col: 0, Value: dataset.IntValue(1)}}); err == nil {
+		t.Fatal("type mismatch should fail")
+	}
+	if _, err := FastEqFilter(tbl, []EqPredicate{{Col: 3, Value: dataset.IntValue(1)}}); err == nil {
+		t.Fatal("point column should fail")
+	}
+}
+
+func TestFastEqFilterNoPredicates(t *testing.T) {
+	tbl := ridesTable(25, 55)
+	rows, err := FastEqFilter(tbl, nil)
+	if err != nil || len(rows) != 25 {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+}
+
+func BenchmarkFilterGenericEq(b *testing.B) {
+	tbl := ridesTable(100000, 56)
+	pred, _ := ParseExpr("payment = 'cash' AND passengers = 2")
+	env := newRowEnv(tbl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		for r := 0; r < tbl.NumRows(); r++ {
+			env.setRow(r)
+			v, err := Eval(pred, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if Truthy(v) {
+				n++
+			}
+		}
+	}
+}
+
+func BenchmarkFilterFastEq(b *testing.B) {
+	tbl := ridesTable(100000, 56)
+	pred, _ := ParseExpr("payment = 'cash' AND passengers = 2")
+	preds, ok := CompileEqConjunction(tbl, pred)
+	if !ok {
+		b.Fatal("should compile")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FastEqFilter(tbl, preds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

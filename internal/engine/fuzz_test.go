@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser's safety contract on arbitrary input: it
+// must never panic, and any statement it accepts must render back to a
+// string that parses again (print→parse closure). Run with
+// `go test -fuzz FuzzParse ./internal/engine` for continuous fuzzing;
+// the seed corpus below runs as part of the ordinary test suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT * FROM t",
+		"SELECT sample FROM cube WHERE a = 'x' AND b = 1",
+		"SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY n DESC LIMIT 3",
+		"SELECT a FROM t WHERE a IN ('x', 'y') OR NOT (b >= 2.5)",
+		`CREATE TABLE c AS SELECT a, SAMPLING(*, 0.1) AS s FROM t GROUPBY CUBE(a) HAVING l(v, Sam_global) > 0.1`,
+		`CREATE TABLE d AS SELECT a, BUCKET(x, 5) AS b FROM t`,
+		`CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw) END`,
+		"SELECT 'it''s' FROM t",
+		"SELECT -1.5e-3 + 2 * (a - b) FROM t -- comment",
+		"CREATE", "SELECT", "((((", "a = ; IN", "\x00\xff", strings.Repeat("(", 500),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted SELECTs must round-trip through their WHERE/HAVING
+		// expression printers.
+		if sel, ok := st.(*SelectStmt); ok {
+			for _, e := range []Expr{sel.Where, sel.Having} {
+				if e == nil {
+					continue
+				}
+				if _, err := ParseExpr(e.String()); err != nil {
+					t.Fatalf("printed expression does not reparse: %q -> %q: %v", src, e.String(), err)
+				}
+			}
+			for _, item := range sel.Items {
+				if _, err := ParseExpr(item.Expr.String()); err != nil {
+					t.Fatalf("printed projection does not reparse: %q -> %q: %v", src, item.Expr.String(), err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzLex asserts the lexer never panics and always terminates.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{"", "SELECT 1", "'open", "1.2.3.4", "--", ";;;", "\xf0\x28\x8c\x28"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("lex(%q) did not end with EOF", src)
+		}
+	})
+}

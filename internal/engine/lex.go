@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the SQL dialect.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // + - * / = <> < <= > >= . , ( )
+)
+
+// token is one lexical token with its source position (for error messages).
+type token struct {
+	kind tokKind
+	text string // keywords are upper-cased; identifiers keep original case
+	pos  int
+}
+
+// keywords recognized by the dialect. GROUPBY appears as a single word in
+// the paper's listings; both spellings are accepted.
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "AGGREGATE": true, "AS": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUPBY": true,
+	"GROUP": true, "BY": true, "CUBE": true, "HAVING": true,
+	"AND": true, "OR": true, "NOT": true, "RETURN": true,
+	"BEGIN": true, "END": true, "LIMIT": true, "IN": true,
+	"ORDER": true, "ASC": true, "DESC": true,
+}
+
+// lexer tokenizes a statement.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src fully, returning an error with position on bad input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '.':
+			// Could be a number like ".5" or the qualifier dot.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				l.lexNumber()
+			} else {
+				l.pos++
+				l.emit(tokOp, ".", start)
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("+-*/=,()", rune(c)):
+			l.pos++
+			l.emit(tokOp, string(c), start)
+		case c == '<':
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+				l.pos++
+			}
+			l.emit(tokOp, l.src[start:l.pos], start)
+		case c == '>':
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.emit(tokOp, l.src[start:l.pos], start)
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+				l.emit(tokOp, "<>", start)
+			} else {
+				return nil, fmt.Errorf("engine: unexpected '!' at position %d", l.pos)
+			}
+		case c == ';':
+			l.pos++ // statement terminator, ignored
+		default:
+			return nil, fmt.Errorf("engine: unexpected character %q at position %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.emit(tokKeyword, up, start)
+	} else {
+		l.emit(tokIdent, word, start)
+	}
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			if next >= '0' && next <= '9' || next == '-' || next == '+' {
+				l.pos += 2
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
+			}
+		}
+		break
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, sb.String(), start)
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("engine: unterminated string starting at position %d", start)
+}

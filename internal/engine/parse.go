@@ -1,0 +1,744 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// Statement is any parsed SQL statement of the Tabula dialect.
+type Statement interface{ stmt() }
+
+// SelectItem is one projection of a SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// SelectStmt is a SELECT over one table: projection, optional WHERE,
+// optional GROUP BY (plain or CUBE), optional HAVING and LIMIT.
+type SelectStmt struct {
+	Items     []SelectItem
+	Star      bool
+	From      string
+	Where     Expr
+	GroupBy   []string
+	GroupCube bool
+	Having    Expr
+	// OrderBy names the sort column ("" when absent); OrderDesc flips
+	// the direction.
+	OrderBy   string
+	OrderDesc bool
+	Limit     int // -1 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// CreateSamplingCube is the Tabula initialization statement:
+//
+//	CREATE TABLE cube AS
+//	SELECT a, b, c, SAMPLING(*, θ) AS sample
+//	FROM tbl
+//	GROUPBY CUBE(a, b, c)
+//	HAVING loss(attr, Sam_global) > θ
+type CreateSamplingCube struct {
+	CubeName    string
+	CubedAttrs  []string
+	SampleAlias string
+	Source      string
+	LossName    string
+	// TargetAttrs holds the loss function's target attribute(s): one for
+	// scalar losses, two (x, y) for the regression loss.
+	TargetAttrs []string
+	Threshold   float64
+}
+
+// TargetAttr returns the first target attribute (the common case).
+func (c *CreateSamplingCube) TargetAttr() string {
+	if len(c.TargetAttrs) == 0 {
+		return ""
+	}
+	return c.TargetAttrs[0]
+}
+
+func (*CreateSamplingCube) stmt() {}
+
+// CreateTableAs is a plain CREATE TABLE name AS SELECT … (no SAMPLING):
+// the SELECT runs against the catalog and its result is registered under
+// the new name. Used to derive cube attributes (e.g. distance buckets)
+// before initializing a sampling cube.
+type CreateTableAs struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*CreateTableAs) stmt() {}
+
+// CreateAggregate is the user-defined accuracy-loss declaration:
+//
+//	CREATE AGGREGATE loss(Raw, Sam) RETURN decimal_value AS
+//	BEGIN scalar_expression END
+type CreateAggregate struct {
+	Name    string
+	RawName string
+	SamName string
+	Body    Expr
+}
+
+func (*CreateAggregate) stmt() {}
+
+// Parse parses a single statement of the dialect.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input after statement")
+	}
+	return st, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used by the loss DSL).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input after expression")
+	}
+	return e, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	t := p.cur()
+	return fmt.Errorf("engine: parse error at position %d (near %q): %s", t.pos, t.text, msg)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.cur().kind == tokOp && p.cur().text == op {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q", op)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errorf("expected identifier")
+	}
+	return p.advance().text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("SELECT"):
+		return p.parseSelect()
+	case p.acceptKeyword("CREATE"):
+		if p.acceptKeyword("TABLE") {
+			return p.parseCreateTable()
+		}
+		if p.acceptKeyword("AGGREGATE") {
+			return p.parseCreateAggregate()
+		}
+		return nil, p.errorf("expected TABLE or AGGREGATE after CREATE")
+	default:
+		return nil, p.errorf("expected SELECT or CREATE")
+	}
+}
+
+// parseSelect parses the remainder after the SELECT keyword.
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	s := &SelectStmt{Limit: -1}
+	if p.acceptOp("*") {
+		s.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				a, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			}
+			s.Items = append(s.Items, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s.From = from
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.acceptKeyword("GROUPBY") || (p.acceptKeyword("GROUP") && p.acceptKeyword("BY")) {
+		if p.acceptKeyword("CUBE") {
+			s.GroupCube = true
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = cols
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			cols, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = cols
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		s.OrderBy = col
+		if p.acceptKeyword("DESC") {
+			s.OrderDesc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errorf("expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.advance().text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT value")
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	var out []string
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return out, nil
+}
+
+// parseCreateTable parses CREATE TABLE name AS SELECT …, yielding a
+// CreateSamplingCube when the projection ends with SAMPLING(*, θ) and a
+// plain CreateTableAs otherwise.
+func (p *parser) parseCreateTable() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if sampleIdx := samplingItemIndex(sel); sampleIdx >= 0 {
+		return selectToSamplingCube(p, name, sel, sampleIdx)
+	}
+	if sel.GroupCube {
+		return nil, p.errorf("GROUP BY CUBE requires a SAMPLING(*, threshold) projection")
+	}
+	return &CreateTableAs{Name: name, Select: sel}, nil
+}
+
+// samplingItemIndex returns the projection index of the SAMPLING call, or
+// -1 when the statement is a plain CTAS.
+func samplingItemIndex(sel *SelectStmt) int {
+	for i, item := range sel.Items {
+		if call, ok := item.Expr.(*Call); ok && strings.EqualFold(call.Name, "SAMPLING") {
+			return i
+		}
+	}
+	return -1
+}
+
+// selectToSamplingCube validates and converts a parsed SELECT with a
+// SAMPLING projection into the CreateSamplingCube statement the paper's
+// Query 1 defines.
+func selectToSamplingCube(p *parser, name string, sel *SelectStmt, sampleIdx int) (*CreateSamplingCube, error) {
+	c := &CreateSamplingCube{CubeName: name, Source: sel.From}
+	if sampleIdx != len(sel.Items)-1 {
+		return nil, p.errorf("SAMPLING(*) must be the last projection")
+	}
+	call := sel.Items[sampleIdx].Expr.(*Call)
+	if !call.Star || len(call.Args) != 1 {
+		return nil, p.errorf("SAMPLING expects (*, threshold)")
+	}
+	lit, ok := call.Args[0].(*Lit)
+	if !ok || !isNumeric(lit.V) {
+		return nil, p.errorf("SAMPLING threshold must be a numeric literal")
+	}
+	c.Threshold = lit.V.Float()
+	c.SampleAlias = sel.Items[sampleIdx].Alias
+	for _, item := range sel.Items[:sampleIdx] {
+		cr, ok := item.Expr.(*ColRef)
+		if !ok || cr.Qualifier != "" {
+			return nil, p.errorf("cube projections before SAMPLING must be plain attributes, got %s", item.Expr.String())
+		}
+		c.CubedAttrs = append(c.CubedAttrs, cr.Name)
+	}
+	if len(c.CubedAttrs) == 0 {
+		return nil, p.errorf("initialization query needs at least one cubed attribute")
+	}
+	if !sel.GroupCube {
+		return nil, p.errorf("initialization query requires GROUPBY CUBE(...)")
+	}
+	if len(sel.GroupBy) != len(c.CubedAttrs) {
+		return nil, p.errorf("CUBE(%s) does not match the SELECT list attributes (%s)",
+			strings.Join(sel.GroupBy, ", "), strings.Join(c.CubedAttrs, ", "))
+	}
+	for i := range sel.GroupBy {
+		if !strings.EqualFold(sel.GroupBy[i], c.CubedAttrs[i]) {
+			return nil, p.errorf("CUBE attribute %q does not match SELECT attribute %q", sel.GroupBy[i], c.CubedAttrs[i])
+		}
+	}
+	if sel.Where != nil || sel.OrderBy != "" || sel.Limit >= 0 {
+		return nil, p.errorf("initialization queries do not support WHERE, ORDER BY or LIMIT")
+	}
+	// HAVING lossName(target…, Sam_global) > θ.
+	having, ok := sel.Having.(*Binary)
+	if sel.Having == nil || !ok || having.Op != OpGt {
+		return nil, p.errorf("initialization query requires HAVING loss(attr, Sam_global) > threshold")
+	}
+	lossCall, ok := having.L.(*Call)
+	if !ok || lossCall.Star {
+		return nil, p.errorf("HAVING must apply a loss function, got %s", having.L.String())
+	}
+	c.LossName = lossCall.Name
+	if len(lossCall.Args) < 2 || len(lossCall.Args) > 3 {
+		return nil, p.errorf("loss takes (target [, target2], Sam_global)")
+	}
+	for i, a := range lossCall.Args {
+		cr, ok := a.(*ColRef)
+		if !ok || cr.Qualifier != "" {
+			return nil, p.errorf("loss arguments must be attribute names, got %s", a.String())
+		}
+		last := i == len(lossCall.Args)-1
+		if last {
+			if !strings.EqualFold(cr.Name, "Sam_global") && !strings.EqualFold(cr.Name, "Samglobal") {
+				return nil, p.errorf("last loss argument must be Sam_global, got %q", cr.Name)
+			}
+		} else {
+			c.TargetAttrs = append(c.TargetAttrs, cr.Name)
+		}
+	}
+	thLit, ok := having.R.(*Lit)
+	if !ok || !isNumeric(thLit.V) {
+		return nil, p.errorf("HAVING threshold must be a numeric literal")
+	}
+	if thLit.V.Float() != c.Threshold {
+		return nil, p.errorf("HAVING threshold %g differs from SAMPLING threshold %g", thLit.V.Float(), c.Threshold)
+	}
+	return c, nil
+}
+
+// parseCreateAggregate parses the loss-function DSL declaration after
+// CREATE AGGREGATE.
+func (p *parser) parseCreateAggregate() (*CreateAggregate, error) {
+	c := &CreateAggregate{}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	c.Name = name
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	raw, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	c.RawName = raw
+	if err := p.expectOp(","); err != nil {
+		return nil, err
+	}
+	sam, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	c.SamName = sam
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("RETURN"); err != nil {
+		return nil, err
+	}
+	// The return type is a free identifier (decimal_value in the paper).
+	if _, err := p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BEGIN"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	c.Body = body
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseNumber() (float64, error) {
+	neg := false
+	if p.acceptOp("-") {
+		neg = true
+	}
+	if p.cur().kind != tokNumber {
+		return 0, p.errorf("expected number")
+	}
+	f, err := strconv.ParseFloat(p.advance().text, 64)
+	if err != nil {
+		return 0, p.errorf("bad number: %v", err)
+	}
+	if neg {
+		f = -f
+	}
+	return f, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((= | <> | < | <= | > | >=) addExpr)?
+//	addExpr := mulExpr ((+|-) mulExpr)*
+//	mulExpr := unary ((*|/) unary)*
+//	unary   := - unary | primary
+//	primary := number | string | ident[(args)] | ident.ident | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]BinOp{
+	"=": OpEq, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		in := &InList{X: l}
+		for {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.Values = append(in.Values, v)
+			if p.acceptOp(",") {
+				continue
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		return in, nil
+	}
+	if p.cur().kind == tokOp {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpAdd, L: l, R: r}
+		case p.acceptOp("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpMul, L: l, R: r}
+		case p.acceptOp("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpDiv, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number: %v", err)
+			}
+			return &Lit{V: dataset.FloatValue(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			// Fits only as float.
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, p.errorf("bad number: %v", err)
+			}
+			return &Lit{V: dataset.FloatValue(f)}, nil
+		}
+		return &Lit{V: dataset.IntValue(i)}, nil
+	case tokString:
+		p.advance()
+		return &Lit{V: dataset.StringValue(t.text)}, nil
+	case tokIdent:
+		p.advance()
+		name := t.text
+		// Function call.
+		if p.acceptOp("(") {
+			call := &Call{Name: name}
+			if p.acceptOp("*") {
+				call.Star = true
+				if p.acceptOp(",") {
+					// Fall through to regular args.
+				} else {
+					if err := p.expectOp(")"); err != nil {
+						return nil, err
+					}
+					return call, nil
+				}
+			}
+			if !p.acceptOp(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.acceptOp(",") {
+						continue
+					}
+					if err := p.expectOp(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return call, nil
+		}
+		// Qualified reference.
+		if p.acceptOp(".") {
+			field, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qualifier: name, Name: field}, nil
+		}
+		return &ColRef{Name: name}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("expected expression")
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSamplingCubeStatement(t *testing.T) {
+	// Query1 from the paper's Figure 3 (attribute names flattened).
+	src := `CREATE TABLE SamplingCube AS
+		SELECT D, C, M, SAMPLING(*, 0.1) AS sample
+		FROM nyctaxi
+		GROUPBY CUBE(D, C, M)
+		HAVING loss(pickup_point, Sam_global) > 0.1`
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := st.(*CreateSamplingCube)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if c.CubeName != "SamplingCube" || c.Source != "nyctaxi" {
+		t.Fatalf("names: %+v", c)
+	}
+	if len(c.CubedAttrs) != 3 || c.CubedAttrs[0] != "D" || c.CubedAttrs[2] != "M" {
+		t.Fatalf("attrs: %v", c.CubedAttrs)
+	}
+	if c.Threshold != 0.1 || c.LossName != "loss" || c.TargetAttr() != "pickup_point" {
+		t.Fatalf("loss spec: %+v", c)
+	}
+	if c.SampleAlias != "sample" {
+		t.Fatalf("alias: %q", c.SampleAlias)
+	}
+}
+
+func TestParseSamplingCubeGroupBYTwoWords(t *testing.T) {
+	src := `CREATE TABLE cube1 AS SELECT a, b, SAMPLING(*, 5) AS s
+		FROM t GROUP BY CUBE(a, b) HAVING myloss(x, Sam_global) > 5`
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*CreateSamplingCube); !ok {
+		t.Fatalf("got %T", st)
+	}
+}
+
+func TestParseSamplingCubeErrors(t *testing.T) {
+	cases := map[string]string{
+		"mismatched CUBE attrs": `CREATE TABLE c AS SELECT a, b, SAMPLING(*, 1) AS s
+			FROM t GROUPBY CUBE(a, x) HAVING l(v, Sam_global) > 1`,
+		"threshold mismatch": `CREATE TABLE c AS SELECT a, SAMPLING(*, 1) AS s
+			FROM t GROUPBY CUBE(a) HAVING l(v, Sam_global) > 2`,
+		"bad sam name": `CREATE TABLE c AS SELECT a, SAMPLING(*, 1) AS s
+			FROM t GROUPBY CUBE(a) HAVING l(v, Sam_other) > 1`,
+		"sampling not last": `CREATE TABLE c AS SELECT SAMPLING(*, 1) AS s, a
+			FROM t GROUPBY CUBE(a) HAVING l(v, Sam_global) > 1`,
+		"missing having": `CREATE TABLE c AS SELECT a, SAMPLING(*, 1) AS s
+			FROM t GROUPBY CUBE(a)`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: should not parse", name)
+		}
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	st, err := Parse(`SELECT sample FROM SamplingCube WHERE D = 'short' AND C = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.(*SelectStmt)
+	if s.From != "SamplingCube" || len(s.Items) != 1 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Where == nil || !strings.Contains(s.Where.String(), "AND") {
+		t.Fatalf("where: %v", s.Where)
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	st, err := Parse(`SELECT payment, AVG(fare) AS af, COUNT(*) AS n
+		FROM rides WHERE fare > 2.5 GROUP BY payment HAVING COUNT(*) > 10 LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.(*SelectStmt)
+	if len(s.Items) != 3 || s.Items[1].Alias != "af" {
+		t.Fatalf("items: %+v", s.Items)
+	}
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "payment" || s.GroupCube {
+		t.Fatalf("groupby: %v cube=%v", s.GroupBy, s.GroupCube)
+	}
+	if s.Having == nil || s.Limit != 5 {
+		t.Fatalf("having/limit: %v %d", s.Having, s.Limit)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	st, err := Parse(`SELECT * FROM rides LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.(*SelectStmt)
+	if !s.Star || s.Limit != 3 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestParseCreateAggregate(t *testing.T) {
+	// The paper's Function 1: relative error of the statistical mean.
+	src := `CREATE AGGREGATE loss(Raw, Sam) RETURN decimal_value AS
+		BEGIN ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw) END`
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.(*CreateAggregate)
+	if c.Name != "loss" || c.RawName != "Raw" || c.SamName != "Sam" {
+		t.Fatalf("%+v", c)
+	}
+	if !strings.Contains(c.Body.String(), "AVG(Raw)") {
+		t.Fatalf("body: %s", c.Body.String())
+	}
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	if _, err := Parse(`SELECT * FROM t extra`); err == nil {
+		t.Fatal("want trailing-input error")
+	}
+}
+
+func TestParseEmptyAndJunk(t *testing.T) {
+	for _, src := range []string{"", "DROP TABLE x", "CREATE INDEX i", "WHERE x"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

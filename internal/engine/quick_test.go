@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// KeyCodec round-trips arbitrary addresses for arbitrary small-cardinality
+// attribute sets.
+func TestKeyCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		cards := make([]int, n)
+		for i := range cards {
+			cards[i] = 1 + r.Intn(9)
+		}
+		codec, err := NewKeyCodec(cards)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			addr := make([]int32, n)
+			for i := range addr {
+				if r.Float64() < 0.3 {
+					addr[i] = NullCode
+				} else {
+					addr[i] = int32(r.Intn(cards[i]))
+				}
+			}
+			got := codec.Decode(codec.Encode(addr), nil)
+			for i := range addr {
+				if got[i] != addr[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// NewKeyCodec must reject address spaces that overflow uint64.
+func TestKeyCodecOverflow(t *testing.T) {
+	huge := make([]int, 12)
+	for i := range huge {
+		huge[i] = 1 << 16
+	}
+	if _, err := NewKeyCodec(huge); err == nil {
+		t.Fatal("want overflow error")
+	}
+}
+
+// GroupRows is always a partition of the view for random groupings.
+func TestGroupRowsPartitionProperty(t *testing.T) {
+	tbl := ridesTable(1200, 99)
+	enc, err := NewCatEncoding(tbl, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := NewKeyCodec(enc.Cardinalities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(mask uint8) bool {
+		var attrs []int
+		for a := 0; a < 2; a++ {
+			if mask&(1<<a) != 0 {
+				attrs = append(attrs, a)
+			}
+		}
+		groups := GroupRows(enc, codec, attrs, dataset.FullView(tbl))
+		seen := make(map[int32]bool)
+		total := 0
+		for _, rows := range groups {
+			for _, r := range rows {
+				if seen[r] {
+					return false
+				}
+				seen[r] = true
+				total++
+			}
+		}
+		return total == tbl.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

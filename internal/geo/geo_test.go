@@ -1,0 +1,251 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDistanceEuclidean(t *testing.T) {
+	got := Distance(Euclidean, Point{0, 0}, Point{3, 4})
+	if got != 5 {
+		t.Fatalf("Euclidean (0,0)-(3,4) = %v, want 5", got)
+	}
+}
+
+func TestDistanceManhattan(t *testing.T) {
+	got := Distance(Manhattan, Point{1, 2}, Point{4, -2})
+	if got != 7 {
+		t.Fatalf("Manhattan (1,2)-(4,-2) = %v, want 7", got)
+	}
+}
+
+func TestDistanceHaversineKnown(t *testing.T) {
+	// JFK airport to Times Square is roughly 20.5 km.
+	jfk := Point{X: -73.7781, Y: 40.6413}
+	ts := Point{X: -73.9855, Y: 40.7580}
+	d := Distance(Haversine, jfk, ts)
+	if d < 19000 || d > 23000 {
+		t.Fatalf("Haversine JFK-TimesSquare = %v m, want ~20.5 km", d)
+	}
+}
+
+func TestDistanceZero(t *testing.T) {
+	p := Point{-73.9, 40.7}
+	for _, m := range []Metric{Euclidean, Manhattan, Haversine} {
+		if d := Distance(m, p, p); d != 0 {
+			t.Errorf("%v self-distance = %v, want 0", m, d)
+		}
+	}
+}
+
+// Metric axioms: symmetry and non-negativity, plus the triangle inequality,
+// hold for all three metrics on random city-scale points.
+func TestDistanceMetricAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	for _, m := range []Metric{Euclidean, Manhattan, Haversine} {
+		m := m
+		f := func(ax, ay, bx, by, cx, cy float64) bool {
+			// Confine to plausible lon/lat so Haversine is well-defined.
+			wrap := func(v, lo, hi float64) float64 {
+				r := math.Mod(math.Abs(v), hi-lo)
+				return lo + r
+			}
+			a := Point{wrap(ax, -74.3, -73.6), wrap(ay, 40.4, 41.0)}
+			b := Point{wrap(bx, -74.3, -73.6), wrap(by, 40.4, 41.0)}
+			c := Point{wrap(cx, -74.3, -73.6), wrap(cy, 40.4, 41.0)}
+			dab := Distance(m, a, b)
+			dba := Distance(m, b, a)
+			dac := Distance(m, a, c)
+			dcb := Distance(m, c, b)
+			if dab < 0 || !almostEqual(dab, dba, 1e-9*(1+dab)) {
+				return false
+			}
+			return dab <= dac+dcb+1e-6*(1+dab)
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("metric %v violates axioms: %v", m, err)
+		}
+	}
+}
+
+func TestBBox(t *testing.T) {
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	b := NewBBox(pts)
+	if b.Min.X != -2 || b.Min.Y != -1 || b.Max.X != 4 || b.Max.Y != 5 {
+		t.Fatalf("unexpected bbox %+v", b)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("bbox should contain %v", p)
+		}
+	}
+	if b.Contains(Point{10, 10}) {
+		t.Error("bbox should not contain (10,10)")
+	}
+	if b.Width() != 6 || b.Height() != 6 {
+		t.Errorf("width/height = %v/%v, want 6/6", b.Width(), b.Height())
+	}
+	c := b.Center()
+	if c.X != 1 || c.Y != 2 {
+		t.Errorf("center = %v, want (1,2)", c)
+	}
+}
+
+func TestNewBBoxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBBox(nil) should panic")
+		}
+	}()
+	NewBBox(nil)
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	box := BBox{Min: Point{-74.05, 40.55}, Max: Point{-73.70, 40.90}}
+	n := NewNormalizer(box)
+	f := func(x, y float64) bool {
+		p := Point{
+			X: box.Min.X + math.Mod(math.Abs(x), box.Width()),
+			Y: box.Min.Y + math.Mod(math.Abs(y), box.Height()),
+		}
+		q := n.Normalize(p)
+		if q.X < -1e-9 || q.X > 1+1e-9 || q.Y < -1e-9 || q.Y > 1+1e-9 {
+			return false
+		}
+		r := n.Denormalize(q)
+		return almostEqual(r.X, p.X, 1e-9) && almostEqual(r.Y, p.Y, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizerDegenerate(t *testing.T) {
+	n := NewNormalizer(BBox{Min: Point{1, 1}, Max: Point{1, 1}})
+	p := n.Normalize(Point{1, 1})
+	if p.X != 0 || p.Y != 0 {
+		t.Fatalf("degenerate normalize = %v, want (0,0)", p)
+	}
+	if d := n.Denormalize(p); d != (Point{1, 1}) {
+		t.Fatalf("degenerate denormalize = %v, want (1,1)", d)
+	}
+}
+
+func randPoints(r *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64()*0.7 - 74.3, Y: r.Float64()*0.6 + 40.4}
+	}
+	return pts
+}
+
+func bruteNearest(m Metric, q Point, pts []Point) float64 {
+	best := math.Inf(1)
+	for _, p := range pts {
+		if d := Distance(m, q, p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, m := range []Metric{Euclidean, Manhattan, Haversine} {
+		for _, n := range []int{1, 2, 17, 200, 1000} {
+			pts := randPoints(r, n)
+			g := NewGridIndex(m, pts, 4)
+			for trial := 0; trial < 50; trial++ {
+				q := randPoints(r, 1)[0]
+				want := bruteNearest(m, q, pts)
+				got := g.NearestDistance(q)
+				if !almostEqual(got, want, 1e-9*(1+want)) {
+					t.Fatalf("metric %v n=%d: grid=%v brute=%v q=%v", m, n, got, want, q)
+				}
+			}
+		}
+	}
+}
+
+func TestGridIndexEmpty(t *testing.T) {
+	g := NewGridIndex(Euclidean, nil, 4)
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", g.Len())
+	}
+	if d := g.NearestDistance(Point{0, 0}); !math.IsInf(d, 1) {
+		t.Fatalf("NearestDistance on empty index = %v, want +Inf", d)
+	}
+	if d := g.AvgMinDistance([]Point{{0, 0}}); !math.IsInf(d, 1) {
+		t.Fatalf("AvgMinDistance on empty index = %v, want +Inf", d)
+	}
+	if d := g.AvgMinDistance(nil); d != 0 {
+		t.Fatalf("AvgMinDistance with no queries = %v, want 0", d)
+	}
+}
+
+func TestGridIndexIdenticalPoints(t *testing.T) {
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{-73.98, 40.75}
+	}
+	g := NewGridIndex(Euclidean, pts, 4)
+	if d := g.NearestDistance(Point{-73.98, 40.75}); d != 0 {
+		t.Fatalf("distance to identical point = %v, want 0", d)
+	}
+	if d := g.NearestDistance(Point{-73.97, 40.75}); !almostEqual(d, 0.01, 1e-12) {
+		t.Fatalf("distance = %v, want 0.01", d)
+	}
+}
+
+func TestAvgMinDistanceMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sample := randPoints(r, 50)
+	raw := randPoints(r, 400)
+	g := NewGridIndex(Euclidean, sample, 4)
+	var sum float64
+	for _, q := range raw {
+		sum += bruteNearest(Euclidean, q, sample)
+	}
+	want := sum / float64(len(raw))
+	got := g.AvgMinDistance(raw)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("AvgMinDistance = %v, want %v", got, want)
+	}
+}
+
+func TestAvgMinDistanceSubsetIsZero(t *testing.T) {
+	// When the sample equals the raw data the loss must be exactly zero.
+	r := rand.New(rand.NewSource(9))
+	raw := randPoints(r, 300)
+	g := NewGridIndex(Euclidean, raw, 4)
+	if d := g.AvgMinDistance(raw); d != 0 {
+		t.Fatalf("AvgMinDistance(raw, raw) = %v, want 0", d)
+	}
+}
+
+func BenchmarkGridNearest(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 10000)
+	g := NewGridIndex(Euclidean, pts, 4)
+	qs := randPoints(r, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NearestDistance(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkBruteNearest(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 10000)
+	qs := randPoints(r, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bruteNearest(Euclidean, qs[i%len(qs)], pts)
+	}
+}

@@ -1,0 +1,182 @@
+package geo
+
+import (
+	"math"
+)
+
+// GridIndex is a uniform grid over a bounding box that answers
+// nearest-neighbour queries. It is the workhorse behind the
+// average-minimum-distance loss functions: both the greedy sampler and the
+// SamGraph similarity join need, for many query points, the distance to the
+// closest point of a fixed sample set.
+//
+// The index supports the Euclidean and Manhattan metrics exactly. For
+// Haversine it searches using an equirectangular approximation to order
+// cells and then evaluates true Haversine distances, which is exact for the
+// city-scale extents Tabula targets (the approximation is only used to
+// bound the ring search, with a conservative slack factor).
+type GridIndex struct {
+	metric Metric
+	box    BBox
+	nx, ny int
+	cellW  float64
+	cellH  float64
+	cells  [][]Point
+	n      int
+}
+
+// NewGridIndex builds a grid over pts with roughly targetPerCell points per
+// cell. If pts is empty the index is still valid and NearestDistance
+// returns +Inf.
+func NewGridIndex(metric Metric, pts []Point, targetPerCell int) *GridIndex {
+	g := &GridIndex{metric: metric, n: len(pts)}
+	if len(pts) == 0 {
+		g.nx, g.ny = 1, 1
+		g.cells = make([][]Point, 1)
+		g.box = BBox{}
+		g.cellW, g.cellH = 1, 1
+		return g
+	}
+	if targetPerCell <= 0 {
+		targetPerCell = 4
+	}
+	g.box = NewBBox(pts)
+	// Aim for len(pts)/targetPerCell cells, split between axes in
+	// proportion to the box aspect ratio.
+	cellCount := float64(len(pts)) / float64(targetPerCell)
+	if cellCount < 1 {
+		cellCount = 1
+	}
+	w, h := g.box.Width(), g.box.Height()
+	if w <= 0 {
+		w = 1e-12
+	}
+	if h <= 0 {
+		h = 1e-12
+	}
+	aspect := w / h
+	nxf := math.Sqrt(cellCount * aspect)
+	nyf := math.Sqrt(cellCount / aspect)
+	g.nx = clampInt(int(math.Ceil(nxf)), 1, 4096)
+	g.ny = clampInt(int(math.Ceil(nyf)), 1, 4096)
+	g.cellW = w / float64(g.nx)
+	g.cellH = h / float64(g.ny)
+	g.cells = make([][]Point, g.nx*g.ny)
+	for _, p := range pts {
+		i := g.cellOf(p)
+		g.cells[i] = append(g.cells[i], p)
+	}
+	return g
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return g.n }
+
+func (g *GridIndex) cellCoords(p Point) (int, int) {
+	cx := int((p.X - g.box.Min.X) / g.cellW)
+	cy := int((p.Y - g.box.Min.Y) / g.cellH)
+	return clampInt(cx, 0, g.nx-1), clampInt(cy, 0, g.ny-1)
+}
+
+func (g *GridIndex) cellOf(p Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.nx + cx
+}
+
+// NearestDistance returns the distance from q to the closest indexed point,
+// or +Inf when the index is empty. The search expands in square rings of
+// grid cells around q and stops once the best distance found is provably
+// smaller than anything a farther ring could contain.
+func (g *GridIndex) NearestDistance(q Point) float64 {
+	if g.n == 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	cx, cy := g.cellCoords(q)
+	maxRing := g.nx
+	if g.ny > maxRing {
+		maxRing = g.ny
+	}
+	minCell := math.Min(g.cellW, g.cellH)
+	for ring := 0; ring <= maxRing; ring++ {
+		g.scanRing(q, cx, cy, ring, &best)
+		if math.IsInf(best, 1) {
+			continue
+		}
+		// The closest point the next ring can hold is at least
+		// (ring) whole cell widths away along the smaller cell edge
+		// (the query point sits somewhere inside the center cell, so
+		// ring+1 cells away minus one cell of slack).
+		bound := float64(ring) * minCell
+		if g.metric == Haversine {
+			// Convert the degree-space bound conservatively to meters;
+			// one degree of latitude is ~111.32 km, and longitude
+			// degrees shrink with latitude, so halve the factor.
+			bound *= 111320 * 0.5
+		}
+		if bound >= best {
+			break
+		}
+	}
+	return best
+}
+
+// scanRing examines the ring of cells at Chebyshev distance `ring` from
+// (cx,cy), updating *best. It reports whether any cell in the ring was
+// inside the grid.
+func (g *GridIndex) scanRing(q Point, cx, cy, ring int, best *float64) bool {
+	any := false
+	scan := func(x, y int) {
+		if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+			return
+		}
+		any = true
+		for _, p := range g.cells[y*g.nx+x] {
+			if d := Distance(g.metric, q, p); d < *best {
+				*best = d
+			}
+		}
+	}
+	if ring == 0 {
+		scan(cx, cy)
+		return any
+	}
+	for x := cx - ring; x <= cx+ring; x++ {
+		scan(x, cy-ring)
+		scan(x, cy+ring)
+	}
+	for y := cy - ring + 1; y <= cy+ring-1; y++ {
+		scan(cx-ring, y)
+		scan(cx+ring, y)
+	}
+	return any
+}
+
+// AvgMinDistance computes the average over query points of the distance to
+// the nearest indexed point — the paper's Function 2 accuracy loss,
+// loss(Raw, Sam) = 1/|Raw| Σ_{x∈Raw} min_{s∈Sam} d(x, s), where the
+// receiver indexes Sam. It returns +Inf when the index is empty and the
+// query set is not, and 0 when the query set is empty.
+func (g *GridIndex) AvgMinDistance(queries []Point) float64 {
+	if len(queries) == 0 {
+		return 0
+	}
+	if g.n == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, q := range queries {
+		sum += g.NearestDistance(q)
+	}
+	return sum / float64(len(queries))
+}

@@ -1,0 +1,312 @@
+// Package harness drives the paper's experimental evaluation: it
+// generates the analytics workload (random cube-cell queries), runs every
+// compared approach through it, and measures the five metrics of
+// Section V — initialization time, memory footprint, data-to-visualization
+// time (data-system + sample-visualization), actual accuracy loss, and
+// query answer size. Per-figure experiment runners live in
+// experiments.go.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/tabula-db/tabula/internal/baselines"
+	"github.com/tabula-db/tabula/internal/core"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/geo"
+	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/nyctaxi"
+	"github.com/tabula-db/tabula/internal/viz"
+)
+
+// Scale sizes an experiment run. The paper uses 700M rows on a 5-node
+// cluster; the defaults here target a single machine while preserving the
+// comparative shapes.
+type Scale struct {
+	// Rows in the synthetic NYCtaxi table.
+	Rows int
+	// Queries per workload (the paper uses 100 random cube cells).
+	Queries int
+	// Seed fixes the dataset, workload, and all samplers.
+	Seed int64
+}
+
+// DefaultScale is used by the bench harness unless overridden.
+var DefaultScale = Scale{Rows: 60000, Queries: 60, Seed: 42}
+
+// Task is the visual-analysis task run on returned samples.
+type Task int
+
+// The four analysis tasks of the paper's experiments.
+const (
+	TaskHeatmap Task = iota
+	TaskMean
+	TaskRegression
+	TaskHistogram
+)
+
+// String names the task.
+func (t Task) String() string {
+	switch t {
+	case TaskHeatmap:
+		return "heatmap"
+	case TaskMean:
+		return "mean"
+	case TaskRegression:
+		return "regression"
+	case TaskHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// RunVisualTask executes the task on a sample and returns the elapsed
+// visual-analysis time (the "sample visualization time" of Table II).
+func RunVisualTask(task Task, sample dataset.View) time.Duration {
+	start := time.Now()
+	switch task {
+	case TaskHeatmap:
+		col := sample.Table.Schema().ColumnIndex(nyctaxi.ColPickup)
+		d := viz.NewDensity(256, 256, nyctaxi.Bounds())
+		d.AddAll(sample.PointsOf(col))
+		d.Render()
+	case TaskMean:
+		col := sample.Table.Schema().ColumnIndex(nyctaxi.ColFare)
+		viz.Mean(sample.FloatsOf(col))
+	case TaskRegression:
+		x := sample.Table.Schema().ColumnIndex(nyctaxi.ColFare)
+		y := sample.Table.Schema().ColumnIndex(nyctaxi.ColTip)
+		viz.FitLine(sample.FloatsOf(x), sample.FloatsOf(y))
+	case TaskHistogram:
+		col := sample.Table.Schema().ColumnIndex(nyctaxi.ColFare)
+		viz.Histogram(sample.FloatsOf(col), 50, 0, 300)
+	}
+	return time.Since(start)
+}
+
+// Workload is a set of cube-cell queries plus their precomputed raw
+// answers (the ground truth for actual-loss measurement).
+type Workload struct {
+	Table   *dataset.Table
+	Queries [][]core.Condition
+	Raw     []dataset.View
+}
+
+// NewWorkload draws nQueries random cube cells over the given attributes:
+// it picks a random cuboid, then a random row, and uses the row's values
+// on the cuboid's attributes — every query therefore addresses a
+// non-empty cell, as in the paper's "randomly pick 100 SQL queries
+// (cells) from the cube".
+func NewWorkload(tbl *dataset.Table, attrs []string, nQueries int, seed int64) (*Workload, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx := tbl.Schema().ColumnIndex(a)
+		if idx < 0 {
+			return nil, fmt.Errorf("harness: unknown attribute %q", a)
+		}
+		cols[i] = idx
+	}
+	enc, err := engine.NewCatEncoding(tbl, cols)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := engine.NewKeyCodec(enc.Cardinalities())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Table: tbl}
+	// Precompute group row-lists per cuboid lazily (cache per mask).
+	groupCache := make(map[int]map[uint64][]int32)
+	full := dataset.FullView(tbl)
+	for q := 0; q < nQueries; q++ {
+		mask := rng.Intn(1 << len(attrs))
+		row := rng.Intn(tbl.NumRows())
+		var conds []core.Condition
+		var maskAttrs []int
+		for ai := range attrs {
+			if mask&(1<<ai) != 0 {
+				maskAttrs = append(maskAttrs, ai)
+				conds = append(conds, core.Condition{Attr: attrs[ai], Value: tbl.Value(row, cols[ai])})
+			}
+		}
+		groups, ok := groupCache[mask]
+		if !ok {
+			groups = engine.GroupRows(enc, codec, maskAttrs, full)
+			groupCache[mask] = groups
+		}
+		key := engine.GroupKeys(enc, codec, maskAttrs, int32(row))
+		w.Queries = append(w.Queries, conds)
+		w.Raw = append(w.Raw, dataset.NewView(tbl, groups[key]))
+	}
+	return w, nil
+}
+
+// RunResult aggregates one approach's metrics over a workload.
+type RunResult struct {
+	Approach string
+	// InitTime and MemoryBytes describe pre-materialized state.
+	InitTime    time.Duration
+	MemoryBytes int64
+	// DataSystemAvg is the mean per-query data-system time (query
+	// execution plus any online sampling).
+	DataSystemAvg time.Duration
+	// VisAvg is the mean per-query sample-visualization time.
+	VisAvg time.Duration
+	// Actual accuracy loss of returned answers (min/avg/max over
+	// queries), computed with the experiment's loss function.
+	LossMin, LossAvg, LossMax float64
+	// AnswerAvg is the mean number of tuples sent to the dashboard.
+	AnswerAvg float64
+	// RawFallbacks counts queries the approach answered by scanning the
+	// raw table.
+	RawFallbacks int
+	// Queries is the number of workload queries measured.
+	Queries int
+}
+
+// RunApproach initializes the approach and drives the workload through
+// it, measuring all Section V metrics. Losses are evaluated with lossFn
+// (which may differ from cfg.Loss only in tests); task selects the
+// visual-analysis step.
+func RunApproach(a baselines.Approach, w *Workload, cfg baselines.Config, task Task) (*RunResult, error) {
+	if err := a.Init(w.Table, cfg); err != nil {
+		return nil, fmt.Errorf("harness: init %s: %w", a.Name(), err)
+	}
+	res := &RunResult{
+		Approach:    a.Name(),
+		InitTime:    a.InitTime(),
+		MemoryBytes: a.MemoryBytes(),
+		LossMin:     math.Inf(1),
+		LossMax:     math.Inf(-1),
+	}
+	var dsTotal, visTotal time.Duration
+	var lossSum, answerSum float64
+	counted := 0
+	for qi, q := range w.Queries {
+		raw := w.Raw[qi]
+		if raw.Len() == 0 {
+			continue
+		}
+		start := time.Now()
+		out, err := a.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s query %d: %w", a.Name(), qi, err)
+		}
+		dsTotal += time.Since(start)
+		var actual float64
+		var answerSize int
+		if out.IsScalar {
+			// Scalar (SnappyData) answers are scored with relative mean
+			// error and skip the visualization step, as in the paper.
+			actual = scalarLoss(raw, out.Scalar)
+			answerSize = 1
+		} else {
+			if out.Sample.Table == nil {
+				out.Sample = dataset.NewView(w.Table, nil)
+			}
+			visTotal += RunVisualTask(task, out.Sample)
+			actual = cfg.Loss.Loss(raw, out.Sample)
+			answerSize = out.Sample.Len()
+		}
+		if out.ScannedRaw {
+			res.RawFallbacks++
+		}
+		if actual < res.LossMin {
+			res.LossMin = actual
+		}
+		if actual > res.LossMax {
+			res.LossMax = actual
+		}
+		lossSum += actual
+		answerSum += float64(answerSize)
+		counted++
+	}
+	if counted == 0 {
+		return nil, fmt.Errorf("harness: workload had no non-empty queries")
+	}
+	res.Queries = counted
+	res.DataSystemAvg = dsTotal / time.Duration(counted)
+	res.VisAvg = visTotal / time.Duration(counted)
+	res.LossAvg = lossSum / float64(counted)
+	res.AnswerAvg = answerSum / float64(counted)
+	return res, nil
+}
+
+// scalarLoss scores a scalar AVG answer against the raw fare mean.
+func scalarLoss(raw dataset.View, answer float64) float64 {
+	col := raw.Table.Schema().ColumnIndex(nyctaxi.ColFare)
+	m := viz.Mean(raw.FloatsOf(col))
+	if m == 0 {
+		return math.Abs(answer)
+	}
+	return math.Abs((m - answer) / m)
+}
+
+// LossForTask returns the paper's loss function for a task, bound to the
+// NYCtaxi columns.
+func LossForTask(task Task) loss.Func {
+	switch task {
+	case TaskHeatmap:
+		return loss.NewHeatmap(nyctaxi.ColPickup, geo.Euclidean)
+	case TaskMean:
+		return loss.NewMean(nyctaxi.ColFare)
+	case TaskRegression:
+		return loss.NewRegression(nyctaxi.ColFare, nyctaxi.ColTip)
+	case TaskHistogram:
+		return loss.NewHistogram(nyctaxi.ColFare)
+	default:
+		panic("harness: unknown task")
+	}
+}
+
+// ThetaSweep returns the experiment's threshold sweep for a task, from
+// tight to loose. Units follow the paper: normalized degrees for the
+// heatmap loss (0.0025° ≈ 0.28 km), relative error for the mean, angle
+// degrees for regression, and dollars for the histogram.
+func ThetaSweep(task Task) []float64 {
+	switch task {
+	case TaskHeatmap:
+		// 0.002° ≈ 0.22 km — the paper's 250 m headline threshold sits at
+		// the tight end of the sweep.
+		return []float64{0.002, 0.004, 0.008, 0.016}
+	case TaskMean:
+		return []float64{0.025, 0.05, 0.10, 0.20}
+	case TaskRegression:
+		return []float64{1, 2, 4, 8}
+	case TaskHistogram:
+		return []float64{0.25, 0.5, 1, 2}
+	default:
+		panic("harness: unknown task")
+	}
+}
+
+// ThetaLabel renders a threshold with its unit for figure rows.
+func ThetaLabel(task Task, theta float64) string {
+	switch task {
+	case TaskHeatmap:
+		return fmt.Sprintf("%.2fkm", theta*111.32) // degrees → km at NYC latitude
+	case TaskMean:
+		return fmt.Sprintf("%.1f%%", theta*100)
+	case TaskRegression:
+		return fmt.Sprintf("%g°", theta)
+	case TaskHistogram:
+		return fmt.Sprintf("$%.2f", theta)
+	default:
+		return fmt.Sprintf("%g", theta)
+	}
+}
+
+// Fprintf is a tiny helper so experiment runners can write progress to an
+// optional writer (nil discards).
+func Fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

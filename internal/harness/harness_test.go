@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/baselines"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/nyctaxi"
+)
+
+var tinyScale = Scale{Rows: 2500, Queries: 12, Seed: 3}
+
+func TestNewWorkloadAddressesNonEmptyCells(t *testing.T) {
+	tbl := nyctaxi.Generate(3000, 4)
+	w, err := NewWorkload(tbl, nyctaxi.CubedAttrs[:4], 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 50 || len(w.Raw) != 50 {
+		t.Fatalf("workload %d/%d", len(w.Queries), len(w.Raw))
+	}
+	for i, raw := range w.Raw {
+		if raw.Len() == 0 {
+			t.Fatalf("query %d addresses an empty cell", i)
+		}
+		// Raw answers must actually satisfy the conditions.
+		for _, c := range w.Queries[i] {
+			col := tbl.Schema().ColumnIndex(c.Attr)
+			for j := 0; j < raw.Len() && j < 5; j++ {
+				if !raw.Value(j, col).Equal(c.Value) {
+					t.Fatalf("query %d raw row violates %s=%v", i, c.Attr, c.Value)
+				}
+			}
+		}
+	}
+}
+
+func TestNewWorkloadUnknownAttr(t *testing.T) {
+	tbl := nyctaxi.Generate(100, 4)
+	if _, err := NewWorkload(tbl, []string{"ghost"}, 5, 1); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRunApproachMetrics(t *testing.T) {
+	tbl := nyctaxi.Generate(3000, 6)
+	attrs := nyctaxi.CubedAttrs[:4]
+	w, err := NewWorkload(tbl, attrs, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := buildConfig(TaskMean, 0.1, attrs, 8)
+	res, err := RunApproach(baselines.NewTabula(), w, cfg, TaskMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 15 {
+		t.Fatalf("queries = %d", res.Queries)
+	}
+	if res.LossMax > 0.1 {
+		t.Fatalf("Tabula exceeded theta: %v", res.LossMax)
+	}
+	if res.AnswerAvg <= 0 || res.MemoryBytes <= 0 || res.InitTime <= 0 {
+		t.Fatalf("metrics not populated: %+v", res)
+	}
+	if res.LossMin > res.LossAvg || res.LossAvg > res.LossMax {
+		t.Fatalf("loss ordering broken: %+v", res)
+	}
+}
+
+func TestRunVisualTasks(t *testing.T) {
+	tbl := nyctaxi.Generate(500, 9)
+	view := dataset.FullView(tbl)
+	for _, task := range []Task{TaskHeatmap, TaskMean, TaskRegression, TaskHistogram} {
+		if d := RunVisualTask(task, view); d < 0 {
+			t.Fatalf("%s: negative duration", task)
+		}
+	}
+}
+
+func TestThetaHelpers(t *testing.T) {
+	for _, task := range []Task{TaskHeatmap, TaskMean, TaskRegression, TaskHistogram} {
+		sweep := ThetaSweep(task)
+		if len(sweep) != 4 {
+			t.Fatalf("%s sweep = %v", task, sweep)
+		}
+		for i := 1; i < len(sweep); i++ {
+			if sweep[i] <= sweep[i-1] {
+				t.Fatalf("%s sweep not ascending", task)
+			}
+		}
+		if ThetaLabel(task, sweep[0]) == "" {
+			t.Fatalf("%s: empty label", task)
+		}
+		if LossForTask(task) == nil {
+			t.Fatalf("%s: nil loss", task)
+		}
+	}
+}
+
+func TestWithDistanceBucket(t *testing.T) {
+	tbl := WithDistanceBucket(nyctaxi.Generate(1000, 10))
+	col := tbl.Schema().ColumnIndex("trip_distance_bucket")
+	if col < 0 {
+		t.Fatal("bucket column missing")
+	}
+	distCol := tbl.Schema().ColumnIndex(nyctaxi.ColDistance)
+	for r := 0; r < tbl.NumRows(); r++ {
+		b := tbl.Value(r, col).S
+		d := tbl.Value(r, distCol).F
+		switch {
+		case d < 5 && b != "[0,5)":
+			t.Fatalf("distance %v bucketed as %s", d, b)
+		case d >= 20 && b != "[20,25)":
+			t.Fatalf("distance %v bucketed as %s", d, b)
+		}
+	}
+}
+
+// Every registered experiment must run to completion at tiny scale and
+// produce non-empty reports.
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			reps, err := Experiments[id](tinyScale, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(reps) == 0 {
+				t.Fatalf("%s: no reports", id)
+			}
+			for _, r := range reps {
+				if len(r.Rows) == 0 {
+					t.Fatalf("%s: empty report %q", id, r.Title)
+				}
+				out := r.String()
+				if !strings.Contains(out, r.ID) {
+					t.Fatalf("%s: render missing id", id)
+				}
+			}
+		})
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "figX", Title: "demo", Columns: []string{"a", "b"}, Notes: []string{"hello"}}
+	r.AddRow("1", "2")
+	out := r.String()
+	for _, want := range []string{"figX", "demo", "a", "b", "1", "2", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

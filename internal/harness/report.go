@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Report is one reproduced table or figure, rendered as a text table
+// (rows of a figure correspond to its x-axis points; columns to its
+// series).
+type Report struct {
+	// ID is the experiment identifier ("fig8a", "table2", ...).
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, row-major.
+	Rows [][]string
+	// Notes carry expected-shape commentary appended after the table.
+	Notes []string
+}
+
+// AddRow appends a data row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// String renders the report with aligned columns.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Columns, "\t"))
+	sep := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		sep[i] = strings.Repeat("-", len(c))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// fmtDur renders a duration compactly for table cells.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// fmtBytes renders a byte count with binary units.
+func fmtBytes(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	}
+}
+
+// fmtLoss renders a loss value, keeping infinities readable.
+func fmtLoss(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}

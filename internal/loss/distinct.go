@@ -1,0 +1,179 @@
+package loss
+
+import (
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// Distinct measures category coverage (the paper lists DISTINCT among
+// the aggregates a loss may use): the fraction of the raw data's
+// distinct values of a column that do NOT occur in the sample:
+//
+//	loss(Raw, Sam) = 1 − |distinct(Sam) ∩ distinct(Raw)| / |distinct(Raw)|
+//
+// With θ = 0.1, every sample Tabula returns carries at least 90% of the
+// distinct values of the target attribute — the right contract for
+// dashboards listing category breakdowns, where a missing category is a
+// silent lie. The loss lives in [0, 1]; empty raw data has loss 0.
+//
+// The distinct-value set is a distributive state (set union), so the
+// dry run derives it through the lattice. Intended for categorical or
+// low-cardinality attributes: state size is proportional to the
+// attribute's distinct count.
+type Distinct struct {
+	// Column is the target attribute (any scalar type).
+	Column string
+}
+
+// NewDistinct returns the distinct-coverage loss over the named column.
+func NewDistinct(column string) *Distinct { return &Distinct{Column: column} }
+
+// Name implements Func.
+func (d *Distinct) Name() string { return "distinct" }
+
+// Unit implements Func.
+func (d *Distinct) Unit() string { return "fraction-missing" }
+
+// valueKey canonicalizes a value for set membership.
+func valueKey(v dataset.Value) string { return v.String() }
+
+func (d *Distinct) distinctOf(v dataset.View) (map[string]struct{}, error) {
+	col := v.Table.Schema().ColumnIndex(d.Column)
+	if col < 0 {
+		return nil, errUnknownColumn(d.Column)
+	}
+	out := make(map[string]struct{})
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		out[valueKey(v.Value(i, col))] = struct{}{}
+	}
+	return out, nil
+}
+
+func coverageLoss(raw, sam map[string]struct{}) float64 {
+	if len(raw) == 0 {
+		return 0
+	}
+	covered := 0
+	for k := range raw {
+		if _, ok := sam[k]; ok {
+			covered++
+		}
+	}
+	return 1 - float64(covered)/float64(len(raw))
+}
+
+// Loss implements Func.
+func (d *Distinct) Loss(raw, sam dataset.View) float64 {
+	r, err := d.distinctOf(raw)
+	if err != nil {
+		panic(err)
+	}
+	s, err := d.distinctOf(sam)
+	if err != nil {
+		panic(err)
+	}
+	return coverageLoss(r, s)
+}
+
+type distinctState struct {
+	set map[string]struct{}
+}
+
+type distinctCellEvaluator struct {
+	keys []string // target column pre-stringified per row
+	sam  map[string]struct{}
+}
+
+// BindSample implements DryRunner.
+func (d *Distinct) BindSample(table *dataset.Table, sam dataset.View) (CellEvaluator, error) {
+	col := table.Schema().ColumnIndex(d.Column)
+	if col < 0 {
+		return nil, errUnknownColumn(d.Column)
+	}
+	keys := make([]string, table.NumRows())
+	for i := range keys {
+		keys[i] = valueKey(table.Value(i, col))
+	}
+	samSet, err := d.distinctOf(sam)
+	if err != nil {
+		return nil, err
+	}
+	return &distinctCellEvaluator{keys: keys, sam: samSet}, nil
+}
+
+func (e *distinctCellEvaluator) NewState() CellState {
+	return &distinctState{set: make(map[string]struct{})}
+}
+
+func (e *distinctCellEvaluator) Add(st CellState, row int32) {
+	st.(*distinctState).set[e.keys[row]] = struct{}{}
+}
+
+func (e *distinctCellEvaluator) Merge(dst, src CellState) {
+	d := dst.(*distinctState)
+	for k := range src.(*distinctState).set {
+		d.set[k] = struct{}{}
+	}
+}
+
+func (e *distinctCellEvaluator) Loss(st CellState) float64 {
+	return coverageLoss(st.(*distinctState).set, e.sam)
+}
+
+func (e *distinctCellEvaluator) StateBytes() int64 { return 64 }
+
+type distinctGreedy struct {
+	keys []string
+	// rawCount[k] unused; rawSet fixes the denominator.
+	rawSet  map[string]struct{}
+	covered map[string]struct{}
+}
+
+// NewGreedy implements GreedyCapable.
+func (d *Distinct) NewGreedy(raw dataset.View) (GreedyEvaluator, error) {
+	col := raw.Table.Schema().ColumnIndex(d.Column)
+	if col < 0 {
+		return nil, errUnknownColumn(d.Column)
+	}
+	n := raw.Len()
+	g := &distinctGreedy{
+		keys:    make([]string, n),
+		rawSet:  make(map[string]struct{}),
+		covered: make(map[string]struct{}),
+	}
+	for i := 0; i < n; i++ {
+		g.keys[i] = valueKey(raw.Value(i, col))
+		g.rawSet[g.keys[i]] = struct{}{}
+	}
+	return g, nil
+}
+
+func (g *distinctGreedy) Len() int { return len(g.keys) }
+
+func (g *distinctGreedy) CurrentLoss() float64 {
+	if len(g.rawSet) == 0 {
+		return 0
+	}
+	return 1 - float64(len(g.covered))/float64(len(g.rawSet))
+}
+
+func (g *distinctGreedy) LossWith(i int) float64 {
+	if len(g.rawSet) == 0 {
+		return 0
+	}
+	covered := len(g.covered)
+	if _, ok := g.covered[g.keys[i]]; !ok {
+		covered++
+	}
+	return 1 - float64(covered)/float64(len(g.rawSet))
+}
+
+func (g *distinctGreedy) Add(i int) { g.covered[g.keys[i]] = struct{}{} }
+
+func errUnknownColumn(name string) error {
+	return &unknownColumnError{name: name}
+}
+
+type unknownColumnError struct{ name string }
+
+func (e *unknownColumnError) Error() string { return "loss: unknown column " + e.name }

@@ -1,0 +1,229 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/geo"
+)
+
+func compileLoss(t *testing.T, src string, targets ...string) Func {
+	t.Helper()
+	st, err := engine.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f, err := Compile(st.(*engine.CreateAggregate), targets, geo.Euclidean)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return f
+}
+
+const meanDSL = `CREATE AGGREGATE myloss(Raw, Sam) RETURN decimal AS
+	BEGIN ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw) END`
+
+const regDSL = `CREATE AGGREGATE regloss(Raw, Sam) RETURN decimal AS
+	BEGIN ABS(ANGLE(Raw) - ANGLE(Sam)) END`
+
+const histDSL = `CREATE AGGREGATE histloss(Raw, Sam) RETURN decimal AS
+	BEGIN AVGMINDIST(Raw, Sam) END`
+
+// The compiled Function 1 must agree with the native Mean loss everywhere.
+func TestDSLMeanMatchesNative(t *testing.T) {
+	tbl := buildLossTable(300, 21)
+	f := compileLoss(t, meanDSL, "fare")
+	native := NewMean("fare")
+	full := viewOf(tbl)
+	for _, k := range []int{1, 3, 10, 50, 300} {
+		sam := firstK(tbl, k)
+		got, want := f.Loss(full, sam), native.Loss(full, sam)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("k=%d: DSL %v != native %v", k, got, want)
+		}
+	}
+	if f.Name() != "myloss" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestDSLRegressionMatchesNative(t *testing.T) {
+	tbl := buildLossTable(300, 22)
+	f := compileLoss(t, regDSL, "fare", "tip")
+	native := NewRegression("fare", "tip")
+	full := viewOf(tbl)
+	for _, k := range []int{2, 5, 40} {
+		sam := firstK(tbl, k)
+		got, want := f.Loss(full, sam), native.Loss(full, sam)
+		if !closeOrBothInf(got, want, 1e-9) {
+			t.Fatalf("k=%d: DSL %v != native %v", k, got, want)
+		}
+	}
+}
+
+func TestDSLHistogramMatchesNative(t *testing.T) {
+	tbl := buildLossTable(200, 23)
+	f := compileLoss(t, histDSL, "fare")
+	native := NewHistogram("fare")
+	full := viewOf(tbl)
+	sam := firstK(tbl, 12)
+	got, want := f.Loss(full, sam), native.Loss(full, sam)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DSL %v != native %v", got, want)
+	}
+}
+
+func TestDSLHeatmapViaAvgMinDistPointTarget(t *testing.T) {
+	tbl := buildLossTable(200, 24)
+	f := compileLoss(t, histDSL, "pickup")
+	native := NewHeatmap("pickup", geo.Euclidean)
+	full := viewOf(tbl)
+	sam := firstK(tbl, 15)
+	got, want := f.Loss(full, sam), native.Loss(full, sam)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DSL %v != native %v", got, want)
+	}
+}
+
+// The compiled loss must be algebraic: dry-run states merge correctly.
+func TestDSLDryRunMerge(t *testing.T) {
+	tbl := buildLossTable(240, 25)
+	sam := firstK(tbl, 20)
+	for _, tc := range []struct {
+		src     string
+		targets []string
+	}{
+		{meanDSL, []string{"fare"}},
+		{regDSL, []string{"fare", "tip"}},
+		{histDSL, []string{"fare"}},
+		{histDSL, []string{"pickup"}},
+	} {
+		f := compileLoss(t, tc.src, tc.targets...)
+		ev, err := f.(DryRunner).BindSample(tbl, sam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole, a, b := ev.NewState(), ev.NewState(), ev.NewState()
+		for i := int32(0); i < 240; i++ {
+			ev.Add(whole, i)
+			if i < 100 {
+				ev.Add(a, i)
+			} else {
+				ev.Add(b, i)
+			}
+		}
+		ev.Merge(a, b)
+		lw, lm := ev.Loss(whole), ev.Loss(a)
+		if !closeOrBothInf(lw, lm, 1e-9) {
+			t.Errorf("%s on %v: whole %v != merged %v", f.Name(), tc.targets, lw, lm)
+		}
+		direct := f.Loss(viewOf(tbl), sam)
+		if !closeOrBothInf(lw, direct, 1e-9) {
+			t.Errorf("%s on %v: dryrun %v != direct %v", f.Name(), tc.targets, lw, direct)
+		}
+	}
+}
+
+// The compiled loss must drive the greedy sampler: predictions match
+// committed losses and the direct definition.
+func TestDSLGreedyConsistency(t *testing.T) {
+	tbl := buildLossTable(80, 26)
+	full := viewOf(tbl)
+	for _, tc := range []struct {
+		src     string
+		targets []string
+	}{
+		{meanDSL, []string{"fare"}},
+		{regDSL, []string{"fare", "tip"}},
+		{histDSL, []string{"fare"}},
+		{histDSL, []string{"pickup"}},
+	} {
+		f := compileLoss(t, tc.src, tc.targets...)
+		g, err := f.(GreedyCapable).NewGreedy(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []int32
+		for i := 0; i < 10; i++ {
+			cand := (i * 7) % 80
+			pred := g.LossWith(cand)
+			g.Add(cand)
+			rows = append(rows, int32(cand))
+			obs := g.CurrentLoss()
+			if !closeOrBothInf(pred, obs, 1e-9) {
+				t.Fatalf("%s %v: pred %v != obs %v", f.Name(), tc.targets, pred, obs)
+			}
+			direct := f.Loss(full, dataset.NewView(tbl, rows))
+			if !closeOrBothInf(obs, direct, 1e-9) {
+				t.Fatalf("%s %v: obs %v != direct %v", f.Name(), tc.targets, obs, direct)
+			}
+		}
+	}
+}
+
+func TestDSLEmptySampleIsInf(t *testing.T) {
+	tbl := buildLossTable(50, 27)
+	f := compileLoss(t, meanDSL, "fare")
+	if got := f.Loss(viewOf(tbl), dataset.NewView(tbl, nil)); !math.IsInf(got, 1) {
+		t.Fatalf("empty sample loss = %v, want +Inf (NaN mapped)", got)
+	}
+}
+
+func TestDSLCompileErrors(t *testing.T) {
+	cases := map[string]struct {
+		src     string
+		targets []string
+	}{
+		"holistic MEDIAN": {
+			`CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN MEDIAN(Raw) - MEDIAN(Sam) END`,
+			[]string{"fare"},
+		},
+		"bare column": {
+			`CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN fare + 1 END`,
+			[]string{"fare"},
+		},
+		"no atoms": {
+			`CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN 1 + 2 END`,
+			[]string{"fare"},
+		},
+		"angle needs two targets": {
+			`CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN ANGLE(Raw) - ANGLE(Sam) END`,
+			[]string{"fare"},
+		},
+		"avgmindist arg order": {
+			`CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN AVGMINDIST(Sam, Raw) END`,
+			[]string{"fare"},
+		},
+		"no targets": {meanDSL, nil},
+	}
+	for name, tc := range cases {
+		st, err := engine.Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := Compile(st.(*engine.CreateAggregate), tc.targets, geo.Euclidean); err == nil {
+			t.Errorf("%s: Compile should fail", name)
+		}
+	}
+}
+
+func TestDSLQualifiedColumns(t *testing.T) {
+	// AVG(Raw.tip) explicitly names a column other than the target.
+	src := `CREATE AGGREGATE l(Raw, Sam) RETURN d AS
+		BEGIN ABS(AVG(Raw.tip) - AVG(Sam.tip)) END`
+	tbl := buildLossTable(100, 28)
+	f := compileLoss(t, src, "fare")
+	native := NewMean("tip")
+	full := viewOf(tbl)
+	sam := firstK(tbl, 10)
+	got := f.Loss(full, sam)
+	// Native mean is relative; this DSL is absolute. Cross-check manually.
+	rawSum, rawN, _ := sumCount(full, "tip")
+	samSum, samN, _ := sumCount(sam, "tip")
+	want := math.Abs(rawSum/float64(rawN) - samSum/float64(samN))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v, want %v (native rel=%v)", got, want, native.Loss(full, sam))
+	}
+}

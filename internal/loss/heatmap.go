@@ -1,0 +1,323 @@
+package loss
+
+import (
+	"math"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/geo"
+)
+
+// Heatmap is the paper's Function 2: the visualization-aware loss from
+// VAS/POIsam, defined as the average over raw tuples of the minimum
+// distance from the tuple to any sample tuple:
+//
+//	loss(Raw, Sam) = 1/|Raw| Σ_{x∈Raw} min_{s∈Sam} d(x, s)
+//
+// d is a pluggable metric (Euclidean, Manhattan, or Haversine meters). A
+// sample with low Heatmap loss covers the raw point cloud well, so a heat
+// map rendered from it preserves the hotspots of the full render.
+type Heatmap struct {
+	// Column is the POINT target attribute (e.g. pickup location).
+	Column string
+	// Metric is the pairwise distance; Haversine yields meters.
+	Metric geo.Metric
+}
+
+// NewHeatmap returns the geospatial visualization-aware loss.
+func NewHeatmap(column string, metric geo.Metric) *Heatmap {
+	return &Heatmap{Column: column, Metric: metric}
+}
+
+// Name implements Func.
+func (h *Heatmap) Name() string { return "heatmap" }
+
+// Unit implements Func.
+func (h *Heatmap) Unit() string {
+	if h.Metric == geo.Haversine {
+		return "meter"
+	}
+	return "distance"
+}
+
+// Loss implements Func.
+func (h *Heatmap) Loss(raw, sam dataset.View) float64 {
+	col, err := resolvePoint(raw.Table.Schema(), h.Column)
+	if err != nil {
+		panic(err)
+	}
+	if raw.Len() == 0 {
+		return 0
+	}
+	if sam.Len() == 0 {
+		return math.Inf(1)
+	}
+	samCol, err := resolvePoint(sam.Table.Schema(), h.Column)
+	if err != nil {
+		panic(err)
+	}
+	grid := geo.NewGridIndex(h.Metric, sam.PointsOf(samCol), 4)
+	return grid.AvgMinDistance(raw.PointsOf(col))
+}
+
+// heatmapCellState is the algebraic dry-run state: the sum of per-tuple
+// minimum distances to the *fixed* sample, plus the tuple count. Because
+// the sample side is fixed, the per-tuple min distance is a per-row
+// constant and the sum is distributive.
+type heatmapCellState struct {
+	sumMin float64
+	n      int64
+}
+
+type heatmapCellEvaluator struct {
+	points []geo.Point
+	grid   *geo.GridIndex
+	empty  bool
+}
+
+// BindSample implements DryRunner.
+func (h *Heatmap) BindSample(table *dataset.Table, sam dataset.View) (CellEvaluator, error) {
+	col, err := resolvePoint(table.Schema(), h.Column)
+	if err != nil {
+		return nil, err
+	}
+	ev := &heatmapCellEvaluator{points: table.Points(col)}
+	if sam.Len() == 0 {
+		ev.empty = true
+		return ev, nil
+	}
+	samCol, err := resolvePoint(sam.Table.Schema(), h.Column)
+	if err != nil {
+		return nil, err
+	}
+	ev.grid = geo.NewGridIndex(h.Metric, sam.PointsOf(samCol), 4)
+	return ev, nil
+}
+
+func (e *heatmapCellEvaluator) NewState() CellState { return &heatmapCellState{} }
+
+func (e *heatmapCellEvaluator) Add(st CellState, row int32) {
+	s := st.(*heatmapCellState)
+	if !e.empty {
+		s.sumMin += e.grid.NearestDistance(e.points[row])
+	}
+	s.n++
+}
+
+func (e *heatmapCellEvaluator) Merge(dst, src CellState) {
+	d, s := dst.(*heatmapCellState), src.(*heatmapCellState)
+	d.sumMin += s.sumMin
+	d.n += s.n
+}
+
+func (e *heatmapCellEvaluator) Loss(st CellState) float64 {
+	s := st.(*heatmapCellState)
+	if s.n == 0 {
+		return 0
+	}
+	if e.empty {
+		return math.Inf(1)
+	}
+	return s.sumMin / float64(s.n)
+}
+
+func (e *heatmapCellEvaluator) StateBytes() int64 { return 16 }
+
+// heatmapGreedy tracks, for every raw tuple, the distance to the nearest
+// tuple of the growing sample. Adding candidate c changes the loss to
+// (1/n) Σ_i min(minDist[i], d(i, c)).
+//
+// LossWith exploits a locality bound: a raw point j can only improve if
+// d(j, c) < minDist[j] ≤ maxMin, so scanning the spatial index within
+// radius maxMin of the candidate covers every contributor exactly. As
+// the sample grows maxMin shrinks, and candidate evaluation drops from
+// O(n) to near-constant — this is where the sampler spends its time
+// under the lazy-forward strategy.
+type heatmapGreedy struct {
+	metric  geo.Metric
+	pts     []geo.Point
+	minDist []float64
+	sum     float64 // Σ minDist
+	maxMin  float64 // max over minDist (valid upper bound between Adds)
+	samN    int
+	idx     *pointIndex
+	// radScale converts metric distances to coordinate search radii.
+	radScale float64
+}
+
+// pointIndex is a uniform grid over point INDEXES (geo.GridIndex stores
+// points only), supporting radius-bounded enumeration.
+type pointIndex struct {
+	box          geo.BBox
+	nx, ny       int
+	cellW, cellH float64
+	cells        [][]int32
+}
+
+func newPointIndex(pts []geo.Point) *pointIndex {
+	if len(pts) == 0 {
+		return &pointIndex{nx: 1, ny: 1, cellW: 1, cellH: 1, cells: make([][]int32, 1)}
+	}
+	g := &pointIndex{box: geo.NewBBox(pts)}
+	cellCount := float64(len(pts)) / 4
+	if cellCount < 1 {
+		cellCount = 1
+	}
+	w, h := g.box.Width(), g.box.Height()
+	if w <= 0 {
+		w = 1e-12
+	}
+	if h <= 0 {
+		h = 1e-12
+	}
+	aspect := w / h
+	g.nx = clampIdx(int(math.Ceil(math.Sqrt(cellCount*aspect))), 1, 2048)
+	g.ny = clampIdx(int(math.Ceil(math.Sqrt(cellCount/aspect))), 1, 2048)
+	g.cellW = w / float64(g.nx)
+	g.cellH = h / float64(g.ny)
+	g.cells = make([][]int32, g.nx*g.ny)
+	for i, p := range pts {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return g
+}
+
+func clampIdx(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (g *pointIndex) coords(p geo.Point) (int, int) {
+	cx := clampIdx(int((p.X-g.box.Min.X)/g.cellW), 0, g.nx-1)
+	cy := clampIdx(int((p.Y-g.box.Min.Y)/g.cellH), 0, g.ny-1)
+	return cx, cy
+}
+
+func (g *pointIndex) cellOf(p geo.Point) int {
+	cx, cy := g.coords(p)
+	return cy*g.nx + cx
+}
+
+// visitWithin calls fn for every indexed point within (coordinate-space)
+// radius r of p; it may also visit slightly farther points (fn must
+// re-check distances).
+func (g *pointIndex) visitWithin(p geo.Point, r float64, fn func(i int32)) {
+	loX := clampIdx(int((p.X-r-g.box.Min.X)/g.cellW), 0, g.nx-1)
+	hiX := clampIdx(int((p.X+r-g.box.Min.X)/g.cellW), 0, g.nx-1)
+	loY := clampIdx(int((p.Y-r-g.box.Min.Y)/g.cellH), 0, g.ny-1)
+	hiY := clampIdx(int((p.Y+r-g.box.Min.Y)/g.cellH), 0, g.ny-1)
+	for cy := loY; cy <= hiY; cy++ {
+		for cx := loX; cx <= hiX; cx++ {
+			for _, i := range g.cells[cy*g.nx+cx] {
+				fn(i)
+			}
+		}
+	}
+}
+
+// coordScale returns the factor converting a metric distance bound into
+// a coordinate-space search radius that over-covers: 1 for
+// Euclidean/Manhattan (already in coordinate units), and for Haversine
+// meters the inverse of the SMALLEST meters-per-degree across the data's
+// latitude range (longitude degrees shrink by cos(lat), so the search
+// radius must widen accordingly). Near the poles the factor degenerates;
+// +Inf falls back to full scans, which stays correct.
+func coordScale(m geo.Metric, box geo.BBox) float64 {
+	if m != geo.Haversine {
+		return 1
+	}
+	maxAbsLat := math.Max(math.Abs(box.Min.Y), math.Abs(box.Max.Y))
+	cos := math.Cos(maxAbsLat * math.Pi / 180)
+	const mPerDegLat = 110_567.0
+	mPerDegLon := 111_320.0 * cos
+	minPerDeg := math.Min(mPerDegLat, mPerDegLon)
+	if minPerDeg < 1 {
+		return math.Inf(1)
+	}
+	return 1 / minPerDeg
+}
+
+// NewGreedy implements GreedyCapable.
+func (h *Heatmap) NewGreedy(raw dataset.View) (GreedyEvaluator, error) {
+	col, err := resolvePoint(raw.Table.Schema(), h.Column)
+	if err != nil {
+		return nil, err
+	}
+	g := &heatmapGreedy{metric: h.Metric, pts: raw.PointsOf(col)}
+	g.minDist = make([]float64, len(g.pts))
+	for i := range g.minDist {
+		g.minDist[i] = math.Inf(1)
+	}
+	g.sum = math.Inf(1)
+	g.maxMin = math.Inf(1)
+	g.idx = newPointIndex(g.pts)
+	g.radScale = coordScale(h.Metric, g.idx.box)
+	return g, nil
+}
+
+func (g *heatmapGreedy) Len() int { return len(g.pts) }
+
+func (g *heatmapGreedy) CurrentLoss() float64 {
+	if len(g.pts) == 0 {
+		return 0
+	}
+	if g.samN == 0 {
+		return math.Inf(1)
+	}
+	return g.sum / float64(len(g.pts))
+}
+
+func (g *heatmapGreedy) LossWith(i int) float64 {
+	if len(g.pts) == 0 {
+		return 0
+	}
+	c := g.pts[i]
+	if g.samN == 0 || math.IsInf(g.maxMin, 1) || math.IsInf(g.radScale, 1) {
+		// First round: everything can improve; full scan.
+		var sum float64
+		for j, p := range g.pts {
+			d := geo.Distance(g.metric, p, c)
+			if m := g.minDist[j]; m < d {
+				d = m
+			}
+			sum += d
+		}
+		return sum / float64(len(g.pts))
+	}
+	// Later rounds: only points within maxMin of the candidate can
+	// improve; compute the exact reduction over that neighbourhood.
+	var reduction float64
+	g.idx.visitWithin(c, g.maxMin*g.radScale, func(j int32) {
+		if d := geo.Distance(g.metric, g.pts[j], c); d < g.minDist[j] {
+			reduction += g.minDist[j] - d
+		}
+	})
+	return (g.sum - reduction) / float64(len(g.pts))
+}
+
+func (g *heatmapGreedy) Add(i int) {
+	c := g.pts[i]
+	var sum, max float64
+	for j, p := range g.pts {
+		d := geo.Distance(g.metric, p, c)
+		if d < g.minDist[j] {
+			g.minDist[j] = d
+		}
+		sum += g.minDist[j]
+		if g.minDist[j] > max {
+			max = g.minDist[j]
+		}
+	}
+	g.sum = sum
+	g.maxMin = max
+	g.samN++
+}
+
+// MergeSafe implements the MergeSafe marker: the average-min-distance
+// union bound holds (see loss.MergeSafe).
+func (h *Heatmap) MergeSafe() bool { return true }

@@ -1,0 +1,180 @@
+// Package loss implements Tabula's user-defined accuracy loss framework.
+//
+// An accuracy loss function quantifies how much a visual-analysis result
+// computed on a sample deviates from the result computed on the raw data.
+// The paper requires loss functions to be *algebraic* so the sampling-cube
+// dry run can evaluate loss(cell, Sam_global) for every cube cell from a
+// single scan of the raw table, merging partial states up the cuboid
+// lattice.
+//
+// Three capabilities are expressed as interfaces:
+//
+//   - Func.Loss(raw, sam): the definition itself — used for verification,
+//     for the SampleOnTheFly baselines, and as the greedy sampler's
+//     fallback.
+//   - DryRunner.BindSample: an algebraic evaluator against a *fixed*
+//     sample, producing mergeable per-cell states (the dry-run stage and
+//     the SamGraph similarity join both use this).
+//   - GreedyCapable.NewGreedy: an incremental evaluator that makes each
+//     round of the greedy sampling algorithm (Algorithm 1) cheap.
+//
+// Built-in losses mirror the paper's four instances: statistical mean
+// (Function 1), geospatial heatmap average-minimum-distance (Function 2),
+// linear-regression angle (Function 3), and the 1-D histogram variant of
+// Function 2. User-defined losses arrive through the CREATE AGGREGATE DSL
+// (see Compile).
+package loss
+
+import (
+	"fmt"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// Func is an accuracy loss function: a lower value means the sample
+// represents the raw data better, and 0 means perfect fidelity for the
+// analysis the function models.
+type Func interface {
+	// Name identifies the loss for logging and the experiment harness.
+	Name() string
+	// Unit is the human unit of the returned loss ("relative", "meter",
+	// "degree", "dollar", ...).
+	Unit() string
+	// Loss computes loss(raw, sam). Both views must be over tables with
+	// the schema the function was configured for. By convention the loss
+	// of an empty sample against non-empty raw data is +Inf, and the loss
+	// of anything against empty raw data is 0.
+	Loss(raw, sam dataset.View) float64
+}
+
+// CellState is an opaque mergeable partial aggregate owned by a
+// CellEvaluator.
+type CellState any
+
+// CellEvaluator evaluates loss(cellData, fixedSam) for arbitrary subsets
+// (cube cells) of one bound table, using algebraic per-cell states.
+type CellEvaluator interface {
+	// NewState returns an empty per-cell state.
+	NewState() CellState
+	// Add folds table row `row` into the state.
+	Add(st CellState, row int32)
+	// Merge folds src into dst (states must come from this evaluator).
+	Merge(dst, src CellState)
+	// Loss finalizes loss(state's rows, boundSample).
+	Loss(st CellState) float64
+	// StateBytes reports the approximate memory footprint of one state,
+	// feeding the cube-table memory accounting.
+	StateBytes() int64
+}
+
+// DryRunner is implemented by algebraic losses; BindSample fixes the
+// sample side and returns an evaluator whose states are mergeable through
+// the cuboid lattice.
+type DryRunner interface {
+	BindSample(table *dataset.Table, sam dataset.View) (CellEvaluator, error)
+}
+
+// GreedyEvaluator supports the greedy sampling loop: it tracks the current
+// sample (a growing subset of the raw view) and answers "what would the
+// loss be if raw tuple i were added" efficiently.
+type GreedyEvaluator interface {
+	// Len returns the number of raw tuples.
+	Len() int
+	// CurrentLoss returns loss(raw, currentSample).
+	CurrentLoss() float64
+	// LossWith returns loss(raw, currentSample + raw[i]).
+	LossWith(i int) float64
+	// Add commits raw tuple i to the sample.
+	Add(i int)
+}
+
+// GreedyCapable is implemented by losses that provide an incremental
+// greedy evaluator. Losses without it fall back to repeated Loss calls.
+type GreedyCapable interface {
+	NewGreedy(raw dataset.View) (GreedyEvaluator, error)
+}
+
+// resolveNumeric returns the index of a numeric (Int64/Float64) column.
+func resolveNumeric(s dataset.Schema, name string) (int, error) {
+	idx := s.ColumnIndex(name)
+	if idx < 0 {
+		return 0, fmt.Errorf("loss: unknown column %q", name)
+	}
+	switch s[idx].Type {
+	case dataset.Int64, dataset.Float64:
+		return idx, nil
+	default:
+		return 0, fmt.Errorf("loss: column %q has type %v, want numeric", name, s[idx].Type)
+	}
+}
+
+// resolvePoint returns the index of a Point column.
+func resolvePoint(s dataset.Schema, name string) (int, error) {
+	idx := s.ColumnIndex(name)
+	if idx < 0 {
+		return 0, fmt.Errorf("loss: unknown column %q", name)
+	}
+	if s[idx].Type != dataset.Point {
+		return 0, fmt.Errorf("loss: column %q has type %v, want POINT", name, s[idx].Type)
+	}
+	return idx, nil
+}
+
+// ExceedsThreshold reports whether loss(rows, boundSample) > theta for an
+// evaluator returned by DryRunner.BindSample, aborting the row fold early
+// when the verdict is already provable. For the average-minimum-distance
+// evaluators (heatmap, histogram) the accumulated distance sum can only
+// grow, so once it passes theta·len(rows) the cell is certainly not
+// representable; other losses fall back to the full fold. The SamGraph
+// similarity join calls this once per candidate pair, making the
+// early-abort the difference between a quadratic-in-rows join and a
+// practical one.
+func ExceedsThreshold(ev CellEvaluator, rows []int32, theta float64) bool {
+	budget := theta * float64(len(rows))
+	switch e := ev.(type) {
+	case *heatmapCellEvaluator:
+		st := &heatmapCellState{}
+		for _, row := range rows {
+			e.Add(st, row)
+			if st.sumMin > budget {
+				return true
+			}
+		}
+		return e.Loss(st) > theta
+	case *histCellEvaluator:
+		st := &heatmapCellState{}
+		for _, row := range rows {
+			e.Add(st, row)
+			if st.sumMin > budget {
+				return true
+			}
+		}
+		return e.Loss(st) > theta
+	default:
+		st := ev.NewState()
+		for _, row := range rows {
+			ev.Add(st, row)
+		}
+		return ev.Loss(st) > theta
+	}
+}
+
+// MergeSafe is implemented by losses for which per-cell sample guarantees
+// compose under disjoint union: if loss(A, sA) ≤ θ and loss(B, sB) ≤ θ
+// for disjoint populations A and B, then loss(A∪B, sA∪sB) ≤ θ.
+//
+// The average-minimum-distance losses (Heatmap, Histogram) are merge
+// safe: for x ∈ A, min over sA∪sB can only be smaller than min over sA,
+// so the union's distance sum is at most θ·|A| + θ·|B| = θ·|A∪B|. The
+// mean and regression losses are NOT merge safe (averages and fitted
+// angles do not compose), so IN-style multi-cell queries are rejected
+// for them.
+type MergeSafe interface {
+	MergeSafe() bool
+}
+
+// IsMergeSafe reports whether f declares the merge-safe property.
+func IsMergeSafe(f Func) bool {
+	ms, ok := f.(MergeSafe)
+	return ok && ms.MergeSafe()
+}

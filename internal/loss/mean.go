@@ -1,0 +1,164 @@
+package loss
+
+import (
+	"math"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// Mean is the paper's Function 1: the relative error between the
+// statistical mean of the sample and the statistical mean of the raw data,
+// ABS(AVG(Raw) − AVG(Sam)) / AVG(Raw), computed over one numeric column.
+//
+// Edge cases: empty raw data has loss 0 (nothing to approximate); a
+// non-empty raw population with an empty sample has loss +Inf; when
+// AVG(Raw) is 0 the denominator degenerates, and the absolute difference
+// is used instead so the loss stays finite and monotone.
+type Mean struct {
+	// Column is the numeric target attribute.
+	Column string
+}
+
+// NewMean returns the statistical-mean loss over the named column.
+func NewMean(column string) *Mean { return &Mean{Column: column} }
+
+// Name implements Func.
+func (m *Mean) Name() string { return "mean" }
+
+// Unit implements Func.
+func (m *Mean) Unit() string { return "relative" }
+
+// relMeanLoss computes the loss from sufficient statistics.
+func relMeanLoss(rawSum float64, rawN int64, samSum float64, samN int64) float64 {
+	if rawN == 0 {
+		return 0
+	}
+	if samN == 0 {
+		return math.Inf(1)
+	}
+	rawAvg := rawSum / float64(rawN)
+	samAvg := samSum / float64(samN)
+	if rawAvg == 0 {
+		return math.Abs(samAvg)
+	}
+	return math.Abs((rawAvg - samAvg) / rawAvg)
+}
+
+// Loss implements Func.
+func (m *Mean) Loss(raw, sam dataset.View) float64 {
+	rawSum, rawN, err := sumCount(raw, m.Column)
+	if err != nil {
+		panic(err)
+	}
+	samSum, samN, err := sumCount(sam, m.Column)
+	if err != nil {
+		panic(err)
+	}
+	return relMeanLoss(rawSum, rawN, samSum, samN)
+}
+
+func sumCount(v dataset.View, column string) (float64, int64, error) {
+	col, err := resolveNumeric(v.Table.Schema(), column)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sum float64
+	n := v.Len()
+	switch v.Table.Schema()[col].Type {
+	case dataset.Float64:
+		fs := v.Table.Floats(col)
+		for i := 0; i < n; i++ {
+			sum += fs[v.RowID(i)]
+		}
+	case dataset.Int64:
+		is := v.Table.Ints(col)
+		for i := 0; i < n; i++ {
+			sum += float64(is[v.RowID(i)])
+		}
+	}
+	return sum, int64(n), nil
+}
+
+// meanCellState is the algebraic dry-run state: (Σ target, count).
+type meanCellState struct {
+	sum float64
+	n   int64
+}
+
+type meanCellEvaluator struct {
+	floats []float64 // target column as floats, indexed by table row
+	samSum float64
+	samN   int64
+}
+
+// BindSample implements DryRunner.
+func (m *Mean) BindSample(table *dataset.Table, sam dataset.View) (CellEvaluator, error) {
+	col, err := resolveNumeric(table.Schema(), m.Column)
+	if err != nil {
+		return nil, err
+	}
+	ev := &meanCellEvaluator{floats: dataset.FullView(table).FloatsOf(col)}
+	samSum, samN, err := sumCount(sam, m.Column)
+	if err != nil {
+		return nil, err
+	}
+	ev.samSum, ev.samN = samSum, samN
+	return ev, nil
+}
+
+func (e *meanCellEvaluator) NewState() CellState { return &meanCellState{} }
+
+func (e *meanCellEvaluator) Add(st CellState, row int32) {
+	s := st.(*meanCellState)
+	s.sum += e.floats[row]
+	s.n++
+}
+
+func (e *meanCellEvaluator) Merge(dst, src CellState) {
+	d, s := dst.(*meanCellState), src.(*meanCellState)
+	d.sum += s.sum
+	d.n += s.n
+}
+
+func (e *meanCellEvaluator) Loss(st CellState) float64 {
+	s := st.(*meanCellState)
+	return relMeanLoss(s.sum, s.n, e.samSum, e.samN)
+}
+
+func (e *meanCellEvaluator) StateBytes() int64 { return 16 }
+
+// meanGreedy is the O(1)-per-candidate incremental evaluator.
+type meanGreedy struct {
+	vals   []float64
+	rawSum float64
+	samSum float64
+	samN   int64
+}
+
+// NewGreedy implements GreedyCapable.
+func (m *Mean) NewGreedy(raw dataset.View) (GreedyEvaluator, error) {
+	col, err := resolveNumeric(raw.Table.Schema(), m.Column)
+	if err != nil {
+		return nil, err
+	}
+	g := &meanGreedy{vals: raw.FloatsOf(col)}
+	for _, v := range g.vals {
+		g.rawSum += v
+	}
+	return g, nil
+}
+
+func (g *meanGreedy) Len() int { return len(g.vals) }
+
+func (g *meanGreedy) CurrentLoss() float64 {
+	return relMeanLoss(g.rawSum, int64(len(g.vals)), g.samSum, g.samN)
+}
+
+func (g *meanGreedy) LossWith(i int) float64 {
+	return relMeanLoss(g.rawSum, int64(len(g.vals)), g.samSum+g.vals[i], g.samN+1)
+}
+
+func (g *meanGreedy) Add(i int) {
+	g.samSum += g.vals[i]
+	g.samN++
+}

@@ -1,0 +1,164 @@
+package loss
+
+import (
+	"math"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+)
+
+// Regression is the paper's Function 3: the absolute difference, in
+// degrees, between the least-squares regression angles of the raw data and
+// of the sample — ABS(angle(Raw) − angle(Sam)). The paper's running
+// example regresses tip amount (y) on fare amount (x).
+//
+// Degenerate fits: if the raw data has no defined regression line (fewer
+// than two tuples or zero x-variance) the loss is 0 — there is nothing for
+// the sample to misrepresent. If the raw line exists but the sample's does
+// not, the loss is +Inf so the greedy sampler keeps adding tuples until
+// the sample line is defined.
+type Regression struct {
+	// XColumn and YColumn are the numeric regression attributes.
+	XColumn string
+	YColumn string
+}
+
+// NewRegression returns the linear-regression angle loss.
+func NewRegression(xColumn, yColumn string) *Regression {
+	return &Regression{XColumn: xColumn, YColumn: yColumn}
+}
+
+// Name implements Func.
+func (r *Regression) Name() string { return "regression" }
+
+// Unit implements Func.
+func (r *Regression) Unit() string { return "degree" }
+
+func regAngleLoss(raw, sam *engine.RegressionState) float64 {
+	rawAngle := raw.Angle()
+	if math.IsNaN(rawAngle) {
+		return 0
+	}
+	samAngle := sam.Angle()
+	if math.IsNaN(samAngle) {
+		return math.Inf(1)
+	}
+	return math.Abs(rawAngle - samAngle)
+}
+
+func regStateOf(v dataset.View, xCol, yCol int) *engine.RegressionState {
+	st := &engine.RegressionState{}
+	xs := v.FloatsOf(xCol)
+	ys := v.FloatsOf(yCol)
+	for i := range xs {
+		st.AddXY(xs[i], ys[i])
+	}
+	return st
+}
+
+// Loss implements Func.
+func (r *Regression) Loss(raw, sam dataset.View) float64 {
+	xCol, err := resolveNumeric(raw.Table.Schema(), r.XColumn)
+	if err != nil {
+		panic(err)
+	}
+	yCol, err := resolveNumeric(raw.Table.Schema(), r.YColumn)
+	if err != nil {
+		panic(err)
+	}
+	sxCol, err := resolveNumeric(sam.Table.Schema(), r.XColumn)
+	if err != nil {
+		panic(err)
+	}
+	syCol, err := resolveNumeric(sam.Table.Schema(), r.YColumn)
+	if err != nil {
+		panic(err)
+	}
+	return regAngleLoss(regStateOf(raw, xCol, yCol), regStateOf(sam, sxCol, syCol))
+}
+
+type regCellEvaluator struct {
+	xs, ys []float64
+	sam    *engine.RegressionState
+}
+
+// BindSample implements DryRunner.
+func (r *Regression) BindSample(table *dataset.Table, sam dataset.View) (CellEvaluator, error) {
+	xCol, err := resolveNumeric(table.Schema(), r.XColumn)
+	if err != nil {
+		return nil, err
+	}
+	yCol, err := resolveNumeric(table.Schema(), r.YColumn)
+	if err != nil {
+		return nil, err
+	}
+	sxCol, err := resolveNumeric(sam.Table.Schema(), r.XColumn)
+	if err != nil {
+		return nil, err
+	}
+	syCol, err := resolveNumeric(sam.Table.Schema(), r.YColumn)
+	if err != nil {
+		return nil, err
+	}
+	full := dataset.FullView(table)
+	return &regCellEvaluator{
+		xs:  full.FloatsOf(xCol),
+		ys:  full.FloatsOf(yCol),
+		sam: regStateOf(sam, sxCol, syCol),
+	}, nil
+}
+
+func (e *regCellEvaluator) NewState() CellState { return &engine.RegressionState{} }
+
+func (e *regCellEvaluator) Add(st CellState, row int32) {
+	st.(*engine.RegressionState).AddXY(e.xs[row], e.ys[row])
+}
+
+func (e *regCellEvaluator) Merge(dst, src CellState) {
+	dst.(*engine.RegressionState).MergeReg(src.(*engine.RegressionState))
+}
+
+func (e *regCellEvaluator) Loss(st CellState) float64 {
+	return regAngleLoss(st.(*engine.RegressionState), e.sam)
+}
+
+func (e *regCellEvaluator) StateBytes() int64 { return 40 }
+
+type regGreedy struct {
+	xs, ys []float64
+	raw    *engine.RegressionState
+	sam    engine.RegressionState
+}
+
+// NewGreedy implements GreedyCapable.
+func (r *Regression) NewGreedy(raw dataset.View) (GreedyEvaluator, error) {
+	xCol, err := resolveNumeric(raw.Table.Schema(), r.XColumn)
+	if err != nil {
+		return nil, err
+	}
+	yCol, err := resolveNumeric(raw.Table.Schema(), r.YColumn)
+	if err != nil {
+		return nil, err
+	}
+	g := &regGreedy{xs: raw.FloatsOf(xCol), ys: raw.FloatsOf(yCol)}
+	g.raw = &engine.RegressionState{}
+	for i := range g.xs {
+		g.raw.AddXY(g.xs[i], g.ys[i])
+	}
+	return g, nil
+}
+
+func (g *regGreedy) Len() int { return len(g.xs) }
+
+func (g *regGreedy) CurrentLoss() float64 {
+	sam := g.sam
+	return regAngleLoss(g.raw, &sam)
+}
+
+func (g *regGreedy) LossWith(i int) float64 {
+	sam := g.sam // copy the small state
+	sam.AddXY(g.xs[i], g.ys[i])
+	return regAngleLoss(g.raw, &sam)
+}
+
+func (g *regGreedy) Add(i int) { g.sam.AddXY(g.xs[i], g.ys[i]) }

@@ -1,0 +1,215 @@
+package loss
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/geo"
+)
+
+// --- TopK -------------------------------------------------------------------
+
+func TestTopKSetMaintainsLargestDistinct(t *testing.T) {
+	s := newTopKSet(3)
+	for _, v := range []float64{5, 1, 9, 5, 7, 2, 9, 8} {
+		s.add(v)
+	}
+	want := []float64{7, 8, 9}
+	if len(s.vals) != 3 {
+		t.Fatalf("vals = %v", s.vals)
+	}
+	for i := range want {
+		if s.vals[i] != want[i] {
+			t.Fatalf("vals = %v, want %v", s.vals, want)
+		}
+	}
+}
+
+func TestTopKSetRandomMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + r.Intn(8)
+		s := newTopKSet(k)
+		distinct := make(map[float64]struct{})
+		var all []float64
+		for i := 0; i < 100; i++ {
+			v := float64(r.Intn(30))
+			s.add(v)
+			if _, ok := distinct[v]; !ok {
+				distinct[v] = struct{}{}
+				all = append(all, v)
+			}
+		}
+		sort.Float64s(all)
+		want := all
+		if len(all) > k {
+			want = all[len(all)-k:]
+		}
+		if len(s.vals) != len(want) {
+			t.Fatalf("k=%d: got %v want %v", k, s.vals, want)
+		}
+		for i := range want {
+			if s.vals[i] != want[i] {
+				t.Fatalf("k=%d: got %v want %v", k, s.vals, want)
+			}
+		}
+	}
+}
+
+func TestTopKSetMergeMatchesCombined(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + r.Intn(6)
+		a, b, both := newTopKSet(k), newTopKSet(k), newTopKSet(k)
+		for i := 0; i < 60; i++ {
+			v := float64(r.Intn(40))
+			both.add(v)
+			if i%2 == 0 {
+				a.add(v)
+			} else {
+				b.add(v)
+			}
+		}
+		a.merge(b)
+		if fmt.Sprint(a.vals) != fmt.Sprint(both.vals) {
+			t.Fatalf("merged %v != combined %v", a.vals, both.vals)
+		}
+	}
+}
+
+func TestTopKLossKnownValues(t *testing.T) {
+	tbl := dataset.NewTable(lossSchema())
+	for _, fare := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		tbl.MustAppendRow(dataset.FloatValue(fare), dataset.FloatValue(0), dataset.PointValue(geo.Point{}))
+	}
+	f := NewTopK("fare", 3) // top values {8, 9, 10}
+	full := viewOf(tbl)
+	if got := f.Loss(full, viewOf(tbl, 7, 8, 9)); got != 0 {
+		t.Fatalf("full top-3 sample loss = %v", got)
+	}
+	if got := f.Loss(full, viewOf(tbl, 9)); got != 2.0/3 {
+		t.Fatalf("only max sampled: loss = %v, want 2/3", got)
+	}
+	if got := f.Loss(full, viewOf(tbl, 0, 1)); got != 1 {
+		t.Fatalf("bottom sample loss = %v, want 1", got)
+	}
+	if got := f.Loss(viewOf(tbl), dataset.NewView(tbl, nil)); got != 1 {
+		t.Fatalf("empty sample loss = %v, want 1", got)
+	}
+}
+
+// --- Distinct ---------------------------------------------------------------
+
+func TestDistinctLossKnownValues(t *testing.T) {
+	schema := dataset.Schema{{Name: "endpoint", Type: dataset.String}}
+	tbl := dataset.NewTable(schema)
+	for _, e := range []string{"/a", "/b", "/c", "/d", "/a", "/b"} {
+		tbl.MustAppendRow(dataset.StringValue(e))
+	}
+	f := NewDistinct("endpoint")
+	full := dataset.FullView(tbl)
+	// 4 distinct values; sample covering {/a,/b} misses half.
+	if got := f.Loss(full, dataset.NewView(tbl, []int32{0, 1})); got != 0.5 {
+		t.Fatalf("loss = %v, want 0.5", got)
+	}
+	if got := f.Loss(full, dataset.NewView(tbl, []int32{0, 1, 2, 3})); got != 0 {
+		t.Fatalf("full coverage loss = %v, want 0", got)
+	}
+	if got := f.Loss(full, dataset.NewView(tbl, nil)); got != 1 {
+		t.Fatalf("empty sample loss = %v, want 1", got)
+	}
+}
+
+// Shared framework invariants for the two new losses.
+func TestTopKDistinctFrameworkInvariants(t *testing.T) {
+	tbl := buildLossTable(300, 45)
+	full := viewOf(tbl)
+	losses := []Func{NewTopK("fare", 5), NewDistinct("tip")}
+	for _, f := range losses {
+		// Identical data → 0; bounded range.
+		if got := f.Loss(full, full); got != 0 {
+			t.Errorf("%s: loss(T,T) = %v", f.Name(), got)
+		}
+		sam := firstK(tbl, 10)
+		if got := f.Loss(full, sam); got < 0 || got > 1 {
+			t.Errorf("%s: loss out of [0,1]: %v", f.Name(), got)
+		}
+		// Dry-run merge == direct.
+		ev, err := f.(DryRunner).BindSample(tbl, sam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole, a, b := ev.NewState(), ev.NewState(), ev.NewState()
+		for i := int32(0); i < 300; i++ {
+			ev.Add(whole, i)
+			if i%2 == 0 {
+				ev.Add(a, i)
+			} else {
+				ev.Add(b, i)
+			}
+		}
+		ev.Merge(a, b)
+		if lw, lm := ev.Loss(whole), ev.Loss(a); lw != lm {
+			t.Errorf("%s: merged %v != whole %v", f.Name(), lm, lw)
+		}
+		if direct := f.Loss(full, sam); ev.Loss(whole) != direct {
+			t.Errorf("%s: dryrun %v != direct %v", f.Name(), ev.Loss(whole), direct)
+		}
+		// Greedy consistency.
+		g, err := f.(GreedyCapable).NewGreedy(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []int32
+		for i := 0; i < 12; i++ {
+			cand := (i * 13) % 300
+			pred := g.LossWith(cand)
+			g.Add(cand)
+			rows = append(rows, int32(cand))
+			if obs := g.CurrentLoss(); pred != obs {
+				t.Fatalf("%s: pred %v != obs %v", f.Name(), pred, obs)
+			}
+			if direct := f.Loss(full, dataset.NewView(tbl, rows)); g.CurrentLoss() != direct {
+				t.Fatalf("%s: greedy %v != direct %v", f.Name(), g.CurrentLoss(), direct)
+			}
+		}
+	}
+}
+
+// End-to-end: a TopK/Distinct sampling cube upholds the guarantee.
+func TestTopKDistinctGreedySampling(t *testing.T) {
+	tbl := buildLossTable(400, 46)
+	full := viewOf(tbl)
+	for _, tc := range []struct {
+		f     Func
+		theta float64
+	}{
+		{NewTopK("fare", 8), 0.2},  // at most 20% of top fares missing
+		{NewDistinct("tip"), 0.99}, // tips are near-continuous; loose bound
+	} {
+		g, err := tc.f.(GreedyCapable).NewGreedy(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows []int32
+		for g.CurrentLoss() > tc.theta {
+			best, bestLoss := -1, 2.0
+			for i := 0; i < g.Len(); i++ {
+				if l := g.LossWith(i); l < bestLoss {
+					best, bestLoss = i, l
+				}
+			}
+			g.Add(best)
+			rows = append(rows, int32(best))
+			if len(rows) > 400 {
+				t.Fatalf("%s: did not converge", tc.f.Name())
+			}
+		}
+		if got := tc.f.Loss(full, dataset.NewView(tbl, rows)); got > tc.theta {
+			t.Fatalf("%s: final loss %v > %v", tc.f.Name(), got, tc.theta)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package nyctaxi generates the synthetic stand-in for the paper's 700
+// million-ride NYC Taxi & Limousine Commission dataset.
+//
+// The generator reproduces the structure the experiments depend on:
+//
+//   - the seven categorical filter attributes used in the paper's
+//     data-system queries (vendor_name, pickup_weekday, passenger_count,
+//     payment_type, rate_code, store_and_forward, dropoff_weekday);
+//   - spatially realistic pickup locations — a dense Manhattan street
+//     grid plus tight JFK and LaGuardia airport hotspots (the hotspot a
+//     plain SampleFirst sample famously misses in the paper's Figure 2);
+//   - correlated measures: fare grows with trip distance, JFK rides pay
+//     a flat rate, credit riders tip ~15–25% while cash tips are mostly
+//     unrecorded, and disputed long rides have wildly skewed fares so
+//     the sampling cube has genuine iceberg cells.
+//
+// Generation is deterministic for a given seed and parallelized by
+// chunking rows, with one PRNG per chunk.
+package nyctaxi
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/geo"
+)
+
+// Attribute names of the seven categorical filter columns, in the order
+// the paper lists them ("we use the first 4, 5, 6, 7 attributes in the
+// predicates of data-system queries").
+var CubedAttrs = []string{
+	"vendor_name",
+	"pickup_weekday",
+	"passenger_count",
+	"payment_type",
+	"rate_code",
+	"store_and_forward",
+	"dropoff_weekday",
+}
+
+// Measure column names.
+const (
+	ColFare     = "fare_amount"
+	ColTip      = "tip_amount"
+	ColDistance = "trip_distance"
+	ColPickup   = "pickup"
+)
+
+// Schema returns the synthetic trip table schema.
+func Schema() dataset.Schema {
+	return dataset.Schema{
+		{Name: "vendor_name", Type: dataset.String},
+		{Name: "pickup_weekday", Type: dataset.String},
+		{Name: "passenger_count", Type: dataset.Int64},
+		{Name: "payment_type", Type: dataset.String},
+		{Name: "rate_code", Type: dataset.String},
+		{Name: "store_and_forward", Type: dataset.String},
+		{Name: "dropoff_weekday", Type: dataset.String},
+		{Name: ColFare, Type: dataset.Float64},
+		{Name: ColTip, Type: dataset.Float64},
+		{Name: ColDistance, Type: dataset.Float64},
+		{Name: ColPickup, Type: dataset.Point},
+	}
+}
+
+var (
+	vendors  = []string{"CMT", "DDS", "VTS"}
+	weekdays = []string{"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"}
+	payments = []string{"cash", "credit", "no_charge", "dispute"}
+	rates    = []string{"standard", "jfk", "newark", "nassau", "negotiated"}
+	storeFwd = []string{"N", "Y"}
+)
+
+// Hotspot centers (lon, lat).
+var (
+	manhattanMin = geo.Point{X: -74.02, Y: 40.70}
+	manhattanMax = geo.Point{X: -73.93, Y: 40.88}
+	jfkCenter    = geo.Point{X: -73.7781, Y: 40.6413}
+	lgaCenter    = geo.Point{X: -73.8740, Y: 40.7769}
+)
+
+// Bounds returns the generator's spatial extent, handy for normalizing
+// heatmap loss thresholds.
+func Bounds() geo.BBox {
+	return geo.BBox{Min: geo.Point{X: -74.05, Y: 40.55}, Max: geo.Point{X: -73.70, Y: 40.95}}
+}
+
+// Generate builds n synthetic taxi rides deterministically from seed.
+func Generate(n int, seed int64) *dataset.Table {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n/50000+1 {
+		workers = n/50000 + 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := make([]*dataset.Table, workers)
+	per := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			chunks[w] = dataset.NewTable(Schema())
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			chunks[w] = generateChunk(hi-lo, seed+int64(w)*7919)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if len(chunks) == 1 {
+		return chunks[0]
+	}
+	out := dataset.NewTable(Schema())
+	row := make([]dataset.Value, len(Schema()))
+	for _, c := range chunks {
+		for r := 0; r < c.NumRows(); r++ {
+			for col := range row {
+				row[col] = c.Value(r, col)
+			}
+			out.MustAppendRow(row...)
+		}
+	}
+	return out
+}
+
+func generateChunk(n int, seed int64) *dataset.Table {
+	t := dataset.NewTable(Schema())
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		t.MustAppendRow(generateRide(r)...)
+	}
+	return t
+}
+
+// generateRide draws one correlated ride.
+func generateRide(r *rand.Rand) []dataset.Value {
+	vendor := vendors[weighted(r, []float64{0.45, 0.10, 0.45})]
+	pickupDay := weekdays[r.Intn(7)]
+	// Most rides are solo; larger parties are rarer.
+	passengers := int64(1 + weighted(r, []float64{0.70, 0.14, 0.07, 0.05, 0.03, 0.01}))
+	payment := payments[weighted(r, []float64{0.38, 0.58, 0.025, 0.015})]
+	rate := rates[weighted(r, []float64{0.90, 0.05, 0.015, 0.01, 0.025})]
+	sf := storeFwd[weighted(r, []float64{0.97, 0.03})]
+	dropDay := pickupDay
+	if r.Float64() < 0.08 { // late-night rides crossing midnight
+		dropDay = weekdays[r.Intn(7)]
+	}
+
+	var pickup geo.Point
+	var dist float64
+	switch {
+	case rate == "jfk":
+		pickup = clusterPoint(r, jfkCenter, 0.004)
+		dist = 12 + r.Float64()*10
+	case rate == "newark":
+		pickup = clusterPoint(r, geo.Point{X: -74.0, Y: 40.72}, 0.01)
+		dist = 10 + r.Float64()*12
+	case r.Float64() < 0.06: // LGA pickups under standard rate
+		pickup = clusterPoint(r, lgaCenter, 0.003)
+		dist = 6 + r.Float64()*8
+	default:
+		pickup = manhattanPoint(r)
+		dist = 0.5 + r.ExpFloat64()*2.5
+		if dist > 25 {
+			dist = 25
+		}
+	}
+
+	fare := fareFor(r, rate, dist, payment)
+	tip := tipFor(r, payment, fare)
+
+	return []dataset.Value{
+		dataset.StringValue(vendor),
+		dataset.StringValue(pickupDay),
+		dataset.IntValue(passengers),
+		dataset.StringValue(payment),
+		dataset.StringValue(rate),
+		dataset.StringValue(sf),
+		dataset.StringValue(dropDay),
+		dataset.FloatValue(fare),
+		dataset.FloatValue(tip),
+		dataset.FloatValue(dist),
+		dataset.PointValue(pickup),
+	}
+}
+
+// fareFor implements the skew that creates iceberg cells: metered fares
+// track distance, JFK pays a flat rate, negotiated rides are bimodal, and
+// disputed rides have heavy-tailed fares far from the global mean.
+func fareFor(r *rand.Rand, rate string, dist float64, payment string) float64 {
+	var fare float64
+	switch rate {
+	case "jfk":
+		fare = 52 + r.NormFloat64()*2
+	case "negotiated":
+		if r.Float64() < 0.5 {
+			fare = 15 + r.Float64()*10
+		} else {
+			fare = 90 + r.Float64()*60
+		}
+	default:
+		fare = 2.5 + dist*2.5 + r.NormFloat64()*1.5
+	}
+	if payment == "dispute" {
+		// Disputes concentrate on anomalous fares.
+		fare = fare*3 + 40 + r.ExpFloat64()*30
+	}
+	if fare < 2.5 {
+		fare = 2.5
+	}
+	return fare
+}
+
+func tipFor(r *rand.Rand, payment string, fare float64) float64 {
+	switch payment {
+	case "credit":
+		return fare * (0.15 + r.Float64()*0.10)
+	case "cash":
+		if r.Float64() < 0.9 {
+			return 0 // cash tips mostly unrecorded
+		}
+		return fare * 0.1 * r.Float64()
+	default:
+		return 0
+	}
+}
+
+// manhattanPoint draws a point on a street-grid-like pattern: positions
+// snap loosely to avenue/street lines so the raw heat map shows the
+// characteristic grid.
+func manhattanPoint(r *rand.Rand) geo.Point {
+	x := manhattanMin.X + r.Float64()*(manhattanMax.X-manhattanMin.X)
+	y := manhattanMin.Y + r.Float64()*(manhattanMax.Y-manhattanMin.Y)
+	if r.Float64() < 0.7 {
+		// Snap to one of ~12 avenues or ~60 streets with small jitter.
+		if r.Float64() < 0.5 {
+			k := float64(r.Intn(12))
+			x = manhattanMin.X + k/12*(manhattanMax.X-manhattanMin.X) + r.NormFloat64()*0.0006
+		} else {
+			k := float64(r.Intn(60))
+			y = manhattanMin.Y + k/60*(manhattanMax.Y-manhattanMin.Y) + r.NormFloat64()*0.0004
+		}
+	}
+	return geo.Point{X: x, Y: y}
+}
+
+func clusterPoint(r *rand.Rand, center geo.Point, spread float64) geo.Point {
+	return geo.Point{
+		X: center.X + r.NormFloat64()*spread,
+		Y: center.Y + r.NormFloat64()*spread,
+	}
+}
+
+// weighted draws an index with the given (normalized or not) weights.
+func weighted(r *rand.Rand, w []float64) int {
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	u := r.Float64() * total
+	for i, x := range w {
+		u -= x
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}

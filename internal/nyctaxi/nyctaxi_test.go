@@ -1,0 +1,191 @@
+package nyctaxi
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/geo"
+)
+
+func TestGenerateShape(t *testing.T) {
+	tbl := Generate(10000, 1)
+	if tbl.NumRows() != 10000 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.NumCols() != len(Schema()) {
+		t.Fatalf("cols = %d", tbl.NumCols())
+	}
+	for i, f := range Schema() {
+		if tbl.Schema()[i] != f {
+			t.Fatalf("schema[%d] = %+v", i, tbl.Schema()[i])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(2000, 42)
+	b := Generate(2000, 42)
+	for r := 0; r < 2000; r += 101 {
+		for c := 0; c < a.NumCols(); c++ {
+			if !a.Value(r, c).Equal(b.Value(r, c)) {
+				t.Fatalf("row %d col %d differs between runs", r, c)
+			}
+		}
+	}
+	c := Generate(2000, 43)
+	same := true
+	for r := 0; r < 100; r++ {
+		if !a.Value(r, 7).Equal(c.Value(r, 7)) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fares")
+	}
+}
+
+func TestCategoricalDomains(t *testing.T) {
+	tbl := Generate(20000, 2)
+	wantCards := map[string]int{
+		"vendor_name":       3,
+		"pickup_weekday":    7,
+		"payment_type":      4,
+		"rate_code":         5,
+		"store_and_forward": 2,
+		"dropoff_weekday":   7,
+	}
+	for name, want := range wantCards {
+		col := tbl.Schema().ColumnIndex(name)
+		if got := tbl.DictSize(col); got != want {
+			t.Errorf("%s cardinality = %d, want %d", name, got, want)
+		}
+	}
+	// passenger_count is 1..6.
+	col := tbl.Schema().ColumnIndex("passenger_count")
+	for r := 0; r < tbl.NumRows(); r++ {
+		c := tbl.Value(r, col).I
+		if c < 1 || c > 6 {
+			t.Fatalf("passenger_count = %d", c)
+		}
+	}
+}
+
+func TestSpatialStructure(t *testing.T) {
+	tbl := Generate(50000, 3)
+	pcol := tbl.Schema().ColumnIndex(ColPickup)
+	bounds := Bounds()
+	var jfkCount, lgaCount int
+	for r := 0; r < tbl.NumRows(); r++ {
+		p := tbl.Value(r, pcol).P
+		if !bounds.Contains(p) {
+			// A few gaussian outliers are tolerable but should be rare.
+			continue
+		}
+		if geo.Distance(geo.Euclidean, p, geo.Point{X: -73.7781, Y: 40.6413}) < 0.02 {
+			jfkCount++
+		}
+		if geo.Distance(geo.Euclidean, p, geo.Point{X: -73.8740, Y: 40.7769}) < 0.02 {
+			lgaCount++
+		}
+	}
+	// JFK hotspot: roughly the 5% jfk-rate share.
+	if jfkCount < 1000 || jfkCount > 6000 {
+		t.Fatalf("JFK hotspot has %d rides, want ~2500", jfkCount)
+	}
+	if lgaCount < 1000 {
+		t.Fatalf("LGA hotspot has %d rides", lgaCount)
+	}
+}
+
+func TestFareCorrelations(t *testing.T) {
+	tbl := Generate(30000, 4)
+	s := tbl.Schema()
+	pay, rate := s.ColumnIndex("payment_type"), s.ColumnIndex("rate_code")
+	fare, tip := s.ColumnIndex(ColFare), s.ColumnIndex(ColTip)
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	var cashTips, cashZeroTips int
+	var jfkFares []float64
+	for r := 0; r < tbl.NumRows(); r++ {
+		p := tbl.Value(r, pay).S
+		f := tbl.Value(r, fare).F
+		if f < 2.5 {
+			t.Fatalf("fare %v below minimum", f)
+		}
+		sums[p] += f
+		counts[p]++
+		if p == "cash" {
+			cashTips++
+			if tbl.Value(r, tip).F == 0 {
+				cashZeroTips++
+			}
+		}
+		if tbl.Value(r, rate).S == "jfk" {
+			jfkFares = append(jfkFares, f)
+		}
+	}
+	// Disputed fares are dramatically higher than cash fares.
+	if sums["dispute"]/float64(counts["dispute"]) < 2*sums["cash"]/float64(counts["cash"]) {
+		t.Fatal("dispute fares are not skewed (iceberg cells would vanish)")
+	}
+	// Cash tips mostly unrecorded.
+	if float64(cashZeroTips)/float64(cashTips) < 0.8 {
+		t.Fatal("cash tips should be mostly zero")
+	}
+	// JFK flat rate ≈ $52.
+	var jfkSum float64
+	for _, f := range jfkFares {
+		jfkSum += f
+	}
+	if m := jfkSum / float64(len(jfkFares)); math.Abs(m-52) > 5 {
+		t.Fatalf("JFK mean fare = %v, want ≈52", m)
+	}
+}
+
+func TestTipRegressionSlopeByPayment(t *testing.T) {
+	tbl := Generate(20000, 5)
+	s := tbl.Schema()
+	pay, fare, tip := s.ColumnIndex("payment_type"), s.ColumnIndex(ColFare), s.ColumnIndex(ColTip)
+	// Credit tips regress on fare with slope ~0.2; cash slope ~0.
+	var n float64
+	var sx, sy, sxy, sxx float64
+	for r := 0; r < tbl.NumRows(); r++ {
+		if tbl.Value(r, pay).S != "credit" {
+			continue
+		}
+		x, y := tbl.Value(r, fare).F, tbl.Value(r, tip).F
+		n++
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	if slope < 0.12 || slope > 0.28 {
+		t.Fatalf("credit tip slope = %v, want ≈0.2", slope)
+	}
+}
+
+func TestGenerateCubeable(t *testing.T) {
+	// All seven attributes must be encodable (the paper cubes 4–7).
+	tbl := Generate(5000, 6)
+	cols := make([]int, len(CubedAttrs))
+	for i, a := range CubedAttrs {
+		cols[i] = tbl.Schema().ColumnIndex(a)
+		if cols[i] < 0 {
+			t.Fatalf("missing cubed attribute %q", a)
+		}
+		typ := tbl.Schema()[cols[i]].Type
+		if typ != dataset.String && typ != dataset.Int64 {
+			t.Fatalf("attribute %q has non-cubeable type %v", a, typ)
+		}
+	}
+}
+
+func TestGenerateZeroRows(t *testing.T) {
+	tbl := Generate(0, 1)
+	if tbl.NumRows() != 0 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}

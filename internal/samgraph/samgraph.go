@@ -1,0 +1,224 @@
+// Package samgraph implements Tabula's representative sample selection:
+// the sample representation graph (Definition 6) built with a
+// loss-predicate similarity join, and the greedy dominating-set heuristic
+// (Algorithm 3) for the NP-hard RepSamSel problem (Definition 7).
+package samgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// Vertex is one iceberg cell as seen by the selection stage: its raw
+// population and its local sample, both as raw-table row ids.
+type Vertex struct {
+	Rows       []int32
+	SampleRows []int32
+}
+
+// Graph is the SamGraph: a directed graph where edge v→u means vertex v's
+// local sample can also represent vertex u's raw data, i.e.
+// loss(u.Rows, v.SampleRows) ≤ θ. Every vertex carries the implicit
+// self-edge v→v, because its own sample satisfies θ by construction.
+type Graph struct {
+	// Out[v] lists the vertices represented by v's sample (always
+	// including v itself), ascending.
+	Out [][]int
+	// PairsTested counts representation tests performed during the join
+	// (the similarity-join cost the paper discusses).
+	PairsTested int64
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Out) }
+
+// NumEdges returns the total directed edge count including self-edges.
+func (g *Graph) NumEdges() int {
+	var n int
+	for _, out := range g.Out {
+		n += len(out)
+	}
+	return n
+}
+
+// BuildOptions tunes the SamGraph similarity join.
+type BuildOptions struct {
+	// MaxCandidates caps how many candidate samples are tested per
+	// vertex (0 = exhaustive). The paper notes the join "does not have
+	// to exhaust all possible representation relationships": a
+	// non-exhaustive SamGraph may persist more samples than necessary
+	// but never violates the bounded-error guarantee. Candidates are
+	// tried largest-sample-first, since a richer sample is more likely
+	// to represent other cells.
+	MaxCandidates int
+}
+
+// Build constructs the SamGraph over the given vertices: a similarity
+// self-join of the cube table with the predicate
+// loss(t1.cellrawdata, t2.sample) ≤ theta. Losses that implement
+// loss.DryRunner are evaluated by binding each candidate sample once and
+// folding every tested cell's rows through the bound evaluator (so e.g.
+// the heatmap loss builds one nearest-neighbour grid per candidate, not
+// per pair); others fall back to direct Loss calls.
+func Build(tbl *dataset.Table, vertices []Vertex, f loss.Func, theta float64, opts BuildOptions) (*Graph, error) {
+	n := len(vertices)
+	g := &Graph{Out: make([][]int, n)}
+	for v := range g.Out {
+		g.Out[v] = []int{v}
+	}
+	if n <= 1 {
+		return g, nil
+	}
+
+	// Candidate order: largest sample first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := len(vertices[order[a]].SampleRows), len(vertices[order[b]].SampleRows)
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+
+	// testedFor[u] counts candidates tried for vertex u.
+	testedFor := make([]int, n)
+	dr, algebraic := f.(loss.DryRunner)
+	for _, v := range order {
+		samView := dataset.NewView(tbl, vertices[v].SampleRows)
+		var ev loss.CellEvaluator
+		if algebraic {
+			var err error
+			ev, err = dr.BindSample(tbl, samView)
+			if err != nil {
+				return nil, fmt.Errorf("samgraph: binding candidate %d: %w", v, err)
+			}
+		}
+		for u := range vertices {
+			if u == v {
+				continue
+			}
+			if opts.MaxCandidates > 0 && testedFor[u] >= opts.MaxCandidates {
+				continue
+			}
+			testedFor[u]++
+			g.PairsTested++
+			var exceeds bool
+			if algebraic {
+				exceeds = loss.ExceedsThreshold(ev, vertices[u].Rows, theta)
+			} else {
+				exceeds = f.Loss(dataset.NewView(tbl, vertices[u].Rows), samView) > theta
+			}
+			if !exceeds {
+				g.Out[v] = append(g.Out[v], u)
+			}
+		}
+		sort.Ints(g.Out[v])
+	}
+	return g, nil
+}
+
+// Result is the outcome of representative sample selection.
+type Result struct {
+	// Representatives lists the selected vertices in selection order;
+	// their samples are the only ones persisted.
+	Representatives []int
+	// AssignedTo maps every vertex to the representative whose sample
+	// answers its queries.
+	AssignedTo []int
+}
+
+// Select runs Algorithm 3: repeatedly pick the vertex with the highest
+// out-degree among the remaining ones, persist its sample, and drop every
+// vertex it represents, until all vertices are covered. The result is a
+// dominating set of the SamGraph — every unselected vertex is represented
+// by at least one selected vertex (property-tested), though not
+// necessarily a minimum one (the problem is NP-hard).
+func Select(g *Graph) *Result {
+	n := g.NumVertices()
+	res := &Result{AssignedTo: make([]int, n)}
+	for i := range res.AssignedTo {
+		res.AssignedTo[i] = -1
+	}
+	// remaining[v] reports whether v still needs a representative.
+	remaining := make([]bool, n)
+	alive := n
+	for i := range remaining {
+		remaining[i] = true
+	}
+	// degree[v] = |Out[v] ∩ remaining| is maintained lazily: recompute on
+	// pop, heap-free for clarity (n is the iceberg-cell count, small
+	// relative to the data).
+	liveDegree := func(v int) int {
+		d := 0
+		for _, u := range g.Out[v] {
+			if remaining[u] {
+				d++
+			}
+		}
+		return d
+	}
+	candidates := make([]int, n)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	for alive > 0 {
+		best, bestDeg := -1, -1
+		for _, v := range candidates {
+			if !remaining[v] {
+				continue
+			}
+			if d := liveDegree(v); d > bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		if best < 0 {
+			// All remaining vertices already represented but still
+			// marked: cannot happen since selection clears them.
+			panic("samgraph: no candidate with live degree")
+		}
+		res.Representatives = append(res.Representatives, best)
+		for _, u := range g.Out[best] {
+			if remaining[u] {
+				remaining[u] = false
+				alive--
+				res.AssignedTo[u] = best
+			}
+		}
+	}
+	return res
+}
+
+// Verify checks the dominating-set property: every vertex is assigned a
+// representative whose out-edges include it. It returns an error naming
+// the first violation (used by tests and the harness's self-checks).
+func Verify(g *Graph, r *Result) error {
+	selected := make(map[int]bool, len(r.Representatives))
+	for _, v := range r.Representatives {
+		selected[v] = true
+	}
+	for u, rep := range r.AssignedTo {
+		if rep < 0 {
+			return fmt.Errorf("samgraph: vertex %d has no representative", u)
+		}
+		if !selected[rep] {
+			return fmt.Errorf("samgraph: vertex %d assigned to unselected representative %d", u, rep)
+		}
+		found := false
+		for _, t := range g.Out[rep] {
+			if t == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("samgraph: representative %d does not cover vertex %d", rep, u)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// The headline sampler invariant, property-tested: for random datasets
+// and random thresholds, Greedy (lazy and naive, capped and uncapped)
+// always returns a sample satisfying loss(raw, sample) <= theta.
+func TestGreedyGuaranteeProperty(t *testing.T) {
+	f := func(seed int64, thetaRaw uint8, lazy bool, capped bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(180)
+		tbl := buildTable(n, seed)
+		full := dataset.FullView(tbl)
+		lf := loss.NewHistogram("fare")
+		theta := 0.1 + float64(thetaRaw)/64 // in (0.1, 4.1)
+		opts := GreedyOptions{Lazy: lazy}
+		if capped {
+			opts.CandidateCap = 8
+		}
+		rows, err := Greedy(lf, full, theta, opts)
+		if err != nil {
+			return false
+		}
+		return lf.Loss(full, dataset.NewView(tbl, rows)) <= theta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reservoir sampling is uniform: over many runs every stream element is
+// retained with probability ~k/n.
+func TestReservoirUniformityProperty(t *testing.T) {
+	const (
+		n      = 200
+		k      = 20
+		trials = 3000
+	)
+	rng := rand.New(rand.NewSource(123))
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		res := NewReservoir(k, rng)
+		for i := int32(0); i < n; i++ {
+			res.Offer(i)
+		}
+		for _, r := range res.Rows() {
+			counts[r]++
+		}
+	}
+	// Expected retention: trials*k/n = 300; allow wide slack.
+	for i, c := range counts {
+		if c < 180 || c > 440 {
+			t.Fatalf("element %d retained %d times, expected ≈300", i, c)
+		}
+	}
+}

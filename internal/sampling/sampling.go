@@ -1,0 +1,403 @@
+// Package sampling implements Tabula's accuracy-loss-aware sampling
+// function (the paper's Algorithm 1 with POIsam's lazy-forward
+// acceleration) alongside the classic samplers used by the baselines
+// (random, reservoir, stratified) and Serfling's-inequality global sample
+// sizing.
+package sampling
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// GreedyOptions tunes the greedy sampler.
+type GreedyOptions struct {
+	// Lazy enables the lazy-forward strategy: candidate gains are kept in
+	// a priority queue of stale upper bounds and only the queue head is
+	// re-evaluated each round. For the (submodular) average-min-distance
+	// losses the bounds are exact upper bounds; for other losses the
+	// strategy remains a sound heuristic because the sampler re-checks
+	// the true loss after every committed tuple. Defaults to true via
+	// DefaultGreedyOptions.
+	Lazy bool
+	// MaxSize caps the sample size; 0 means unlimited. When the cap is
+	// hit before the loss threshold, Greedy returns ErrBudgetExhausted.
+	MaxSize int
+	// CandidateCap bounds how many candidate tuples are (re)seeded into
+	// the lazy queue at a time (0 = all). On very large populations the
+	// first greedy round costs one evaluator probe per candidate, so a
+	// cap turns O(N) probes into O(cap); when the capped pool cannot
+	// reach the threshold, the sampler seeds further batches until it
+	// can, so the loss guarantee is unaffected — only sample minimality
+	// degrades. This plays the role of the spatial-index acceleration in
+	// POIsam's implementation. Ignored by the naive (non-lazy) sampler.
+	CandidateCap int
+	// Rng drives candidate-batch selection when CandidateCap > 0; nil
+	// uses a fixed-seed source (deterministic).
+	Rng *rand.Rand
+}
+
+// DefaultGreedyOptions returns the configuration used by Tabula proper.
+func DefaultGreedyOptions() GreedyOptions { return GreedyOptions{Lazy: true} }
+
+// ErrBudgetExhausted reports that MaxSize tuples did not reach the loss
+// threshold.
+var ErrBudgetExhausted = fmt.Errorf("sampling: sample budget exhausted before reaching the loss threshold")
+
+// Greedy draws a sample t of the raw view such that
+// loss(raw, t) <= theta, greedily adding the tuple with the smallest
+// resulting loss each round (Algorithm 1). The returned slice contains
+// *table* row ids (raw.RowID space), so the sample can outlive the view.
+//
+// The sample size is not guaranteed minimal — the underlying minimal
+// sampling problem is intractable for general losses — but the threshold
+// guarantee is absolute: the function only returns once the user-defined
+// loss of the sample is <= theta (or raw is empty, in which case the
+// sample is empty and the loss is 0 by convention).
+func Greedy(f loss.Func, raw dataset.View, theta float64, opts GreedyOptions) ([]int32, error) {
+	if theta < 0 {
+		return nil, fmt.Errorf("sampling: negative loss threshold %v", theta)
+	}
+	n := raw.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	ev, err := newEvaluator(f, raw)
+	if err != nil {
+		return nil, err
+	}
+	inSample := make([]bool, n)
+	var picked []int32
+	commit := func(i int) {
+		ev.Add(i)
+		inSample[i] = true
+		picked = append(picked, raw.RowID(i))
+	}
+	if opts.Lazy {
+		err = greedyLazy(ev, inSample, theta, opts, commit)
+	} else {
+		err = greedyNaive(ev, inSample, theta, opts.MaxSize, commit)
+	}
+	if err != nil {
+		return picked, err
+	}
+	return picked, nil
+}
+
+// greedyNaive is the paper's Algorithm 1 verbatim: every remaining tuple
+// is evaluated each round. O(k·N) evaluator probes for a k-tuple sample.
+func greedyNaive(ev loss.GreedyEvaluator, inSample []bool, theta float64, maxSize int, commit func(int)) error {
+	n := len(inSample)
+	size := 0
+	for ev.CurrentLoss() > theta {
+		best, bestLoss := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if inSample[i] {
+				continue
+			}
+			// "<= " so a candidate is still chosen when every remaining
+			// loss is +Inf (e.g. a regression loss that stays undefined
+			// until the sample has two tuples with distinct x).
+			if l := ev.LossWith(i); l < bestLoss || best < 0 {
+				best, bestLoss = i, l
+			}
+		}
+		if best < 0 {
+			// Every tuple is already in the sample yet the loss is still
+			// above theta: the loss function is inconsistent (loss(T,T)
+			// should be 0 <= theta for any useful definition).
+			return fmt.Errorf("sampling: loss %v above threshold %v with the full population sampled", ev.CurrentLoss(), theta)
+		}
+		commit(best)
+		size++
+		if maxSize > 0 && size >= maxSize && ev.CurrentLoss() > theta {
+			return ErrBudgetExhausted
+		}
+	}
+	return nil
+}
+
+// gainHeap is a max-heap of stale loss-reduction bounds.
+type gainHeap struct {
+	idx  []int
+	gain []float64
+}
+
+func (h *gainHeap) Len() int           { return len(h.idx) }
+func (h *gainHeap) Less(i, j int) bool { return h.gain[i] > h.gain[j] }
+func (h *gainHeap) Swap(i, j int) {
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+	h.gain[i], h.gain[j] = h.gain[j], h.gain[i]
+}
+func (h *gainHeap) Push(x any) {
+	p := x.([2]float64)
+	h.idx = append(h.idx, int(p[0]))
+	h.gain = append(h.gain, p[1])
+}
+func (h *gainHeap) Pop() any {
+	n := len(h.idx)
+	p := [2]float64{float64(h.idx[n-1]), h.gain[n-1]}
+	h.idx = h.idx[:n-1]
+	h.gain = h.gain[:n-1]
+	return p
+}
+
+// greedyLazy is Algorithm 1 with POIsam's lazy-forward strategy. The heap
+// holds stale *marginal gains* (current loss minus the loss after adding
+// the candidate). For the submodular average-min-distance losses a
+// candidate's marginal gain only shrinks as the sample grows, so a stale
+// value is a valid upper bound: when the refreshed head still dominates
+// the next stale bound it is the true argmax and is committed without
+// touching the other candidates. For non-submodular losses the strategy is
+// a heuristic; the threshold guarantee is unaffected because the loop
+// condition re-checks the true current loss after every commit.
+func greedyLazy(ev loss.GreedyEvaluator, inSample []bool, theta float64, opts GreedyOptions, commit func(int)) error {
+	n := len(inSample)
+	maxSize := opts.MaxSize
+	cur := ev.CurrentLoss()
+	if cur <= theta {
+		return nil
+	}
+	size := 0
+	// Candidate pool management: with CandidateCap > 0 only a random
+	// batch of candidates is seeded at a time; further batches are added
+	// when the current pool cannot reach the threshold.
+	pool := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		pool = append(pool, i)
+	}
+	if opts.CandidateCap > 0 {
+		rng := opts.Rng
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	}
+	nextSeed := 0
+	seedBatch := func() []int {
+		if nextSeed >= len(pool) {
+			return nil
+		}
+		hi := len(pool)
+		if opts.CandidateCap > 0 && nextSeed+opts.CandidateCap < hi {
+			hi = nextSeed + opts.CandidateCap
+		}
+		batch := pool[nextSeed:hi]
+		nextSeed = hi
+		return batch
+	}
+
+	// While the current loss is infinite (empty sample, or a loss that is
+	// undefined for tiny samples) marginal gains are not comparable; run
+	// naive rounds over the first batch until the loss becomes finite.
+	firstBatch := seedBatch()
+	for math.IsInf(cur, 1) {
+		best, bestLoss := -1, math.Inf(1)
+		for _, i := range firstBatch {
+			if inSample[i] {
+				continue
+			}
+			if l := ev.LossWith(i); l < bestLoss || best < 0 {
+				best, bestLoss = i, l
+			}
+		}
+		if best < 0 {
+			if more := seedBatch(); more != nil {
+				firstBatch = append(firstBatch, more...)
+				continue
+			}
+			return fmt.Errorf("sampling: loss %v above threshold %v with the full population sampled", cur, theta)
+		}
+		commit(best)
+		cur = ev.CurrentLoss()
+		size++
+		if cur <= theta {
+			return nil
+		}
+		if maxSize > 0 && size >= maxSize {
+			return ErrBudgetExhausted
+		}
+	}
+	// Seed the heap with marginal gains against the now-finite loss.
+	h := &gainHeap{idx: make([]int, 0, len(firstBatch)), gain: make([]float64, 0, len(firstBatch))}
+	for _, i := range firstBatch {
+		if inSample[i] {
+			continue
+		}
+		h.idx = append(h.idx, i)
+		h.gain = append(h.gain, cur-ev.LossWith(i))
+	}
+	heap.Init(h)
+	for cur > theta {
+		if h.Len() == 0 {
+			batch := seedBatch()
+			if batch == nil {
+				return fmt.Errorf("sampling: loss %v above threshold %v with the full population sampled", cur, theta)
+			}
+			for _, i := range batch {
+				if inSample[i] {
+					continue
+				}
+				heap.Push(h, [2]float64{float64(i), cur - ev.LossWith(i)})
+			}
+			continue
+		}
+		top := heap.Pop(h).([2]float64)
+		i := int(top[0])
+		if inSample[i] {
+			continue
+		}
+		fresh := cur - ev.LossWith(i)
+		if h.Len() > 0 && fresh < h.gain[0] {
+			// The head's bound was stale and another candidate may now be
+			// better; push back with the refreshed bound.
+			heap.Push(h, [2]float64{float64(i), fresh})
+			continue
+		}
+		commit(i)
+		cur = ev.CurrentLoss()
+		size++
+		if maxSize > 0 && size >= maxSize && cur > theta {
+			return ErrBudgetExhausted
+		}
+	}
+	return nil
+}
+
+// newEvaluator returns the loss's incremental evaluator, or a generic
+// re-evaluating adapter for losses without GreedyCapable.
+func newEvaluator(f loss.Func, raw dataset.View) (loss.GreedyEvaluator, error) {
+	if gc, ok := f.(loss.GreedyCapable); ok {
+		return gc.NewGreedy(raw)
+	}
+	return &genericGreedy{f: f, raw: raw}, nil
+}
+
+// genericGreedy evaluates loss(raw, sample+cand) from the definition; it
+// is O(cost of Loss) per probe and exists so user-provided Funcs work
+// without implementing GreedyCapable.
+type genericGreedy struct {
+	f    loss.Func
+	raw  dataset.View
+	rows []int32
+}
+
+func (g *genericGreedy) Len() int { return g.raw.Len() }
+
+func (g *genericGreedy) CurrentLoss() float64 {
+	return g.f.Loss(g.raw, dataset.NewView(g.raw.Table, g.rows))
+}
+
+func (g *genericGreedy) LossWith(i int) float64 {
+	rows := append(append([]int32(nil), g.rows...), g.raw.RowID(i))
+	return g.f.Loss(g.raw, dataset.NewView(g.raw.Table, rows))
+}
+
+func (g *genericGreedy) Add(i int) { g.rows = append(g.rows, g.raw.RowID(i)) }
+
+// Random draws k table-row ids from the view uniformly without
+// replacement (k is clamped to the view size).
+func Random(raw dataset.View, k int, rng *rand.Rand) []int32 {
+	n := raw.Len()
+	if k >= n {
+		out := make([]int32, n)
+		for i := 0; i < n; i++ {
+			out[i] = raw.RowID(i)
+		}
+		return out
+	}
+	// Floyd's algorithm: k distinct indexes in O(k) space.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int32, 0, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, raw.RowID(t))
+	}
+	return out
+}
+
+// Reservoir maintains a fixed-size uniform sample over a stream of row
+// ids; used when the population size is unknown up front.
+type Reservoir struct {
+	k    int
+	seen int
+	rows []int32
+	rng  *rand.Rand
+}
+
+// NewReservoir returns a reservoir of capacity k.
+func NewReservoir(k int, rng *rand.Rand) *Reservoir {
+	return &Reservoir{k: k, rng: rng}
+}
+
+// Offer feeds one row id to the reservoir.
+func (r *Reservoir) Offer(row int32) {
+	r.seen++
+	if len(r.rows) < r.k {
+		r.rows = append(r.rows, row)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.k {
+		r.rows[j] = row
+	}
+}
+
+// Rows returns the current sample (not a copy).
+func (r *Reservoir) Rows() []int32 { return r.rows }
+
+// Stratified draws, for each stratum (a partition of the view's rows), a
+// uniform sample of ceil(fraction·|stratum|) rows, at least minPerStratum
+// when the stratum is non-empty. This mirrors the SnappyData/BlinkDB
+// stratified samples over a Query Column Set.
+func Stratified(strata map[uint64][]int32, fraction float64, minPerStratum int, rng *rand.Rand) map[uint64][]int32 {
+	out := make(map[uint64][]int32, len(strata))
+	for key, rows := range strata {
+		k := int(math.Ceil(fraction * float64(len(rows))))
+		if k < minPerStratum {
+			k = minPerStratum
+		}
+		if k > len(rows) {
+			k = len(rows)
+		}
+		idx := rng.Perm(len(rows))[:k]
+		sample := make([]int32, k)
+		for i, j := range idx {
+			sample[i] = rows[j]
+		}
+		out[key] = sample
+	}
+	return out
+}
+
+// SerflingSize returns the global random sample size k ≈ ln(2/δ)/(2ε²)
+// derived from Serfling's inequality, as used by Tabula to size
+// Sam_global (defaults ε=0.05, δ=0.01 give k≈1060 — enough to represent
+// the distribution of the raw dataset regardless of its cardinality).
+func SerflingSize(epsilon, delta float64) (int, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("sampling: epsilon must be in (0,1), got %v", epsilon)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("sampling: delta must be in (0,1), got %v", delta)
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * epsilon * epsilon))), nil
+}
+
+// DefaultSerflingSize is SerflingSize with the paper's defaults ε=0.05,
+// δ=0.01.
+func DefaultSerflingSize() int {
+	k, err := SerflingSize(0.05, 0.01)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return k
+}

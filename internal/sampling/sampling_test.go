@@ -1,0 +1,363 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/geo"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+func sampleSchema() dataset.Schema {
+	return dataset.Schema{
+		{Name: "fare", Type: dataset.Float64},
+		{Name: "tip", Type: dataset.Float64},
+		{Name: "pickup", Type: dataset.Point},
+	}
+}
+
+func buildTable(n int, seed int64) *dataset.Table {
+	t := dataset.NewTable(sampleSchema())
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		fare := 2 + r.Float64()*48
+		t.MustAppendRow(
+			dataset.FloatValue(fare),
+			dataset.FloatValue(0.2*fare+r.NormFloat64()),
+			dataset.PointValue(geo.Point{X: -74 + r.Float64()*0.3, Y: 40.6 + r.Float64()*0.3}),
+		)
+	}
+	return t
+}
+
+func allLosses() []loss.Func {
+	return []loss.Func{
+		loss.NewMean("fare"),
+		loss.NewHeatmap("pickup", geo.Euclidean),
+		loss.NewRegression("fare", "tip"),
+		loss.NewHistogram("fare"),
+	}
+}
+
+func thetaFor(f loss.Func) float64 {
+	switch f.Name() {
+	case "mean":
+		return 0.02
+	case "heatmap":
+		return 0.02
+	case "regression":
+		return 0.5
+	case "histogram":
+		return 0.5
+	}
+	return 0.05
+}
+
+// The headline postcondition: Greedy always returns a sample whose loss is
+// within the threshold, for every built-in loss, lazy or naive.
+func TestGreedyMeetsThreshold(t *testing.T) {
+	tbl := buildTable(400, 41)
+	full := dataset.FullView(tbl)
+	for _, f := range allLosses() {
+		theta := thetaFor(f)
+		for _, lazy := range []bool{false, true} {
+			rows, err := Greedy(f, full, theta, GreedyOptions{Lazy: lazy})
+			if err != nil {
+				t.Fatalf("%s lazy=%v: %v", f.Name(), lazy, err)
+			}
+			if len(rows) == 0 {
+				t.Fatalf("%s lazy=%v: empty sample", f.Name(), lazy)
+			}
+			got := f.Loss(full, dataset.NewView(tbl, rows))
+			if got > theta {
+				t.Fatalf("%s lazy=%v: loss %v > theta %v", f.Name(), lazy, got, theta)
+			}
+			if len(rows) >= 400 {
+				t.Errorf("%s lazy=%v: sample did not shrink (%d rows)", f.Name(), lazy, len(rows))
+			}
+		}
+	}
+}
+
+// Lazy-forward must match naive greedy's result for the submodular
+// avg-min-distance losses, where the stale bounds are exact.
+func TestLazyMatchesNaiveForSubmodularLosses(t *testing.T) {
+	tbl := buildTable(150, 43)
+	full := dataset.FullView(tbl)
+	for _, f := range []loss.Func{loss.NewHeatmap("pickup", geo.Euclidean), loss.NewHistogram("fare")} {
+		theta := thetaFor(f)
+		naive, err := Greedy(f, full, theta, GreedyOptions{Lazy: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, err := Greedy(f, full, theta, GreedyOptions{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(naive) != len(lazy) {
+			t.Errorf("%s: naive %d tuples, lazy %d tuples", f.Name(), len(naive), len(lazy))
+		}
+	}
+}
+
+func TestGreedyEmptyPopulation(t *testing.T) {
+	tbl := buildTable(0, 1)
+	rows, err := Greedy(loss.NewMean("fare"), dataset.FullView(tbl), 0.1, DefaultGreedyOptions())
+	if err != nil || rows != nil {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+}
+
+func TestGreedyNegativeThreshold(t *testing.T) {
+	tbl := buildTable(10, 2)
+	if _, err := Greedy(loss.NewMean("fare"), dataset.FullView(tbl), -1, DefaultGreedyOptions()); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestGreedyBudgetExhausted(t *testing.T) {
+	tbl := buildTable(500, 44)
+	full := dataset.FullView(tbl)
+	// One tuple cannot bring the heatmap loss to ~0 on a spread cloud.
+	_, err := Greedy(loss.NewHeatmap("pickup", geo.Euclidean), full, 1e-9, GreedyOptions{Lazy: true, MaxSize: 1})
+	if err != ErrBudgetExhausted {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestGreedyThetaZeroTerminates(t *testing.T) {
+	// θ=0 forces the sampler toward (a subset equivalent to) the full
+	// data; for the mean loss a tiny table terminates quickly.
+	tbl := dataset.NewTable(sampleSchema())
+	for _, fare := range []float64{10, 10, 10} {
+		tbl.MustAppendRow(dataset.FloatValue(fare), dataset.FloatValue(1), dataset.PointValue(geo.Point{}))
+	}
+	rows, err := Greedy(loss.NewMean("fare"), dataset.FullView(tbl), 0, DefaultGreedyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 { // any single tuple already has the exact mean
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// genericGreedy fallback: a loss.Func that hides its GreedyCapable side
+// still samples correctly.
+type opaqueLoss struct{ inner loss.Func }
+
+func (o opaqueLoss) Name() string                       { return "opaque" }
+func (o opaqueLoss) Unit() string                       { return o.inner.Unit() }
+func (o opaqueLoss) Loss(raw, sam dataset.View) float64 { return o.inner.Loss(raw, sam) }
+
+func TestGreedyGenericFallback(t *testing.T) {
+	tbl := buildTable(60, 45)
+	full := dataset.FullView(tbl)
+	f := opaqueLoss{inner: loss.NewMean("fare")}
+	rows, err := Greedy(f, full, 0.05, GreedyOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Loss(full, dataset.NewView(tbl, rows)); got > 0.05 {
+		t.Fatalf("loss %v > 0.05", got)
+	}
+}
+
+func TestRandomSample(t *testing.T) {
+	tbl := buildTable(1000, 46)
+	full := dataset.FullView(tbl)
+	rng := rand.New(rand.NewSource(1))
+	rows := Random(full, 100, rng)
+	if len(rows) != 100 {
+		t.Fatalf("len = %d", len(rows))
+	}
+	seen := make(map[int32]bool)
+	for _, r := range rows {
+		if seen[r] {
+			t.Fatal("duplicate row in sample")
+		}
+		if r < 0 || r >= 1000 {
+			t.Fatalf("row %d out of range", r)
+		}
+		seen[r] = true
+	}
+	// k >= n returns everything.
+	all := Random(full, 5000, rng)
+	if len(all) != 1000 {
+		t.Fatalf("len = %d", len(all))
+	}
+}
+
+func TestRandomSampleIsRoughlyUniform(t *testing.T) {
+	tbl := buildTable(100, 47)
+	full := dataset.FullView(tbl)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 100)
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		for _, r := range Random(full, 10, rng) {
+			counts[r]++
+		}
+	}
+	// Each row should be picked ~200 times; allow generous slack.
+	for i, c := range counts {
+		if c < 100 || c > 320 {
+			t.Fatalf("row %d picked %d times (expected ≈200)", i, c)
+		}
+	}
+}
+
+func TestReservoir(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	res := NewReservoir(50, rng)
+	for i := int32(0); i < 10000; i++ {
+		res.Offer(i)
+	}
+	rows := res.Rows()
+	if len(rows) != 50 {
+		t.Fatalf("len = %d", len(rows))
+	}
+	seen := make(map[int32]bool)
+	for _, r := range rows {
+		if seen[r] || r < 0 || r >= 10000 {
+			t.Fatalf("bad row %d", r)
+		}
+		seen[r] = true
+	}
+	// Fewer offers than capacity keeps everything.
+	res2 := NewReservoir(50, rng)
+	for i := int32(0); i < 20; i++ {
+		res2.Offer(i)
+	}
+	if len(res2.Rows()) != 20 {
+		t.Fatalf("len = %d", len(res2.Rows()))
+	}
+}
+
+func TestStratified(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	strata := map[uint64][]int32{
+		1: seq(0, 1000),
+		2: seq(1000, 1010),
+		3: seq(1010, 1011),
+	}
+	out := Stratified(strata, 0.01, 3, rng)
+	if len(out[1]) != 10 { // ceil(0.01*1000)
+		t.Fatalf("stratum 1 sample = %d", len(out[1]))
+	}
+	if len(out[2]) != 3 { // minPerStratum dominates
+		t.Fatalf("stratum 2 sample = %d", len(out[2]))
+	}
+	if len(out[3]) != 1 { // clamped to stratum size
+		t.Fatalf("stratum 3 sample = %d", len(out[3]))
+	}
+	for key, rows := range out {
+		valid := make(map[int32]bool)
+		for _, r := range strata[key] {
+			valid[r] = true
+		}
+		for _, r := range rows {
+			if !valid[r] {
+				t.Fatalf("stratum %d: row %d not from stratum", key, r)
+			}
+		}
+	}
+}
+
+func TestSerflingSize(t *testing.T) {
+	k := DefaultSerflingSize()
+	// ln(2/0.01) / (2·0.05²) = ln(200)/0.005 ≈ 1060.
+	if k < 1000 || k > 1100 {
+		t.Fatalf("default Serfling size = %d, want ≈1060", k)
+	}
+	if _, err := SerflingSize(0, 0.01); err == nil {
+		t.Fatal("epsilon=0 should fail")
+	}
+	if _, err := SerflingSize(0.05, 1); err == nil {
+		t.Fatal("delta=1 should fail")
+	}
+}
+
+// Serfling size is monotone: tighter ε or δ demands more tuples.
+func TestSerflingMonotone(t *testing.T) {
+	f := func(e1, e2, d float64) bool {
+		wrap := func(v float64) float64 { return 0.01 + math.Mod(math.Abs(v), 0.9) }
+		a, b, dd := wrap(e1), wrap(e2), wrap(d)
+		if a > b {
+			a, b = b, a
+		}
+		ka, err1 := SerflingSize(a, dd)
+		kb, err2 := SerflingSize(b, dd)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ka >= kb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seq(lo, hi int32) []int32 {
+	out := make([]int32, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func BenchmarkGreedyNaiveHeatmap(b *testing.B) {
+	tbl := buildTable(300, 50)
+	full := dataset.FullView(tbl)
+	f := loss.NewHeatmap("pickup", geo.Euclidean)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(f, full, 0.02, GreedyOptions{Lazy: false}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyLazyHeatmap(b *testing.B) {
+	tbl := buildTable(300, 50)
+	full := dataset.FullView(tbl)
+	f := loss.NewHeatmap("pickup", geo.Euclidean)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(f, full, 0.02, GreedyOptions{Lazy: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGreedyCandidateCapStillMeetsThreshold(t *testing.T) {
+	tbl := buildTable(800, 48)
+	full := dataset.FullView(tbl)
+	for _, f := range allLosses() {
+		theta := thetaFor(f)
+		rows, err := Greedy(f, full, theta, GreedyOptions{Lazy: true, CandidateCap: 64})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		got := f.Loss(full, dataset.NewView(tbl, rows))
+		if got > theta {
+			t.Fatalf("%s: capped loss %v > theta %v", f.Name(), got, theta)
+		}
+	}
+}
+
+func TestGreedyCandidateCapTinyBatches(t *testing.T) {
+	// Cap of 1 degenerates to sequential batches but must still converge.
+	tbl := buildTable(50, 49)
+	full := dataset.FullView(tbl)
+	f := loss.NewHistogram("fare")
+	rows, err := Greedy(f, full, 1.0, GreedyOptions{Lazy: true, CandidateCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Loss(full, dataset.NewView(tbl, rows)); got > 1.0 {
+		t.Fatalf("loss %v", got)
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import "net/http"
+
+// demoHTML is a self-contained dashboard page served at GET /: it lists
+// cubes, lets the user pick attribute filters, queries the middleware,
+// and renders the returned sample's pickup points as a heat map on a
+// canvas — a miniature Tableau standing where the paper's Figure 1 sits.
+const demoHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Tabula dashboard demo</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 1.5rem; background: #111; color: #ddd; }
+  h1 { font-size: 1.2rem; } code { color: #9cf; }
+  #controls { display: flex; gap: .75rem; flex-wrap: wrap; align-items: end; margin-bottom: 1rem; }
+  .ctl { display: flex; flex-direction: column; font-size: .8rem; gap: .2rem; }
+  select, button { background: #222; color: #ddd; border: 1px solid #555; padding: .35rem .5rem; border-radius: 4px; }
+  button { cursor: pointer; } button:hover { background: #333; }
+  #map { border: 1px solid #444; image-rendering: pixelated; }
+  #status { margin-top: .75rem; font-size: .85rem; color: #9a9; white-space: pre-line; }
+  .global { color: #fc6; }
+</style>
+</head>
+<body>
+<h1>Tabula — materialized sampling cube demo</h1>
+<div id="controls">
+  <div class="ctl"><label>cube</label><select id="cube"></select></div>
+  <div id="filters"></div>
+  <button id="run">Query</button>
+</div>
+<canvas id="map" width="512" height="512"></canvas>
+<div id="status">pick a cube and query — answers come from pre-materialized samples with a deterministic loss bound</div>
+<script>
+const $ = id => document.getElementById(id);
+const filterAttrs = {};
+
+async function loadCubes() {
+  const res = await fetch('/cubes');
+  const { cubes } = await res.json();
+  const sel = $('cube');
+  sel.innerHTML = '';
+  for (const c of cubes) sel.add(new Option(c, c));
+  if (cubes.length) await loadFilters(cubes[0]);
+  sel.onchange = () => loadFilters(sel.value);
+}
+
+async function loadFilters(cube) {
+  const res = await fetch('/stats?cube=' + encodeURIComponent(cube));
+  const stats = await res.json();
+  const box = $('filters');
+  box.innerHTML = '';
+  box.style.display = 'flex';
+  box.style.gap = '.75rem';
+  for (const attr of stats.cubed_attrs) {
+    const div = document.createElement('div');
+    div.className = 'ctl';
+    div.innerHTML = '<label>' + attr + '</label>';
+    const sel = document.createElement('select');
+    sel.dataset.attr = attr;
+    sel.add(new Option('(any)', ''));
+    div.appendChild(sel);
+    box.appendChild(div);
+  }
+  $('status').textContent = 'cube "' + cube + '": ' + stats.iceberg_cells + '/' + stats.cells +
+    ' iceberg cells, ' + stats.persisted_samples + ' samples, theta=' + stats.theta +
+    ' (' + stats.loss + ' loss)\nfilter values load after the first query';
+}
+
+function gatherWhere() {
+  const where = {};
+  for (const sel of $('filters').querySelectorAll('select')) {
+    if (sel.value) where[sel.dataset.attr] = sel.value;
+  }
+  return where;
+}
+
+function render(sample) {
+  const canvas = $('map'), ctx = canvas.getContext('2d');
+  ctx.fillStyle = '#000';
+  ctx.fillRect(0, 0, canvas.width, canvas.height);
+  const pi = sample.columns.findIndex((c, i) => sample.types[i] === 'POINT');
+  if (pi < 0) return 0;
+  const pts = sample.rows.map(r => r[pi]).filter(p => Array.isArray(p));
+  if (!pts.length) return 0;
+  let minX = 1/0, maxX = -1/0, minY = 1/0, maxY = -1/0;
+  for (const [x, y] of pts) {
+    minX = Math.min(minX, x); maxX = Math.max(maxX, x);
+    minY = Math.min(minY, y); maxY = Math.max(maxY, y);
+  }
+  const w = Math.max(maxX - minX, 1e-9), h = Math.max(maxY - minY, 1e-9);
+  ctx.fillStyle = 'rgba(255,160,40,0.8)';
+  for (const [x, y] of pts) {
+    const px = (x - minX) / w * (canvas.width - 8) + 4;
+    const py = canvas.height - ((y - minY) / h * (canvas.height - 8) + 4);
+    ctx.fillRect(px - 1.5, py - 1.5, 3, 3);
+  }
+  return pts.length;
+}
+
+function refreshFilterValues(sample) {
+  // Populate filter dropdowns from the values present in the answer.
+  for (const sel of $('filters').querySelectorAll('select')) {
+    const ci = sample.columns.indexOf(sel.dataset.attr);
+    if (ci < 0 || sel.options.length > 1) continue;
+    const seen = new Set();
+    for (const r of sample.rows) seen.add(String(r[ci]));
+    for (const v of [...seen].sort()) sel.add(new Option(v, v));
+  }
+}
+
+$('run').onclick = async () => {
+  const cube = $('cube').value;
+  const body = JSON.stringify({ cube, where: gatherWhere() });
+  const t0 = performance.now();
+  const res = await fetch('/query', { method: 'POST', body });
+  const out = await res.json();
+  const ms = (performance.now() - t0).toFixed(1);
+  if (out.error) { $('status').textContent = 'error: ' + out.error; return; }
+  const drawn = render(out.sample);
+  refreshFilterValues(out.sample);
+  $('status').innerHTML = out.sample.num_rows + ' tuples in ' + ms + ' ms — ' +
+    (out.from_global ? '<span class="global">global sample (non-iceberg cell)</span>'
+                     : 'local sample (iceberg cell)') +
+    (drawn ? '' : ' — no POINT column to draw');
+};
+
+loadCubes();
+</script>
+</body>
+</html>
+`
+
+func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(demoHTML))
+}

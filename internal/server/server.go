@@ -1,0 +1,270 @@
+// Package server exposes a Tabula DB over HTTP — the deployment shape
+// the paper describes: a middleware between visualization dashboards
+// (which speak JSON over HTTP) and the data system.
+//
+// Endpoints:
+//
+//	POST /exec    {"sql": "..."}                      → DDL / SELECT
+//	POST /query   {"cube": "c", "where": {"a": "v"}}  → materialized sample
+//	POST /append  {"cube": "c", "rows": [[...], …]}   → incremental ingest
+//	GET  /cubes                                       → registered cubes
+//	GET  /stats?cube=c                                → initialization stats
+//	GET  /healthz                                     → liveness
+//	GET  /                                            → built-in dashboard demo page
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"github.com/tabula-db/tabula"
+	"github.com/tabula-db/tabula/internal/dataset"
+)
+
+// Server wraps a tabula.DB with HTTP handlers.
+type Server struct {
+	db  *tabula.DB
+	mux *http.ServeMux
+	// cubeNames tracks registration order for /cubes (DB has no listing).
+	cubeNames []string
+}
+
+// New builds a Server over the DB.
+func New(db *tabula.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /exec", s.handleExec)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /append", s.handleAppend)
+	s.mux.HandleFunc("GET /cubes", s.handleCubes)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /{$}", s.handleDemo)
+	return s
+}
+
+// TrackCube records a cube name for the /cubes listing (Exec-created
+// cubes are tracked automatically).
+func (s *Server) TrackCube(name string) {
+	for _, n := range s.cubeNames {
+		if n == name {
+			return
+		}
+	}
+	s.cubeNames = append(s.cubeNames, name)
+	sort.Strings(s.cubeNames)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type execRequest struct {
+	SQL string `json:"sql"`
+}
+
+type queryRequest struct {
+	Cube  string            `json:"cube"`
+	Where map[string]string `json:"where"`
+}
+
+type tableJSON struct {
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+	Rows    [][]any  `json:"rows"`
+	NumRows int      `json:"num_rows"`
+}
+
+type queryResponse struct {
+	Sample     *tableJSON `json:"sample,omitempty"`
+	FromGlobal bool       `json:"from_global"`
+	Message    string     `json:"message,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// encodeTable converts a table to its JSON wire form; Point values
+// encode as [lon, lat] pairs.
+func encodeTable(t *tabula.Table) *tableJSON {
+	out := &tableJSON{NumRows: t.NumRows()}
+	for _, f := range t.Schema() {
+		out.Columns = append(out.Columns, f.Name)
+		out.Types = append(out.Types, f.Type.String())
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		row := make([]any, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			v := t.Value(r, c)
+			switch v.Type {
+			case dataset.Int64:
+				row[c] = v.I
+			case dataset.Float64:
+				row[c] = v.F
+			case dataset.String:
+				row[c] = v.S
+			case dataset.Point:
+				row[c] = []float64{v.P.X, v.P.Y}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		return
+	}
+	res, err := s.db.Exec(req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := queryResponse{FromGlobal: res.FromGlobal, Message: res.Message}
+	if res.Table != nil {
+		resp.Sample = encodeTable(res.Table)
+	}
+	// Track cubes created through /exec for the /cubes listing.
+	if res.Message != "" {
+		var name string
+		if n, _ := fmt.Sscanf(res.Message, "sampling cube %s created", &name); n == 1 {
+			s.TrackCube(name)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	cube, ok := s.db.CubeByName(req.Cube)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
+		return
+	}
+	res, err := cube.QueryByValues(req.Where)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Sample:     encodeTable(res.Sample),
+		FromGlobal: res.FromGlobal,
+	})
+}
+
+type appendRequest struct {
+	Cube string     `json:"cube"`
+	Rows [][]string `json:"rows"` // values in display form, schema order
+}
+
+// handleAppend ingests new rows into an appendable cube: the streaming
+// maintenance path exposed over HTTP. Row values arrive in display form
+// (points as "x y") and are parsed against the cube's schema.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	cube, ok := s.db.CubeByName(req.Cube)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
+		return
+	}
+	if !cube.Appendable() {
+		writeErr(w, http.StatusConflict, fmt.Errorf("cube %q was not built with EnableAppend", req.Cube))
+		return
+	}
+	schema := cube.Schema()
+	batch := dataset.NewTable(schema)
+	for ri, row := range req.Rows {
+		if len(row) != len(schema) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d has %d values, schema has %d", ri, len(row), len(schema)))
+			return
+		}
+		vals := make([]dataset.Value, len(schema))
+		for c, field := range schema {
+			v, err := dataset.ParseValue(field.Type, row[c])
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d column %q: %w", ri, field.Name, err))
+				return
+			}
+			vals[c] = v
+		}
+		if err := batch.AppendRow(vals...); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	st, err := cube.Append(batch)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rows_appended":     st.RowsAppended,
+		"cells_touched":     st.CellsTouched,
+		"cells_now_iceberg": st.CellsNowIceberg,
+		"cells_now_global":  st.CellsNowGlobal,
+		"samples_rebuilt":   st.SamplesRebuilt,
+		"samples_kept":      st.SamplesKept,
+		"elapsed_ms":        st.Elapsed.Milliseconds(),
+	})
+}
+
+func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"cubes": s.cubeNames})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("cube")
+	cube, ok := s.db.CubeByName(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", name))
+		return
+	}
+	st := cube.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"loss":                cube.LossName(),
+		"theta":               cube.Theta(),
+		"cubed_attrs":         cube.CubedAttrs(),
+		"cuboids":             st.NumCuboids,
+		"iceberg_cuboids":     st.NumIcebergCuboids,
+		"cells":               st.NumCells,
+		"iceberg_cells":       st.NumIcebergCells,
+		"persisted_samples":   st.NumPersistedSamples,
+		"global_sample_size":  st.GlobalSampleSize,
+		"global_sample_bytes": st.GlobalSampleBytes,
+		"cube_table_bytes":    st.CubeTableBytes,
+		"sample_table_bytes":  st.SampleTableBytes,
+		"total_bytes":         st.TotalBytes(),
+		"init_ms":             st.InitTime.Milliseconds(),
+		"dry_run_ms":          st.DryRunTime.Milliseconds(),
+		"real_run_ms":         st.RealRunTime.Milliseconds(),
+		"sample_selection_ms": st.SelectionTime.Milliseconds(),
+	})
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/tabula-db/tabula"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	db := tabula.Open()
+	db.RegisterTable("nyctaxi", tabula.GenerateTaxi(3000, 21))
+	s := New(db)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestExecAndQueryFlow(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/exec", map[string]string{"sql": `
+		CREATE TABLE web_cube AS
+		SELECT payment_type, vendor_name, SAMPLING(*, 0.1) AS sample
+		FROM nyctaxi
+		GROUPBY CUBE(payment_type, vendor_name)
+		HAVING mean_loss(fare_amount, Sam_global) > 0.1`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exec: %d %v", resp.StatusCode, out)
+	}
+	s.TrackCube("web_cube")
+
+	// Structured query endpoint.
+	resp, out = postJSON(t, ts.URL+"/query", map[string]any{
+		"cube":  "web_cube",
+		"where": map[string]string{"payment_type": "dispute"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %v", resp.StatusCode, out)
+	}
+	sample := out["sample"].(map[string]any)
+	if sample["num_rows"].(float64) == 0 {
+		t.Fatal("empty sample")
+	}
+	if out["from_global"].(bool) {
+		t.Fatal("dispute cell should be iceberg")
+	}
+
+	// SQL query path returns the sample too.
+	resp, out = postJSON(t, ts.URL+"/exec", map[string]string{
+		"sql": `SELECT sample FROM web_cube WHERE payment_type = 'cash'`,
+	})
+	if resp.StatusCode != http.StatusOK || out["sample"] == nil {
+		t.Fatalf("sql query: %d %v", resp.StatusCode, out)
+	}
+
+	// Stats endpoint.
+	resp, out = getJSON(t, ts.URL+"/stats?cube=web_cube")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d %v", resp.StatusCode, out)
+	}
+	if out["loss"] != "mean" || out["theta"].(float64) != 0.1 {
+		t.Fatalf("stats content: %v", out)
+	}
+	if out["cells"].(float64) <= 0 {
+		t.Fatal("stats cells missing")
+	}
+
+	// Cubes listing.
+	resp, out = getJSON(t, ts.URL+"/cubes")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("cubes listing failed")
+	}
+	cubes := out["cubes"].([]any)
+	found := false
+	for _, c := range cubes {
+		if c == "web_cube" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("web_cube not listed: %v", cubes)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/query", map[string]any{"cube": "ghost", "where": map[string]string{}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cube: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/exec", map[string]string{"sql": "NOT SQL"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sql: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/exec", map[string]string{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing sql: %d", resp.StatusCode)
+	}
+	r, err := http.Post(ts.URL+"/exec", "application/json", bytes.NewReader([]byte("{bad json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", r.StatusCode)
+	}
+	resp, _ = getJSON(t, ts.URL+"/stats?cube=ghost")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost stats: %d", resp.StatusCode)
+	}
+}
+
+func TestPointEncoding(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, out := postJSON(t, ts.URL+"/exec", map[string]string{
+		"sql": "SELECT * FROM nyctaxi LIMIT 1",
+	})
+	sample := out["sample"].(map[string]any)
+	rows := sample["rows"].([]any)
+	row := rows[0].([]any)
+	// The pickup column (last) must encode as [lon, lat].
+	pt, ok := row[len(row)-1].([]any)
+	if !ok || len(pt) != 2 {
+		t.Fatalf("point encoding: %v", row[len(row)-1])
+	}
+}
+
+func TestAppendEndpoint(t *testing.T) {
+	db := tabula.Open()
+	db.RegisterTable("nyctaxi", tabula.GenerateTaxi(2500, 22))
+	// Build an appendable cube through the native API and register it.
+	params := tabula.DefaultParams(tabula.NewHistogramLoss("fare_amount"), 1.0, "payment_type", "vendor_name")
+	params.EnableAppend = true
+	cube, err := tabula.Build(tabula.GenerateTaxi(2500, 22), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterCube("appendable", cube)
+	s := New(db)
+	s.TrackCube("appendable")
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, out := postJSON(t, ts.URL+"/append", map[string]any{
+		"cube": "appendable",
+		"rows": [][]string{
+			{"CMT", "Mon", "1", "cash", "standard", "N", "Mon", "12.5", "0", "2.3", "-73.98 40.75"},
+			{"VTS", "Fri", "2", "credit", "jfk", "N", "Fri", "52.0", "10.4", "17.1", "-73.78 40.64"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d %v", resp.StatusCode, out)
+	}
+	if out["rows_appended"].(float64) != 2 {
+		t.Fatalf("rows_appended = %v", out["rows_appended"])
+	}
+
+	// Errors: unknown cube, non-appendable cube, bad row shape, bad value.
+	resp, _ = postJSON(t, ts.URL+"/append", map[string]any{"cube": "ghost", "rows": [][]string{}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost: %d", resp.StatusCode)
+	}
+	plain, err := tabula.Build(tabula.GenerateTaxi(1000, 23),
+		tabula.DefaultParams(tabula.NewMeanLoss("fare_amount"), 0.2, "payment_type"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterCube("plain", plain)
+	resp, _ = postJSON(t, ts.URL+"/append", map[string]any{"cube": "plain", "rows": [][]string{}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("non-appendable: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/append", map[string]any{
+		"cube": "appendable", "rows": [][]string{{"too", "short"}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("short row: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/append", map[string]any{
+		"cube": "appendable",
+		"rows": [][]string{{"CMT", "Mon", "NaNope", "cash", "standard", "N", "Mon", "1", "0", "1", "0 0"}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad value: %d", resp.StatusCode)
+	}
+}
+
+func TestDemoPage(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Fatalf("content-type %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"Tabula", "/query", "canvas"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("demo page missing %q", want)
+		}
+	}
+}

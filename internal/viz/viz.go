@@ -1,0 +1,255 @@
+// Package viz implements the visual-analysis tasks the dashboard side of
+// the paper's experiments runs on returned samples: geospatial heat maps
+// (rendered to PNG), histograms, least-squares regression lines, and
+// statistical means. The experiment harness times these to report the
+// "sample visualization time" column of Table II.
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/geo"
+)
+
+// Density is a rasterized point-density grid — the data behind a heat
+// map. Cell (x, y) counts points; y grows northward (row 0 is the
+// southern edge).
+type Density struct {
+	W, H   int
+	Bounds geo.BBox
+	Counts []float64
+}
+
+// NewDensity returns an empty density raster.
+func NewDensity(w, h int, bounds geo.BBox) *Density {
+	return &Density{W: w, H: h, Bounds: bounds, Counts: make([]float64, w*h)}
+}
+
+// Add rasterizes one point (points outside the bounds are dropped).
+func (d *Density) Add(p geo.Point) {
+	if !d.Bounds.Contains(p) {
+		return
+	}
+	x := int((p.X - d.Bounds.Min.X) / d.Bounds.Width() * float64(d.W))
+	y := int((p.Y - d.Bounds.Min.Y) / d.Bounds.Height() * float64(d.H))
+	if x >= d.W {
+		x = d.W - 1
+	}
+	if y >= d.H {
+		y = d.H - 1
+	}
+	d.Counts[y*d.W+x]++
+}
+
+// AddAll rasterizes a point set.
+func (d *Density) AddAll(pts []geo.Point) {
+	for _, p := range pts {
+		d.Add(p)
+	}
+}
+
+// Max returns the largest cell count.
+func (d *Density) Max() float64 {
+	var m float64
+	for _, c := range d.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Normalized returns the density scaled so cells sum to 1 (an empty
+// density stays all-zero).
+func (d *Density) Normalized() []float64 {
+	var sum float64
+	for _, c := range d.Counts {
+		sum += c
+	}
+	out := make([]float64, len(d.Counts))
+	if sum == 0 {
+		return out
+	}
+	for i, c := range d.Counts {
+		out[i] = c / sum
+	}
+	return out
+}
+
+// Diff returns the L1 distance between the normalized densities of two
+// rasters of identical shape — a quantitative "how different do these two
+// heat maps look" measure used by the Figure 2 reproduction. Range [0, 2].
+func (d *Density) Diff(o *Density) (float64, error) {
+	if d.W != o.W || d.H != o.H {
+		return 0, fmt.Errorf("viz: density shapes differ (%dx%d vs %dx%d)", d.W, d.H, o.W, o.H)
+	}
+	a, b := d.Normalized(), o.Normalized()
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum, nil
+}
+
+// HotspotRecall reports the fraction of o's top-k hottest cells that are
+// also nonzero in d — "does the sampled heat map still show the airport?"
+func (d *Density) HotspotRecall(o *Density, k int) (float64, error) {
+	if d.W != o.W || d.H != o.H {
+		return 0, fmt.Errorf("viz: density shapes differ")
+	}
+	if k <= 0 || k > len(o.Counts) {
+		return 0, fmt.Errorf("viz: bad k %d", k)
+	}
+	type cell struct {
+		idx int
+		c   float64
+	}
+	top := make([]cell, 0, len(o.Counts))
+	for i, c := range o.Counts {
+		if c > 0 {
+			top = append(top, cell{i, c})
+		}
+	}
+	if len(top) == 0 {
+		return 1, nil
+	}
+	// Partial selection of the k hottest.
+	for i := 0; i < k && i < len(top); i++ {
+		maxJ := i
+		for j := i + 1; j < len(top); j++ {
+			if top[j].c > top[maxJ].c {
+				maxJ = j
+			}
+		}
+		top[i], top[maxJ] = top[maxJ], top[i]
+	}
+	if k > len(top) {
+		k = len(top)
+	}
+	hit := 0
+	for _, t := range top[:k] {
+		if d.Counts[t.idx] > 0 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k), nil
+}
+
+// heatColor maps a normalized intensity in [0,1] to a blue→yellow→red
+// ramp on black.
+func heatColor(v float64) color.RGBA {
+	switch {
+	case v <= 0:
+		return color.RGBA{0, 0, 0, 255}
+	case v < 0.25:
+		t := v / 0.25
+		return color.RGBA{0, uint8(80 * t), uint8(120 + 135*t), 255}
+	case v < 0.5:
+		t := (v - 0.25) / 0.25
+		return color.RGBA{uint8(100 * t), uint8(80 + 175*t), uint8(255 - 155*t), 255}
+	case v < 0.75:
+		t := (v - 0.5) / 0.25
+		return color.RGBA{uint8(100 + 155*t), 255, uint8(100 - 100*t), 255}
+	default:
+		t := (v - 0.75) / 0.25
+		return color.RGBA{255, uint8(255 - 200*t), 0, 255}
+	}
+}
+
+// Render converts the density to a heat-map image, using a logarithmic
+// intensity scale so sparse hotspots stay visible next to dense downtown
+// cells (standard practice in geospatial dashboards).
+func (d *Density) Render() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, d.W, d.H))
+	logMax := math.Log1p(d.Max())
+	for y := 0; y < d.H; y++ {
+		for x := 0; x < d.W; x++ {
+			v := 0.0
+			if logMax > 0 {
+				v = math.Log1p(d.Counts[y*d.W+x]) / logMax
+			}
+			// Flip vertically: row 0 of the image is the northern edge.
+			img.SetRGBA(x, d.H-1-y, heatColor(v))
+		}
+	}
+	return img
+}
+
+// RenderHeatmapPNG rasterizes points and writes a PNG heat map.
+func RenderHeatmapPNG(w io.Writer, pts []geo.Point, width, height int, bounds geo.BBox) error {
+	d := NewDensity(width, height, bounds)
+	d.AddAll(pts)
+	return png.Encode(w, d.Render())
+}
+
+// Histogram bins values into `bins` equal-width buckets over [min, max];
+// values outside the range clamp into the edge buckets.
+func Histogram(vals []float64, bins int, min, max float64) []int {
+	out := make([]int, bins)
+	if bins == 0 || max <= min {
+		return out
+	}
+	for _, v := range vals {
+		b := int((v - min) / (max - min) * float64(bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b]++
+	}
+	return out
+}
+
+// HistogramDiff is the total variation distance between two histograms
+// seen as distributions, in [0, 1].
+func HistogramDiff(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("viz: histogram sizes differ")
+	}
+	var sa, sb float64
+	for i := range a {
+		sa += float64(a[i])
+		sb += float64(b[i])
+	}
+	if sa == 0 || sb == 0 {
+		if sa == sb {
+			return 0, nil
+		}
+		return 1, nil
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Abs(float64(a[i])/sa - float64(b[i])/sb)
+	}
+	return sum / 2, nil
+}
+
+// FitLine fits y = slope·x + intercept by least squares; it returns NaNs
+// for degenerate input, matching engine.RegressionState.
+func FitLine(xs, ys []float64) (slope, intercept float64) {
+	st := &engine.RegressionState{}
+	for i := range xs {
+		st.AddXY(xs[i], ys[i])
+	}
+	return st.Slope(), st.Intercept()
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

@@ -1,0 +1,203 @@
+package viz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/geo"
+)
+
+func testBounds() geo.BBox {
+	return geo.BBox{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 10, Y: 10}}
+}
+
+func TestDensityAdd(t *testing.T) {
+	d := NewDensity(10, 10, testBounds())
+	d.Add(geo.Point{X: 0.5, Y: 0.5}) // cell (0,0)
+	d.Add(geo.Point{X: 9.9, Y: 9.9}) // cell (9,9)
+	d.Add(geo.Point{X: 10, Y: 10})   // boundary clamps into (9,9)
+	d.Add(geo.Point{X: -1, Y: 5})    // outside: dropped
+	if d.Counts[0] != 1 {
+		t.Fatalf("cell(0,0) = %v", d.Counts[0])
+	}
+	if d.Counts[9*10+9] != 2 {
+		t.Fatalf("cell(9,9) = %v", d.Counts[99])
+	}
+	if d.Max() != 2 {
+		t.Fatalf("Max = %v", d.Max())
+	}
+}
+
+func TestDensityNormalized(t *testing.T) {
+	d := NewDensity(2, 2, testBounds())
+	d.Add(geo.Point{X: 1, Y: 1})
+	d.Add(geo.Point{X: 1, Y: 1})
+	d.Add(geo.Point{X: 9, Y: 9})
+	n := d.Normalized()
+	var sum float64
+	for _, v := range n {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("normalized sums to %v", sum)
+	}
+	empty := NewDensity(2, 2, testBounds())
+	for _, v := range empty.Normalized() {
+		if v != 0 {
+			t.Fatal("empty density should normalize to zeros")
+		}
+	}
+}
+
+func TestDensityDiff(t *testing.T) {
+	a := NewDensity(4, 4, testBounds())
+	b := NewDensity(4, 4, testBounds())
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		p := geo.Point{X: r.Float64() * 10, Y: r.Float64() * 10}
+		a.Add(p)
+		b.Add(p)
+	}
+	d, err := a.Diff(b)
+	if err != nil || d != 0 {
+		t.Fatalf("identical densities diff = %v, err %v", d, err)
+	}
+	// Completely disjoint densities have diff 2.
+	c1 := NewDensity(2, 1, testBounds())
+	c2 := NewDensity(2, 1, testBounds())
+	c1.Add(geo.Point{X: 1, Y: 5})
+	c2.Add(geo.Point{X: 9, Y: 5})
+	d, err = c1.Diff(c2)
+	if err != nil || math.Abs(d-2) > 1e-12 {
+		t.Fatalf("disjoint diff = %v", d)
+	}
+	if _, err := a.Diff(NewDensity(2, 2, testBounds())); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestHotspotRecall(t *testing.T) {
+	full := NewDensity(10, 10, testBounds())
+	// Downtown blob + an "airport" hotspot.
+	for i := 0; i < 100; i++ {
+		full.Add(geo.Point{X: 2, Y: 2})
+	}
+	for i := 0; i < 50; i++ {
+		full.Add(geo.Point{X: 9, Y: 9})
+	}
+	missing := NewDensity(10, 10, testBounds())
+	for i := 0; i < 10; i++ {
+		missing.Add(geo.Point{X: 2, Y: 2}) // sample missed the airport
+	}
+	r, err := missing.HotspotRecall(full, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0.5 {
+		t.Fatalf("recall = %v, want 0.5", r)
+	}
+	good := NewDensity(10, 10, testBounds())
+	good.Add(geo.Point{X: 2, Y: 2})
+	good.Add(geo.Point{X: 9, Y: 9})
+	r, err = good.HotspotRecall(full, 2)
+	if err != nil || r != 1 {
+		t.Fatalf("recall = %v", r)
+	}
+	if _, err := good.HotspotRecall(full, 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestRenderPNG(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := make([]geo.Point, 5000)
+	for i := range pts {
+		pts[i] = geo.Point{X: r.Float64() * 10, Y: r.Float64() * 10}
+	}
+	var buf bytes.Buffer
+	if err := RenderHeatmapPNG(&buf, pts, 64, 64, testBounds()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 100 {
+		t.Fatalf("PNG suspiciously small: %d bytes", buf.Len())
+	}
+	// PNG signature.
+	if !bytes.HasPrefix(buf.Bytes(), []byte{0x89, 'P', 'N', 'G'}) {
+		t.Fatal("output is not a PNG")
+	}
+}
+
+func TestHeatColorRange(t *testing.T) {
+	for _, v := range []float64{-1, 0, 0.1, 0.3, 0.6, 0.8, 1, 2} {
+		c := heatColor(math.Min(v, 1))
+		if c.A != 255 {
+			t.Fatalf("alpha = %d at %v", c.A, v)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5, 9.99, -5, 100}
+	h := Histogram(vals, 10, 0, 10)
+	// 0→b0, 1→b1, …, 5→b5, 9.99→b9; -5 clamps to b0, 100 clamps to b9.
+	if h[0] != 2 {
+		t.Fatalf("h[0] = %d, want 2 (histogram %v)", h[0], h)
+	}
+	if h[9] != 2 {
+		t.Fatalf("h[9] = %d", h[9])
+	}
+	var total int
+	for _, c := range h {
+		total += c
+	}
+	if total != len(vals) {
+		t.Fatalf("histogram total = %d", total)
+	}
+	if got := Histogram(nil, 5, 0, 1); len(got) != 5 {
+		t.Fatal("empty input should still produce bins")
+	}
+}
+
+func TestHistogramDiff(t *testing.T) {
+	a := []int{10, 0, 0}
+	b := []int{0, 0, 10}
+	d, err := HistogramDiff(a, b)
+	if err != nil || d != 1 {
+		t.Fatalf("disjoint TV distance = %v", d)
+	}
+	d, err = HistogramDiff(a, a)
+	if err != nil || d != 0 {
+		t.Fatalf("identical TV distance = %v", d)
+	}
+	if _, err := HistogramDiff(a, []int{1}); err == nil {
+		t.Fatal("size mismatch should error")
+	}
+	d, err = HistogramDiff([]int{0}, []int{5})
+	if err != nil || d != 1 {
+		t.Fatalf("empty-vs-nonempty = %v", d)
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := FitLine(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %v, %v", slope, intercept)
+	}
+	s, _ := FitLine(nil, nil)
+	if !math.IsNaN(s) {
+		t.Fatal("empty fit should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+}

@@ -1,0 +1,325 @@
+package tabula
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func openTaxiDB(t *testing.T, rows int) *DB {
+	t.Helper()
+	db := Open()
+	db.RegisterTable("nyctaxi", GenerateTaxi(rows, 42))
+	return db
+}
+
+func TestExecCreateAndQueryCube(t *testing.T) {
+	db := openTaxiDB(t, 4000)
+	res, err := db.Exec(`
+		CREATE TABLE ride_cube AS
+		SELECT payment_type, passenger_count, vendor_name, SAMPLING(*, 0.1) AS sample
+		FROM nyctaxi
+		GROUPBY CUBE(payment_type, passenger_count, vendor_name)
+		HAVING mean_loss(fare_amount, Sam_global) > 0.1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "ride_cube created") {
+		t.Fatalf("message: %q", res.Message)
+	}
+	q, err := db.Exec(`SELECT sample FROM ride_cube WHERE payment_type = 'dispute'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table == nil || q.Table.NumRows() == 0 {
+		t.Fatal("empty sample")
+	}
+	// Dispute fares are skewed, so this cell should be iceberg (served by
+	// a local sample, not the global one).
+	if q.FromGlobal {
+		t.Fatal("dispute cell answered from global sample")
+	}
+	q2, err := db.Exec(`SELECT sample FROM ride_cube
+		WHERE payment_type = 'cash' AND passenger_count = 1 AND vendor_name = 'CMT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Table.NumRows() == 0 {
+		t.Fatal("empty sample for common cell")
+	}
+}
+
+func TestExecCreateAggregateDSL(t *testing.T) {
+	db := openTaxiDB(t, 3000)
+	if _, err := db.Exec(`CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS
+		BEGIN ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw) END`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`
+		CREATE TABLE c2 AS
+		SELECT payment_type, SAMPLING(*, 0.05) AS sample
+		FROM nyctaxi
+		GROUPBY CUBE(payment_type)
+		HAVING my_loss(fare_amount, Sam_global) > 0.05`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Exec(`SELECT sample FROM c2 WHERE payment_type = 'credit'`)
+	if err != nil || q.Table.NumRows() == 0 {
+		t.Fatalf("rows=%v err=%v", q, err)
+	}
+}
+
+func TestExecRegressionLossTwoTargets(t *testing.T) {
+	db := openTaxiDB(t, 3000)
+	if _, err := db.Exec(`
+		CREATE TABLE rc AS
+		SELECT payment_type, vendor_name, SAMPLING(*, 5) AS sample
+		FROM nyctaxi
+		GROUPBY CUBE(payment_type, vendor_name)
+		HAVING regression_loss(fare_amount, tip_amount, Sam_global) > 5`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Exec(`SELECT sample FROM rc WHERE payment_type = 'credit'`)
+	if err != nil || q.Table.NumRows() == 0 {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestExecPlainSelect(t *testing.T) {
+	db := openTaxiDB(t, 2000)
+	res, err := db.Exec(`SELECT payment_type, COUNT(*) AS n, AVG(fare_amount) AS af
+		FROM nyctaxi GROUP BY payment_type`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 4 {
+		t.Fatalf("groups = %d", res.Table.NumRows())
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := openTaxiDB(t, 500)
+	bad := []string{
+		"THIS IS NOT SQL",
+		"SELECT sample FROM no_such_cube WHERE a = 1",
+		`CREATE TABLE c AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
+		 FROM missing GROUPBY CUBE(payment_type) HAVING mean_loss(fare_amount, Sam_global) > 0.1`,
+		`CREATE TABLE c AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
+		 FROM nyctaxi GROUPBY CUBE(payment_type) HAVING no_such_loss(fare_amount, Sam_global) > 0.1`,
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("%q should fail", sql)
+		}
+	}
+}
+
+func TestExecCubeQueryValidation(t *testing.T) {
+	db := openTaxiDB(t, 1000)
+	if _, err := db.Exec(`CREATE TABLE vc AS SELECT payment_type, SAMPLING(*, 0.2) AS sample
+		FROM nyctaxi GROUPBY CUBE(payment_type) HAVING mean_loss(fare_amount, Sam_global) > 0.2`); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		`SELECT fare_amount FROM vc WHERE payment_type = 'cash'`,               // must select sample
+		`SELECT sample FROM vc WHERE fare_amount > 3`,                          // non-equality predicate
+		`SELECT sample FROM vc WHERE payment_type = 'a' OR payment_type = 'b'`, // OR
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("%q should fail", sql)
+		}
+	}
+	// SELECT * is allowed as an alias for the sample.
+	if _, err := db.Exec(`SELECT * FROM vc WHERE payment_type = 'cash'`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeAPIRoundTrip(t *testing.T) {
+	tbl := GenerateTaxi(3000, 7)
+	cube, err := Build(tbl, DefaultParams(NewMeanLoss("fare_amount"), 0.1, "payment_type", "vendor_name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cube.Query([]Condition{{Attr: "payment_type", Value: StringValue("dispute")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sample.NumRows() == 0 {
+		t.Fatal("empty sample")
+	}
+	// Save/Load through the facade.
+	var buf bytes.Buffer
+	if err := cube.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := loaded.Query([]Condition{{Attr: "payment_type", Value: StringValue("dispute")}})
+	if err != nil || res2.Sample.NumRows() != res.Sample.NumRows() {
+		t.Fatalf("reload mismatch: %v", err)
+	}
+}
+
+func TestCompileLossFacade(t *testing.T) {
+	f, err := CompileLoss(`CREATE AGGREGATE l(Raw, Sam) RETURN d AS
+		BEGIN ABS(AVG(Raw) - AVG(Sam)) END`, Euclidean, "fare_amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "l" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	if _, err := CompileLoss(`SELECT * FROM t`, Euclidean, "x"); err == nil {
+		t.Fatal("non-aggregate statement should fail")
+	}
+}
+
+func TestGreedySampleFacade(t *testing.T) {
+	tbl := GenerateTaxi(500, 9)
+	f := NewHistogramLoss("fare_amount")
+	view := View{Table: tbl, All: true}
+	rows, err := GreedySample(f, view, 1.0, DefaultGreedyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) >= 500 {
+		t.Fatalf("sample size = %d", len(rows))
+	}
+}
+
+func TestSerflingFacade(t *testing.T) {
+	k, err := SerflingSize(0.05, 0.01)
+	if err != nil || k < 1000 {
+		t.Fatalf("k=%d err=%v", k, err)
+	}
+}
+
+func TestLoadCSVFacade(t *testing.T) {
+	db := Open()
+	csv := "name,score\nalice,1.5\nbob,2.5\n"
+	schema := Schema{{Name: "name", Type: TypeString}, {Name: "score", Type: TypeFloat64}}
+	tbl, err := db.LoadCSV("scores", strings.NewReader(csv), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	res, err := db.Exec("SELECT AVG(score) AS a FROM scores")
+	if err != nil || res.Table.Value(0, 0).F != 2 {
+		t.Fatalf("avg = %+v err=%v", res, err)
+	}
+}
+
+func TestDBConcurrentQueries(t *testing.T) {
+	db := openTaxiDB(t, 3000)
+	if _, err := db.Exec(`CREATE TABLE cc AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
+		FROM nyctaxi GROUPBY CUBE(payment_type)
+		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		go func(w int) {
+			pays := []string{"cash", "credit", "dispute", "no_charge"}
+			for i := 0; i < 50; i++ {
+				_, err := db.Exec(`SELECT sample FROM cc WHERE payment_type = '` + pays[(w+i)%4] + `'`)
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 16; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExecCubeINQuery(t *testing.T) {
+	db := openTaxiDB(t, 4000)
+	// Histogram loss is merge-safe, so IN lists are allowed.
+	if _, err := db.Exec(`CREATE TABLE hin AS SELECT payment_type, vendor_name, SAMPLING(*, 1) AS sample
+		FROM nyctaxi GROUPBY CUBE(payment_type, vendor_name)
+		HAVING histogram_loss(fare_amount, Sam_global) > 1`); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Exec(`SELECT sample FROM hin
+		WHERE payment_type IN ('cash', 'dispute') AND vendor_name = 'CMT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table.NumRows() == 0 {
+		t.Fatal("empty union sample")
+	}
+	// Mean loss is not merge-safe: IN must be rejected.
+	if _, err := db.Exec(`CREATE TABLE min_cube AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
+		FROM nyctaxi GROUPBY CUBE(payment_type)
+		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`SELECT sample FROM min_cube WHERE payment_type IN ('cash', 'credit')`); err == nil {
+		t.Fatal("IN on mean-loss cube should error")
+	}
+}
+
+// The full running-example pipeline in pure SQL: derive the paper's
+// trip-distance bucket attribute with CTAS + BUCKET, cube it, query it.
+func TestExecCTASBucketThenCube(t *testing.T) {
+	db := openTaxiDB(t, 4000)
+	res, err := db.Exec(`
+		CREATE TABLE rides_b AS
+		SELECT payment_type, passenger_count,
+		       BUCKET(trip_distance, 5) AS distance_bucket,
+		       fare_amount, tip_amount
+		FROM nyctaxi`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Message, "rides_b created") {
+		t.Fatalf("message: %q", res.Message)
+	}
+	// The derived table is queryable.
+	q, err := db.Exec(`SELECT distance_bucket, COUNT(*) AS n FROM rides_b
+		GROUP BY distance_bucket ORDER BY n DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table.NumRows() == 0 {
+		t.Fatal("no buckets")
+	}
+	if b := q.Table.Value(0, 0).S; !strings.HasPrefix(b, "[") || !strings.Contains(b, ",") {
+		t.Fatalf("bucket label %q", b)
+	}
+	// And cube-able — the paper's D attribute end to end.
+	if _, err := db.Exec(`
+		CREATE TABLE dcube AS
+		SELECT distance_bucket, payment_type, SAMPLING(*, 0.1) AS sample
+		FROM rides_b
+		GROUPBY CUBE(distance_bucket, payment_type)
+		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); err != nil {
+		t.Fatal(err)
+	}
+	sq, err := db.Exec(`SELECT sample FROM dcube WHERE distance_bucket = '[0,5)'`)
+	if err != nil || sq.Table.NumRows() == 0 {
+		t.Fatalf("cube query: rows=%v err=%v", sq, err)
+	}
+}
+
+func TestExecCTASErrors(t *testing.T) {
+	db := openTaxiDB(t, 200)
+	if _, err := db.Exec(`CREATE TABLE t2 AS SELECT nosuch FROM nyctaxi`); err == nil {
+		t.Fatal("bad column should fail")
+	}
+	if _, err := db.Exec(`CREATE TABLE t3 AS SELECT payment_type, COUNT(*) AS n
+		FROM nyctaxi GROUPBY CUBE(payment_type)`); err == nil {
+		t.Fatal("CUBE without SAMPLING should fail")
+	}
+}
