@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build test race vet bench bench-concurrent
+
+## check: the full gate — vet, build everything, and run the test suite
+## under the race detector. CI and pre-commit should run this.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+## bench-concurrent: the snapshot design's headline numbers — lock-free
+## query throughput with and without a concurrent appender.
+bench-concurrent:
+	$(GO) test -run XXX -bench 'BenchmarkConcurrentQuery' .

@@ -7,6 +7,7 @@ package tabula
 // benchmarks cover the design choices DESIGN.md calls out.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -370,4 +371,81 @@ func benchVertices(b *testing.B, n int) []samgraph.Vertex {
 		vertices[i] = samgraph.Vertex{Rows: rows, SampleRows: rows[:20]}
 	}
 	return vertices
+}
+
+// --- Concurrency: the snapshot design's headline number ---------------------
+
+// BenchmarkConcurrentQuery measures lock-free query throughput with all
+// CPUs issuing dashboard queries against one cube at once. Because
+// Query takes no locks — a single atomic snapshot load — throughput
+// should scale with GOMAXPROCS instead of collapsing on a mutex.
+func BenchmarkConcurrentQuery(b *testing.B) {
+	tab, err := core.Build(benchTable, benchParams(harness.TaskMean, 0.1, 2, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	conds := [][]core.Condition{
+		nil,
+		{{Attr: "vendor_name", Value: dataset.StringValue("CMT")}},
+		{{Attr: "pickup_weekday", Value: dataset.StringValue("Fri")}},
+		{{Attr: "vendor_name", Value: dataset.StringValue("VTS")},
+			{Attr: "pickup_weekday", Value: dataset.StringValue("Mon")}},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := tab.Query(ctx, conds[i%len(conds)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkConcurrentQueryDuringAppend is the contended variant: one
+// goroutine continuously appends batches (publishing successor
+// snapshots) while the benchmark goroutines query. Queries should see
+// append-independent latency — they never wait for the maintainer.
+func BenchmarkConcurrentQueryDuringAppend(b *testing.B) {
+	p := benchParams(harness.TaskHistogram, 1.0, 2, true)
+	p.EnableAppend = true
+	tab, err := core.Build(benchTable, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seed := int64(benchSeed + 1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seed++
+			if _, err := tab.Append(ctx, nyctaxi.Generate(500, seed)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	conds := []core.Condition{{Attr: "vendor_name", Value: dataset.StringValue("CMT")}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := tab.Query(ctx, conds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
 }

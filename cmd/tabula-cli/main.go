@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -63,7 +64,7 @@ func main() {
 }
 
 func run(db *tabula.DB, stmt string) {
-	res, err := db.Exec(stmt)
+	res, err := db.Exec(context.Background(), stmt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return

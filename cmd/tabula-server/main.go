@@ -10,15 +10,24 @@
 // then:
 //
 //	curl -s localhost:8080/query -d '{"cube":"taxi_cube","where":{"payment_type":"cash"}}'
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests get a drain window, and request contexts
+// are cancelled so long scans abort instead of writing to dead sockets.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/tabula-db/tabula"
 	"github.com/tabula-db/tabula/internal/server"
@@ -26,20 +35,23 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		taxiRows = flag.Int("taxi-rows", 100000, "rows of synthetic NYCtaxi data to register as 'nyctaxi' (0 to skip)")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		initSQL  = flag.String("init", "", "semicolon-separated statements to execute at startup")
-		cubeFile = flag.String("load-cube", "", "load a persisted cube file and register it as 'cube'")
+		addr      = flag.String("addr", ":8080", "listen address")
+		taxiRows  = flag.Int("taxi-rows", 100000, "rows of synthetic NYCtaxi data to register as 'nyctaxi' (0 to skip)")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		initSQL   = flag.String("init", "", "semicolon-separated statements to execute at startup")
+		cubeFile  = flag.String("load-cube", "", "load a persisted cube file and register it as 'cube'")
+		drainTime = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	db := tabula.Open()
 	if *taxiRows > 0 {
 		log.Printf("generating %d synthetic taxi rides ...", *taxiRows)
 		db.RegisterTable("nyctaxi", tabula.GenerateTaxi(*taxiRows, *seed))
 	}
-	srv := server.New(db)
 	if *cubeFile != "" {
 		f, err := os.Open(*cubeFile)
 		if err != nil {
@@ -51,7 +63,6 @@ func main() {
 			log.Fatalf("tabula-server: loading cube: %v", err)
 		}
 		db.RegisterCube("cube", cube)
-		srv.TrackCube("cube")
 		log.Printf("loaded cube from %s (%d samples, theta=%g)", *cubeFile, cube.NumPersistedSamples(), cube.Theta())
 	}
 	if *initSQL != "" {
@@ -60,19 +71,39 @@ func main() {
 			if stmt == "" {
 				continue
 			}
-			res, err := db.Exec(stmt)
+			res, err := db.Exec(ctx, stmt)
 			if err != nil {
 				log.Fatalf("tabula-server: init statement failed: %v", err)
 			}
 			if res.Message != "" {
 				log.Print(res.Message)
-				var name string
-				if n, _ := fmt.Sscanf(res.Message, "sampling cube %s created", &name); n == 1 {
-					srv.TrackCube(name)
-				}
 			}
 		}
 	}
-	log.Printf("tabula middleware listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(db),
+		// Cancel request contexts when the serve loop exits, so shutdown
+		// aborts in-flight scans that exceed the drain window.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("tabula middleware listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatalf("tabula-server: %v", err)
+	case <-ctx.Done():
+		log.Printf("signal received; draining for up to %s ...", *drainTime)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("tabula-server: shutdown: %v", err)
+		}
+		<-errc // ListenAndServe returns http.ErrServerClosed
+		log.Print("tabula-server: stopped cleanly")
+	}
 }

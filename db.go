@@ -1,6 +1,7 @@
 package tabula
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -60,10 +61,18 @@ var builtinLossNames = map[string]func(targets []string, metric geo.Metric) (los
 // DB is the middleware's front door: it names raw tables, sampling
 // cubes, and user-declared loss aggregates, and executes the paper's SQL
 // dialect against them. A DB is safe for concurrent use.
+//
+// Concurrency model: cubes live in a per-cube registry whose lock is
+// held only for create/lookup/list. Cube queries are lock-free end to
+// end (one registry read lock for the name lookup, then a single atomic
+// snapshot load inside the cube), and a build or append on one cube
+// never blocks queries — not even on the same cube. The catalog of raw
+// tables and the aggregate declarations are guarded by a separate
+// read-write mutex that is never held across a cube build.
 type DB struct {
-	mu         sync.RWMutex
+	mu         sync.RWMutex // guards catalog and aggregates only
 	catalog    *engine.Catalog
-	cubes      map[string]*core.Tabula
+	cubes      *cubeRegistry
 	aggregates map[string]*engine.CreateAggregate
 	// Options applied to cube builds.
 	metric geo.Metric
@@ -85,7 +94,7 @@ func WithBuildParams(hook func(*Params)) Option { return func(db *DB) { db.param
 func Open(opts ...Option) *DB {
 	db := &DB{
 		catalog:    engine.NewCatalog(),
-		cubes:      make(map[string]*core.Tabula),
+		cubes:      newCubeRegistry(),
 		aggregates: make(map[string]*engine.CreateAggregate),
 		metric:     geo.Euclidean,
 	}
@@ -104,17 +113,55 @@ func (db *DB) RegisterTable(name string, t *Table) {
 
 // RegisterCube names an already-built (or loaded) sampling cube.
 func (db *DB) RegisterCube(name string, c *Cube) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.cubes[strings.ToLower(name)] = c
+	db.cubes.set(strings.ToLower(name), c)
 }
 
 // CubeByName returns a registered cube.
 func (db *DB) CubeByName(name string) (*Cube, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	c, ok := db.cubes[strings.ToLower(name)]
-	return c, ok
+	return db.cubes.lookup(strings.ToLower(name))
+}
+
+// Cubes lists the registered cube names, sorted. It replaces callers'
+// hand-rolled name tracking (Exec-created and RegisterCube-registered
+// cubes both appear).
+func (db *DB) Cubes() []string {
+	return db.cubes.names()
+}
+
+// Query answers a structured dashboard query against a registered cube:
+// a conjunction of equality predicates over its cubed attributes. It is
+// the native (non-SQL) serving path dashboards hammer; ctx cancellation
+// (e.g. a disconnected HTTP client) aborts the query.
+func (db *DB) Query(ctx context.Context, cube string, conds []Condition) (*QueryResult, error) {
+	c, ok := db.CubeByName(cube)
+	if !ok {
+		return nil, fmt.Errorf("tabula: unknown cube %q", cube)
+	}
+	return c.Query(ctx, conds)
+}
+
+// QueryByValues is Query with predicate values in display form, parsed
+// against the cube's schema (the shape JSON clients send).
+func (db *DB) QueryByValues(ctx context.Context, cube string, where map[string]string) (*QueryResult, error) {
+	c, ok := db.CubeByName(cube)
+	if !ok {
+		return nil, fmt.Errorf("tabula: unknown cube %q", cube)
+	}
+	return c.QueryByValues(ctx, where)
+}
+
+// Append ingests a batch into an appendable registered cube under that
+// cube's maintenance lock. Appends to different cubes run concurrently;
+// queries are never blocked (they keep serving the previous snapshot
+// until the batch publishes).
+func (db *DB) Append(ctx context.Context, cube string, batch *Table) (*AppendStats, error) {
+	e, ok := db.cubes.entry(strings.ToLower(cube), false)
+	if !ok || e.cube.Load() == nil {
+		return nil, fmt.Errorf("tabula: unknown cube %q", cube)
+	}
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.cube.Load().Append(ctx, batch)
 }
 
 // Result is the outcome of Exec: a table of rows for SELECT statements
@@ -141,7 +188,14 @@ type Result struct {
 //   - SELECT sample FROM cube WHERE a = v AND … fetches a materialized
 //     sample from a cube.
 //   - Any other SELECT executes against the raw tables.
-func (db *DB) Exec(sql string) (*Result, error) {
+//
+// ctx flows through the whole statement: raw-table scans, group-bys and
+// cube queries poll it, so cancelling ctx aborts in-flight work with
+// ctx.Err().
+func (db *DB) Exec(ctx context.Context, sql string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	st, err := engine.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -153,10 +207,10 @@ func (db *DB) Exec(sql string) (*Result, error) {
 		db.mu.Unlock()
 		return &Result{Message: fmt.Sprintf("aggregate %s declared", s.Name)}, nil
 	case *engine.CreateSamplingCube:
-		return db.execCreateCube(s)
+		return db.execCreateCube(ctx, s)
 	case *engine.CreateTableAs:
 		db.mu.RLock()
-		out, err := db.catalog.ExecuteSelect(s.Select)
+		out, err := db.catalog.ExecuteSelect(ctx, s.Select)
 		db.mu.RUnlock()
 		if err != nil {
 			return nil, err
@@ -164,7 +218,7 @@ func (db *DB) Exec(sql string) (*Result, error) {
 		db.RegisterTable(s.Name, out)
 		return &Result{Message: fmt.Sprintf("table %s created: %d rows, %d columns", s.Name, out.NumRows(), out.NumCols())}, nil
 	case *engine.SelectStmt:
-		return db.execSelect(s)
+		return db.execSelect(ctx, s)
 	default:
 		return nil, fmt.Errorf("tabula: unsupported statement %T", st)
 	}
@@ -184,7 +238,7 @@ func (db *DB) resolveLoss(name string, targets []string) (loss.Func, error) {
 	return nil, fmt.Errorf("tabula: unknown loss function %q (declare it with CREATE AGGREGATE or use a built-in: mean_loss, heatmap_loss, regression_loss, histogram_loss)", name)
 }
 
-func (db *DB) execCreateCube(s *engine.CreateSamplingCube) (*Result, error) {
+func (db *DB) execCreateCube(ctx context.Context, s *engine.CreateSamplingCube) (*Result, error) {
 	db.mu.RLock()
 	tbl, err := db.catalog.Table(s.Source)
 	db.mu.RUnlock()
@@ -199,18 +253,26 @@ func (db *DB) execCreateCube(s *engine.CreateSamplingCube) (*Result, error) {
 	if db.params != nil {
 		db.params(&p)
 	}
+	// Serialize builds of the same cube name; builds of different cubes
+	// (and all queries) proceed concurrently.
+	entry, _ := db.cubes.entry(strings.ToLower(s.CubeName), true)
+	entry.buildMu.Lock()
+	defer entry.buildMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cube, err := core.Build(tbl, p)
 	if err != nil {
 		return nil, err
 	}
-	db.RegisterCube(s.CubeName, cube)
+	entry.cube.Store(cube)
 	st := cube.Stats()
 	return &Result{Message: fmt.Sprintf(
 		"sampling cube %s created: %d/%d iceberg cells, %d samples persisted, %s",
 		s.CubeName, st.NumIcebergCells, st.NumCells, st.NumPersistedSamples, st.InitTime)}, nil
 }
 
-func (db *DB) execSelect(s *engine.SelectStmt) (*Result, error) {
+func (db *DB) execSelect(ctx context.Context, s *engine.SelectStmt) (*Result, error) {
 	// Cube query?
 	if cube, ok := db.CubeByName(s.From); ok {
 		if err := validateCubeProjection(s); err != nil {
@@ -225,20 +287,20 @@ func (db *DB) execSelect(s *engine.SelectStmt) (*Result, error) {
 			for _, c := range eq {
 				in = append(in, core.ConditionIn{Attr: c.Attr, Values: []dataset.Value{c.Value}})
 			}
-			res, err := cube.QueryIn(in)
+			res, err := cube.QueryIn(ctx, in)
 			if err != nil {
 				return nil, err
 			}
 			return &Result{Table: res.Sample, FromGlobal: res.FromGlobal}, nil
 		}
-		res, err := cube.Query(eq)
+		res, err := cube.Query(ctx, eq)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Table: res.Sample, FromGlobal: res.FromGlobal}, nil
 	}
 	db.mu.RLock()
-	out, err := db.catalog.ExecuteSelect(s)
+	out, err := db.catalog.ExecuteSelect(ctx, s)
 	db.mu.RUnlock()
 	if err != nil {
 		return nil, err

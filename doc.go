@@ -16,7 +16,7 @@
 //	db.RegisterTable("rides", table) // or db.LoadCSV / nyctaxi generator
 //
 //	// Initialize a sampling cube with the paper's SQL dialect:
-//	_, err := db.Exec(`
+//	_, err := db.Exec(ctx, `
 //	    CREATE TABLE ride_cube AS
 //	    SELECT payment_type, passenger_count, SAMPLING(*, 0.1) AS sample
 //	    FROM rides
@@ -24,13 +24,23 @@
 //	    HAVING mean_loss(fare_amount, Sam_global) > 0.1`)
 //
 //	// Dashboard interactions fetch materialized samples:
-//	res, err := db.Exec(`SELECT sample FROM ride_cube
-//	                     WHERE payment_type = 'cash' AND passenger_count = 1`)
+//	res, err := db.Exec(ctx, `SELECT sample FROM ride_cube
+//	                          WHERE payment_type = 'cash' AND passenger_count = 1`)
 //
 // The Go-native API (Build, Cube.Query) offers the same functionality
 // without SQL, and user-defined loss functions can be declared either in
 // SQL (CREATE AGGREGATE ... BEGIN expr END) or as Go values implementing
 // LossFunc.
+//
+// # Concurrency
+//
+// Every serving-path entry point takes a context.Context and honors
+// cancellation, including mid-scan inside the parallel engine. Queries
+// are lock-free: each cube publishes an immutable snapshot through an
+// atomic pointer, so dashboard reads never block behind ingestion.
+// Append builds a successor snapshot off the hot path and publishes it
+// with a single atomic swap; per-cube build locks serialize maintenance
+// without stalling traffic on other cubes. See DESIGN.md for details.
 //
 // Built-in loss functions mirror the paper: NewMeanLoss (Function 1),
 // NewHeatmapLoss (Function 2, the VAS/POIsam visualization-aware loss),

@@ -1,6 +1,7 @@
 package tabula_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,7 @@ func ExampleBuild() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := cube.Query([]tabula.Condition{
+	res, err := cube.Query(context.Background(), []tabula.Condition{
 		{Attr: "payment_type", Value: tabula.StringValue("dispute")},
 	})
 	if err != nil {
@@ -33,7 +34,7 @@ func ExampleBuild() {
 func ExampleDB_Exec() {
 	db := tabula.Open()
 	db.RegisterTable("nyctaxi", tabula.GenerateTaxi(20000, 42))
-	if _, err := db.Exec(`
+	if _, err := db.Exec(context.Background(), `
 		CREATE TABLE ride_cube AS
 		SELECT payment_type, SAMPLING(*, 0.1) AS sample
 		FROM nyctaxi
@@ -41,7 +42,7 @@ func ExampleDB_Exec() {
 		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); err != nil {
 		log.Fatal(err)
 	}
-	res, err := db.Exec(`SELECT sample FROM ride_cube WHERE payment_type = 'dispute'`)
+	res, err := db.Exec(context.Background(), `SELECT sample FROM ride_cube WHERE payment_type = 'dispute'`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const cubeFile = "ride_cube.tabula"
 
 	// --- process 1: initialize and persist -----------------------------
@@ -63,11 +65,11 @@ func main() {
 		{{Attr: "rate_code", Value: tabula.StringValue("jfk")},
 			{Attr: "pickup_weekday", Value: tabula.StringValue("Mon")}},
 	} {
-		before, err := cube.Query(conds)
+		before, err := cube.Query(ctx, conds)
 		if err != nil {
 			log.Fatal(err)
 		}
-		after, err := restored.Query(conds)
+		after, err := restored.Query(ctx, conds)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := tabula.Open()
 	db.RegisterTable("nyctaxi", tabula.GenerateTaxi(60000, 42))
 
@@ -24,7 +26,7 @@ func main() {
 	// the spread (standard deviation) of the fare distribution. The DSL
 	// body is an expression over algebraic aggregates, so the dry-run
 	// stage still evaluates it for every cube cell in one scan.
-	if _, err := db.Exec(`
+	if _, err := db.Exec(ctx, `
 		CREATE AGGREGATE spread_loss(Raw, Sam) RETURN decimal_value AS
 		BEGIN GREATEST(
 			ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw),
@@ -33,7 +35,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := db.Exec(`
+	res, err := db.Exec(ctx, `
 		CREATE TABLE spread_cube AS
 		SELECT payment_type, rate_code, SAMPLING(*, 0.15) AS sample
 		FROM nyctaxi
@@ -46,7 +48,6 @@ func main() {
 
 	// Serve it like a real middleware and drive it as a dashboard would.
 	srv := server.New(db)
-	srv.TrackCube("spread_cube")
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -79,7 +80,7 @@ func main() {
 		log.Fatal(err)
 	}
 	cube, _ := db.CubeByName("spread_cube")
-	q, err := cube.Query([]tabula.Condition{{Attr: "payment_type", Value: tabula.StringValue("dispute")}})
+	q, err := cube.Query(ctx, []tabula.Condition{{Attr: "payment_type", Value: tabula.StringValue("dispute")}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func main() {
 }
 
 func rawDisputes(db *tabula.DB) tabula.View {
-	res, err := db.Exec(`SELECT * FROM nyctaxi WHERE payment_type = 'dispute'`)
+	res, err := db.Exec(context.Background(), `SELECT * FROM nyctaxi WHERE payment_type = 'dispute'`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,6 +24,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	rides := tabula.GenerateTaxi(rows, 42)
 	pickupCol := rides.Schema().ColumnIndex("pickup")
 	payCol := rides.Schema().ColumnIndex("payment_type")
@@ -67,7 +69,7 @@ func main() {
 		st.NumIcebergCells, st.NumCells, st.NumPersistedSamples, st.InitTime,
 		float64(st.TotalBytes())/(1<<20))
 
-	res, err := cube.Query([]tabula.Condition{
+	res, err := cube.Query(ctx, []tabula.Condition{
 		{Attr: "payment_type", Value: tabula.StringValue("credit")},
 		{Attr: "rate_code", Value: tabula.StringValue("jfk")},
 	})

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,12 +20,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	logs := generateLogs(80000, 42)
 	db := tabula.Open()
 	db.RegisterTable("access_log", logs)
 
 	// Distinct-coverage cube for the endpoint breakdown panel.
-	res, err := db.Exec(`
+	res, err := db.Exec(ctx, `
 		CREATE TABLE endpoint_cube AS
 		SELECT status, region, SAMPLING(*, 0.1) AS sample
 		FROM access_log
@@ -35,7 +37,7 @@ func main() {
 	}
 	fmt.Println(res.Message)
 
-	q, err := db.Exec(`SELECT sample FROM endpoint_cube WHERE status = '500'`)
+	q, err := db.Exec(ctx, `SELECT sample FROM endpoint_cube WHERE status = '500'`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ans, err := cube.Query([]tabula.Condition{
+	ans, err := cube.Query(ctx, []tabula.Condition{
 		{Attr: "region", Value: tabula.StringValue("eu-west")},
 		{Attr: "method", Value: tabula.StringValue("POST")},
 	})

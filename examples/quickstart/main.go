@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. A "large" raw table the dashboard would normally query.
 	rides := tabula.GenerateTaxi(100000, 42)
 	fmt.Printf("raw table: %d rides, %d columns, ~%.1f MiB\n",
@@ -20,7 +22,7 @@ func main() {
 	//    three dashboard filter attributes.
 	db := tabula.Open()
 	db.RegisterTable("nyctaxi", rides)
-	res, err := db.Exec(`
+	res, err := db.Exec(ctx, `
 		CREATE TABLE ride_cube AS
 		SELECT payment_type, passenger_count, vendor_name, SAMPLING(*, 0.1) AS sample
 		FROM nyctaxi
@@ -37,7 +39,7 @@ func main() {
 		`payment_type = 'dispute'`,
 		`payment_type = 'credit' AND passenger_count = 2`,
 	} {
-		q, err := db.Exec(`SELECT sample FROM ride_cube WHERE ` + where)
+		q, err := db.Exec(ctx, `SELECT sample FROM ride_cube WHERE `+where)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,11 +52,11 @@ func main() {
 
 	// 4. Verify the guarantee by hand on the skewed dispute population:
 	//    compare the sample's fare mean with the true mean.
-	q, err := db.Exec(`SELECT sample FROM ride_cube WHERE payment_type = 'dispute'`)
+	q, err := db.Exec(ctx, `SELECT sample FROM ride_cube WHERE payment_type = 'dispute'`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := db.Exec(`SELECT AVG(fare_amount) AS m FROM nyctaxi WHERE payment_type = 'dispute'`)
+	exact, err := db.Exec(ctx, `SELECT AVG(fare_amount) AS m FROM nyctaxi WHERE payment_type = 'dispute'`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rides := tabula.GenerateTaxi(120000, 42)
 	f := tabula.NewRegressionLoss("fare_amount", "tip_amount")
 	const theta = 2.0 // degrees
@@ -33,7 +35,7 @@ func main() {
 			{Attr: "pickup_weekday", Value: tabula.StringValue("Sat")}},
 	}
 	for _, conds := range populations {
-		res, err := cube.Query(conds)
+		res, err := cube.Query(ctx, conds)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	history := tabula.GenerateTaxi(50000, 42)
 	f := tabula.NewHistogramLoss("fare_amount")
 	const theta = 1.0 // $1 average fare distance
@@ -31,7 +33,7 @@ func main() {
 	// (different seeds produce different fare/skew mixes).
 	for day := 1; day <= 5; day++ {
 		batch := tabula.GenerateTaxi(8000, 42+int64(day))
-		stats, err := cube.Append(batch)
+		stats, err := cube.Append(ctx, batch)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +43,7 @@ func main() {
 
 		// Spot-check the guarantee on a dashboard query after each batch.
 		q := []tabula.Condition{{Attr: "payment_type", Value: tabula.StringValue("dispute")}}
-		res, err := cube.Query(q)
+		res, err := cube.Query(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -84,7 +85,7 @@ func filterRows(tbl *dataset.Table, cubedAttrs []string, conds []core.Condition)
 		}
 		preds[i] = engine.EqPredicate{Col: idx, Value: c.Value}
 	}
-	return engine.FastEqFilter(tbl, preds)
+	return engine.FastEqFilter(context.Background(), tbl, preds)
 }
 
 // --- SampleFirst ------------------------------------------------------------

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -422,7 +423,7 @@ func (t *TabulaApproach) Init(tbl *dataset.Table, cfg Config) error {
 
 // Query implements Approach.
 func (t *TabulaApproach) Query(conds []core.Condition) (Result, error) {
-	res, err := t.tab.Query(conds)
+	res, err := t.tab.Query(context.Background(), conds)
 	if err != nil {
 		return Result{}, err
 	}

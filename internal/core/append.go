@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,7 +14,9 @@ import (
 
 // maintenance holds the extra state an appendable cube retains: the raw
 // table, the attribute encoding, and the per-cell algebraic loss states,
-// so appended rows can be folded in without re-scanning history.
+// so appended rows can be folded in without re-scanning history. It is
+// deliberately NOT part of the published snapshot — queries never touch
+// it, and it is only accessed under Tabula.maintMu.
 type maintenance struct {
 	raw    *dataset.Table
 	enc    *engine.CatEncoding
@@ -34,7 +37,11 @@ type AppendStats struct {
 
 // Appendable reports whether the cube was built with
 // Params.EnableAppend and can ingest new rows incrementally.
-func (t *Tabula) Appendable() bool { return t.maint != nil }
+func (t *Tabula) Appendable() bool {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
+	return t.maint != nil
+}
 
 // Append ingests a batch of new rows into the raw table and incrementally
 // maintains the sampling cube so the deterministic guarantee keeps
@@ -56,17 +63,37 @@ func (t *Tabula) Appendable() bool { return t.maint != nil }
 // fresh samples are persisted individually. Call Build again when the
 // accumulated appends warrant a full re-optimization.
 //
+// Append mutates nothing the query processor reads: it assembles a
+// successor snapshot off the hot path and publishes it with one atomic
+// swap once the whole batch is folded in, so concurrent queries see
+// either the entire batch or none of it. Appends serialize among
+// themselves. The context is honored before any mutation begins; once
+// the raw table has grown the batch is applied to completion (aborting
+// midway would desynchronize the retained loss states).
+//
+// Ownership: a cube built with Params.EnableAppend retains the table
+// passed to Build as its raw table and grows it here; callers must not
+// read that table concurrently with Append (the batch table is only
+// read and may be reused afterwards).
+//
 // This is an extension beyond the paper, which treats the raw table as
 // static.
-func (t *Tabula) Append(batch *dataset.Table) (*AppendStats, error) {
+func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats, error) {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 	if t.maint == nil {
 		return nil, fmt.Errorf("core: cube was not built with Params.EnableAppend")
 	}
-	if err := schemasEqual(t.schema, batch.Schema()); err != nil {
+	cur := t.snap.Load()
+	if err := schemasEqual(cur.schema, batch.Schema()); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	m := t.maint
+	next := cur.successor()
 	from := m.raw.NumRows()
 
 	// Stage 1: append rows, then extend the encoding (which validates
@@ -88,16 +115,20 @@ func (t *Tabula) Append(batch *dataset.Table) (*AppendStats, error) {
 	// Stage 2: rebind the evaluator (column slices may have been
 	// reallocated by the append) and fold new rows into affected cells.
 	dr := t.params.Loss.(loss.DryRunner)
-	ev, err := dr.BindSample(m.raw, dataset.FullView(t.global))
+	ev, err := dr.BindSample(m.raw, dataset.FullView(next.global))
 	if err != nil {
-		return nil, err
+		// The raw table already grew but the snapshot will not: the
+		// maintainer has diverged from the served cube, so further
+		// appends would violate the guarantee silently.
+		t.maint = nil
+		return nil, fmt.Errorf("core: %w (cube is now read-only; rebuild to ingest this batch)", err)
 	}
 	m.ev = ev
 	lat := cube.NewLattice(m.enc.NumAttrs())
 	touched := make(map[uint64]int) // key -> cuboid mask
 	for row := from; row < m.raw.NumRows(); row++ {
 		for mask := 0; mask < lat.NumCuboids(); mask++ {
-			key := engine.GroupKeys(m.enc, t.codec, lat.Attrs(mask), int32(row))
+			key := engine.GroupKeys(m.enc, next.codec, lat.Attrs(mask), int32(row))
 			st, ok := m.states[key]
 			if !ok {
 				st = ev.NewState()
@@ -108,7 +139,9 @@ func (t *Tabula) Append(batch *dataset.Table) (*AppendStats, error) {
 		}
 	}
 
-	// Stage 3: re-examine touched cells.
+	// Stage 3: re-examine touched cells, rewriting the successor
+	// snapshot's cube table and sample list (the published snapshot stays
+	// untouched until the final swap).
 	stats := &AppendStats{RowsAppended: batch.NumRows(), CellsTouched: len(touched)}
 	// Group touched keys by mask for efficient row retrieval.
 	byMask := make(map[int]map[uint64]struct{})
@@ -135,15 +168,15 @@ func (t *Tabula) Append(batch *dataset.Table) (*AppendStats, error) {
 		// Retrieve raw rows only for cells that need local-sample checks.
 		var cellRows map[uint64][]int32
 		if len(needRows) > 0 {
-			matched := engine.SemiJoinRows(m.enc, t.codec, attrs, full, needRows)
-			cellRows = engine.GroupRows(m.enc, t.codec, attrs, dataset.NewView(m.raw, matched))
+			matched := engine.SemiJoinRows(m.enc, next.codec, attrs, full, needRows)
+			cellRows = engine.GroupRows(m.enc, next.codec, attrs, dataset.NewView(m.raw, matched))
 		}
 		for key, needsLocal := range verdict {
-			prevID, wasIceberg := t.cubeTable[key]
+			prevID, wasIceberg := next.cubeTable[key]
 			if !needsLocal {
 				if wasIceberg {
 					// The global sample now suffices; unlink the local one.
-					delete(t.cubeTable, key)
+					delete(next.cubeTable, key)
 					stats.CellsNowGlobal++
 				}
 				continue
@@ -153,30 +186,34 @@ func (t *Tabula) Append(batch *dataset.Table) (*AppendStats, error) {
 			cellView := dataset.NewView(m.raw, rows)
 			if wasIceberg {
 				// Keep the assigned sample if it still satisfies θ.
-				if t.params.Loss.Loss(cellView, dataset.FullView(t.samples[prevID])) <= t.params.Theta {
+				if t.params.Loss.Loss(cellView, dataset.FullView(next.samples[prevID])) <= t.params.Theta {
 					stats.SamplesKept++
 					continue
 				}
 			}
 			sampleRows, err := sampling.Greedy(t.params.Loss, cellView, t.params.Theta, t.params.Greedy)
 			if err != nil {
-				return nil, fmt.Errorf("core: resampling cell %d: %w", key, err)
+				// Same divergence as above: the batch is half-applied to
+				// the maintainer and cannot be rolled back.
+				t.maint = nil
+				return nil, fmt.Errorf("core: resampling cell %d: %w (cube is now read-only; rebuild to ingest this batch)", key, err)
 			}
-			id := int32(len(t.samples))
-			t.samples = append(t.samples, dataset.NewView(m.raw, sampleRows).Materialize())
-			t.cubeTable[key] = id
+			id := int32(len(next.samples))
+			next.samples = append(next.samples, dataset.NewView(m.raw, sampleRows).Materialize())
+			next.cubeTable[key] = id
 			stats.SamplesRebuilt++
 		}
 	}
 
-	// Refresh the public stats.
-	t.stats.NumIcebergCells = len(t.cubeTable)
-	t.stats.NumPersistedSamples = len(t.samples)
-	t.stats.CubeTableBytes = int64(len(t.cubeTable)) * cubeTableEntryBytes
-	t.stats.SampleTableBytes = 0
-	for _, s := range t.samples {
-		t.stats.SampleTableBytes += s.Footprint()
+	// Refresh the successor's stats, then publish it.
+	next.stats.NumIcebergCells = len(next.cubeTable)
+	next.stats.NumPersistedSamples = len(next.samples)
+	next.stats.CubeTableBytes = int64(len(next.cubeTable)) * cubeTableEntryBytes
+	next.stats.SampleTableBytes = 0
+	for _, s := range next.samples {
+		next.stats.SampleTableBytes += s.Footprint()
 	}
+	t.snap.Store(next)
 	stats.Elapsed = time.Since(start)
 	return stats, nil
 }

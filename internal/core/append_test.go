@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestAppendPreservesGuarantee(t *testing.T) {
 		tab := buildAppendable(t, tbl, tc.f, tc.theta)
 
 		// Batch 1: ordinary rows.
-		st1, err := tab.Append(taxiTable(600, 132))
+		st1, err := tab.Append(context.Background(), taxiTable(600, 132))
 		if err != nil {
 			t.Fatalf("%s: %v", tc.f.Name(), err)
 		}
@@ -57,7 +58,7 @@ func TestAppendPreservesGuarantee(t *testing.T) {
 				dataset.PointValue(geo.Point{X: -73.95, Y: 40.75}),
 			)
 		}
-		if _, err := tab.Append(skew); err != nil {
+		if _, err := tab.Append(context.Background(), skew); err != nil {
 			t.Fatalf("%s: skew append: %v", tc.f.Name(), err)
 		}
 		// tbl has grown in place; verify every cell against it.
@@ -77,14 +78,14 @@ func TestAppendRejectsNewDomainValue(t *testing.T) {
 		dataset.FloatValue(1),
 		dataset.PointValue(geo.Point{X: -74, Y: 40.7}),
 	)
-	if _, err := tab.Append(bad); err == nil {
+	if _, err := tab.Append(context.Background(), bad); err == nil {
 		t.Fatal("new categorical value must be rejected")
 	}
 	// The cube is read-only afterwards.
 	if tab.Appendable() {
 		t.Fatal("cube should be read-only after a failed append")
 	}
-	if _, err := tab.Append(dataset.NewTable(tbl.Schema())); err == nil {
+	if _, err := tab.Append(context.Background(), dataset.NewTable(tbl.Schema())); err == nil {
 		t.Fatal("further appends must fail")
 	}
 }
@@ -93,7 +94,7 @@ func TestAppendSchemaMismatch(t *testing.T) {
 	tbl := taxiTable(500, 135)
 	tab := buildAppendable(t, tbl, loss.NewMean("fare"), 0.1)
 	other := dataset.NewTable(dataset.Schema{{Name: "x", Type: dataset.Int64}})
-	if _, err := tab.Append(other); err == nil {
+	if _, err := tab.Append(context.Background(), other); err == nil {
 		t.Fatal("schema mismatch must be rejected")
 	}
 	// A failed schema check must not poison the cube.
@@ -108,7 +109,7 @@ func TestAppendNotEnabled(t *testing.T) {
 	if tab.Appendable() {
 		t.Fatal("default build must not be appendable")
 	}
-	if _, err := tab.Append(dataset.NewTable(tbl.Schema())); err == nil {
+	if _, err := tab.Append(context.Background(), dataset.NewTable(tbl.Schema())); err == nil {
 		t.Fatal("append on non-appendable cube must fail")
 	}
 }
@@ -149,7 +150,7 @@ func TestAppendFlipsCellsToGlobal(t *testing.T) {
 	f := loss.NewMean("fare")
 	tab := buildAppendable(t, tbl, f, 0.15)
 	q := []Condition{{Attr: "payment", Value: dataset.StringValue("dispute")}}
-	before, err := tab.Query(q)
+	before, err := tab.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestAppendFlipsCellsToGlobal(t *testing.T) {
 	// the global mean.
 	batch := dataset.NewTable(schema)
 	addRows(batch, 4000, func() float64 { return 11 + r.Float64()*2 })
-	st, err := tab.Append(batch)
+	st, err := tab.Append(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestAppendFlipsCellsToGlobal(t *testing.T) {
 func TestAppendEmptyBatch(t *testing.T) {
 	tbl := taxiTable(500, 138)
 	tab := buildAppendable(t, tbl, loss.NewMean("fare"), 0.1)
-	st, err := tab.Append(dataset.NewTable(tbl.Schema()))
+	st, err := tab.Append(context.Background(), dataset.NewTable(tbl.Schema()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -100,8 +100,11 @@ func readValue(r io.Reader) (dataset.Value, error) {
 }
 
 // Save serializes the materialized sampling cube so a restarted
-// middleware can keep answering queries without re-initialization.
+// middleware can keep answering queries without re-initialization. It
+// serializes one atomically loaded snapshot, so saving is safe (and
+// consistent) while Appends run concurrently.
 func (t *Tabula) Save(w io.Writer) error {
+	sn := t.snap.Load()
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
@@ -122,23 +125,23 @@ func (t *Tabula) Save(w io.Writer) error {
 		if err := writeStr(bw, name); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.attrVals[ai]))); err != nil {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(sn.attrVals[ai]))); err != nil {
 			return err
 		}
-		for _, v := range t.attrVals[ai] {
+		for _, v := range sn.attrVals[ai] {
 			if err := writeValue(bw, v); err != nil {
 				return err
 			}
 		}
 	}
-	if err := t.global.WriteBinary(bw); err != nil {
+	if err := sn.global.WriteBinary(bw); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.cubeTable))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(sn.cubeTable))); err != nil {
 		return err
 	}
-	keys := make([]uint64, 0, len(t.cubeTable))
-	for k := range t.cubeTable {
+	keys := make([]uint64, 0, len(sn.cubeTable))
+	for k := range sn.cubeTable {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
@@ -146,14 +149,14 @@ func (t *Tabula) Save(w io.Writer) error {
 		if err := binary.Write(bw, binary.LittleEndian, k); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, t.cubeTable[k]); err != nil {
+		if err := binary.Write(bw, binary.LittleEndian, sn.cubeTable[k]); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.samples))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(sn.samples))); err != nil {
 		return err
 	}
-	for _, s := range t.samples {
+	for _, s := range sn.samples {
 		if err := s.WriteBinary(bw); err != nil {
 			return err
 		}
@@ -180,7 +183,8 @@ func Load(r io.Reader) (*Tabula, error) {
 	if version != persistVersion {
 		return nil, fmt.Errorf("core: unsupported cube version %d", version)
 	}
-	t := &Tabula{cubeTable: make(map[uint64]int32)}
+	t := &Tabula{}
+	sn := &snapshot{cubeTable: make(map[uint64]int32)}
 	if err := binary.Read(br, binary.LittleEndian, &t.params.Theta); err != nil {
 		return nil, err
 	}
@@ -194,7 +198,7 @@ func Load(r io.Reader) (*Tabula, error) {
 		return nil, err
 	}
 	cards := make([]int, nattrs)
-	t.attrVals = make([][]dataset.Value, nattrs)
+	sn.attrVals = make([][]dataset.Value, nattrs)
 	for ai := 0; ai < int(nattrs); ai++ {
 		aname, err := readStr(br)
 		if err != nil {
@@ -213,17 +217,21 @@ func Load(r io.Reader) (*Tabula, error) {
 			}
 			vals[i] = v
 		}
-		t.attrVals[ai] = vals
+		sn.attrVals[ai] = vals
 		cards[ai] = len(vals)
 	}
-	t.codec, err = engine.NewKeyCodec(cards)
+	sn.attrIdx = make(map[string]int, len(t.params.CubedAttrs))
+	for i, aname := range t.params.CubedAttrs {
+		sn.attrIdx[aname] = i
+	}
+	sn.codec, err = engine.NewKeyCodec(cards)
 	if err != nil {
 		return nil, err
 	}
-	if t.global, err = dataset.ReadBinary(br); err != nil {
+	if sn.global, err = dataset.ReadBinary(br); err != nil {
 		return nil, fmt.Errorf("core: reading global sample: %w", err)
 	}
-	t.schema = t.global.Schema()
+	sn.schema = sn.global.Schema()
 	var nCells uint32
 	if err := binary.Read(br, binary.LittleEndian, &nCells); err != nil {
 		return nil, err
@@ -237,7 +245,7 @@ func Load(r io.Reader) (*Tabula, error) {
 		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
 			return nil, err
 		}
-		t.cubeTable[key] = id
+		sn.cubeTable[key] = id
 	}
 	var nSamples uint32
 	if err := binary.Read(br, binary.LittleEndian, &nSamples); err != nil {
@@ -248,20 +256,21 @@ func Load(r io.Reader) (*Tabula, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: reading sample %d: %w", i, err)
 		}
-		t.samples = append(t.samples, s)
+		sn.samples = append(sn.samples, s)
 	}
-	for _, id := range t.cubeTable {
-		if int(id) < 0 || int(id) >= len(t.samples) {
+	for _, id := range sn.cubeTable {
+		if int(id) < 0 || int(id) >= len(sn.samples) {
 			return nil, fmt.Errorf("core: cube table references missing sample %d", id)
 		}
 	}
 	// Recompute footprint stats for the loaded instance.
-	t.stats.GlobalSampleSize = t.global.NumRows()
-	t.stats.NumPersistedSamples = len(t.samples)
-	t.stats.GlobalSampleBytes = t.global.Footprint()
-	t.stats.CubeTableBytes = int64(len(t.cubeTable)) * cubeTableEntryBytes
-	for _, s := range t.samples {
-		t.stats.SampleTableBytes += s.Footprint()
+	sn.stats.GlobalSampleSize = sn.global.NumRows()
+	sn.stats.NumPersistedSamples = len(sn.samples)
+	sn.stats.GlobalSampleBytes = sn.global.Footprint()
+	sn.stats.CubeTableBytes = int64(len(sn.cubeTable)) * cubeTableEntryBytes
+	for _, s := range sn.samples {
+		sn.stats.SampleTableBytes += s.Footprint()
 	}
+	t.snap.Store(sn)
 	return t, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestLoadCorruptedBytes(t *testing.T) {
 				return // rejected, fine
 			}
 			// If it loaded, a query must not crash.
-			_, _ = loaded.Query(nil)
+			_, _ = loaded.Query(context.Background(), nil)
 		}()
 	}
 }

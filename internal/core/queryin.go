@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,21 +29,26 @@ type ConditionIn struct {
 // average-minimum-distance family. For non-merge-safe losses (mean,
 // regression) QueryIn returns an error directing the caller to issue
 // per-cell queries instead.
-func (t *Tabula) QueryIn(conds []ConditionIn) (*QueryResult, error) {
+//
+// Like Query, QueryIn is lock-free: the entire answer is assembled from
+// one atomically loaded snapshot. The context is checked while the cell
+// cross-product is enumerated and while the union sample is copied, so a
+// disconnected dashboard stops paying for large IN lists.
+func (t *Tabula) QueryIn(ctx context.Context, conds []ConditionIn) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if t.params.Loss != nil && !loss.IsMergeSafe(t.params.Loss) {
 		return nil, fmt.Errorf("core: loss %q is not merge-safe; IN queries would void the guarantee (issue per-value queries instead)", t.lossName())
 	}
 	if t.params.Loss == nil {
 		return nil, fmt.Errorf("core: IN queries need the live loss function; a cube restored by Load answers only equality queries")
 	}
-	attrIdx := make(map[string]int, len(t.params.CubedAttrs))
-	for i, name := range t.params.CubedAttrs {
-		attrIdx[name] = i
-	}
+	sn := t.snap.Load()
 	// Per attribute: candidate codes (nil = unconstrained).
-	codesPerAttr := make([][]int32, len(t.attrVals))
+	codesPerAttr := make([][]int32, len(sn.attrVals))
 	for _, c := range conds {
-		ai, ok := attrIdx[c.Attr]
+		ai, ok := sn.attrIdx[c.Attr]
 		if !ok {
 			return nil, fmt.Errorf("core: attribute %q is not a cubed attribute", c.Attr)
 		}
@@ -54,13 +60,13 @@ func (t *Tabula) QueryIn(conds []ConditionIn) (*QueryResult, error) {
 		}
 		var codes []int32
 		for _, v := range c.Values {
-			if code := t.codeOf(ai, v); code != engine.NullCode {
+			if code := sn.codeOf(ai, v); code != engine.NullCode {
 				codes = append(codes, code)
 			}
 		}
 		if len(codes) == 0 {
 			// No known value matches: empty population.
-			return &QueryResult{Sample: dataset.NewTable(t.schema), SampleID: -1}, nil
+			return &QueryResult{Sample: dataset.NewTable(sn.schema), SampleID: -1}, nil
 		}
 		codesPerAttr[ai] = codes
 	}
@@ -69,12 +75,16 @@ func (t *Tabula) QueryIn(conds []ConditionIn) (*QueryResult, error) {
 	// distinct samples that answer the member cells.
 	sampleIDs := make(map[int32]bool)
 	useGlobal := false
-	addr := make([]int32, len(t.attrVals))
+	addr := make([]int32, len(sn.attrVals))
+	var cancelled error
 	var rec func(ai int)
 	rec = func(ai int) {
+		if cancelled != nil {
+			return
+		}
 		if ai == len(codesPerAttr) {
-			key := t.codec.Encode(addr)
-			if id, ok := t.cubeTable[key]; ok {
+			key := sn.codec.Encode(addr)
+			if id, ok := sn.cubeTable[key]; ok {
 				sampleIDs[id] = true
 			} else {
 				useGlobal = true
@@ -87,22 +97,37 @@ func (t *Tabula) QueryIn(conds []ConditionIn) (*QueryResult, error) {
 			return
 		}
 		for _, code := range codesPerAttr[ai] {
+			if ai == 0 {
+				if err := ctx.Err(); err != nil {
+					cancelled = err
+					return
+				}
+			}
 			addr[ai] = code
 			rec(ai + 1)
 		}
 	}
 	rec(0)
+	if cancelled != nil {
+		return nil, cancelled
+	}
 
 	// Assemble the union sample.
-	union := dataset.NewTable(t.schema)
-	appendAll := func(s *dataset.Table) {
+	union := dataset.NewTable(sn.schema)
+	appendAll := func(s *dataset.Table) error {
 		vals := make([]dataset.Value, s.NumCols())
 		for r := 0; r < s.NumRows(); r++ {
+			if r&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			for c := range vals {
 				vals[c] = s.Value(r, c)
 			}
 			union.MustAppendRow(vals...)
 		}
+		return nil
 	}
 	ids := make([]int32, 0, len(sampleIDs))
 	for id := range sampleIDs {
@@ -110,10 +135,14 @@ func (t *Tabula) QueryIn(conds []ConditionIn) (*QueryResult, error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		appendAll(t.samples[id])
+		if err := appendAll(sn.samples[id]); err != nil {
+			return nil, err
+		}
 	}
 	if useGlobal {
-		appendAll(t.global)
+		if err := appendAll(sn.global); err != nil {
+			return nil, err
+		}
 	}
 	return &QueryResult{Sample: union, FromGlobal: useGlobal && len(ids) == 0, SampleID: -1}, nil
 }

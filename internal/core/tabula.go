@@ -3,12 +3,26 @@
 // real run → representative sample selection) and the query processor
 // that answers dashboard queries from materialized samples with a
 // deterministic accuracy-loss guarantee.
+//
+// # Concurrency model
+//
+// The serving state of a Tabula instance — cube table, sample table,
+// global sample, key codec — lives in an immutable snapshot published
+// through an atomic pointer. Query and QueryIn read the snapshot with a
+// single atomic load and never take a lock, so dashboard traffic on one
+// cube is unaffected by maintenance on the same (or any other) cube.
+// Append builds a successor snapshot off the hot path and publishes it
+// with one atomic swap; concurrent readers keep serving the previous
+// snapshot until the swap and the new one afterwards, never a mix.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tabula-db/tabula/internal/cube"
@@ -105,22 +119,54 @@ func (s Stats) TotalBytes() int64 {
 	return s.GlobalSampleBytes + s.CubeTableBytes + s.SampleTableBytes
 }
 
-// Tabula is an initialized middleware instance holding the partially
-// materialized sampling cube of Figure 4: a cube table mapping iceberg
-// cells to sample ids and a sample table of persisted representative
-// samples, plus the global sample answering non-iceberg queries.
-type Tabula struct {
+// snapshot is the immutable serving state of a Tabula instance:
+// everything the query processor touches. A snapshot is never mutated
+// after publication — Append assembles a successor (sharing the
+// unchanged pieces) and swaps the pointer, so a reader that loaded a
+// snapshot can keep using every field without synchronization.
+type snapshot struct {
 	schema    dataset.Schema
-	params    Params
 	attrVals  [][]dataset.Value // per cubed attribute: code -> value
+	attrIdx   map[string]int    // cubed attribute name -> position
 	codec     *engine.KeyCodec
 	global    *dataset.Table
 	cubeTable map[uint64]int32
 	samples   []*dataset.Table
 	stats     Stats
+}
+
+// successor returns a shallow copy of s sharing the immutable pieces
+// (schema, dictionaries, codec, global sample, already-persisted
+// samples) and deep-copying the cube table, the one structure Append
+// rewrites in place.
+func (s *snapshot) successor() *snapshot {
+	next := *s
+	next.cubeTable = make(map[uint64]int32, len(s.cubeTable))
+	for k, v := range s.cubeTable {
+		next.cubeTable[k] = v
+	}
+	next.samples = append([]*dataset.Table(nil), s.samples...)
+	return &next
+}
+
+// Tabula is an initialized middleware instance holding the partially
+// materialized sampling cube of Figure 4: a cube table mapping iceberg
+// cells to sample ids and a sample table of persisted representative
+// samples, plus the global sample answering non-iceberg queries.
+//
+// All methods are safe for concurrent use. Queries are lock-free (one
+// atomic snapshot load); Appends serialize among themselves on an
+// internal maintainer lock but never block queries.
+type Tabula struct {
+	params Params
 	// loadedLossName carries the loss name of an instance restored by
 	// Load, which has no live loss.Func.
 	loadedLossName string
+	// snap is the published immutable serving state.
+	snap atomic.Pointer[snapshot]
+	// maintMu serializes maintenance (Append); the maintainer state
+	// below is touched only while holding it.
+	maintMu sync.Mutex
 	// maint is non-nil for appendable cubes (Params.EnableAppend).
 	maint *maintenance
 }
@@ -131,6 +177,19 @@ func (t *Tabula) lossName() string {
 		return t.params.Loss.Name()
 	}
 	return t.loadedLossName
+}
+
+// newSnapshot precomputes the derived lookup structures of a snapshot.
+func newSnapshot(schema dataset.Schema, cubedAttrs []string) *snapshot {
+	sn := &snapshot{
+		schema:    schema,
+		cubeTable: make(map[uint64]int32),
+		attrIdx:   make(map[string]int, len(cubedAttrs)),
+	}
+	for i, name := range cubedAttrs {
+		sn.attrIdx[name] = i
+	}
+	return sn
 }
 
 // Build initializes Tabula over the raw table: it draws the global
@@ -152,11 +211,8 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 	if p.Delta == 0 {
 		p.Delta = 0.01
 	}
-	t := &Tabula{
-		schema:    tbl.Schema().Clone(),
-		params:    p,
-		cubeTable: make(map[uint64]int32),
-	}
+	t := &Tabula{params: p}
+	sn := newSnapshot(tbl.Schema().Clone(), p.CubedAttrs)
 	cols := make([]int, len(p.CubedAttrs))
 	for i, name := range p.CubedAttrs {
 		idx := tbl.Schema().ColumnIndex(name)
@@ -176,14 +232,14 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.codec = codec
-	t.attrVals = make([][]dataset.Value, enc.NumAttrs())
-	for ai := range t.attrVals {
+	sn.codec = codec
+	sn.attrVals = make([][]dataset.Value, enc.NumAttrs())
+	for ai := range sn.attrVals {
 		vals := make([]dataset.Value, enc.Cardinality(ai))
 		for c := range vals {
 			vals[c] = enc.Value(ai, int32(c))
 		}
-		t.attrVals[ai] = vals
+		sn.attrVals[ai] = vals
 	}
 
 	k, err := sampling.SerflingSize(p.Epsilon, p.Delta)
@@ -194,9 +250,9 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 	globalRows := sampling.Random(dataset.FullView(tbl), k, rng)
 	sort.Slice(globalRows, func(i, j int) bool { return globalRows[i] < globalRows[j] })
 	globalView := dataset.NewView(tbl, globalRows)
-	t.global = globalView.Materialize()
-	t.stats.GlobalSampleSize = t.global.NumRows()
-	t.stats.GlobalSampleTime = time.Since(start)
+	sn.global = globalView.Materialize()
+	sn.stats.GlobalSampleSize = sn.global.NumRows()
+	sn.stats.GlobalSampleTime = time.Since(start)
 
 	// Stage 1: dry run — iceberg cell lookup from one scan.
 	dr, ok := p.Loss.(loss.DryRunner)
@@ -215,11 +271,11 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 	if p.EnableAppend {
 		t.maint = &maintenance{raw: tbl, enc: enc, states: kept, ev: ev}
 	}
-	t.stats.DryRunTime = time.Since(dryStart)
-	t.stats.NumCuboids = dry.Lattice.NumCuboids()
-	t.stats.NumIcebergCuboids = len(dry.IcebergCuboids())
-	t.stats.NumCells = dry.TotalCells()
-	t.stats.NumIcebergCells = dry.TotalIcebergCells()
+	sn.stats.DryRunTime = time.Since(dryStart)
+	sn.stats.NumCuboids = dry.Lattice.NumCuboids()
+	sn.stats.NumIcebergCuboids = len(dry.IcebergCuboids())
+	sn.stats.NumCells = dry.TotalCells()
+	sn.stats.NumIcebergCells = dry.TotalIcebergCells()
 
 	// Stage 2: real run — materialize local samples for iceberg cells.
 	realStart := time.Now()
@@ -232,7 +288,7 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.stats.RealRunTime = time.Since(realStart)
+	sn.stats.RealRunTime = time.Since(realStart)
 
 	// Stage 3: representative sample selection (or 1:1 persistence for
 	// Tabula*).
@@ -250,35 +306,36 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 		if err := samgraph.Verify(graph, sel); err != nil {
 			return nil, fmt.Errorf("core: sample selection self-check failed: %w", err)
 		}
-		t.stats.SamGraphEdges = graph.NumEdges()
-		t.stats.SamGraphPairsTested = graph.PairsTested
+		sn.stats.SamGraphEdges = graph.NumEdges()
+		sn.stats.SamGraphPairsTested = graph.PairsTested
 		repID := make(map[int]int32, len(sel.Representatives))
 		for _, v := range sel.Representatives {
-			id := int32(len(t.samples))
-			t.samples = append(t.samples, dataset.NewView(tbl, real.Cells[v].SampleRows).Materialize())
+			id := int32(len(sn.samples))
+			sn.samples = append(sn.samples, dataset.NewView(tbl, real.Cells[v].SampleRows).Materialize())
 			repID[v] = id
 		}
 		for i, c := range real.Cells {
 			c.SampleID = repID[sel.AssignedTo[i]]
-			t.cubeTable[c.Key] = c.SampleID
+			sn.cubeTable[c.Key] = c.SampleID
 		}
 	} else {
 		for _, c := range real.Cells {
-			c.SampleID = int32(len(t.samples))
-			t.samples = append(t.samples, dataset.NewView(tbl, c.SampleRows).Materialize())
-			t.cubeTable[c.Key] = c.SampleID
+			c.SampleID = int32(len(sn.samples))
+			sn.samples = append(sn.samples, dataset.NewView(tbl, c.SampleRows).Materialize())
+			sn.cubeTable[c.Key] = c.SampleID
 		}
 	}
-	t.stats.SelectionTime = time.Since(selStart)
-	t.stats.NumPersistedSamples = len(t.samples)
-	t.stats.InitTime = time.Since(start)
+	sn.stats.SelectionTime = time.Since(selStart)
+	sn.stats.NumPersistedSamples = len(sn.samples)
+	sn.stats.InitTime = time.Since(start)
 
 	// Memory accounting (Figure 9's three components).
-	t.stats.GlobalSampleBytes = t.global.Footprint()
-	t.stats.CubeTableBytes = int64(len(t.cubeTable)) * cubeTableEntryBytes
-	for _, s := range t.samples {
-		t.stats.SampleTableBytes += s.Footprint()
+	sn.stats.GlobalSampleBytes = sn.global.Footprint()
+	sn.stats.CubeTableBytes = int64(len(sn.cubeTable)) * cubeTableEntryBytes
+	for _, s := range sn.samples {
+		sn.stats.SampleTableBytes += s.Footprint()
 	}
+	t.snap.Store(sn)
 	return t, nil
 }
 
@@ -286,11 +343,11 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 // 4-byte sample id, and hash-map overhead.
 const cubeTableEntryBytes = 8 + 4 + 36
 
-// Stats returns the initialization statistics.
-func (t *Tabula) Stats() Stats { return t.stats }
+// Stats returns the statistics of the currently published snapshot.
+func (t *Tabula) Stats() Stats { return t.snap.Load().stats }
 
 // Schema returns the raw table's schema (samples share it).
-func (t *Tabula) Schema() dataset.Schema { return t.schema }
+func (t *Tabula) Schema() dataset.Schema { return t.snap.Load().schema }
 
 // Theta returns the configured accuracy loss threshold.
 func (t *Tabula) Theta() float64 { return t.params.Theta }
@@ -302,10 +359,10 @@ func (t *Tabula) LossName() string { return t.lossName() }
 func (t *Tabula) CubedAttrs() []string { return append([]string(nil), t.params.CubedAttrs...) }
 
 // GlobalSample returns the materialized global sample.
-func (t *Tabula) GlobalSample() *dataset.Table { return t.global }
+func (t *Tabula) GlobalSample() *dataset.Table { return t.snap.Load().global }
 
 // NumPersistedSamples returns the sample-table size.
-func (t *Tabula) NumPersistedSamples() int { return len(t.samples) }
+func (t *Tabula) NumPersistedSamples() int { return len(t.snap.Load().samples) }
 
 // Condition is one equality predicate of a dashboard query's WHERE
 // clause: attr = value, where attr must be a cubed attribute.
@@ -337,41 +394,46 @@ type QueryResult struct {
 //
 // A value never seen in the raw table addresses an empty population; the
 // answer is an empty sample (loss 0 by convention).
-func (t *Tabula) Query(conds []Condition) (*QueryResult, error) {
-	codes := make([]int32, len(t.attrVals))
+//
+// Query is lock-free: it reads the published snapshot with one atomic
+// load, so concurrent Appends never block it. The context is honored at
+// entry (a cancelled ctx returns ctx.Err() without touching the cube).
+func (t *Tabula) Query(ctx context.Context, conds []Condition) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sn := t.snap.Load()
+	codes := make([]int32, len(sn.attrVals))
 	for i := range codes {
 		codes[i] = engine.NullCode
 	}
-	attrIdx := make(map[string]int, len(t.params.CubedAttrs))
-	for i, name := range t.params.CubedAttrs {
-		attrIdx[name] = i
-	}
 	for _, c := range conds {
-		ai, ok := attrIdx[c.Attr]
+		ai, ok := sn.attrIdx[c.Attr]
 		if !ok {
 			return nil, fmt.Errorf("core: attribute %q is not a cubed attribute (cube has %v)", c.Attr, t.params.CubedAttrs)
 		}
 		if codes[ai] != engine.NullCode {
 			return nil, fmt.Errorf("core: attribute %q constrained twice", c.Attr)
 		}
-		code := t.codeOf(ai, c.Value)
+		code := sn.codeOf(ai, c.Value)
 		if code == engine.NullCode {
 			// Unknown value: the population is empty.
-			return &QueryResult{Sample: dataset.NewTable(t.schema), SampleID: -1}, nil
+			return &QueryResult{Sample: dataset.NewTable(sn.schema), SampleID: -1}, nil
 		}
 		codes[ai] = code
 	}
-	key := t.codec.Encode(codes)
-	if id, ok := t.cubeTable[key]; ok {
-		return &QueryResult{Sample: t.samples[id], CellKey: key, SampleID: id}, nil
+	key := sn.codec.Encode(codes)
+	if id, ok := sn.cubeTable[key]; ok {
+		return &QueryResult{Sample: sn.samples[id], CellKey: key, SampleID: id}, nil
 	}
-	return &QueryResult{Sample: t.global, FromGlobal: true, CellKey: key, SampleID: -1}, nil
+	return &QueryResult{Sample: sn.global, FromGlobal: true, CellKey: key, SampleID: -1}, nil
 }
 
 // QueryByValues is a convenience Query over (attr, string-or-int) pairs
 // with values given in display form; it parses each value against the
 // attribute's column type.
-func (t *Tabula) QueryByValues(conds map[string]string) (*QueryResult, error) {
+func (t *Tabula) QueryByValues(ctx context.Context, conds map[string]string) (*QueryResult, error) {
+	sn := t.snap.Load()
 	out := make([]Condition, 0, len(conds))
 	// Deterministic order for error messages.
 	attrs := make([]string, 0, len(conds))
@@ -380,7 +442,7 @@ func (t *Tabula) QueryByValues(conds map[string]string) (*QueryResult, error) {
 	}
 	sort.Strings(attrs)
 	for _, a := range attrs {
-		f, ok := t.schema.Field(a)
+		f, ok := sn.schema.Field(a)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown attribute %q", a)
 		}
@@ -390,13 +452,13 @@ func (t *Tabula) QueryByValues(conds map[string]string) (*QueryResult, error) {
 		}
 		out = append(out, Condition{Attr: a, Value: v})
 	}
-	return t.Query(out)
+	return t.Query(ctx, out)
 }
 
 // codeOf maps a value of cubed attribute ai to its dense code, or
 // NullCode when the value never occurs in the raw table.
-func (t *Tabula) codeOf(ai int, v dataset.Value) int32 {
-	for c, val := range t.attrVals[ai] {
+func (s *snapshot) codeOf(ai int, v dataset.Value) int32 {
+	for c, val := range s.attrVals[ai] {
 		if val.Equal(v) {
 			return int32(c)
 		}

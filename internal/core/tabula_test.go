@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -98,7 +99,7 @@ func checkAllCells(t *testing.T, tbl *dataset.Table, tab *Tabula, f loss.Func, t
 	checked := 0
 	rec = func(ai int) {
 		if ai == len(attrs) {
-			res, err := tab.Query(conds)
+			res, err := tab.Query(context.Background(), conds)
 			if err != nil {
 				t.Fatalf("%s: query %v: %v", f.Name(), conds, err)
 			}
@@ -219,10 +220,10 @@ func TestSampleSelectionReducesSamples(t *testing.T) {
 func TestQueryErrors(t *testing.T) {
 	tbl := taxiTable(500, 95)
 	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.1)
-	if _, err := tab.Query([]Condition{{Attr: "fare", Value: dataset.FloatValue(1)}}); err == nil {
+	if _, err := tab.Query(context.Background(), []Condition{{Attr: "fare", Value: dataset.FloatValue(1)}}); err == nil {
 		t.Fatal("non-cubed attribute should error")
 	}
-	if _, err := tab.Query([]Condition{
+	if _, err := tab.Query(context.Background(), []Condition{
 		{Attr: "payment", Value: dataset.StringValue("cash")},
 		{Attr: "payment", Value: dataset.StringValue("credit")},
 	}); err == nil {
@@ -233,7 +234,7 @@ func TestQueryErrors(t *testing.T) {
 func TestQueryUnknownValueReturnsEmpty(t *testing.T) {
 	tbl := taxiTable(500, 96)
 	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.1)
-	res, err := tab.Query([]Condition{{Attr: "payment", Value: dataset.StringValue("bitcoin")}})
+	res, err := tab.Query(context.Background(), []Condition{{Attr: "payment", Value: dataset.StringValue("bitcoin")}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestQueryUnknownValueReturnsEmpty(t *testing.T) {
 func TestQueryNoConditionsReturnsApex(t *testing.T) {
 	tbl := taxiTable(2000, 97)
 	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.1)
-	res, err := tab.Query(nil)
+	res, err := tab.Query(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestQueryNoConditionsReturnsApex(t *testing.T) {
 func TestQueryByValues(t *testing.T) {
 	tbl := taxiTable(2000, 98)
 	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.1)
-	res, err := tab.QueryByValues(map[string]string{"payment": "dispute", "distance": "[10,15)"})
+	res, err := tab.QueryByValues(context.Background(), map[string]string{"payment": "dispute", "distance": "[10,15)"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,10 +266,10 @@ func TestQueryByValues(t *testing.T) {
 	if res.FromGlobal {
 		t.Fatal("skewed cell served from global sample")
 	}
-	if _, err := tab.QueryByValues(map[string]string{"passengers": "not-a-number"}); err == nil {
+	if _, err := tab.QueryByValues(context.Background(), map[string]string{"passengers": "not-a-number"}); err == nil {
 		t.Fatal("bad int literal should error")
 	}
-	if _, err := tab.QueryByValues(map[string]string{"ghost": "1"}); err == nil {
+	if _, err := tab.QueryByValues(context.Background(), map[string]string{"ghost": "1"}); err == nil {
 		t.Fatal("unknown attribute should error")
 	}
 }
@@ -300,11 +301,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		{{Attr: "passengers", Value: dataset.IntValue(2)}},
 	}
 	for _, q := range queries {
-		a, err := tab.Query(q)
+		a, err := tab.Query(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := loaded.Query(q)
+		b, err := loaded.Query(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -387,7 +388,7 @@ func TestQueryInGuarantee(t *testing.T) {
 		{{Attr: "passengers", Values: []dataset.Value{dataset.IntValue(1), dataset.IntValue(2), dataset.IntValue(3)}}},
 	}
 	for _, conds := range cases {
-		res, err := tab.QueryIn(conds)
+		res, err := tab.QueryIn(context.Background(), conds)
 		if err != nil {
 			t.Fatalf("%v: %v", conds, err)
 		}
@@ -430,7 +431,7 @@ func rawAnswerIn(tbl *dataset.Table, conds []ConditionIn) dataset.View {
 func TestQueryInRejectsNonMergeSafeLoss(t *testing.T) {
 	tbl := taxiTable(800, 122)
 	tab := buildTabula(t, tbl, loss.NewMean("fare"), 0.1)
-	_, err := tab.QueryIn([]ConditionIn{{Attr: "payment", Values: []dataset.Value{dataset.StringValue("cash")}}})
+	_, err := tab.QueryIn(context.Background(), []ConditionIn{{Attr: "payment", Values: []dataset.Value{dataset.StringValue("cash")}}})
 	if err == nil {
 		t.Fatal("mean loss must reject IN queries")
 	}
@@ -440,21 +441,21 @@ func TestQueryInEdgeCases(t *testing.T) {
 	tbl := taxiTable(800, 123)
 	tab := buildTabula(t, tbl, loss.NewHistogram("fare"), 1.0)
 	// Unknown values only: empty answer.
-	res, err := tab.QueryIn([]ConditionIn{{Attr: "payment", Values: []dataset.Value{dataset.StringValue("doge")}}})
+	res, err := tab.QueryIn(context.Background(), []ConditionIn{{Attr: "payment", Values: []dataset.Value{dataset.StringValue("doge")}}})
 	if err != nil || res.Sample.NumRows() != 0 {
 		t.Fatalf("unknown-only IN: rows=%d err=%v", res.Sample.NumRows(), err)
 	}
 	// Errors: unknown attribute, duplicate attribute, empty list.
-	if _, err := tab.QueryIn([]ConditionIn{{Attr: "ghost", Values: []dataset.Value{dataset.IntValue(1)}}}); err == nil {
+	if _, err := tab.QueryIn(context.Background(), []ConditionIn{{Attr: "ghost", Values: []dataset.Value{dataset.IntValue(1)}}}); err == nil {
 		t.Fatal("unknown attribute should error")
 	}
-	if _, err := tab.QueryIn([]ConditionIn{
+	if _, err := tab.QueryIn(context.Background(), []ConditionIn{
 		{Attr: "payment", Values: []dataset.Value{dataset.StringValue("cash")}},
 		{Attr: "payment", Values: []dataset.Value{dataset.StringValue("credit")}},
 	}); err == nil {
 		t.Fatal("duplicate attribute should error")
 	}
-	if _, err := tab.QueryIn([]ConditionIn{{Attr: "payment", Values: nil}}); err == nil {
+	if _, err := tab.QueryIn(context.Background(), []ConditionIn{{Attr: "payment", Values: nil}}); err == nil {
 		t.Fatal("empty IN list should error")
 	}
 }

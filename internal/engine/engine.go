@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,7 +47,9 @@ func (c *Catalog) Names() []string {
 // catalog. It supports projection of columns and scalar expressions,
 // aggregate calls (COUNT/SUM/AVG/MIN/MAX/STDDEV/VAR) with optional GROUP
 // BY, WHERE filtering, HAVING on aggregate output aliases, and LIMIT.
-func (c *Catalog) ExecuteSelect(s *SelectStmt) (*dataset.Table, error) {
+// The filter scan, projection, and group-by loops all poll ctx, so a
+// cancelled context aborts the statement with ctx.Err().
+func (c *Catalog) ExecuteSelect(ctx context.Context, s *SelectStmt) (*dataset.Table, error) {
 	if s.GroupCube {
 		return nil, fmt.Errorf("engine: GROUP BY CUBE is handled by the sampling-cube builder, not ExecuteSelect")
 	}
@@ -54,7 +57,7 @@ func (c *Catalog) ExecuteSelect(s *SelectStmt) (*dataset.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := Filter(src, s.Where)
+	rows, err := Filter(ctx, src, s.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -64,9 +67,9 @@ func (c *Catalog) ExecuteSelect(s *SelectStmt) (*dataset.Table, error) {
 	case s.Star:
 		out = view.Materialize()
 	case !containsAggregate(s.Items) && len(s.GroupBy) == 0:
-		out, err = projectView(src, view, s.Items)
+		out, err = projectView(ctx, src, view, s.Items)
 	default:
-		out, err = c.executeAggregate(src, view, s)
+		out, err = c.executeAggregate(ctx, src, view, s)
 	}
 	if err != nil {
 		return nil, err
@@ -131,13 +134,18 @@ func exprHasAggregate(e Expr) bool {
 }
 
 // projectView evaluates scalar projections row by row.
-func projectView(src *dataset.Table, view dataset.View, items []SelectItem) (*dataset.Table, error) {
+func projectView(ctx context.Context, src *dataset.Table, view dataset.View, items []SelectItem) (*dataset.Table, error) {
 	schema := make(dataset.Schema, len(items))
 	env := newRowEnv(src)
 	n := view.Len()
 	// Infer output types from the first row (or default to Float64).
 	vals := make([][]dataset.Value, n)
 	for i := 0; i < n; i++ {
+		if i%cancelCheckRows == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		env.setRow(int(view.RowID(i)))
 		row := make([]dataset.Value, len(items))
 		for j, it := range items {
@@ -260,7 +268,7 @@ func collectAggCalls(e Expr, out map[string]*Call) {
 }
 
 // executeAggregate runs grouped or global aggregation.
-func (c *Catalog) executeAggregate(src *dataset.Table, view dataset.View, s *SelectStmt) (*dataset.Table, error) {
+func (c *Catalog) executeAggregate(ctx context.Context, src *dataset.Table, view dataset.View, s *SelectStmt) (*dataset.Table, error) {
 	// Gather all aggregate calls across projections and HAVING.
 	aggCalls := make(map[string]*Call)
 	for _, it := range s.Items {
@@ -327,6 +335,11 @@ func (c *Catalog) executeAggregate(src *dataset.Table, view dataset.View, s *Sel
 	order := []string{}
 	n := view.Len()
 	for i := 0; i < n; i++ {
+		if i%cancelCheckRows == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := int(view.RowID(i))
 		kb := strings.Builder{}
 		keyVals := make([]dataset.Value, len(groupCols))

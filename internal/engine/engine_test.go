@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func mustSelect(t *testing.T, c *Catalog, src string) *dataset.Table {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	out, err := c.ExecuteSelect(st.(*SelectStmt))
+	out, err := c.ExecuteSelect(context.Background(), st.(*SelectStmt))
 	if err != nil {
 		t.Fatalf("execute %q: %v", src, err)
 	}
@@ -151,7 +152,7 @@ func TestSelectErrors(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		if _, err := c.ExecuteSelect(st.(*SelectStmt)); err == nil {
+		if _, err := c.ExecuteSelect(context.Background(), st.(*SelectStmt)); err == nil {
 			t.Errorf("%q should fail", src)
 		}
 	}
@@ -163,7 +164,7 @@ func TestSelectCubeRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ExecuteSelect(st.(*SelectStmt)); err == nil {
+	if _, err := c.ExecuteSelect(context.Background(), st.(*SelectStmt)); err == nil {
 		t.Fatal("CUBE must be rejected by ExecuteSelect")
 	}
 }
@@ -196,7 +197,7 @@ func TestSelectOrderBy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ExecuteSelect(st.(*SelectStmt)); err == nil {
+	if _, err := c.ExecuteSelect(context.Background(), st.(*SelectStmt)); err == nil {
 		t.Fatal("want unknown-column error")
 	}
 }
@@ -230,7 +231,7 @@ func TestSelectNumericAggregateOnStringRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ExecuteSelect(st.(*SelectStmt)); err == nil {
+	if _, err := c.ExecuteSelect(context.Background(), st.(*SelectStmt)); err == nil {
 		t.Fatal("AVG on VARCHAR must be rejected")
 	}
 }

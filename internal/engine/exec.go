@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,10 +9,19 @@ import (
 	"github.com/tabula-db/tabula/internal/dataset"
 )
 
+// cancelCheckRows is how many rows a scan loop processes between
+// ctx.Err() polls: frequent enough that a disconnecting client aborts
+// within microseconds, rare enough to be free on the hot path.
+const cancelCheckRows = 4096
+
 // Filter scans t and returns the ids of rows satisfying pred. It
 // parallelizes the scan across GOMAXPROCS workers; result order is
-// ascending row id either way.
-func Filter(t *dataset.Table, pred Expr) ([]int32, error) {
+// ascending row id either way. Every worker polls ctx periodically, so
+// cancelling the context aborts the whole scan with ctx.Err().
+func Filter(ctx context.Context, t *dataset.Table, pred Expr) ([]int32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := t.NumRows()
 	if pred == nil {
 		out := make([]int32, n)
@@ -22,7 +32,7 @@ func Filter(t *dataset.Table, pred Expr) ([]int32, error) {
 	}
 	// Columnar fast path for the most common dashboard predicate shape.
 	if preds, ok := CompileEqConjunction(t, pred); ok {
-		return FastEqFilter(t, preds)
+		return FastEqFilter(ctx, t, preds)
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n/4096+1 {
@@ -49,6 +59,12 @@ func Filter(t *dataset.Table, pred Expr) ([]int32, error) {
 			env := newRowEnv(t)
 			var ids []int32
 			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelCheckRows == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
 				env.setRow(i)
 				v, err := Eval(pred, env)
 				if err != nil {

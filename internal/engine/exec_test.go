@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"github.com/tabula-db/tabula/internal/dataset"
@@ -39,7 +42,7 @@ func TestFilterMatchesManualScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Filter(tbl, pred)
+	got, err := Filter(context.Background(), tbl, pred)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +64,7 @@ func TestFilterMatchesManualScan(t *testing.T) {
 
 func TestFilterNilPredicate(t *testing.T) {
 	tbl := ridesTable(10, 1)
-	rows, err := Filter(tbl, nil)
+	rows, err := Filter(context.Background(), tbl, nil)
 	if err != nil || len(rows) != 10 {
 		t.Fatalf("rows=%d err=%v", len(rows), err)
 	}
@@ -73,7 +76,7 @@ func TestFilterBadPredicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Filter(tbl, pred); err == nil {
+	if _, err := Filter(context.Background(), tbl, pred); err == nil {
 		t.Fatal("want unknown-column error")
 	}
 }
@@ -408,7 +411,7 @@ func TestFilterWithInPredicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := Filter(tbl, pred)
+	rows, err := Filter(context.Background(), tbl, pred)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,5 +449,60 @@ func TestInListPrintParse(t *testing.T) {
 	}
 	if e2.String() != printed {
 		t.Fatalf("fixpoint violated: %q vs %q", printed, e2.String())
+	}
+}
+
+// trippingContext is a context whose Err() starts returning
+// context.Canceled only after a fixed number of polls. It makes
+// mid-scan cancellation deterministic: the entry check passes, then a
+// later in-loop poll observes the cancellation — no timing games.
+type trippingContext struct {
+	context.Context
+	polls int64 // Err() calls remaining before tripping (atomic)
+}
+
+func newTrippingContext(after int64) *trippingContext {
+	return &trippingContext{Context: context.Background(), polls: after}
+}
+
+func (c *trippingContext) Err() error {
+	if atomic.AddInt64(&c.polls, -1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestFilterCancelledBeforeScan(t *testing.T) {
+	tbl := ridesTable(1000, 7)
+	pred, err := ParseExpr("fare > 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Filter(ctx, tbl, pred); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Filter on cancelled ctx: got %v, want context.Canceled", err)
+	}
+	if _, err := FastEqFilter(ctx, tbl, []EqPredicate{{Col: 0, Value: dataset.StringValue("cash")}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FastEqFilter on cancelled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+// Cancellation observed mid-scan, past the entry check: the partition
+// workers must abort at their next cancelCheckRows poll and surface
+// context.Canceled instead of finishing the scan.
+func TestFilterCancelledMidScan(t *testing.T) {
+	tbl := ridesTable(8*cancelCheckRows, 8)
+	pred, err := ParseExpr("fare > 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survive the entry check (1 poll) plus the workers' first in-loop
+	// polls, then trip.
+	if _, err := Filter(newTrippingContext(2), tbl, pred); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Filter mid-scan cancel: got %v, want context.Canceled", err)
+	}
+	if _, err := FastEqFilter(newTrippingContext(2), tbl, []EqPredicate{{Col: 0, Value: dataset.StringValue("cash")}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FastEqFilter mid-scan cancel: got %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tabula-db/tabula/internal/dataset"
@@ -70,8 +71,12 @@ func CompileEqConjunction(t *dataset.Table, pred Expr) ([]EqPredicate, bool) {
 // POIsam) pay per interaction.
 //
 // A predicate whose value does not occur in the column short-circuits to
-// an empty result without scanning.
-func FastEqFilter(t *dataset.Table, preds []EqPredicate) ([]int32, error) {
+// an empty result without scanning. The scan polls ctx periodically and
+// aborts with ctx.Err() on cancellation.
+func FastEqFilter(ctx context.Context, t *dataset.Table, preds []EqPredicate) ([]int32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := t.NumRows()
 	if len(preds) == 0 {
 		out := make([]int32, n)
@@ -135,6 +140,11 @@ func FastEqFilter(t *dataset.Table, preds []EqPredicate) ([]int32, error) {
 	var out []int32
 rows:
 	for i := 0; i < n; i++ {
+		if i%cancelCheckRows == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for _, ct := range codeTests {
 			if ct.codes[i] != ct.want {
 				continue rows

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"github.com/tabula-db/tabula/internal/dataset"
@@ -23,7 +24,7 @@ func TestFastEqFilterMatchesGeneric(t *testing.T) {
 		if !ok {
 			t.Fatalf("%q should compile to the fast path", src)
 		}
-		fast, err := FastEqFilter(tbl, preds)
+		fast, err := FastEqFilter(context.Background(), tbl, preds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestCompileEqConjunctionRejectsOtherShapes(t *testing.T) {
 
 func TestFastEqFilterAbsentValue(t *testing.T) {
 	tbl := ridesTable(100, 53)
-	rows, err := FastEqFilter(tbl, []EqPredicate{{Col: 0, Value: dataset.StringValue("zelle")}})
+	rows, err := FastEqFilter(context.Background(), tbl, []EqPredicate{{Col: 0, Value: dataset.StringValue("zelle")}})
 	if err != nil || rows != nil {
 		t.Fatalf("absent value: rows=%v err=%v", rows, err)
 	}
@@ -83,20 +84,20 @@ func TestFastEqFilterAbsentValue(t *testing.T) {
 
 func TestFastEqFilterErrors(t *testing.T) {
 	tbl := ridesTable(10, 54)
-	if _, err := FastEqFilter(tbl, []EqPredicate{{Col: 99, Value: dataset.IntValue(1)}}); err == nil {
+	if _, err := FastEqFilter(context.Background(), tbl, []EqPredicate{{Col: 99, Value: dataset.IntValue(1)}}); err == nil {
 		t.Fatal("out-of-range column should fail")
 	}
-	if _, err := FastEqFilter(tbl, []EqPredicate{{Col: 0, Value: dataset.IntValue(1)}}); err == nil {
+	if _, err := FastEqFilter(context.Background(), tbl, []EqPredicate{{Col: 0, Value: dataset.IntValue(1)}}); err == nil {
 		t.Fatal("type mismatch should fail")
 	}
-	if _, err := FastEqFilter(tbl, []EqPredicate{{Col: 3, Value: dataset.IntValue(1)}}); err == nil {
+	if _, err := FastEqFilter(context.Background(), tbl, []EqPredicate{{Col: 3, Value: dataset.IntValue(1)}}); err == nil {
 		t.Fatal("point column should fail")
 	}
 }
 
 func TestFastEqFilterNoPredicates(t *testing.T) {
 	tbl := ridesTable(25, 55)
-	rows, err := FastEqFilter(tbl, nil)
+	rows, err := FastEqFilter(context.Background(), tbl, nil)
 	if err != nil || len(rows) != 25 {
 		t.Fatalf("rows=%d err=%v", len(rows), err)
 	}
@@ -131,7 +132,7 @@ func BenchmarkFilterFastEq(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := FastEqFilter(tbl, preds); err != nil {
+		if _, err := FastEqFilter(context.Background(), tbl, preds); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -99,7 +100,7 @@ func Fig2(s Scale, progress io.Writer) ([]*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := tab.Query([]core.Condition{
+	res, err := tab.Query(context.Background(), []core.Condition{
 		{Attr: "payment_type", Value: dataset.StringValue("credit")},
 		{Attr: "rate_code", Value: dataset.StringValue("jfk")},
 	})

@@ -17,18 +17,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 
 	"github.com/tabula-db/tabula"
 	"github.com/tabula-db/tabula/internal/dataset"
 )
 
-// Server wraps a tabula.DB with HTTP handlers.
+// Server wraps a tabula.DB with HTTP handlers. Every handler passes the
+// request's context down the query path, so a disconnecting client or a
+// server shutdown aborts in-flight scans instead of letting them run to
+// completion against a closed socket.
 type Server struct {
 	db  *tabula.DB
 	mux *http.ServeMux
-	// cubeNames tracks registration order for /cubes (DB has no listing).
-	cubeNames []string
 }
 
 // New builds a Server over the DB.
@@ -44,18 +44,6 @@ func New(db *tabula.DB) *Server {
 	})
 	s.mux.HandleFunc("GET /{$}", s.handleDemo)
 	return s
-}
-
-// TrackCube records a cube name for the /cubes listing (Exec-created
-// cubes are tracked automatically).
-func (s *Server) TrackCube(name string) {
-	for _, n := range s.cubeNames {
-		if n == name {
-			return
-		}
-	}
-	s.cubeNames = append(s.cubeNames, name)
-	sort.Strings(s.cubeNames)
 }
 
 // ServeHTTP implements http.Handler.
@@ -135,7 +123,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return
 	}
-	res, err := s.db.Exec(req.SQL)
+	res, err := s.db.Exec(r.Context(), req.SQL)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -143,13 +131,6 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	resp := queryResponse{FromGlobal: res.FromGlobal, Message: res.Message}
 	if res.Table != nil {
 		resp.Sample = encodeTable(res.Table)
-	}
-	// Track cubes created through /exec for the /cubes listing.
-	if res.Message != "" {
-		var name string
-		if n, _ := fmt.Sscanf(res.Message, "sampling cube %s created", &name); n == 1 {
-			s.TrackCube(name)
-		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -160,12 +141,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	cube, ok := s.db.CubeByName(req.Cube)
-	if !ok {
+	if _, ok := s.db.CubeByName(req.Cube); !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
 		return
 	}
-	res, err := cube.QueryByValues(req.Where)
+	res, err := s.db.QueryByValues(r.Context(), req.Cube, req.Where)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -220,7 +200,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	st, err := cube.Append(batch)
+	st, err := s.db.Append(r.Context(), req.Cube, batch)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -237,7 +217,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"cubes": s.cubeNames})
+	writeJSON(w, http.StatusOK, map[string][]string{"cubes": s.db.Cubes()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -62,7 +62,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestExecAndQueryFlow(t *testing.T) {
-	s, ts := newTestServer(t)
+	_, ts := newTestServer(t)
 	resp, out := postJSON(t, ts.URL+"/exec", map[string]string{"sql": `
 		CREATE TABLE web_cube AS
 		SELECT payment_type, vendor_name, SAMPLING(*, 0.1) AS sample
@@ -72,7 +72,6 @@ func TestExecAndQueryFlow(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("exec: %d %v", resp.StatusCode, out)
 	}
-	s.TrackCube("web_cube")
 
 	// Structured query endpoint.
 	resp, out = postJSON(t, ts.URL+"/query", map[string]any{
@@ -181,9 +180,7 @@ func TestAppendEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.RegisterCube("appendable", cube)
-	s := New(db)
-	s.TrackCube("appendable")
-	ts := httptest.NewServer(s)
+	ts := httptest.NewServer(New(db))
 	defer ts.Close()
 
 	resp, out := postJSON(t, ts.URL+"/append", map[string]any{

@@ -1,0 +1,80 @@
+package tabula
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tabula-db/tabula/internal/core"
+)
+
+// cubeRegistry is the per-cube registry behind DB. Its lock is held only
+// for create/lookup/list — never across a build, append, or query — so
+// maintenance on one cube cannot block traffic on any other.
+type cubeRegistry struct {
+	mu      sync.RWMutex
+	entries map[string]*cubeEntry
+}
+
+// cubeEntry pins one cube name for the lifetime of the DB. buildMu
+// serializes the expensive maintenance operations for this name only
+// (CREATE-cube rebuilds, Append batches); the cube pointer itself is
+// swapped atomically so lookups and queries never wait on maintenance.
+type cubeEntry struct {
+	buildMu sync.Mutex
+	cube    atomic.Pointer[core.Tabula]
+}
+
+func newCubeRegistry() *cubeRegistry {
+	return &cubeRegistry{entries: make(map[string]*cubeEntry)}
+}
+
+// entry returns the entry for name, creating it if requested. The second
+// return reports whether the entry exists.
+func (r *cubeRegistry) entry(name string, create bool) (*cubeEntry, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if ok || !create {
+		return e, ok
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok = r.entries[name]; ok {
+		return e, true
+	}
+	e = &cubeEntry{}
+	r.entries[name] = e
+	return e, true
+}
+
+// lookup resolves a registered, published cube by name.
+func (r *cubeRegistry) lookup(name string) (*core.Tabula, bool) {
+	e, ok := r.entry(name, false)
+	if !ok {
+		return nil, false
+	}
+	c := e.cube.Load()
+	return c, c != nil
+}
+
+// set publishes a cube under name (creating the entry if needed).
+func (r *cubeRegistry) set(name string, c *core.Tabula) {
+	e, _ := r.entry(name, true)
+	e.cube.Store(c)
+}
+
+// names lists the published cube names, sorted. Entries that were
+// created but whose build has not published a cube yet are omitted.
+func (r *cubeRegistry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for n, e := range r.entries {
+		if e.cube.Load() != nil {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

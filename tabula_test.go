@@ -2,6 +2,8 @@ package tabula
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -15,7 +17,7 @@ func openTaxiDB(t *testing.T, rows int) *DB {
 
 func TestExecCreateAndQueryCube(t *testing.T) {
 	db := openTaxiDB(t, 4000)
-	res, err := db.Exec(`
+	res, err := db.Exec(context.Background(), `
 		CREATE TABLE ride_cube AS
 		SELECT payment_type, passenger_count, vendor_name, SAMPLING(*, 0.1) AS sample
 		FROM nyctaxi
@@ -27,7 +29,7 @@ func TestExecCreateAndQueryCube(t *testing.T) {
 	if !strings.Contains(res.Message, "ride_cube created") {
 		t.Fatalf("message: %q", res.Message)
 	}
-	q, err := db.Exec(`SELECT sample FROM ride_cube WHERE payment_type = 'dispute'`)
+	q, err := db.Exec(context.Background(), `SELECT sample FROM ride_cube WHERE payment_type = 'dispute'`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestExecCreateAndQueryCube(t *testing.T) {
 	if q.FromGlobal {
 		t.Fatal("dispute cell answered from global sample")
 	}
-	q2, err := db.Exec(`SELECT sample FROM ride_cube
+	q2, err := db.Exec(context.Background(), `SELECT sample FROM ride_cube
 		WHERE payment_type = 'cash' AND passenger_count = 1 AND vendor_name = 'CMT'`)
 	if err != nil {
 		t.Fatal(err)
@@ -51,11 +53,11 @@ func TestExecCreateAndQueryCube(t *testing.T) {
 
 func TestExecCreateAggregateDSL(t *testing.T) {
 	db := openTaxiDB(t, 3000)
-	if _, err := db.Exec(`CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS
+	if _, err := db.Exec(context.Background(), `CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS
 		BEGIN ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw) END`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Exec(`
+	if _, err := db.Exec(context.Background(), `
 		CREATE TABLE c2 AS
 		SELECT payment_type, SAMPLING(*, 0.05) AS sample
 		FROM nyctaxi
@@ -63,7 +65,7 @@ func TestExecCreateAggregateDSL(t *testing.T) {
 		HAVING my_loss(fare_amount, Sam_global) > 0.05`); err != nil {
 		t.Fatal(err)
 	}
-	q, err := db.Exec(`SELECT sample FROM c2 WHERE payment_type = 'credit'`)
+	q, err := db.Exec(context.Background(), `SELECT sample FROM c2 WHERE payment_type = 'credit'`)
 	if err != nil || q.Table.NumRows() == 0 {
 		t.Fatalf("rows=%v err=%v", q, err)
 	}
@@ -71,7 +73,7 @@ func TestExecCreateAggregateDSL(t *testing.T) {
 
 func TestExecRegressionLossTwoTargets(t *testing.T) {
 	db := openTaxiDB(t, 3000)
-	if _, err := db.Exec(`
+	if _, err := db.Exec(context.Background(), `
 		CREATE TABLE rc AS
 		SELECT payment_type, vendor_name, SAMPLING(*, 5) AS sample
 		FROM nyctaxi
@@ -79,7 +81,7 @@ func TestExecRegressionLossTwoTargets(t *testing.T) {
 		HAVING regression_loss(fare_amount, tip_amount, Sam_global) > 5`); err != nil {
 		t.Fatal(err)
 	}
-	q, err := db.Exec(`SELECT sample FROM rc WHERE payment_type = 'credit'`)
+	q, err := db.Exec(context.Background(), `SELECT sample FROM rc WHERE payment_type = 'credit'`)
 	if err != nil || q.Table.NumRows() == 0 {
 		t.Fatalf("err=%v", err)
 	}
@@ -87,7 +89,7 @@ func TestExecRegressionLossTwoTargets(t *testing.T) {
 
 func TestExecPlainSelect(t *testing.T) {
 	db := openTaxiDB(t, 2000)
-	res, err := db.Exec(`SELECT payment_type, COUNT(*) AS n, AVG(fare_amount) AS af
+	res, err := db.Exec(context.Background(), `SELECT payment_type, COUNT(*) AS n, AVG(fare_amount) AS af
 		FROM nyctaxi GROUP BY payment_type`)
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +110,7 @@ func TestExecErrors(t *testing.T) {
 		 FROM nyctaxi GROUPBY CUBE(payment_type) HAVING no_such_loss(fare_amount, Sam_global) > 0.1`,
 	}
 	for _, sql := range bad {
-		if _, err := db.Exec(sql); err == nil {
+		if _, err := db.Exec(context.Background(), sql); err == nil {
 			t.Errorf("%q should fail", sql)
 		}
 	}
@@ -116,7 +118,7 @@ func TestExecErrors(t *testing.T) {
 
 func TestExecCubeQueryValidation(t *testing.T) {
 	db := openTaxiDB(t, 1000)
-	if _, err := db.Exec(`CREATE TABLE vc AS SELECT payment_type, SAMPLING(*, 0.2) AS sample
+	if _, err := db.Exec(context.Background(), `CREATE TABLE vc AS SELECT payment_type, SAMPLING(*, 0.2) AS sample
 		FROM nyctaxi GROUPBY CUBE(payment_type) HAVING mean_loss(fare_amount, Sam_global) > 0.2`); err != nil {
 		t.Fatal(err)
 	}
@@ -126,12 +128,12 @@ func TestExecCubeQueryValidation(t *testing.T) {
 		`SELECT sample FROM vc WHERE payment_type = 'a' OR payment_type = 'b'`, // OR
 	}
 	for _, sql := range bad {
-		if _, err := db.Exec(sql); err == nil {
+		if _, err := db.Exec(context.Background(), sql); err == nil {
 			t.Errorf("%q should fail", sql)
 		}
 	}
 	// SELECT * is allowed as an alias for the sample.
-	if _, err := db.Exec(`SELECT * FROM vc WHERE payment_type = 'cash'`); err != nil {
+	if _, err := db.Exec(context.Background(), `SELECT * FROM vc WHERE payment_type = 'cash'`); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -142,7 +144,7 @@ func TestNativeAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cube.Query([]Condition{{Attr: "payment_type", Value: StringValue("dispute")}})
+	res, err := cube.Query(context.Background(), []Condition{{Attr: "payment_type", Value: StringValue("dispute")}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +160,7 @@ func TestNativeAPIRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := loaded.Query([]Condition{{Attr: "payment_type", Value: StringValue("dispute")}})
+	res2, err := loaded.Query(context.Background(), []Condition{{Attr: "payment_type", Value: StringValue("dispute")}})
 	if err != nil || res2.Sample.NumRows() != res.Sample.NumRows() {
 		t.Fatalf("reload mismatch: %v", err)
 	}
@@ -209,7 +211,7 @@ func TestLoadCSVFacade(t *testing.T) {
 	if tbl.NumRows() != 2 {
 		t.Fatalf("rows = %d", tbl.NumRows())
 	}
-	res, err := db.Exec("SELECT AVG(score) AS a FROM scores")
+	res, err := db.Exec(context.Background(), "SELECT AVG(score) AS a FROM scores")
 	if err != nil || res.Table.Value(0, 0).F != 2 {
 		t.Fatalf("avg = %+v err=%v", res, err)
 	}
@@ -217,7 +219,7 @@ func TestLoadCSVFacade(t *testing.T) {
 
 func TestDBConcurrentQueries(t *testing.T) {
 	db := openTaxiDB(t, 3000)
-	if _, err := db.Exec(`CREATE TABLE cc AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
+	if _, err := db.Exec(context.Background(), `CREATE TABLE cc AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
 		FROM nyctaxi GROUPBY CUBE(payment_type)
 		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); err != nil {
 		t.Fatal(err)
@@ -227,7 +229,7 @@ func TestDBConcurrentQueries(t *testing.T) {
 		go func(w int) {
 			pays := []string{"cash", "credit", "dispute", "no_charge"}
 			for i := 0; i < 50; i++ {
-				_, err := db.Exec(`SELECT sample FROM cc WHERE payment_type = '` + pays[(w+i)%4] + `'`)
+				_, err := db.Exec(context.Background(), `SELECT sample FROM cc WHERE payment_type = '`+pays[(w+i)%4]+`'`)
 				if err != nil {
 					done <- err
 					return
@@ -246,12 +248,12 @@ func TestDBConcurrentQueries(t *testing.T) {
 func TestExecCubeINQuery(t *testing.T) {
 	db := openTaxiDB(t, 4000)
 	// Histogram loss is merge-safe, so IN lists are allowed.
-	if _, err := db.Exec(`CREATE TABLE hin AS SELECT payment_type, vendor_name, SAMPLING(*, 1) AS sample
+	if _, err := db.Exec(context.Background(), `CREATE TABLE hin AS SELECT payment_type, vendor_name, SAMPLING(*, 1) AS sample
 		FROM nyctaxi GROUPBY CUBE(payment_type, vendor_name)
 		HAVING histogram_loss(fare_amount, Sam_global) > 1`); err != nil {
 		t.Fatal(err)
 	}
-	q, err := db.Exec(`SELECT sample FROM hin
+	q, err := db.Exec(context.Background(), `SELECT sample FROM hin
 		WHERE payment_type IN ('cash', 'dispute') AND vendor_name = 'CMT'`)
 	if err != nil {
 		t.Fatal(err)
@@ -260,12 +262,12 @@ func TestExecCubeINQuery(t *testing.T) {
 		t.Fatal("empty union sample")
 	}
 	// Mean loss is not merge-safe: IN must be rejected.
-	if _, err := db.Exec(`CREATE TABLE min_cube AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
+	if _, err := db.Exec(context.Background(), `CREATE TABLE min_cube AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
 		FROM nyctaxi GROUPBY CUBE(payment_type)
 		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.Exec(`SELECT sample FROM min_cube WHERE payment_type IN ('cash', 'credit')`); err == nil {
+	if _, err := db.Exec(context.Background(), `SELECT sample FROM min_cube WHERE payment_type IN ('cash', 'credit')`); err == nil {
 		t.Fatal("IN on mean-loss cube should error")
 	}
 }
@@ -274,7 +276,7 @@ func TestExecCubeINQuery(t *testing.T) {
 // trip-distance bucket attribute with CTAS + BUCKET, cube it, query it.
 func TestExecCTASBucketThenCube(t *testing.T) {
 	db := openTaxiDB(t, 4000)
-	res, err := db.Exec(`
+	res, err := db.Exec(context.Background(), `
 		CREATE TABLE rides_b AS
 		SELECT payment_type, passenger_count,
 		       BUCKET(trip_distance, 5) AS distance_bucket,
@@ -287,7 +289,7 @@ func TestExecCTASBucketThenCube(t *testing.T) {
 		t.Fatalf("message: %q", res.Message)
 	}
 	// The derived table is queryable.
-	q, err := db.Exec(`SELECT distance_bucket, COUNT(*) AS n FROM rides_b
+	q, err := db.Exec(context.Background(), `SELECT distance_bucket, COUNT(*) AS n FROM rides_b
 		GROUP BY distance_bucket ORDER BY n DESC`)
 	if err != nil {
 		t.Fatal(err)
@@ -299,7 +301,7 @@ func TestExecCTASBucketThenCube(t *testing.T) {
 		t.Fatalf("bucket label %q", b)
 	}
 	// And cube-able — the paper's D attribute end to end.
-	if _, err := db.Exec(`
+	if _, err := db.Exec(context.Background(), `
 		CREATE TABLE dcube AS
 		SELECT distance_bucket, payment_type, SAMPLING(*, 0.1) AS sample
 		FROM rides_b
@@ -307,7 +309,7 @@ func TestExecCTASBucketThenCube(t *testing.T) {
 		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); err != nil {
 		t.Fatal(err)
 	}
-	sq, err := db.Exec(`SELECT sample FROM dcube WHERE distance_bucket = '[0,5)'`)
+	sq, err := db.Exec(context.Background(), `SELECT sample FROM dcube WHERE distance_bucket = '[0,5)'`)
 	if err != nil || sq.Table.NumRows() == 0 {
 		t.Fatalf("cube query: rows=%v err=%v", sq, err)
 	}
@@ -315,11 +317,67 @@ func TestExecCTASBucketThenCube(t *testing.T) {
 
 func TestExecCTASErrors(t *testing.T) {
 	db := openTaxiDB(t, 200)
-	if _, err := db.Exec(`CREATE TABLE t2 AS SELECT nosuch FROM nyctaxi`); err == nil {
+	if _, err := db.Exec(context.Background(), `CREATE TABLE t2 AS SELECT nosuch FROM nyctaxi`); err == nil {
 		t.Fatal("bad column should fail")
 	}
-	if _, err := db.Exec(`CREATE TABLE t3 AS SELECT payment_type, COUNT(*) AS n
+	if _, err := db.Exec(context.Background(), `CREATE TABLE t3 AS SELECT payment_type, COUNT(*) AS n
 		FROM nyctaxi GROUPBY CUBE(payment_type)`); err == nil {
 		t.Fatal("CUBE without SAMPLING should fail")
+	}
+}
+
+// Cancellation must short-circuit the whole request path: DDL, cube
+// queries, and raw-table SELECT scans all honor the context.
+func TestExecCancelledContext(t *testing.T) {
+	db := openTaxiDB(t, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Exec(ctx, `SELECT AVG(fare_amount) AS m FROM nyctaxi`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SELECT on cancelled ctx: got %v, want context.Canceled", err)
+	}
+	if _, err := db.Exec(ctx, `CREATE TABLE cc AS SELECT payment_type, SAMPLING(*, 0.1) AS sample
+		FROM nyctaxi GROUPBY CUBE(payment_type)
+		HAVING mean_loss(fare_amount, Sam_global) > 0.1`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CREATE on cancelled ctx: got %v, want context.Canceled", err)
+	}
+	if _, err := db.Query(ctx, "nope", nil); err == nil {
+		t.Fatal("Query on cancelled ctx with unknown cube: want error")
+	}
+}
+
+// Cubes lists every registered cube, sorted, and reflects both SQL
+// CREATE and native RegisterCube — the server's /cubes endpoint reads
+// this instead of keeping its own (formerly racy) name list.
+func TestDBCubes(t *testing.T) {
+	db := openTaxiDB(t, 1500)
+	if got := db.Cubes(); len(got) != 0 {
+		t.Fatalf("fresh DB lists cubes: %v", got)
+	}
+	for _, name := range []string{"zeta", "alpha"} {
+		if _, err := db.Exec(context.Background(), `CREATE TABLE `+name+` AS
+			SELECT payment_type, SAMPLING(*, 0.2) AS sample
+			FROM nyctaxi GROUPBY CUBE(payment_type)
+			HAVING mean_loss(fare_amount, Sam_global) > 0.2`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := DefaultParams(NewMeanLoss("fare_amount"), 0.2, "payment_type")
+	cube, err := Build(GenerateTaxi(800, 7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterCube("Mixed", cube) // names are case-insensitive
+	got := db.Cubes()
+	want := []string{"alpha", "mixed", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("Cubes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Cubes() = %v, want %v (sorted)", got, want)
+		}
+	}
+	if _, ok := db.CubeByName("MIXED"); !ok {
+		t.Fatal("CubeByName should be case-insensitive")
 	}
 }
