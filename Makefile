@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-concurrent
+.PHONY: check build test race vet bench bench-concurrent bench-json
 
 ## check: the full gate — vet, build everything, and run the test suite
 ## under the race detector. CI and pre-commit should run this.
@@ -25,3 +25,8 @@ bench:
 ## query throughput with and without a concurrent appender.
 bench-concurrent:
 	$(GO) test -run XXX -bench 'BenchmarkConcurrentQuery' .
+
+## bench-json: machine-readable initialization stage timings at a fixed
+## seed and scale, swept over worker counts, written to BENCH_init.json.
+bench-json:
+	$(GO) run ./cmd/tabula-bench -init-json BENCH_init.json -rows 30000 -seed 42 -workers 1,2,4,8

@@ -8,6 +8,7 @@ package tabula
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -45,7 +46,7 @@ func benchBuild(b *testing.B, task harness.Task, theta float64, nAttrs int) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tab, err := core.Build(benchTable, benchParams(task, theta, nAttrs, true))
+		tab, err := core.Build(context.Background(), benchTable, benchParams(task, theta, nAttrs, true))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func BenchmarkFig8dInitAttrs(b *testing.B) {
 // iteration and reports the footprint components as metrics.
 func BenchmarkFig9MemoryFootprint(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := core.Build(benchTable, benchParams(harness.TaskHistogram, 0.5, 5, true))
+		tab, err := core.Build(context.Background(), benchTable, benchParams(harness.TaskHistogram, 0.5, 5, true))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func BenchmarkTable1DryRun(b *testing.B) {
 	ev := benchBindGlobal(b, f)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dry, err := cube.DryRun(benchTable, enc, codec, ev, 0.05)
+		dry, err := cube.DryRun(context.Background(), benchTable, enc, codec, ev, 0.05)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +190,7 @@ func BenchmarkTable1DryRun(b *testing.B) {
 // --- Table II: sample visualization time ----------------------------------------
 
 func BenchmarkTable2Visualization(b *testing.B) {
-	tab, err := core.Build(benchTable, benchParams(harness.TaskMean, 0.025, 5, true))
+	tab, err := core.Build(context.Background(), benchTable, benchParams(harness.TaskMean, 0.025, 5, true))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func BenchmarkAblationCostModel(b *testing.B) {
 	enc, codec := benchEncoding(b, 5)
 	f := loss.NewMean(nyctaxi.ColFare)
 	ev := benchBindGlobal(b, f)
-	dry, err := cube.DryRun(benchTable, enc, codec, ev, 0.05)
+	dry, err := cube.DryRun(context.Background(), benchTable, enc, codec, ev, 0.05)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func BenchmarkAblationCostModel(b *testing.B) {
 		policy := policy
 		b.Run(policy.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := cube.RealRun(benchTable, enc, codec, dry, f, 0.05, cube.RealRunOptions{
+				_, err := cube.RealRun(context.Background(), benchTable, enc, codec, dry, f, 0.05, cube.RealRunOptions{
 					Greedy: sampling.DefaultGreedyOptions(),
 					Cost:   policy.p,
 				})
@@ -278,7 +279,7 @@ func BenchmarkAblationDryRun(b *testing.B) {
 	ev := benchBindGlobal(b, f)
 	b.Run("DeriveLattice", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cube.DryRun(benchTable, enc, codec, ev, 0.05); err != nil {
+			if _, err := cube.DryRun(context.Background(), benchTable, enc, codec, ev, 0.05); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -298,18 +299,53 @@ func BenchmarkAblationSamGraphJoin(b *testing.B) {
 	f := loss.NewHistogram(nyctaxi.ColFare)
 	b.Run("AlgebraicEarlyAbort", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := samgraph.Build(benchTable, vertices, f, 0.5, samgraph.BuildOptions{}); err != nil {
+			if _, err := samgraph.Build(context.Background(), benchTable, vertices, f, 0.5, samgraph.BuildOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("GenericLossCalls", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := samgraph.Build(benchTable, vertices, opaqueBenchLoss{f}, 0.5, samgraph.BuildOptions{}); err != nil {
+			if _, err := samgraph.Build(context.Background(), benchTable, vertices, opaqueBenchLoss{f}, 0.5, samgraph.BuildOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// Parallel SamGraph similarity join across worker counts. The output is
+// byte-identical at every width (see internal/samgraph/parallel_test.go);
+// this measures only the wall-clock scaling of the O(n²) pair tests.
+func BenchmarkAblationParallelSamGraph(b *testing.B) {
+	vertices := benchVertices(b, 40)
+	f := loss.NewHistogram(nyctaxi.ColFare)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := samgraph.BuildOptions{Workers: workers}
+				if _, err := samgraph.Build(context.Background(), benchTable, vertices, f, 0.5, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Concurrent derivation-tree walk of the dry run across worker counts.
+// Sibling cuboids derive in parallel; per-cuboid output is unchanged.
+func BenchmarkAblationParallelDryRun(b *testing.B) {
+	enc, codec := benchEncoding(b, 5)
+	f := loss.NewMean(nyctaxi.ColFare)
+	ev := benchBindGlobal(b, f)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cube.DryRunKeep(context.Background(), benchTable, enc, codec, ev, 0.05, false, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // opaqueBenchLoss hides the DryRunner capability so samgraph falls back
@@ -380,7 +416,7 @@ func benchVertices(b *testing.B, n int) []samgraph.Vertex {
 // Query takes no locks — a single atomic snapshot load — throughput
 // should scale with GOMAXPROCS instead of collapsing on a mutex.
 func BenchmarkConcurrentQuery(b *testing.B) {
-	tab, err := core.Build(benchTable, benchParams(harness.TaskMean, 0.1, 2, true))
+	tab, err := core.Build(context.Background(), benchTable, benchParams(harness.TaskMean, 0.1, 2, true))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -412,7 +448,7 @@ func BenchmarkConcurrentQuery(b *testing.B) {
 func BenchmarkConcurrentQueryDuringAppend(b *testing.B) {
 	p := benchParams(harness.TaskHistogram, 1.0, 2, true)
 	p.EnableAppend = true
-	tab, err := core.Build(benchTable, p)
+	tab, err := core.Build(context.Background(), benchTable, p)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 //
 //	tabula-bench -experiment fig11a [-rows 60000] [-queries 60] [-seed 42]
 //	tabula-bench -experiment all -out results.txt
+//	tabula-bench -init-json BENCH_init.json [-workers 1,2,4,8]
 //	tabula-bench -list
 package main
 
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/tabula-db/tabula/internal/harness"
@@ -28,6 +30,8 @@ func main() {
 		out        = flag.String("out", "", "also write reports to this file")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		initJSON   = flag.String("init-json", "", "write an initialization stage-timing sweep to this JSON file and exit")
+		workers    = flag.String("workers", "", "comma-separated worker counts for -init-json (default 1,2,4,GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -35,6 +39,40 @@ func main() {
 		for _, id := range harness.ExperimentIDs() {
 			fmt.Println(id)
 		}
+		return
+	}
+	if *initJSON != "" {
+		var progress io.Writer = os.Stderr
+		if *quiet {
+			progress = nil
+		}
+		var counts []int
+		if *workers != "" {
+			for _, tok := range strings.Split(*workers, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "tabula-bench: bad -workers entry %q\n", tok)
+					os.Exit(2)
+				}
+				counts = append(counts, n)
+			}
+		}
+		f, err := os.Create(*initJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		scale := harness.Scale{Rows: *rows, Queries: *queries, Seed: *seed}
+		if err := harness.WriteInitStageJSON(f, scale, counts, progress); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *initJSON)
 		return
 	}
 	if *experiment == "" {

@@ -41,13 +41,16 @@ func main() {
 		initSQL   = flag.String("init", "", "semicolon-separated statements to execute at startup")
 		cubeFile  = flag.String("load-cube", "", "load a persisted cube file and register it as 'cube'")
 		drainTime = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		workers   = flag.Int("workers", 0, "worker budget for every cube-initialization stage (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	db := tabula.Open()
+	db := tabula.Open(tabula.WithBuildParams(func(p *tabula.Params) {
+		p.Workers = *workers
+	}))
 	if *taxiRows > 0 {
 		log.Printf("generating %d synthetic taxi rides ...", *taxiRows)
 		db.RegisterTable("nyctaxi", tabula.GenerateTaxi(*taxiRows, *seed))

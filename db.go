@@ -261,7 +261,7 @@ func (db *DB) execCreateCube(ctx context.Context, s *engine.CreateSamplingCube) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cube, err := core.Build(tbl, p)
+	cube, err := core.Build(ctx, tbl, p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package tabula
 
 import (
+	"context"
 	"github.com/tabula-db/tabula/internal/core"
 	"github.com/tabula-db/tabula/internal/dataset"
 	"github.com/tabula-db/tabula/internal/engine"
@@ -129,7 +130,14 @@ func DefaultParams(f LossFunc, theta float64, cubedAttrs ...string) Params {
 
 // Build initializes a sampling cube over the table (the Go-native
 // equivalent of the CREATE TABLE … SAMPLING(*, θ) … statement).
-func Build(tbl *Table, p Params) (*Cube, error) { return core.Build(tbl, p) }
+func Build(tbl *Table, p Params) (*Cube, error) { return core.Build(context.Background(), tbl, p) }
+
+// BuildContext is Build with cancellation: every initialization stage
+// (dry-run scan, lattice derivation, real-run sampling, SamGraph join)
+// polls ctx, so cancelling it aborts the build with ctx.Err().
+func BuildContext(ctx context.Context, tbl *Table, p Params) (*Cube, error) {
+	return core.Build(ctx, tbl, p)
+}
 
 // LoadCube restores a cube previously persisted with Cube.Save.
 var LoadCube = core.Load

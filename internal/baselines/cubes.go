@@ -413,7 +413,7 @@ func (t *TabulaApproach) Init(tbl *dataset.Table, cfg Config) error {
 	p.SampleSelection = t.SampleSelection
 	p.Greedy.CandidateCap = t.GreedyCandidateCap
 	p.SamGraph.MaxCandidates = t.SamGraphMaxCandidates
-	tab, err := core.Build(tbl, p)
+	tab, err := core.Build(context.Background(), tbl, p)
 	if err != nil {
 		return err
 	}

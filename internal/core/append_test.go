@@ -14,7 +14,7 @@ func buildAppendable(t *testing.T, tbl *dataset.Table, f loss.Func, theta float6
 	t.Helper()
 	p := DefaultParams(f, theta, "distance", "passengers", "payment")
 	p.EnableAppend = true
-	tab, err := Build(tbl, p)
+	tab, err := Build(context.Background(), tbl, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/tabula-db/tabula/internal/dataset"
@@ -35,7 +36,7 @@ type CalibrateTrial struct {
 // cube with params p at the probed threshold), so expect steps × one
 // initialization of cost. It returns an error when even hiTheta's cube
 // exceeds the budget.
-func CalibrateTheta(tbl *dataset.Table, p Params, loTheta, hiTheta float64, maxBytes int64, steps int) (*CalibrateResult, error) {
+func CalibrateTheta(ctx context.Context, tbl *dataset.Table, p Params, loTheta, hiTheta float64, maxBytes int64, steps int) (*CalibrateResult, error) {
 	if loTheta <= 0 || hiTheta <= loTheta {
 		return nil, fmt.Errorf("core: calibration needs 0 < loTheta < hiTheta, got [%v, %v]", loTheta, hiTheta)
 	}
@@ -46,7 +47,7 @@ func CalibrateTheta(tbl *dataset.Table, p Params, loTheta, hiTheta float64, maxB
 	probe := func(theta float64) (*Tabula, int64, error) {
 		pp := p
 		pp.Theta = theta
-		cube, err := Build(tbl, pp)
+		cube, err := Build(ctx, tbl, pp)
 		if err != nil {
 			return nil, 0, err
 		}

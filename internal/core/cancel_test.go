@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// gateLoss wraps an algebraic loss so the test can observe the exact
+// moment the dry-run scan starts folding rows: the first evaluator Add
+// closes started, then blocks until release closes. That pins the build
+// inside the scan while the test cancels, making the mid-build
+// cancellation test deterministic instead of a sleep race.
+type gateLoss struct {
+	loss.Func
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateLoss) BindSample(tbl *dataset.Table, sam dataset.View) (loss.CellEvaluator, error) {
+	ev, err := g.Func.(loss.DryRunner).BindSample(tbl, sam)
+	if err != nil {
+		return nil, err
+	}
+	return &gateEvaluator{CellEvaluator: ev, g: g}, nil
+}
+
+type gateEvaluator struct {
+	loss.CellEvaluator
+	g *gateLoss
+}
+
+func (e *gateEvaluator) Add(st loss.CellState, row int32) {
+	e.g.once.Do(func() {
+		close(e.g.started)
+		<-e.g.release
+	})
+	e.CellEvaluator.Add(st, row)
+}
+
+// A context cancelled while the dry-run scan is mid-table aborts the
+// whole Build with context.Canceled.
+func TestBuildCancelledMidDryRun(t *testing.T) {
+	tbl := taxiTable(20000, 31)
+	g := &gateLoss{
+		Func:    loss.NewMean("fare"),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	p := DefaultParams(g, 0.05, "distance", "passengers", "payment")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Build(ctx, tbl, p)
+		errc <- err
+	}()
+	<-g.started // the scan is folding its first row
+	cancel()
+	close(g.release)
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Build returned %v, want context.Canceled", err)
+	}
+}
+
+// A context cancelled before Build starts returns immediately.
+func TestBuildCancelledBeforeStart(t *testing.T) {
+	tbl := taxiTable(500, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Build(ctx, tbl, DefaultParams(loss.NewMean("fare"), 0.05, "payment"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Build returned %v, want context.Canceled", err)
+	}
+}
+
+// Building the same cube at different worker budgets must materialize
+// the same cube table and assign every cell the same sample contents —
+// the tentpole's "no output change" requirement end to end.
+func TestBuildWorkersEquivalent(t *testing.T) {
+	tbl := taxiTable(6000, 33)
+	mk := func(workers int) *Tabula {
+		t.Helper()
+		p := DefaultParams(loss.NewMean("fare"), 0.05, "distance", "passengers", "payment")
+		p.Seed = 7
+		p.Workers = workers
+		tab, err := Build(context.Background(), tbl, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	ref := mk(1)
+	refSn := ref.snap.Load()
+	for _, workers := range []int{2, 7} {
+		got := mk(workers)
+		sn := got.snap.Load()
+		if len(sn.cubeTable) != len(refSn.cubeTable) {
+			t.Fatalf("workers=%d: %d cube-table entries, want %d", workers, len(sn.cubeTable), len(refSn.cubeTable))
+		}
+		if len(sn.samples) != len(refSn.samples) {
+			t.Fatalf("workers=%d: %d persisted samples, want %d", workers, len(sn.samples), len(refSn.samples))
+		}
+		for key, id := range refSn.cubeTable {
+			gotID, ok := sn.cubeTable[key]
+			if !ok {
+				t.Fatalf("workers=%d: cube table missing cell %d", workers, key)
+			}
+			if gotID != id {
+				t.Fatalf("workers=%d: cell %d assigned sample %d, want %d", workers, key, gotID, id)
+			}
+		}
+		st, refSt := got.Stats(), ref.Stats()
+		if st.NumIcebergCells != refSt.NumIcebergCells ||
+			st.NumCells != refSt.NumCells ||
+			st.SamGraphEdges != refSt.SamGraphEdges ||
+			st.SamGraphPairsTested != refSt.SamGraphPairsTested {
+			t.Fatalf("workers=%d: inventory diverged: %+v vs %+v", workers, st, refSt)
+		}
+	}
+}

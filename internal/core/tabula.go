@@ -61,7 +61,11 @@ type Params struct {
 	SampleSelection bool
 	// SamGraph tunes the selection similarity join.
 	SamGraph samgraph.BuildOptions
-	// Workers bounds initialization parallelism (0 = GOMAXPROCS).
+	// Workers bounds initialization parallelism (0 = GOMAXPROCS). It
+	// governs every init stage: the dry-run base scan and lattice
+	// derivation, the real-run per-cell samplers, and the SamGraph
+	// similarity join (the join's own SamGraph.Workers, when set,
+	// takes precedence for that stage).
 	Workers int
 	// EnableAppend keeps the raw table, encoding, and per-cell loss
 	// states alive after Build so Append can maintain the cube
@@ -195,7 +199,17 @@ func newSnapshot(schema dataset.Schema, cubedAttrs []string) *snapshot {
 // Build initializes Tabula over the raw table: it draws the global
 // sample, runs the dry-run and real-run stages, optionally runs
 // representative sample selection, and materializes the cube.
-func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
+//
+// Every stage honors ctx: the dry-run scan and lattice derivation, the
+// real-run samplers, and the SamGraph similarity join all poll it
+// periodically, so cancelling ctx (e.g. an HTTP client disconnecting
+// mid-CREATE) aborts initialization with ctx.Err() instead of burning
+// cores on an unwanted cube. Params.Workers bounds the parallelism of
+// every stage (0 = GOMAXPROCS).
+func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.Loss == nil {
 		return nil, fmt.Errorf("core: Params.Loss is required")
 	}
@@ -264,7 +278,7 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 		return nil, err
 	}
 	dryStart := time.Now()
-	dry, kept, err := cube.DryRunKeep(tbl, enc, codec, ev, p.Theta, p.EnableAppend)
+	dry, kept, err := cube.DryRunKeep(ctx, tbl, enc, codec, ev, p.Theta, p.EnableAppend, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +293,7 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 
 	// Stage 2: real run — materialize local samples for iceberg cells.
 	realStart := time.Now()
-	real, err := cube.RealRun(tbl, enc, codec, dry, p.Loss, p.Theta, cube.RealRunOptions{
+	real, err := cube.RealRun(ctx, tbl, enc, codec, dry, p.Loss, p.Theta, cube.RealRunOptions{
 		Greedy:      p.Greedy,
 		Cost:        p.Cost,
 		Workers:     p.Workers,
@@ -298,7 +312,11 @@ func Build(tbl *dataset.Table, p Params) (*Tabula, error) {
 		for i, c := range real.Cells {
 			vertices[i] = samgraph.Vertex{Rows: c.Rows, SampleRows: c.SampleRows}
 		}
-		graph, err := samgraph.Build(tbl, vertices, p.Loss, p.Theta, p.SamGraph)
+		opts := p.SamGraph
+		if opts.Workers == 0 {
+			opts.Workers = p.Workers
+		}
+		graph, err := samgraph.Build(ctx, tbl, vertices, p.Loss, p.Theta, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -51,7 +51,7 @@ func taxiTable(n int, seed int64) *dataset.Table {
 
 func buildTabula(t *testing.T, tbl *dataset.Table, f loss.Func, theta float64) *Tabula {
 	t.Helper()
-	tab, err := Build(tbl, DefaultParams(f, theta, "distance", "passengers", "payment"))
+	tab, err := Build(context.Background(), tbl, DefaultParams(f, theta, "distance", "passengers", "payment"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestBuildValidation(t *testing.T) {
 		"non-cubeable":   DefaultParams(loss.NewMean("fare"), 0.1, "fare"),
 	}
 	for name, p := range cases {
-		if _, err := Build(tbl, p); err == nil {
+		if _, err := Build(context.Background(), tbl, p); err == nil {
 			t.Errorf("%s: Build should fail", name)
 		}
 	}
@@ -198,7 +198,7 @@ func TestSampleSelectionReducesSamples(t *testing.T) {
 	withSel := buildTabula(t, tbl, f, theta)
 	pNoSel := DefaultParams(f, theta, "distance", "passengers", "payment")
 	pNoSel.SampleSelection = false
-	noSel, err := Build(tbl, pNoSel)
+	noSel, err := Build(context.Background(), tbl, pNoSel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +351,7 @@ func TestCalibrateTheta(t *testing.T) {
 	tbl := taxiTable(3000, 101)
 	p := DefaultParams(loss.NewMean("fare"), 0, "distance", "passengers", "payment")
 	// A generous budget must calibrate to something tighter than hiTheta.
-	res, err := CalibrateTheta(tbl, p, 0.01, 0.5, 1<<24, 5)
+	res, err := CalibrateTheta(context.Background(), tbl, p, 0.01, 0.5, 1<<24, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,11 +365,11 @@ func TestCalibrateTheta(t *testing.T) {
 		t.Fatal("calibrated cube exceeds budget")
 	}
 	// An impossible budget fails cleanly.
-	if _, err := CalibrateTheta(tbl, p, 0.01, 0.5, 10, 3); err == nil {
+	if _, err := CalibrateTheta(context.Background(), tbl, p, 0.01, 0.5, 10, 3); err == nil {
 		t.Fatal("tiny budget should fail")
 	}
 	// Bad ranges fail.
-	if _, err := CalibrateTheta(tbl, p, 0.5, 0.1, 1<<24, 3); err == nil {
+	if _, err := CalibrateTheta(context.Background(), tbl, p, 0.5, 0.1, 1<<24, 3); err == nil {
 		t.Fatal("inverted range should fail")
 	}
 }

@@ -1,6 +1,7 @@
 package cube
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -125,7 +126,7 @@ func TestDryRunFindsSkewedIcebergs(t *testing.T) {
 		t.Fatal(err)
 	}
 	theta := 0.10
-	dry, err := DryRun(tbl, enc, codec, ev, theta)
+	dry, err := DryRun(context.Background(), tbl, enc, codec, ev, theta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestDryRunMatchesRecompute(t *testing.T) {
 			t.Fatal(err)
 		}
 		theta := 0.05
-		fast, err := DryRun(tbl, enc, codec, ev, theta)
+		fast, err := DryRun(context.Background(), tbl, enc, codec, ev, theta)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -240,11 +241,11 @@ func TestRealRunSamplesMeetThreshold(t *testing.T) {
 		t.Fatal(err)
 	}
 	theta := 0.08
-	dry, err := DryRun(tbl, enc, codec, ev, theta)
+	dry, err := DryRun(context.Background(), tbl, enc, codec, ev, theta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	real, err := RealRun(tbl, enc, codec, dry, f, theta, RealRunOptions{
+	real, err := RealRun(context.Background(), tbl, enc, codec, dry, f, theta, RealRunOptions{
 		Greedy:      sampling.DefaultGreedyOptions(),
 		KeepRawRows: true,
 	})
@@ -286,12 +287,12 @@ func TestRealRunPathsEquivalent(t *testing.T) {
 		t.Fatal(err)
 	}
 	theta := 0.08
-	dry, err := DryRun(tbl, enc, codec, ev, theta)
+	dry, err := DryRun(context.Background(), tbl, enc, codec, ev, theta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	runWith := func(policy CostPolicy) map[uint64]int {
-		real, err := RealRun(tbl, enc, codec, dry, f, theta, RealRunOptions{
+		real, err := RealRun(context.Background(), tbl, enc, codec, dry, f, theta, RealRunOptions{
 			Greedy: sampling.DefaultGreedyOptions(), Cost: policy, KeepRawRows: true,
 		})
 		if err != nil {
@@ -324,7 +325,7 @@ func TestIcebergCellTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dry, err := DryRun(tbl, enc, codec, ev, 0.08)
+	dry, err := DryRun(context.Background(), tbl, enc, codec, ev, 0.08)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestDryRunStateBytesPositive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dry, err := DryRun(tbl, enc, codec, ev, 0.1)
+	dry, err := DryRun(context.Background(), tbl, enc, codec, ev, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,14 +396,14 @@ func TestRealRunNoIcebergs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dry, err := DryRun(tbl, enc, codec, ev, math.Inf(1))
+	dry, err := DryRun(context.Background(), tbl, enc, codec, ev, math.Inf(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dry.TotalIcebergCells() != 0 {
 		t.Fatal("no cell should be iceberg at theta=+Inf")
 	}
-	real, err := RealRun(tbl, enc, codec, dry, f, math.Inf(1), RealRunOptions{Greedy: sampling.DefaultGreedyOptions()})
+	real, err := RealRun(context.Background(), tbl, enc, codec, dry, f, math.Inf(1), RealRunOptions{Greedy: sampling.DefaultGreedyOptions()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +427,7 @@ func TestIcebergMonotoneInTheta(t *testing.T) {
 	var prev map[uint64]bool
 	var prevTheta float64
 	for _, theta := range thetas {
-		dry, err := DryRun(tbl, enc, codec, ev, theta)
+		dry, err := DryRun(context.Background(), tbl, enc, codec, ev, theta)
 		if err != nil {
 			t.Fatal(err)
 		}

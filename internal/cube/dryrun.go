@@ -1,15 +1,25 @@
 package cube
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tabula-db/tabula/internal/dataset"
 	"github.com/tabula-db/tabula/internal/engine"
 	"github.com/tabula-db/tabula/internal/loss"
 )
+
+// cancelCheckRows is how many raw rows a scan worker processes between
+// ctx.Err() polls (same cadence as internal/engine's scan loops).
+const cancelCheckRows = 4096
+
+// cancelCheckCells is how many cell states a derivation worker folds
+// between ctx.Err() polls (state merges are heavier than row adds).
+const cancelCheckCells = 1024
 
 // CuboidStats summarizes one cuboid after the dry run — the information
 // Figure 5a annotates each lattice vertex with: how many cells it has and
@@ -72,8 +82,8 @@ func (r *DryRunResult) IcebergCuboids() []int {
 // cuboid by merging states down the lattice (valid because the loss is
 // algebraic and the sample side is fixed to Sam_global), and marks as
 // iceberg every cell with loss(cell, Sam_global) > theta.
-func DryRun(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64) (*DryRunResult, error) {
-	res, _, err := DryRunKeep(tbl, enc, codec, ev, theta, false)
+func DryRun(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64) (*DryRunResult, error) {
+	res, _, err := DryRunKeep(ctx, tbl, enc, codec, ev, theta, false, 0)
 	return res, err
 }
 
@@ -81,7 +91,16 @@ func DryRun(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec,
 // (keyed by cell key, unique across cuboids). Retained states enable
 // incremental cube maintenance: appended rows are folded into the states
 // and only affected cells are re-examined.
-func DryRunKeep(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64, keep bool) (*DryRunResult, map[uint64]loss.CellState, error) {
+//
+// workers bounds the stage's parallelism (0 = GOMAXPROCS): the base
+// cuboid's scan is split across workers, and the lattice derivation runs
+// the derivation tree's independent branches concurrently — every
+// non-base cuboid is derived from its fixed DerivationParent, so sibling
+// cuboids sharing a parent only read that parent's states and write
+// their own. A parent's states are freed as soon as its last child has
+// derived (unless keep retains them). Cancelling ctx aborts the stage
+// with ctx.Err().
+func DryRunKeep(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64, keep bool, workers int) (*DryRunResult, map[uint64]loss.CellState, error) {
 	lat := NewLattice(enc.NumAttrs())
 	res := &DryRunResult{
 		Lattice: lat,
@@ -90,55 +109,81 @@ func DryRunKeep(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCo
 	}
 	n := tbl.NumRows()
 	res.RowsScanned = int64(n)
-	var kept map[uint64]loss.CellState
-	if keep {
-		kept = make(map[uint64]loss.CellState)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	baseAttrs := lat.Attrs(lat.Base())
-	base := scanBaseCuboid(enc, codec, ev, baseAttrs, n)
+	base, err := scanBaseCuboid(ctx, enc, codec, ev, baseAttrs, n, workers)
+	if err != nil {
+		return nil, nil, err
+	}
 
-	// Derive all cuboids top-down. states[mask] is freed as soon as every
-	// cuboid deriving from it has been processed; with the fixed
-	// DerivationParent each parent can have up to n children, so we keep
-	// the map keyed by mask and drop entries when their children are done.
-	states := make(map[int]map[uint64]loss.CellState, lat.NumCuboids())
+	// Derive all cuboids concurrently down the derivation tree. Each
+	// non-base mask derives from its fixed DerivationParent, so the tree's
+	// branches are independent: a cuboid only reads its parent's states
+	// (never mutating them) and owns states[mask] and res.Cuboids[mask].
+	// pending[p] counts p's underived children; the last child to finish
+	// frees the parent's states (keep retains everything for Append).
+	states := make([]map[uint64]loss.CellState, lat.NumCuboids())
 	states[lat.Base()] = base
-	order := lat.TopDownOrder()
-	for _, mask := range order {
+	children := make([][]int, lat.NumCuboids())
+	for _, mask := range lat.TopDownOrder() {
+		if mask == lat.Base() {
+			continue
+		}
+		p := lat.DerivationParent(mask)
+		children[p] = append(children[p], mask)
+	}
+	pending := make([]int32, lat.NumCuboids())
+	for m := range children {
+		pending[m] = int32(len(children[m]))
+	}
+
+	var (
+		wg         sync.WaitGroup
+		stateBytes atomic.Int64
+		errOnce    sync.Once
+		deriveErr  error
+	)
+	fail := func(err error) { errOnce.Do(func() { deriveErr = err }) }
+	// sem caps concurrently-running derivations at the worker budget;
+	// goroutines are cheap, the state merges are not.
+	sem := make(chan struct{}, workers)
+	var process func(mask int)
+	process = func(mask int) {
+		defer wg.Done()
+		sem <- struct{}{}
+		ok := deriveCuboid(ctx, lat, codec, ev, theta, states, res, mask, &stateBytes, fail)
+		<-sem
+		if ok {
+			for _, c := range children[mask] {
+				wg.Add(1)
+				go process(c)
+			}
+			if !keep && len(children[mask]) == 0 {
+				states[mask] = nil // leaf: nobody derives from it
+			}
+		}
 		if mask != lat.Base() {
 			parent := lat.DerivationParent(mask)
-			pstates, ok := states[parent]
-			if !ok {
-				return nil, nil, fmt.Errorf("cube: internal error, parent cuboid %b not derived before %b", parent, mask)
-			}
-			// Remove the attribute that distinguishes parent from mask.
-			removed := parent &^ mask
-			attr := trailingAttr(removed)
-			cur := make(map[uint64]loss.CellState)
-			for key, st := range pstates {
-				ckey := rollUpKey(codec, key, attr)
-				dst, ok := cur[ckey]
-				if !ok {
-					dst = ev.NewState()
-					cur[ckey] = dst
-				}
-				ev.Merge(dst, st)
-			}
-			states[mask] = cur
-		}
-		cur := states[mask]
-		stats := &res.Cuboids[mask]
-		stats.Mask = mask
-		stats.NumCells = len(cur)
-		for key, st := range cur {
-			if ev.Loss(st) > theta {
-				stats.IcebergKeys = append(stats.IcebergKeys, key)
+			if atomic.AddInt32(&pending[parent], -1) == 0 && !keep {
+				states[parent] = nil
 			}
 		}
-		sort.Slice(stats.IcebergKeys, func(i, j int) bool { return stats.IcebergKeys[i] < stats.IcebergKeys[j] })
-		res.StateBytes += int64(len(cur)) * ev.StateBytes()
-		if keep {
+	}
+	wg.Add(1)
+	process(lat.Base())
+	wg.Wait()
+	if deriveErr != nil {
+		return nil, nil, deriveErr
+	}
+
+	res.StateBytes = stateBytes.Load()
+	var kept map[uint64]loss.CellState
+	if keep {
+		kept = make(map[uint64]loss.CellState)
+		for _, cur := range states {
 			for key, st := range cur {
 				kept[key] = st
 			}
@@ -147,11 +192,63 @@ func DryRunKeep(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCo
 	return res, kept, nil
 }
 
+// deriveCuboid computes one cuboid's states (non-base masks roll their
+// parent's states up by the removed attribute) and its iceberg
+// inventory. It returns false when the run is being aborted.
+func deriveCuboid(ctx context.Context, lat Lattice, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64, states []map[uint64]loss.CellState, res *DryRunResult, mask int, stateBytes *atomic.Int64, fail func(error)) bool {
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		return false
+	}
+	if mask != lat.Base() {
+		parent := lat.DerivationParent(mask)
+		pstates := states[parent]
+		if pstates == nil {
+			fail(fmt.Errorf("cube: internal error, parent cuboid %b not derived before %b", parent, mask))
+			return false
+		}
+		// Remove the attribute that distinguishes parent from mask.
+		removed := parent &^ mask
+		attr := trailingAttr(removed)
+		cur := make(map[uint64]loss.CellState)
+		i := 0
+		for key, st := range pstates {
+			if i%cancelCheckCells == 0 && i > 0 {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return false
+				}
+			}
+			i++
+			ckey := rollUpKey(codec, key, attr)
+			dst, ok := cur[ckey]
+			if !ok {
+				dst = ev.NewState()
+				cur[ckey] = dst
+			}
+			ev.Merge(dst, st)
+		}
+		states[mask] = cur
+	}
+	cur := states[mask]
+	stats := &res.Cuboids[mask]
+	stats.Mask = mask
+	stats.NumCells = len(cur)
+	for key, st := range cur {
+		if ev.Loss(st) > theta {
+			stats.IcebergKeys = append(stats.IcebergKeys, key)
+		}
+	}
+	sort.Slice(stats.IcebergKeys, func(i, j int) bool { return stats.IcebergKeys[i] < stats.IcebergKeys[j] })
+	stateBytes.Add(int64(len(cur)) * ev.StateBytes())
+	return true
+}
+
 // scanBaseCuboid folds every table row into its base-cuboid cell state,
-// splitting the scan across GOMAXPROCS workers and merging the partial
-// maps (states are mergeable by construction).
-func scanBaseCuboid(enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, baseAttrs []int, n int) map[uint64]loss.CellState {
-	workers := runtime.GOMAXPROCS(0)
+// splitting the scan across the worker budget and merging the partial
+// maps (states are mergeable by construction). Workers poll ctx every
+// cancelCheckRows rows.
+func scanBaseCuboid(ctx context.Context, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, baseAttrs []int, n, workers int) (map[uint64]loss.CellState, error) {
 	if workers > n/8192+1 {
 		workers = n/8192 + 1
 	}
@@ -175,6 +272,12 @@ func scanBaseCuboid(enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.Cel
 			defer wg.Done()
 			m := make(map[uint64]loss.CellState)
 			for row := lo; row < hi; row++ {
+				if (row-lo)%cancelCheckRows == 0 && row > lo {
+					if ctx.Err() != nil {
+						partials[w] = nil
+						return
+					}
+				}
 				key := engine.GroupKeys(enc, codec, baseAttrs, int32(row))
 				st, ok := m[key]
 				if !ok {
@@ -187,6 +290,9 @@ func scanBaseCuboid(enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.Cel
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	base := partials[0]
 	for _, p := range partials[1:] {
 		for key, st := range p {
@@ -197,7 +303,7 @@ func scanBaseCuboid(enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.Cel
 			}
 		}
 	}
-	return base
+	return base, nil
 }
 
 // DryRunRecompute is the ablation variant that rebuilds every cuboid's

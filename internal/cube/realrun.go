@@ -1,6 +1,7 @@
 package cube
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -107,13 +108,20 @@ type RealRunResult struct {
 // RealRun executes Algorithm 2: for every iceberg cuboid it fetches the
 // raw data of the cuboid's iceberg cells (choosing the access path with
 // the cost model), then draws a loss-bounded local sample per iceberg
-// cell with the greedy sampler.
-func RealRun(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, dry *DryRunResult, f loss.Func, theta float64, opts RealRunOptions) (*RealRunResult, error) {
+// cell with the greedy sampler. ctx is polled between cuboids and
+// between cells, so cancellation aborts the stage with ctx.Err().
+func RealRun(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, dry *DryRunResult, f loss.Func, theta float64, opts RealRunOptions) (*RealRunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &RealRunResult{PathChosen: make(map[int]PathChoice)}
 	lat := dry.Lattice
 	view := dataset.FullView(tbl)
 	n := int64(tbl.NumRows())
 	for _, mask := range dry.IcebergCuboids() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stats := &dry.Cuboids[mask]
 		attrs := lat.Attrs(mask)
 		keySet := make(map[uint64]struct{}, len(stats.IcebergKeys))
@@ -185,6 +193,10 @@ func RealRun(tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec
 			for i := range next {
 				if errs[w] != nil {
 					continue // drain the channel so the feeder goroutine exits
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					continue
 				}
 				cell := res.Cells[i]
 				sample, err := sampling.Greedy(f, dataset.NewView(tbl, cell.Rows), theta, opts.Greedy)

@@ -96,7 +96,7 @@ func Fig2(s Scale, progress io.Writer) ([]*Report, error) {
 		return nil, err
 	}
 	// Tabula.
-	tab, err := core.Build(tbl, tabulaParams(TaskHeatmap, theta, attrs, s.Seed, true))
+	tab, err := core.Build(context.Background(), tbl, tabulaParams(TaskHeatmap, theta, attrs, s.Seed, true))
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +130,7 @@ func AblationDryRun(s Scale, progress io.Writer) ([]*Report, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		fast, err := cube.DryRun(tbl, enc, codec, ev, 0.05)
+		fast, err := cube.DryRun(context.Background(), tbl, enc, codec, ev, 0.05)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +156,7 @@ func AblationCostModel(s Scale, progress io.Writer) ([]*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	dry, err := cube.DryRun(tbl, enc, codec, ev, 0.05)
+	dry, err := cube.DryRun(context.Background(), tbl, enc, codec, ev, 0.05)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +175,7 @@ func AblationCostModel(s Scale, progress io.Writer) ([]*Report, error) {
 		{"ForceJoinFirst", cube.CostForceJoinFirst},
 	} {
 		t0 := time.Now()
-		real, err := cube.RealRun(tbl, enc, codec, dry, f, 0.05, cube.RealRunOptions{
+		real, err := cube.RealRun(context.Background(), tbl, enc, codec, dry, f, 0.05, cube.RealRunOptions{
 			Greedy: sampling.DefaultGreedyOptions(), Cost: policy.p,
 		})
 		if err != nil {
@@ -202,11 +202,11 @@ func AblationSamGraph(s Scale, progress io.Writer) ([]*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	dry, err := cube.DryRun(tbl, enc, codec, ev, 0.5)
+	dry, err := cube.DryRun(context.Background(), tbl, enc, codec, ev, 0.5)
 	if err != nil {
 		return nil, err
 	}
-	real, err := cube.RealRun(tbl, enc, codec, dry, f, 0.5, cube.RealRunOptions{
+	real, err := cube.RealRun(context.Background(), tbl, enc, codec, dry, f, 0.5, cube.RealRunOptions{
 		Greedy: sampling.DefaultGreedyOptions(), KeepRawRows: true,
 	})
 	if err != nil {
@@ -227,7 +227,7 @@ func AblationSamGraph(s Scale, progress io.Writer) ([]*Report, error) {
 	}
 	run := func(name string, lf loss.Func, opts samgraph.BuildOptions) error {
 		t0 := time.Now()
-		g, err := samgraph.Build(tbl, vertices, lf, 0.5, opts)
+		g, err := samgraph.Build(context.Background(), tbl, vertices, lf, 0.5, opts)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -126,7 +127,7 @@ func initSweepFigure(s Scale, progress io.Writer, task Task, id string, timeFigu
 	}
 	for _, theta := range ThetaSweep(task) {
 		Fprintf(progress, "%s: theta=%s\n", id, ThetaLabel(task, theta))
-		tab, err := core.Build(tbl, tabulaParams(task, theta, attrs, s.Seed, true))
+		tab, err := core.Build(context.Background(), tbl, tabulaParams(task, theta, attrs, s.Seed, true))
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +141,7 @@ func initSweepFigure(s Scale, progress io.Writer, task Task, id string, timeFigu
 				fmtDur(st.DryRunTime), fmtDur(st.RealRunTime), fmtDur(st.SelectionTime),
 				fmtDur(st.InitTime), fmtDur(snappy.InitTime()))
 		} else {
-			star, err := core.Build(tbl, tabulaParams(task, theta, attrs, s.Seed, false))
+			star, err := core.Build(context.Background(), tbl, tabulaParams(task, theta, attrs, s.Seed, false))
 			if err != nil {
 				return nil, err
 			}
@@ -184,7 +185,7 @@ func attrSweepInit(s Scale, progress io.Writer, id string, timeFigure bool) ([]*
 	}
 	for n := 4; n <= 7; n++ {
 		Fprintf(progress, "%s: %d attributes\n", id, n)
-		tab, err := core.Build(tbl, tabulaParams(TaskHistogram, theta, defaultAttrs(n), s.Seed, true))
+		tab, err := core.Build(context.Background(), tbl, tabulaParams(TaskHistogram, theta, defaultAttrs(n), s.Seed, true))
 		if err != nil {
 			return nil, err
 		}
@@ -418,7 +419,7 @@ func Table1(s Scale, progress io.Writer) ([]*Report, error) {
 		return nil, err
 	}
 	const theta = 0.10
-	dry, err := cube.DryRun(tbl, enc, codec, ev, theta)
+	dry, err := cube.DryRun(context.Background(), tbl, enc, codec, ev, theta)
 	if err != nil {
 		return nil, err
 	}

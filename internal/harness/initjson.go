@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/tabula-db/tabula/internal/core"
+	"github.com/tabula-db/tabula/internal/nyctaxi"
+)
+
+// InitStageRow is one worker-count measurement of the initialization
+// pipeline: wall-clock per stage plus the output inventory, which must
+// be identical across rows (parallel init does not change the cube).
+type InitStageRow struct {
+	Workers int `json:"workers"`
+
+	GlobalSampleMillis float64 `json:"global_sample_ms"`
+	DryRunMillis       float64 `json:"dry_run_ms"`
+	RealRunMillis      float64 `json:"real_run_ms"`
+	SelectionMillis    float64 `json:"selection_ms"`
+	InitMillis         float64 `json:"init_ms"`
+
+	NumIcebergCells     int   `json:"num_iceberg_cells"`
+	NumPersistedSamples int   `json:"num_persisted_samples"`
+	SamGraphEdges       int   `json:"samgraph_edges"`
+	SamGraphPairsTested int64 `json:"samgraph_pairs_tested"`
+	TotalBytes          int64 `json:"total_bytes"`
+}
+
+// InitStageReport is the payload of BENCH_init.json: a fixed-seed,
+// fixed-scale initialization sweep over worker counts.
+type InitStageReport struct {
+	Rows       int            `json:"rows"`
+	Seed       int64          `json:"seed"`
+	Theta      float64        `json:"theta"`
+	Attrs      []string       `json:"attrs"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Sweep      []InitStageRow `json:"sweep"`
+}
+
+// InitStageSweep builds the mean-loss cube once per worker count at the
+// given scale and records each stage's wall-clock from core.Stats. The
+// sweep is the machine-readable companion of Figures 8/10a, extended
+// with the worker axis introduced by parallel initialization.
+func InitStageSweep(s Scale, workerCounts []int, progress io.Writer) (*InitStageReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	}
+	tbl := nyctaxi.Generate(s.Rows, s.Seed)
+	attrs := defaultAttrs(5)
+	const theta = 0.05
+	rep := &InitStageReport{
+		Rows:       s.Rows,
+		Seed:       s.Seed,
+		Theta:      theta,
+		Attrs:      attrs,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, workers := range workerCounts {
+		Fprintf(progress, "init-json: building workers=%d...\n", workers)
+		p := tabulaParams(TaskMean, theta, attrs, s.Seed, true)
+		p.Workers = workers
+		start := time.Now()
+		cube, err := core.Build(context.Background(), tbl, p)
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		st := cube.Stats()
+		Fprintf(progress, "init-json: workers=%d done in %v\n", workers, time.Since(start).Round(time.Millisecond))
+		rep.Sweep = append(rep.Sweep, InitStageRow{
+			Workers:             workers,
+			GlobalSampleMillis:  millis(st.GlobalSampleTime),
+			DryRunMillis:        millis(st.DryRunTime),
+			RealRunMillis:       millis(st.RealRunTime),
+			SelectionMillis:     millis(st.SelectionTime),
+			InitMillis:          millis(st.InitTime),
+			NumIcebergCells:     st.NumIcebergCells,
+			NumPersistedSamples: st.NumPersistedSamples,
+			SamGraphEdges:       st.SamGraphEdges,
+			SamGraphPairsTested: st.SamGraphPairsTested,
+			TotalBytes:          st.TotalBytes(),
+		})
+	}
+	return rep, nil
+}
+
+// WriteInitStageJSON runs InitStageSweep and writes the report as
+// indented JSON.
+func WriteInitStageJSON(w io.Writer, s Scale, workerCounts []int, progress io.Writer) error {
+	rep, err := InitStageSweep(s, workerCounts, progress)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

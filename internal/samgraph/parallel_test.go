@@ -1,0 +1,123 @@
+package samgraph
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// graphsEqual compares two SamGraphs field by field.
+func graphsEqual(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if got.PairsTested != want.PairsTested {
+		t.Fatalf("%s: PairsTested = %d, sequential reference = %d", label, got.PairsTested, want.PairsTested)
+	}
+	if len(got.Out) != len(want.Out) {
+		t.Fatalf("%s: %d vertices, sequential reference has %d", label, len(got.Out), len(want.Out))
+	}
+	for v := range want.Out {
+		if !reflect.DeepEqual(got.Out[v], want.Out[v]) {
+			t.Fatalf("%s: Out[%d] = %v, sequential reference = %v", label, v, got.Out[v], want.Out[v])
+		}
+	}
+}
+
+// The parallel join must produce a byte-identical graph — edges,
+// PairsTested, and the MaxCandidates truncation — to the retained
+// sequential reference at every worker count, including worker counts
+// that do not divide the vertex count.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	tbl, vertices := buildFareTable(17, 40, 81)
+	f := loss.NewMean("fare")
+	theta := 0.05
+	for _, maxCand := range []int{0, 1, 3, 7, 100} {
+		opts := BuildOptions{MaxCandidates: maxCand}
+		want, err := buildSequential(tbl, vertices, f, theta, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 7} {
+			opts.Workers = workers
+			got, err := Build(context.Background(), tbl, vertices, f, theta, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphsEqual(t, fmt.Sprintf("cap=%d workers=%d", maxCand, workers), got, want)
+		}
+	}
+}
+
+// The generic (non-algebraic) join path must stay deterministic under
+// parallelism too.
+func TestParallelBuildGenericLossMatchesSequential(t *testing.T) {
+	tbl, vertices := buildFareTable(9, 30, 82)
+	f := opaque{loss.NewMean("fare")}
+	opts := BuildOptions{MaxCandidates: 4}
+	want, err := buildSequential(tbl, vertices, f, 0.05, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		opts.Workers = workers
+		got, err := Build(context.Background(), tbl, vertices, f, 0.05, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, fmt.Sprintf("generic workers=%d", workers), got, want)
+	}
+}
+
+// A cancelled context aborts the join with ctx.Err().
+func TestParallelBuildCancelled(t *testing.T) {
+	tbl, vertices := buildFareTable(8, 30, 83)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, tbl, vertices, loss.NewMean("fare"), 0.05, BuildOptions{Workers: 2}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// randomGraph builds a random SamGraph with guaranteed self-edges, the
+// shape Select consumes.
+func randomGraph(r *rand.Rand) *Graph {
+	n := 1 + r.Intn(60)
+	p := r.Float64() * 0.4
+	g := &Graph{Out: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		out := []int{v}
+		for u := 0; u < n; u++ {
+			if u != v && r.Float64() < p {
+				out = append(out, u)
+			}
+		}
+		sort.Ints(out)
+		g.Out[v] = out
+	}
+	return g
+}
+
+// The heap-based Select must return the same representatives (in the
+// same order) and the same AssignedTo as the retained linear-scan
+// greedy, and keep satisfying the dominating-set property.
+func TestSelectHeapMatchesLinear(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r)
+		got := Select(g)
+		want := selectLinear(g)
+		if !reflect.DeepEqual(got.Representatives, want.Representatives) {
+			t.Fatalf("seed %d: representatives %v, linear reference %v", seed, got.Representatives, want.Representatives)
+		}
+		if !reflect.DeepEqual(got.AssignedTo, want.AssignedTo) {
+			t.Fatalf("seed %d: AssignedTo %v, linear reference %v", seed, got.AssignedTo, want.AssignedTo)
+		}
+		if err := Verify(g, got); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

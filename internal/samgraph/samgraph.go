@@ -5,8 +5,13 @@
 package samgraph
 
 import (
+	"container/heap"
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tabula-db/tabula/internal/dataset"
 	"github.com/tabula-db/tabula/internal/loss"
@@ -54,27 +59,23 @@ type BuildOptions struct {
 	// tried largest-sample-first, since a richer sample is more likely
 	// to represent other cells.
 	MaxCandidates int
+	// Workers bounds the join's parallelism (0 = GOMAXPROCS). The
+	// resulting graph is identical for every worker count: each
+	// candidate vertex owns its adjacency list, and the MaxCandidates
+	// budget is resolved ahead of time from the fixed candidate order
+	// instead of racing on shared counters.
+	Workers int
 }
 
-// Build constructs the SamGraph over the given vertices: a similarity
-// self-join of the cube table with the predicate
-// loss(t1.cellrawdata, t2.sample) ≤ theta. Losses that implement
-// loss.DryRunner are evaluated by binding each candidate sample once and
-// folding every tested cell's rows through the bound evaluator (so e.g.
-// the heatmap loss builds one nearest-neighbour grid per candidate, not
-// per pair); others fall back to direct Loss calls.
-func Build(tbl *dataset.Table, vertices []Vertex, f loss.Func, theta float64, opts BuildOptions) (*Graph, error) {
-	n := len(vertices)
-	g := &Graph{Out: make([][]int, n)}
-	for v := range g.Out {
-		g.Out[v] = []int{v}
-	}
-	if n <= 1 {
-		return g, nil
-	}
+// cancelCheckTargets is how many representation tests a join worker
+// performs between ctx.Err() polls (mirrors engine's cancelCheckRows).
+const cancelCheckTargets = 256
 
-	// Candidate order: largest sample first.
-	order := make([]int, n)
+// buildOrder returns the candidate order: largest sample first, index
+// ascending among ties. The MaxCandidates admission rule and therefore
+// the whole join output are functions of this order alone.
+func buildOrder(vertices []Vertex) []int {
+	order := make([]int, len(vertices))
 	for i := range order {
 		order[i] = i
 	}
@@ -85,7 +86,157 @@ func Build(tbl *dataset.Table, vertices []Vertex, f loss.Func, theta float64, op
 		}
 		return order[a] < order[b]
 	})
+	return order
+}
 
+// Build constructs the SamGraph over the given vertices: a similarity
+// self-join of the cube table with the predicate
+// loss(t1.cellrawdata, t2.sample) ≤ theta. Losses that implement
+// loss.DryRunner are evaluated by binding each candidate sample once and
+// folding every tested cell's rows through the bound evaluator (so e.g.
+// the heatmap loss builds one nearest-neighbour grid per candidate, not
+// per pair); others fall back to direct Loss calls.
+//
+// The outer candidate loop is sharded across opts.Workers goroutines.
+// Candidate vertices are independent — each binds its own evaluator and
+// writes only its own adjacency list — so the output graph (edges and
+// PairsTested alike) is byte-identical to a sequential join at any
+// worker count (pinned by TestParallelBuildMatchesSequential). ctx
+// cancellation aborts the join with ctx.Err().
+func Build(ctx context.Context, tbl *dataset.Table, vertices []Vertex, f loss.Func, theta float64, opts BuildOptions) (*Graph, error) {
+	n := len(vertices)
+	g := &Graph{Out: make([][]int, n)}
+	for v := range g.Out {
+		g.Out[v] = []int{v}
+	}
+	if n <= 1 {
+		return g, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	order := buildOrder(vertices)
+	// pos[v] is v's rank in the candidate order; the admission rule
+	// below is phrased in ranks.
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// admitted reports whether candidate v gets to test target u under
+	// the MaxCandidates budget. Sequentially, target u is tested by the
+	// first MaxCandidates candidates in order, skipping u itself — a set
+	// that depends only on the fixed order, never on test outcomes or
+	// scheduling, so it can be evaluated independently per (v, u) pair.
+	admitted := func(v, u int) bool {
+		if opts.MaxCandidates <= 0 {
+			return true
+		}
+		rank := pos[v]
+		if pos[u] < rank {
+			rank-- // u itself is skipped, freeing one budget slot
+		}
+		return rank < opts.MaxCandidates
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	dr, algebraic := f.(loss.DryRunner)
+	var (
+		wg          sync.WaitGroup
+		nextIdx     atomic.Int64
+		pairsTested atomic.Int64
+		stop        atomic.Bool
+	)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var pairs int64
+			defer func() { pairsTested.Add(pairs) }()
+			for {
+				i := nextIdx.Add(1) - 1
+				if i >= int64(n) || stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+				v := order[i]
+				samView := dataset.NewView(tbl, vertices[v].SampleRows)
+				var ev loss.CellEvaluator
+				if algebraic {
+					var err error
+					ev, err = dr.BindSample(tbl, samView)
+					if err != nil {
+						errs[w] = fmt.Errorf("samgraph: binding candidate %d: %w", v, err)
+						stop.Store(true)
+						return
+					}
+				}
+				out := g.Out[v]
+				for u := range vertices {
+					if u == v || !admitted(v, u) {
+						continue
+					}
+					if pairs%cancelCheckTargets == 0 {
+						if err := ctx.Err(); err != nil {
+							errs[w] = err
+							stop.Store(true)
+							return
+						}
+					}
+					pairs++
+					var exceeds bool
+					if algebraic {
+						exceeds = loss.ExceedsThreshold(ev, vertices[u].Rows, theta)
+					} else {
+						exceeds = f.Loss(dataset.NewView(tbl, vertices[u].Rows), samView) > theta
+					}
+					if !exceeds {
+						out = append(out, u)
+					}
+				}
+				sort.Ints(out)
+				g.Out[v] = out
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	g.PairsTested = pairsTested.Load()
+	return g, nil
+}
+
+// buildSequential is the retained single-threaded reference join. It is
+// the ground truth the parallel Build is equivalence-tested against and
+// the Workers=1 baseline of BenchmarkAblationParallelSamGraph.
+func buildSequential(tbl *dataset.Table, vertices []Vertex, f loss.Func, theta float64, opts BuildOptions) (*Graph, error) {
+	n := len(vertices)
+	g := &Graph{Out: make([][]int, n)}
+	for v := range g.Out {
+		g.Out[v] = []int{v}
+	}
+	if n <= 1 {
+		return g, nil
+	}
+	order := buildOrder(vertices)
 	// testedFor[u] counts candidates tried for vertex u.
 	testedFor := make([]int, n)
 	dr, algebraic := f.(loss.DryRunner)
@@ -133,12 +284,50 @@ type Result struct {
 	AssignedTo []int
 }
 
+// degEntry is one (live degree, vertex) heap entry. Entries go stale as
+// selections shrink live degrees; stale entries are detected on pop and
+// reinserted with the true degree (lazy decrement).
+type degEntry struct {
+	deg int
+	v   int
+}
+
+// degHeap is a max-heap on (degree desc, vertex asc) — the same total
+// order the linear scan's "first strictly greater" rule induces, so the
+// heap-based Select picks identical representatives.
+type degHeap []degEntry
+
+func (h degHeap) Len() int { return len(h) }
+func (h degHeap) Less(i, j int) bool {
+	if h[i].deg != h[j].deg {
+		return h[i].deg > h[j].deg
+	}
+	return h[i].v < h[j].v
+}
+func (h degHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *degHeap) Push(x any)   { *h = append(*h, x.(degEntry)) }
+func (h *degHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
 // Select runs Algorithm 3: repeatedly pick the vertex with the highest
 // out-degree among the remaining ones, persist its sample, and drop every
 // vertex it represents, until all vertices are covered. The result is a
 // dominating set of the SamGraph — every unselected vertex is represented
 // by at least one selected vertex (property-tested), though not
 // necessarily a minimum one (the problem is NP-hard).
+//
+// The max-degree pick uses a lazy-decrement max-heap: stored degrees are
+// upper bounds (live degrees only shrink), so a popped entry whose
+// stored degree still matches its recomputed live degree is a true
+// maximum; stale entries are pushed back with the fresh degree. That
+// replaces the old O(n²·deg) recompute-on-pop scan while selecting the
+// exact same representatives (ties break towards the smaller vertex id
+// in both, pinned by TestSelectHeapMatchesLinear).
 func Select(g *Graph) *Result {
 	n := g.NumVertices()
 	res := &Result{AssignedTo: make([]int, n)}
@@ -151,9 +340,65 @@ func Select(g *Graph) *Result {
 	for i := range remaining {
 		remaining[i] = true
 	}
-	// degree[v] = |Out[v] ∩ remaining| is maintained lazily: recompute on
-	// pop, heap-free for clarity (n is the iceberg-cell count, small
-	// relative to the data).
+	liveDegree := func(v int) int {
+		d := 0
+		for _, u := range g.Out[v] {
+			if remaining[u] {
+				d++
+			}
+		}
+		return d
+	}
+	h := make(degHeap, n)
+	for v := 0; v < n; v++ {
+		// Initially every vertex is remaining, so the live degree is the
+		// full out-degree (self-edge included).
+		h[v] = degEntry{deg: len(g.Out[v]), v: v}
+	}
+	heap.Init(&h)
+	for alive > 0 {
+		if h.Len() == 0 {
+			// Every remaining vertex keeps at least one heap entry (its
+			// original or a reinserted one), so this cannot happen.
+			panic("samgraph: selection heap exhausted with vertices uncovered")
+		}
+		e := heap.Pop(&h).(degEntry)
+		if !remaining[e.v] {
+			continue // covered since this entry was pushed
+		}
+		d := liveDegree(e.v)
+		if d != e.deg {
+			heap.Push(&h, degEntry{deg: d, v: e.v})
+			continue
+		}
+		best := e.v
+		res.Representatives = append(res.Representatives, best)
+		for _, u := range g.Out[best] {
+			if remaining[u] {
+				remaining[u] = false
+				alive--
+				res.AssignedTo[u] = best
+			}
+		}
+	}
+	return res
+}
+
+// selectLinear is the retained recompute-on-pop reference of Algorithm 3
+// (the pre-heap implementation): scan all remaining vertices, pick the
+// first with the strictly greatest live degree. Kept as the oracle for
+// TestSelectHeapMatchesLinear.
+func selectLinear(g *Graph) *Result {
+	n := g.NumVertices()
+	res := &Result{AssignedTo: make([]int, n)}
+	for i := range res.AssignedTo {
+		res.AssignedTo[i] = -1
+	}
+	remaining := make([]bool, n)
+	alive := n
+	for i := range remaining {
+		remaining[i] = true
+	}
 	liveDegree := func(v int) int {
 		d := 0
 		for _, u := range g.Out[v] {
@@ -178,8 +423,6 @@ func Select(g *Graph) *Result {
 			}
 		}
 		if best < 0 {
-			// All remaining vertices already represented but still
-			// marked: cannot happen since selection clears them.
 			panic("samgraph: no candidate with live degree")
 		}
 		res.Representatives = append(res.Representatives, best)

@@ -1,6 +1,7 @@
 package samgraph
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -35,7 +36,7 @@ func TestBuildGraphEdgesMatchDirectLoss(t *testing.T) {
 	tbl, vertices := buildFareTable(8, 50, 71)
 	f := loss.NewMean("fare")
 	theta := 0.05
-	g, err := Build(tbl, vertices, f, theta, BuildOptions{})
+	g, err := Build(context.Background(), tbl, vertices, f, theta, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestBuildGraphGenericMatchesAlgebraic(t *testing.T) {
 	tbl, vertices := buildFareTable(6, 40, 72)
 	fa := loss.NewMean("fare")
 	theta := 0.05
-	ga, err := Build(tbl, vertices, fa, theta, BuildOptions{})
+	ga, err := Build(context.Background(), tbl, vertices, fa, theta, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gg, err := Build(tbl, vertices, opaque{fa}, theta, BuildOptions{})
+	gg, err := Build(context.Background(), tbl, vertices, opaque{fa}, theta, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestBuildGraphHeatmapLoss(t *testing.T) {
 		vertices = append(vertices, v)
 	}
 	f := loss.NewHeatmap("pickup", geo.Euclidean)
-	g, err := Build(tbl, vertices, f, 0.001, BuildOptions{})
+	g, err := Build(context.Background(), tbl, vertices, f, 0.001, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestBuildGraphHeatmapLoss(t *testing.T) {
 func TestMaxCandidatesCapsJoin(t *testing.T) {
 	tbl, vertices := buildFareTable(10, 30, 74)
 	f := loss.NewMean("fare")
-	g, err := Build(tbl, vertices, f, 0.05, BuildOptions{MaxCandidates: 3})
+	g, err := Build(context.Background(), tbl, vertices, f, 0.05, BuildOptions{MaxCandidates: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestSelectionPreservesGuarantee(t *testing.T) {
 	tbl, vertices := buildFareTable(12, 60, 75)
 	f := loss.NewMean("fare")
 	theta := 0.05
-	g, err := Build(tbl, vertices, f, theta, BuildOptions{})
+	g, err := Build(context.Background(), tbl, vertices, f, theta, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
