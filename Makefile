@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-concurrent bench-json
+.PHONY: check build test race vet bench bench-smoke bench-concurrent bench-json bench-serve
 
 ## check: the full gate — vet, build everything, and run the test suite
 ## under the race detector. CI and pre-commit should run this.
@@ -21,6 +21,11 @@ vet:
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
+## bench-smoke: compile and run every benchmark exactly once so bench
+## targets can't rot; CI runs this after the test gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
 ## bench-concurrent: the snapshot design's headline numbers — lock-free
 ## query throughput with and without a concurrent appender.
 bench-concurrent:
@@ -30,3 +35,9 @@ bench-concurrent:
 ## seed and scale, swept over worker counts, written to BENCH_init.json.
 bench-json:
 	$(GO) run ./cmd/tabula-bench -init-json BENCH_init.json -rows 30000 -seed 42 -workers 1,2,4,8
+
+## bench-serve: machine-readable serving-path throughput (warm cache,
+## cold cache, 100-cell batch viewport, pre-cache legacy baseline) at a
+## fixed seed and scale, written to BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/tabula-bench -serve-json BENCH_serve.json -rows 30000 -seed 42

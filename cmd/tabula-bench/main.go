@@ -7,6 +7,7 @@
 //	tabula-bench -experiment fig11a [-rows 60000] [-queries 60] [-seed 42]
 //	tabula-bench -experiment all -out results.txt
 //	tabula-bench -init-json BENCH_init.json [-workers 1,2,4,8]
+//	tabula-bench -serve-json BENCH_serve.json
 //	tabula-bench -list
 package main
 
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/tabula-db/tabula/internal/harness"
+	"github.com/tabula-db/tabula/internal/server"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		initJSON   = flag.String("init-json", "", "write an initialization stage-timing sweep to this JSON file and exit")
 		workers    = flag.String("workers", "", "comma-separated worker counts for -init-json (default 1,2,4,GOMAXPROCS)")
+		serveJSON  = flag.String("serve-json", "", "write serving-path throughput measurements to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -73,6 +76,36 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *initJSON)
+		return
+	}
+	if *serveJSON != "" {
+		var progress io.Writer = os.Stderr
+		if *quiet {
+			progress = nil
+		}
+		rep, err := server.MeasureServing(*rows, *seed, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*serveJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := harness.WriteServeJSON(f, rep); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		warm, legacy := rep.Scenario("warm"), rep.Scenario("legacy")
+		fmt.Printf("wrote %s (warm %.0f req/s vs legacy %.0f req/s: %.1fx; allocs/op %.0f vs %.0f: %.1fx)\n",
+			*serveJSON, warm.ReqPerSec, legacy.ReqPerSec, rep.WarmSpeedupVsLegacy,
+			warm.AllocsPerOp, legacy.AllocsPerOp, rep.WarmAllocImprovementVsLegacy)
 		return
 	}
 	if *experiment == "" {

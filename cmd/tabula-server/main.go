@@ -35,13 +35,15 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		taxiRows  = flag.Int("taxi-rows", 100000, "rows of synthetic NYCtaxi data to register as 'nyctaxi' (0 to skip)")
-		seed      = flag.Int64("seed", 42, "generator seed")
-		initSQL   = flag.String("init", "", "semicolon-separated statements to execute at startup")
-		cubeFile  = flag.String("load-cube", "", "load a persisted cube file and register it as 'cube'")
-		drainTime = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
-		workers   = flag.Int("workers", 0, "worker budget for every cube-initialization stage (0 = GOMAXPROCS)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		taxiRows   = flag.Int("taxi-rows", 100000, "rows of synthetic NYCtaxi data to register as 'nyctaxi' (0 to skip)")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		initSQL    = flag.String("init", "", "semicolon-separated statements to execute at startup")
+		cubeFile   = flag.String("load-cube", "", "load a persisted cube file and register it as 'cube'")
+		drainTime  = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		workers    = flag.Int("workers", 0, "worker budget for every cube-initialization stage (0 = GOMAXPROCS)")
+		cacheBytes = flag.Int64("cache-bytes", server.DefaultCacheBytes, "response-cache byte budget (0 disables caching)")
+		gzipOn     = flag.Bool("gzip", true, "serve cached gzip response variants to clients that accept them")
 	)
 	flag.Parse()
 
@@ -86,7 +88,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New(db),
+		Handler: server.New(db, server.WithCacheBytes(*cacheBytes), server.WithGzip(*gzipOn)),
 		// Cancel request contexts when the serve loop exits, so shutdown
 		// aborts in-flight scans that exceed the drain window.
 		BaseContext: func(net.Listener) context.Context { return ctx },

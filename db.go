@@ -150,6 +150,18 @@ func (db *DB) QueryByValues(ctx context.Context, cube string, where map[string]s
 	return c.QueryByValues(ctx, where)
 }
 
+// QueryBatchByValues answers a whole viewport of display-form queries
+// against ONE atomically loaded snapshot of the cube, so every result
+// shares a Generation and the dashboard sees a consistent cube version
+// even while appends land concurrently.
+func (db *DB) QueryBatchByValues(ctx context.Context, cube string, queries []map[string]string) ([]*QueryResult, error) {
+	c, ok := db.CubeByName(cube)
+	if !ok {
+		return nil, fmt.Errorf("tabula: unknown cube %q", cube)
+	}
+	return c.QueryBatchByValues(ctx, queries)
+}
+
 // Append ingests a batch into an appendable registered cube under that
 // cube's maintenance lock. Appends to different cubes run concurrently;
 // queries are never blocked (they keep serving the previous snapshot

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// The generation contract: 1 after Build (and Load), +1 per published
+// Append, stamped into every QueryResult — the invalidation axis for
+// snapshot-scoped response caches.
+func TestGenerationLifecycle(t *testing.T) {
+	tbl := taxiTable(2000, 401)
+	tab := buildAppendable(t, tbl, loss.NewHistogram("fare"), 1.0)
+	if g := tab.Generation(); g != 1 {
+		t.Fatalf("generation after Build = %d, want 1", g)
+	}
+	res, err := tab.QueryByValues(context.Background(), map[string]string{"payment": "cash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 1 {
+		t.Fatalf("QueryResult.Generation = %d, want 1", res.Generation)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := tab.Append(context.Background(), taxiTable(200, int64(402+i))); err != nil {
+			t.Fatal(err)
+		}
+		if g := tab.Generation(); g != uint64(1+i) {
+			t.Fatalf("generation after append %d = %d, want %d", i, g, 1+i)
+		}
+	}
+	res, err = tab.QueryByValues(context.Background(), map[string]string{"payment": "cash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 4 {
+		t.Fatalf("QueryResult.Generation after appends = %d, want 4", res.Generation)
+	}
+
+	// A persisted-and-restored cube starts over at generation 1.
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := loaded.Generation(); g != 1 {
+		t.Fatalf("generation after Load = %d, want 1", g)
+	}
+}
+
+// The snapshot-tear regression: QueryByValues used to load the snapshot
+// once to parse values and again (inside Query) to answer, so an Append
+// between the loads could parse against one generation and answer from
+// another. QueryBatchByValues makes the single-snapshot contract
+// observable: every result of a batch must carry the SAME generation,
+// no matter how many Appends publish mid-batch.
+func TestQueryBatchSnapshotConsistentDuringAppends(t *testing.T) {
+	tbl := taxiTable(2500, 411)
+	tab := buildAppendable(t, tbl, loss.NewHistogram("fare"), 1.0)
+
+	queries := make([]map[string]string, 64)
+	vals := []string{"cash", "credit", "dispute", "no charge"}
+	for i := range queries {
+		queries[i] = map[string]string{"payment": vals[i%len(vals)]}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seed := int64(500)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := tab.Append(context.Background(), taxiTable(50, seed)); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			seed++
+		}
+	}()
+	for iter := 0; iter < 50; iter++ {
+		results, err := tab.QueryBatchByValues(context.Background(), queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := results[0].Generation
+		for i, r := range results {
+			if r.Generation != gen {
+				t.Fatalf("iter %d: result %d has generation %d, batch started at %d (torn snapshot)", iter, i, r.Generation, gen)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

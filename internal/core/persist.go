@@ -184,7 +184,7 @@ func Load(r io.Reader) (*Tabula, error) {
 		return nil, fmt.Errorf("core: unsupported cube version %d", version)
 	}
 	t := &Tabula{}
-	sn := &snapshot{cubeTable: make(map[uint64]int32)}
+	sn := &snapshot{cubeTable: make(map[uint64]int32), generation: 1}
 	if err := binary.Read(br, binary.LittleEndian, &t.params.Theta); err != nil {
 		return nil, err
 	}

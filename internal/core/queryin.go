@@ -66,7 +66,7 @@ func (t *Tabula) QueryIn(ctx context.Context, conds []ConditionIn) (*QueryResult
 		}
 		if len(codes) == 0 {
 			// No known value matches: empty population.
-			return &QueryResult{Sample: dataset.NewTable(sn.schema), SampleID: -1}, nil
+			return &QueryResult{Sample: dataset.NewTable(sn.schema), SampleID: -1, Generation: sn.generation}, nil
 		}
 		codesPerAttr[ai] = codes
 	}
@@ -144,5 +144,5 @@ func (t *Tabula) QueryIn(ctx context.Context, conds []ConditionIn) (*QueryResult
 			return nil, err
 		}
 	}
-	return &QueryResult{Sample: union, FromGlobal: useGlobal && len(ids) == 0, SampleID: -1}, nil
+	return &QueryResult{Sample: union, FromGlobal: useGlobal && len(ids) == 0, SampleID: -1, Generation: sn.generation}, nil
 }

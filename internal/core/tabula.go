@@ -137,14 +137,23 @@ type snapshot struct {
 	cubeTable map[uint64]int32
 	samples   []*dataset.Table
 	stats     Stats
+	// generation is the snapshot's monotonic version: 1 for a freshly
+	// built (or loaded) cube, +1 per published Append. Together with a
+	// sample id it forms a stable identity for cached responses — sample
+	// ids are never reused within a generation (Append only appends to
+	// the sample list, it never compacts it), so {generation, sampleID}
+	// names one immutable byte-identical payload forever.
+	generation uint64
 }
 
 // successor returns a shallow copy of s sharing the immutable pieces
 // (schema, dictionaries, codec, global sample, already-persisted
 // samples) and deep-copying the cube table, the one structure Append
-// rewrites in place.
+// rewrites in place. The successor's generation is bumped so snapshot-
+// scoped caches (ETags, response bytes) invalidate on publication.
 func (s *snapshot) successor() *snapshot {
 	next := *s
+	next.generation = s.generation + 1
 	next.cubeTable = make(map[uint64]int32, len(s.cubeTable))
 	for k, v := range s.cubeTable {
 		next.cubeTable[k] = v
@@ -186,9 +195,10 @@ func (t *Tabula) lossName() string {
 // newSnapshot precomputes the derived lookup structures of a snapshot.
 func newSnapshot(schema dataset.Schema, cubedAttrs []string) *snapshot {
 	sn := &snapshot{
-		schema:    schema,
-		cubeTable: make(map[uint64]int32),
-		attrIdx:   make(map[string]int, len(cubedAttrs)),
+		schema:     schema,
+		cubeTable:  make(map[uint64]int32),
+		attrIdx:    make(map[string]int, len(cubedAttrs)),
+		generation: 1,
 	}
 	for i, name := range cubedAttrs {
 		sn.attrIdx[name] = i
@@ -402,6 +412,12 @@ type QueryResult struct {
 	// SampleID is the sample-table id used (-1 for the global sample or
 	// an empty answer).
 	SampleID int32
+	// Generation is the cube generation that answered the query.
+	// {Generation, SampleID} is a stable identity for the returned bytes:
+	// within a generation every sample table is immutable and ids are
+	// never reused, so serving layers may cache encoded responses keyed
+	// by it and invalidate by generation change alone.
+	Generation uint64
 }
 
 // Query answers a dashboard query whose WHERE clause is a conjunction of
@@ -420,7 +436,15 @@ func (t *Tabula) Query(ctx context.Context, conds []Condition) (*QueryResult, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sn := t.snap.Load()
+	return t.queryOn(t.snap.Load(), conds)
+}
+
+// queryOn resolves conds to a cube cell and answers it, all against the
+// given snapshot. Callers that perform multi-step work (value parsing,
+// batch viewports) load the snapshot once and pass it here, so every
+// step — condition resolution and the cell lookup — observes the same
+// generation even while Appends publish successors concurrently.
+func (t *Tabula) queryOn(sn *snapshot, conds []Condition) (*QueryResult, error) {
 	codes := make([]int32, len(sn.attrVals))
 	for i := range codes {
 		codes[i] = engine.NullCode
@@ -436,24 +460,22 @@ func (t *Tabula) Query(ctx context.Context, conds []Condition) (*QueryResult, er
 		code := sn.codeOf(ai, c.Value)
 		if code == engine.NullCode {
 			// Unknown value: the population is empty.
-			return &QueryResult{Sample: dataset.NewTable(sn.schema), SampleID: -1}, nil
+			return &QueryResult{Sample: dataset.NewTable(sn.schema), SampleID: -1, Generation: sn.generation}, nil
 		}
 		codes[ai] = code
 	}
 	key := sn.codec.Encode(codes)
 	if id, ok := sn.cubeTable[key]; ok {
-		return &QueryResult{Sample: sn.samples[id], CellKey: key, SampleID: id}, nil
+		return &QueryResult{Sample: sn.samples[id], CellKey: key, SampleID: id, Generation: sn.generation}, nil
 	}
-	return &QueryResult{Sample: sn.global, FromGlobal: true, CellKey: key, SampleID: -1}, nil
+	return &QueryResult{Sample: sn.global, FromGlobal: true, CellKey: key, SampleID: -1, Generation: sn.generation}, nil
 }
 
-// QueryByValues is a convenience Query over (attr, string-or-int) pairs
-// with values given in display form; it parses each value against the
-// attribute's column type.
-func (t *Tabula) QueryByValues(ctx context.Context, conds map[string]string) (*QueryResult, error) {
-	sn := t.snap.Load()
+// parseConds parses display-form predicate values against the snapshot's
+// schema. Attributes are visited in sorted order so error messages are
+// deterministic.
+func (sn *snapshot) parseConds(conds map[string]string) ([]Condition, error) {
 	out := make([]Condition, 0, len(conds))
-	// Deterministic order for error messages.
 	attrs := make([]string, 0, len(conds))
 	for a := range conds {
 		attrs = append(attrs, a)
@@ -470,8 +492,61 @@ func (t *Tabula) QueryByValues(ctx context.Context, conds map[string]string) (*Q
 		}
 		out = append(out, Condition{Attr: a, Value: v})
 	}
-	return t.Query(ctx, out)
+	return out, nil
 }
+
+// QueryByValues is a convenience Query over (attr, string-or-int) pairs
+// with values given in display form; it parses each value against the
+// attribute's column type. Parsing and the cell lookup run against a
+// single snapshot load, so a concurrent Append can never make the query
+// parse against one generation and answer from another.
+func (t *Tabula) QueryByValues(ctx context.Context, conds map[string]string) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sn := t.snap.Load()
+	out, err := sn.parseConds(conds)
+	if err != nil {
+		return nil, err
+	}
+	return t.queryOn(sn, out)
+}
+
+// QueryBatchByValues answers a whole batch of display-form queries — a
+// dashboard viewport's worth of cells — against ONE atomically loaded
+// snapshot. Every result carries the same Generation, so the client sees
+// a consistent view of the cube: either entirely before or entirely
+// after any concurrent Append, never a mix. A per-query resolution error
+// (unknown attribute, bad value) fails the whole batch.
+func (t *Tabula) QueryBatchByValues(ctx context.Context, queries []map[string]string) ([]*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sn := t.snap.Load()
+	out := make([]*QueryResult, len(queries))
+	for i, q := range queries {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		conds, err := sn.parseConds(q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		res, err := t.queryOn(sn, conds)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Generation returns the published snapshot's generation: 1 after Build
+// or Load, +1 per published Append. It is the invalidation axis for
+// anything cached off query results (see QueryResult.Generation).
+func (t *Tabula) Generation() uint64 { return t.snap.Load().generation }
 
 // codeOf maps a value of cubed attribute ai to its dense code, or
 // NullCode when the value never occurs in the raw table.

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ServeRow is one measured serving scenario of BENCH_serve.json.
+type ServeRow struct {
+	// Name identifies the scenario: "warm" (cached repeated-cell
+	// traffic), "cold" (every request a first hit), "batch" (100-cell
+	// viewport per request), "legacy" (the pre-cache per-request
+	// encoder, the comparison baseline).
+	Name        string  `json:"name"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// ServeReport is the payload of BENCH_serve.json: fixed-seed serving
+// throughput through the full HTTP handler stack, plus the headline
+// warm-vs-legacy ratios (the perf trajectory the serving cache is
+// accountable to).
+type ServeReport struct {
+	Rows       int        `json:"rows"`
+	Seed       int64      `json:"seed"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	CacheBytes int64      `json:"cache_bytes"`
+	Scenarios  []ServeRow `json:"scenarios"`
+
+	// WarmSpeedupVsLegacy is legacy ns/op ÷ warm ns/op (req/s ratio).
+	WarmSpeedupVsLegacy float64 `json:"warm_req_per_sec_speedup_vs_legacy"`
+	// WarmAllocImprovementVsLegacy is legacy allocs/op ÷ warm allocs/op.
+	WarmAllocImprovementVsLegacy float64 `json:"warm_allocs_improvement_vs_legacy"`
+}
+
+// Scenario returns the named row, or nil.
+func (r *ServeReport) Scenario(name string) *ServeRow {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Name == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// WriteServeJSON writes the report as indented JSON.
+func WriteServeJSON(w io.Writer, rep *ServeReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,159 @@
+package respcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetFillsOnceAndHits(t *testing.T) {
+	c := New(1 << 20)
+	fills := 0
+	fill := func() ([]byte, error) { fills++; return []byte("payload"), nil }
+	for i := 0; i < 5; i++ {
+		b, err := c.Get("k", fill)
+		if err != nil || string(b) != "payload" {
+			t.Fatalf("get %d: %q %v", i, b, err)
+		}
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 1 || st.Entries != 1 || st.Bytes != int64(len("payload")) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestConcurrentFirstHitEncodesOnce pins the singleflight contract: N
+// goroutines missing the same key concurrently run exactly one fill and
+// all observe its result. The fill blocks until every goroutine has
+// arrived, so without dedup the fill count could not stay at 1.
+func TestConcurrentFirstHitEncodesOnce(t *testing.T) {
+	const n = 32
+	c := New(1 << 20)
+	var fills atomic.Int64
+	arrived := make(chan struct{})
+	var once sync.Once
+	fill := func() ([]byte, error) {
+		fills.Add(1)
+		<-arrived // hold the flight open until all waiters have joined
+		return []byte("hot"), nil
+	}
+	var wg sync.WaitGroup
+	var joined atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if joined.Add(1) == n {
+				once.Do(func() { close(arrived) })
+			}
+			b, err := c.Get("cell", fill)
+			if err != nil || string(b) != "hot" {
+				t.Errorf("get: %q %v", b, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fill ran %d times under concurrency, want 1", got)
+	}
+}
+
+func TestByteBudgetEvicts(t *testing.T) {
+	c := New(100)
+	val := func(i int) func() ([]byte, error) {
+		return func() ([]byte, error) { return make([]byte, 40), nil }
+	}
+	for i := 0; i < 3; i++ { // 120 bytes > 100 budget
+		if _, err := c.Get(fmt.Sprintf("k%d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 80 || st.Evictions != 1 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	// k0 was least recently used and must be the one evicted.
+	if _, ok := c.Peek("k0"); ok {
+		t.Fatal("k0 survived eviction")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+}
+
+func TestLRUOrderRespectsUse(t *testing.T) {
+	c := New(100)
+	fill := func() ([]byte, error) { return make([]byte, 40), nil }
+	c.Get("a", fill)
+	c.Get("b", fill)
+	c.Get("a", fill) // touch a → b is now LRU
+	c.Get("c", fill) // overflow evicts b
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+}
+
+func TestOversizedValueNotCached(t *testing.T) {
+	c := New(10)
+	b, err := c.Get("big", func() ([]byte, error) { return make([]byte, 50), nil })
+	if err != nil || len(b) != 50 {
+		t.Fatalf("oversized get: %d %v", len(b), err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized value cached: %+v", st)
+	}
+}
+
+func TestFillErrorNotCached(t *testing.T) {
+	c := New(1 << 20)
+	wantErr := fmt.Errorf("boom")
+	if _, err := c.Get("k", func() ([]byte, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+	// The key must stay missing so the next Get retries the fill.
+	b, err := c.Get("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(b) != "ok" {
+		t.Fatalf("retry: %q %v", b, err)
+	}
+}
+
+func TestNilCacheAlwaysFills(t *testing.T) {
+	var c *Cache
+	fills := 0
+	for i := 0; i < 3; i++ {
+		b, err := c.Get("k", func() ([]byte, error) { fills++; return []byte("x"), nil })
+		if err != nil || string(b) != "x" {
+			t.Fatal("nil cache get failed")
+		}
+	}
+	if fills != 3 {
+		t.Fatalf("nil cache filled %d times, want 3", fills)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+	c.Reset() // must not panic
+}
+
+func TestReset(t *testing.T) {
+	c := New(1 << 20)
+	c.Get("k", func() ([]byte, error) { return []byte("v"), nil })
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+	fills := 0
+	c.Get("k", func() ([]byte, error) { fills++; return []byte("v"), nil })
+	if fills != 1 {
+		t.Fatal("reset did not drop entry")
+	}
+}

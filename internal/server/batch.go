@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/tabula-db/tabula"
+)
+
+// POST /query/batch answers a whole dashboard viewport in one round
+// trip. A map pan/zoom bursts into dozens of per-cell queries; issuing
+// them individually pays per-request HTTP and JSON overhead dozens of
+// times, and — because representative sample selection assigns one
+// sample to many cells — ships the same payload bytes repeatedly. The
+// batch endpoint resolves every cell against ONE cube snapshot (all
+// results share a generation; a concurrent Append can never tear the
+// viewport), dedupes cells that resolve to the same payload, and ships
+// each distinct payload once, referenced by index:
+//
+//	request:  {"cube":"c","queries":[{"a":"x"},{"a":"y"},…]}
+//	response: {"generation":3,
+//	           "results":[{"payload":0,"from_global":false},…],
+//	           "payloads":[{"columns":…,"rows":…},…]}
+//
+// results[i] answers queries[i]; results[i].payload indexes payloads.
+
+// maxBatchQueries bounds one viewport request.
+const maxBatchQueries = 4096
+
+type batchRequest struct {
+	Cube string `json:"cube"`
+	// Queries are WHERE clauses in display form, one per cell.
+	Queries []map[string]string `json:"queries"`
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("empty queries list"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	if _, ok := s.db.CubeByName(req.Cube); !ok {
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
+		return
+	}
+	results, err := s.db.QueryBatchByValues(r.Context(), req.Cube, req.Queries)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Dedup: one payload per distinct class, in first-appearance order.
+	classes := make([]string, len(results))
+	payloadIdx := make(map[string]int)
+	var distinct []*tabula.QueryResult
+	for i, res := range results {
+		class := classOf(res)
+		classes[i] = class
+		if _, ok := payloadIdx[class]; !ok {
+			payloadIdx[class] = len(distinct)
+			distinct = append(distinct, res)
+		}
+	}
+	gen := results[0].Generation
+	hash := strconv.FormatUint(viewportHash(classes), 16)
+	etag := etagFor(req.Cube, gen, "b"+hash)
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Vary", "Accept-Encoding")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	assemble := func() ([]byte, error) {
+		bp := getBuf()
+		b := append(*bp, `{"generation":`...)
+		b = strconv.AppendUint(b, gen, 10)
+		b = append(b, `,"results":[`...)
+		for i, res := range results {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"payload":`...)
+			b = strconv.AppendInt(b, int64(payloadIdx[classes[i]]), 10)
+			if res.FromGlobal {
+				b = append(b, `,"from_global":true}`...)
+			} else {
+				b = append(b, `,"from_global":false}`...)
+			}
+		}
+		b = append(b, `],"payloads":[`...)
+		for i, res := range distinct {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			payload, err := s.payloadBytes(req.Cube, res, classOf(res))
+			if err != nil {
+				*bp = b[:0]
+				putBuf(bp)
+				return nil, err
+			}
+			b = append(b, payload...)
+		}
+		b = append(b, `]}`...)
+		out := make([]byte, len(b))
+		copy(out, b)
+		*bp = b[:0]
+		putBuf(bp)
+		return out, nil
+	}
+
+	// Whole-viewport bodies are themselves cached per {generation,
+	// viewport}: dashboards across users repeat pan positions, so a hot
+	// viewport is assembled once per snapshot.
+	body, err := s.cache.Get(cacheKey("v", req.Cube, gen, hash), assemble)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	if s.gzip && len(body) >= gzipMinBytes && acceptsGzip(r) {
+		gz, err := s.cache.Get(cacheKey("V", req.Cube, gen, hash), func() ([]byte, error) {
+			return gzipBytes(body)
+		})
+		if err == nil {
+			h.Set("Content-Encoding", "gzip")
+			h.Set("Content-Length", strconv.Itoa(len(gz)))
+			w.WriteHeader(http.StatusOK)
+			if n, err := w.Write(gz); err != nil {
+				s.logf("server: response write failed after %d/%d bytes: %v", n, len(gz), err)
+			}
+			return
+		}
+		s.logf("server: gzip variant failed, serving identity: %v", err)
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	if n, err := w.Write(body); err != nil {
+		s.logf("server: response write failed after %d/%d bytes: %v", n, len(body), err)
+	}
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/tabula-db/tabula"
+)
+
+// Serving-path benchmarks: req/s (ns/op), B/op and allocs/op for the
+// dashboard hot path. BenchmarkServeQuery is warm-cache repeated-cell
+// traffic — the workload the response cache exists for; the Legacy
+// variant reproduces the pre-cache encoder (per-request []any boxing +
+// encoding/json) as the baseline the BENCH_serve.json ratios are
+// computed against.
+
+func benchCubeServer(b *testing.B, opts ...Option) *Server {
+	b.Helper()
+	db := tabula.Open()
+	params := tabula.DefaultParams(tabula.NewHistogramLoss("fare_amount"), 1.0, "payment_type", "vendor_name")
+	cube, err := tabula.Build(tabula.GenerateTaxi(5000, 77), params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.RegisterCube("c", cube)
+	return New(db, opts...)
+}
+
+// benchWheres is a repeated-cell traffic pattern: a handful of hot
+// cells, the shape a popular dashboard viewport produces.
+var benchWheres = []map[string]string{
+	{"payment_type": "cash"},
+	{"payment_type": "credit"},
+	{"payment_type": "cash", "vendor_name": "CMT"},
+	{"payment_type": "credit", "vendor_name": "VTS"},
+	{"vendor_name": "CMT"},
+}
+
+// nullResponseWriter discards bodies so the benchmark measures the
+// serving path, not a response buffer.
+type nullResponseWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *nullResponseWriter) Header() http.Header { return w.h }
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+func (w *nullResponseWriter) WriteHeader(s int) { w.status = s }
+
+func marshalQueryBodies(b *testing.B) [][]byte {
+	b.Helper()
+	bodies := make([][]byte, len(benchWheres))
+	for i, where := range benchWheres {
+		raw, err := json.Marshal(map[string]any{"cube": "c", "where": where})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = raw
+	}
+	return bodies
+}
+
+func serveBench(b *testing.B, s *Server, path string, bodies [][]byte, reset bool) {
+	w := &nullResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if reset {
+			s.cache.Reset()
+		}
+		req, err := http.NewRequest("POST", path, bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clear(w.h)
+		w.status = 0
+		s.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			b.Fatalf("status %d", w.status)
+		}
+	}
+}
+
+// BenchmarkServeQuery: warm-cache repeated-cell traffic through the
+// full handler (decode, lock-free cube lookup, cached bytes out).
+func BenchmarkServeQuery(b *testing.B) {
+	s := benchCubeServer(b)
+	bodies := marshalQueryBodies(b)
+	// Warm every cell once.
+	for i := range bodies {
+		req, _ := http.NewRequest("POST", "/query", bytes.NewReader(bodies[i]))
+		s.ServeHTTP(&nullResponseWriter{h: make(http.Header)}, req)
+	}
+	serveBench(b, s, "/query", bodies, false)
+}
+
+// BenchmarkServeQueryCold: every request is a first hit — the cache is
+// dropped per iteration, so this measures the miss path (pooled encode
+// + insert).
+func BenchmarkServeQueryCold(b *testing.B) {
+	s := benchCubeServer(b)
+	serveBench(b, s, "/query", marshalQueryBodies(b), true)
+}
+
+// BenchmarkServeQueryBatch: a 100-cell viewport per request, warm.
+func BenchmarkServeQueryBatch(b *testing.B) {
+	s := benchCubeServer(b)
+	var queries []map[string]string
+	for len(queries) < 100 {
+		queries = append(queries, benchWheres[len(queries)%len(benchWheres)])
+	}
+	body, err := json.Marshal(map[string]any{"cube": "c", "queries": queries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := [][]byte{body}
+	req, _ := http.NewRequest("POST", "/query/batch", bytes.NewReader(body))
+	s.ServeHTTP(&nullResponseWriter{h: make(http.Header)}, req)
+	serveBench(b, s, "/query/batch", bodies, false)
+}
+
+// BenchmarkServeQueryLegacy is the pre-PR serving path, kept verbatim
+// as the comparison baseline: rebuild a [][]any row matrix per request
+// and hand it to encoding/json, no cache, no Content-Length.
+func BenchmarkServeQueryLegacy(b *testing.B) {
+	s := benchCubeServer(b)
+	h := legacyQueryHandler(s.db)
+	bodies := marshalQueryBodies(b)
+	w := &nullResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := http.NewRequest("POST", "/query", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clear(w.h)
+		w.status = 0
+		h(w, req)
+		if w.status != http.StatusOK {
+			b.Fatalf("status %d", w.status)
+		}
+	}
+}
+
+// BenchmarkEncodeTable isolates the encoder itself: the append-based
+// pooled encoder vs the []any-boxing + encoding/json original.
+func BenchmarkEncodeTable(b *testing.B) {
+	tbl := tabula.GenerateTaxi(1000, 7)
+	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := encodeTableBytes(tbl)
+			if len(buf) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			sink.Reset()
+			if err := json.NewEncoder(&sink).Encode(legacyEncodeTable(tbl)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

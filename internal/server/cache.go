@@ -1,0 +1,143 @@
+package server
+
+import (
+	"compress/gzip"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/tabula-db/tabula"
+)
+
+// Snapshot-scoped response caching and the wire-level fast paths.
+//
+// Keying rides the core invariant that a published snapshot is
+// immutable and sample ids are never reused within a generation: the
+// triple {cube, generation, payload class} names one byte-identical
+// response forever. An Append publishes a successor snapshot with a
+// bumped generation, so new requests key under fresh entries and stale
+// ones age out of the LRU — invalidation by snapshot swap, no
+// bookkeeping.
+//
+// The payload class collapses distinct WHERE clauses that resolve to
+// the same bytes: "s<id>" for a persisted sample, "g" for the global
+// sample, "e" for an empty population. Dozens of dashboard cells that
+// share a representative sample therefore share one cache entry.
+
+// classOf maps a query result to its payload class.
+func classOf(res *tabula.QueryResult) string {
+	switch {
+	case res.FromGlobal:
+		return "g"
+	case res.SampleID >= 0:
+		return "s" + strconv.FormatInt(int64(res.SampleID), 10)
+	default:
+		return "e"
+	}
+}
+
+// cacheKey builds a cache key. kind distinguishes entry spaces:
+// "p" table payload, "z" gzipped single-query body, "v"/"V" batch body
+// identity/gzip.
+func cacheKey(kind, cube string, gen uint64, class string) string {
+	var b strings.Builder
+	b.Grow(len(kind) + len(cube) + len(class) + 24)
+	b.WriteString(kind)
+	b.WriteByte('|')
+	b.WriteString(cube)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteByte('|')
+	b.WriteString(class)
+	return b.String()
+}
+
+// etagFor builds the strong ETag of a single-cell response:
+// "{cube}.g{generation}.{class}". It changes exactly when a snapshot
+// swap changes the bytes a cell resolves to, so If-None-Match
+// revalidation is sound with zero coordination.
+func etagFor(cube string, gen uint64, class string) string {
+	return `"` + cube + ".g" + strconv.FormatUint(gen, 10) + "." + class + `"`
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// strong etag (handles the comma-separated list form and "*").
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsGzip reports whether the client advertises gzip support.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		if hasQ {
+			q = strings.TrimSpace(q)
+			if strings.HasPrefix(q, "q=0") && !strings.HasPrefix(q, "q=0.") {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// gzipMinBytes is the identity size below which compressing is not
+// worth the header overhead and the client's inflate call.
+const gzipMinBytes = 512
+
+// gzipBytes compresses b into an exact-size slice via a pooled scratch
+// buffer.
+func gzipBytes(b []byte) ([]byte, error) {
+	bp := getBuf()
+	w := bytesWriter{buf: *bp}
+	zw, err := gzip.NewWriterLevel(&w, gzip.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(b); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	*bp = w.buf[:0]
+	putBuf(bp)
+	return out, nil
+}
+
+// bytesWriter is an io.Writer over a pooled byte slice (bytes.Buffer
+// would hide the backing array from the pool).
+type bytesWriter struct{ buf []byte }
+
+func (w *bytesWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// viewportHash fingerprints the ordered class list of a batch response.
+// Two viewports whose cells resolve to the same payload classes in the
+// same order produce identical bodies, so the hash (keyed under the
+// generation) is both the batch cache key and its ETag discriminator.
+func viewportHash(classes []string) uint64 {
+	h := fnv.New64a()
+	for _, c := range classes {
+		h.Write([]byte(c))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"github.com/tabula-db/tabula"
+)
+
+// newCubeServer builds a server over an appendable two-attribute taxi
+// cube registered as "c".
+func newCubeServer(t *testing.T, opts ...Option) (*Server, *httptest.Server, *tabula.Cube) {
+	t.Helper()
+	db := tabula.Open()
+	params := tabula.DefaultParams(tabula.NewHistogramLoss("fare_amount"), 1.0, "payment_type", "vendor_name")
+	params.EnableAppend = true
+	cube, err := tabula.Build(tabula.GenerateTaxi(3000, 31), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterCube("c", cube)
+	s := New(db, opts...)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, cube
+}
+
+// doQuery posts a /query request with optional extra headers and returns
+// the raw response (body NOT auto-decompressed: Accept-Encoding is under
+// test control).
+func doQuery(t *testing.T, url string, body any, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept-Encoding", "identity")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestQueryETagAndNotModified(t *testing.T) {
+	_, ts, _ := newCubeServer(t)
+	q := map[string]any{"cube": "c", "where": map[string]string{"payment_type": "cash"}}
+
+	resp, body := doQuery(t, ts.URL+"/query", q, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("missing ETag")
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Fatalf("Content-Length %q, body %d bytes", cl, len(body))
+	}
+	var out struct {
+		Sample struct {
+			NumRows int `json:"num_rows"`
+		} `json:"sample"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.Sample.NumRows == 0 {
+		t.Fatalf("body: %v %s", err, body)
+	}
+
+	// Revalidation: same cell, If-None-Match → 304, empty body.
+	resp, body = doQuery(t, ts.URL+"/query", q, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status %d", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag %q, want %q", got, etag)
+	}
+
+	// A non-matching validator serves the full body again.
+	resp, body = doQuery(t, ts.URL+"/query", q, map[string]string{"If-None-Match": `"stale"`})
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("stale validator: %d, %d bytes", resp.StatusCode, len(body))
+	}
+}
+
+// An Append publishes a new snapshot: the ETag must change and the
+// response must be served fresh (no 304 against the old validator).
+func TestAppendSwapsETagAndServesFreshBytes(t *testing.T) {
+	_, ts, cube := newCubeServer(t)
+	q := map[string]any{"cube": "c", "where": map[string]string{"payment_type": "cash"}}
+
+	resp, body1 := doQuery(t, ts.URL+"/query", q, nil)
+	etag1 := resp.Header.Get("ETag")
+	gen1 := cube.Generation()
+
+	// Ingest a batch through the HTTP path.
+	resp, raw := doQuery(t, ts.URL+"/append", map[string]any{
+		"cube": "c",
+		"rows": [][]string{
+			{"CMT", "Mon", "1", "cash", "standard", "N", "Mon", "12.5", "0", "2.3", "-73.98 40.75"},
+		},
+	}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d %s", resp.StatusCode, raw)
+	}
+	if g := cube.Generation(); g != gen1+1 {
+		t.Fatalf("generation %d after append, want %d", g, gen1+1)
+	}
+
+	// The old validator must NOT revalidate: the snapshot changed.
+	resp, body2 := doQuery(t, ts.URL+"/query", q, map[string]string{"If-None-Match": etag1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-append status %d (old ETag must not 304)", resp.StatusCode)
+	}
+	etag2 := resp.Header.Get("ETag")
+	if etag2 == etag1 {
+		t.Fatalf("ETag unchanged across append: %q", etag1)
+	}
+	if len(body2) == 0 {
+		t.Fatal("post-append body empty")
+	}
+	// Both bodies decode; the new one reflects the new snapshot (the
+	// cash histogram sample grew or was rebuilt — at minimum it must be
+	// a valid sample payload).
+	for _, b := range [][]byte{body1, body2} {
+		var out map[string]any
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("body decode: %v", err)
+		}
+	}
+}
+
+func TestGzipNegotiation(t *testing.T) {
+	_, ts, _ := newCubeServer(t)
+	q := map[string]any{"cube": "c", "where": map[string]string{"payment_type": "cash"}}
+
+	resp, identity := doQuery(t, ts.URL+"/query", q, nil)
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("identity request got Content-Encoding %q", enc)
+	}
+
+	resp, raw := doQuery(t, ts.URL+"/query", q, map[string]string{"Accept-Encoding": "gzip"})
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip (body %d bytes)", enc, len(identity))
+	}
+	if resp.Header.Get("Content-Length") != strconv.Itoa(len(raw)) {
+		t.Fatal("gzip Content-Length mismatch")
+	}
+	if len(raw) >= len(identity) {
+		t.Fatalf("gzip body %d bytes >= identity %d", len(raw), len(identity))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inflated, identity) {
+		t.Fatal("gzip variant does not inflate to the identity body")
+	}
+
+	// q=0 opts out.
+	resp, _ = doQuery(t, ts.URL+"/query", q, map[string]string{"Accept-Encoding": "gzip;q=0"})
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("gzip;q=0 got Content-Encoding %q", enc)
+	}
+}
+
+// Concurrent first hits on a cold cache must encode once: every request
+// either misses (exactly one), joins the in-flight encode, or hits the
+// landed entry.
+func TestConcurrentFirstHitSingleEncode(t *testing.T) {
+	s, ts, _ := newCubeServer(t)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := doQuery(t, ts.URL+"/query", map[string]any{
+				"cube": "c", "where": map[string]string{"payment_type": "cash"},
+			}, nil)
+			if resp.StatusCode != http.StatusOK || len(body) == 0 {
+				t.Errorf("status %d, %d bytes", resp.StatusCode, len(body))
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.cache.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("%d cache misses for one cell under concurrency, want 1 (stats %+v)", st.Misses, st)
+	}
+	if st.Hits+st.Shared != n-1 {
+		t.Fatalf("hits %d + shared %d != %d", st.Hits, st.Shared, n-1)
+	}
+}
+
+func TestCacheStatsEndpoint(t *testing.T) {
+	_, ts, _ := newCubeServer(t)
+	doQuery(t, ts.URL+"/query", map[string]any{"cube": "c", "where": map[string]string{"payment_type": "cash"}}, nil)
+	doQuery(t, ts.URL+"/query", map[string]any{"cube": "c", "where": map[string]string{"payment_type": "cash"}}, nil)
+	resp, err := http.Get(ts.URL + "/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["enabled"] != true || out["entries"].(float64) < 1 || out["hits"].(float64) < 1 {
+		t.Fatalf("cache stats: %v", out)
+	}
+}
+
+// With caching disabled the server still serves correct, conditional,
+// compressed responses — it just re-encodes per request.
+func TestCacheDisabled(t *testing.T) {
+	_, ts, _ := newCubeServer(t, WithCacheBytes(0))
+	q := map[string]any{"cube": "c", "where": map[string]string{"payment_type": "cash"}}
+	resp, body := doQuery(t, ts.URL+"/query", q, nil)
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("disabled-cache query: %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	resp, _ = doQuery(t, ts.URL+"/query", q, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("disabled-cache revalidation: %d", resp.StatusCode)
+	}
+}
+
+func TestBatchViewport(t *testing.T) {
+	_, ts, cube := newCubeServer(t)
+	// A 100-cell viewport: the cross product of payment types and
+	// vendors plus repeats — the shape a map pan generates.
+	payments := []string{"cash", "credit", "dispute", "no charge", "unknown"}
+	vendors := []string{"CMT", "VTS", "DDS", "TAX"}
+	var queries []map[string]string
+	for len(queries) < 100 {
+		for _, p := range payments {
+			for _, v := range vendors {
+				if len(queries) >= 100 {
+					break
+				}
+				queries = append(queries, map[string]string{"payment_type": p, "vendor_name": v})
+			}
+		}
+	}
+	resp, body := doQuery(t, ts.URL+"/query/batch", map[string]any{"cube": "c", "queries": queries}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Generation uint64 `json:"generation"`
+		Results    []struct {
+			Payload    int  `json:"payload"`
+			FromGlobal bool `json:"from_global"`
+		} `json:"results"`
+		Payloads []struct {
+			Columns []string `json:"columns"`
+			NumRows int      `json:"num_rows"`
+		} `json:"payloads"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	if len(out.Results) != 100 {
+		t.Fatalf("%d results, want 100", len(out.Results))
+	}
+	if out.Generation != cube.Generation() {
+		t.Fatalf("batch generation %d, cube %d", out.Generation, cube.Generation())
+	}
+	// Dedup: 100 cells over a 20-cell domain cannot need 100 payloads.
+	if len(out.Payloads) >= 100 || len(out.Payloads) == 0 {
+		t.Fatalf("%d payloads for 100 queries, expected deduplication", len(out.Payloads))
+	}
+	for i, r := range out.Results {
+		if r.Payload < 0 || r.Payload >= len(out.Payloads) {
+			t.Fatalf("result %d references payload %d of %d", i, r.Payload, len(out.Payloads))
+		}
+	}
+	// Repeated cells must reference the same payload index.
+	if out.Results[0].Payload != out.Results[20].Payload {
+		t.Fatalf("identical cells got payloads %d and %d", out.Results[0].Payload, out.Results[20].Payload)
+	}
+
+	// A batch result must agree with the equivalent single query.
+	resp, single := doQuery(t, ts.URL+"/query", map[string]any{"cube": "c", "where": queries[0]}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("single query failed")
+	}
+	var sout struct {
+		Sample struct {
+			NumRows int `json:"num_rows"`
+		} `json:"sample"`
+		FromGlobal bool `json:"from_global"`
+	}
+	if err := json.Unmarshal(single, &sout); err != nil {
+		t.Fatal(err)
+	}
+	if sout.FromGlobal != out.Results[0].FromGlobal {
+		t.Fatal("batch and single disagree on from_global")
+	}
+	if sout.Sample.NumRows != out.Payloads[out.Results[0].Payload].NumRows {
+		t.Fatalf("batch payload has %d rows, single query %d",
+			out.Payloads[out.Results[0].Payload].NumRows, sout.Sample.NumRows)
+	}
+
+	// Batch revalidation: the viewport ETag 304s until the snapshot swaps.
+	resp, _ = doQuery(t, ts.URL+"/query/batch", map[string]any{"cube": "c", "queries": queries}, nil)
+	batchTag := resp.Header.Get("ETag")
+	resp, b304 := doQuery(t, ts.URL+"/query/batch", map[string]any{"cube": "c", "queries": queries},
+		map[string]string{"If-None-Match": batchTag})
+	if resp.StatusCode != http.StatusNotModified || len(b304) != 0 {
+		t.Fatalf("batch revalidation: %d, %d bytes", resp.StatusCode, len(b304))
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	_, ts, _ := newCubeServer(t)
+	resp, _ := doQuery(t, ts.URL+"/query/batch", map[string]any{"cube": "ghost", "queries": []map[string]string{{"a": "b"}}}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost cube: %d", resp.StatusCode)
+	}
+	resp, _ = doQuery(t, ts.URL+"/query/batch", map[string]any{"cube": "c", "queries": []map[string]string{}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", resp.StatusCode)
+	}
+	resp, _ = doQuery(t, ts.URL+"/query/batch", map[string]any{"cube": "c", "queries": []map[string]string{{"nope": "x"}}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad attribute: %d", resp.StatusCode)
+	}
+}

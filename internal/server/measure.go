@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/tabula-db/tabula"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/harness"
+)
+
+// MeasureServing produces the BENCH_serve.json report: serving-path
+// throughput, bytes/op and allocs/op through the full handler stack for
+// four scenarios — warm-cache repeated-cell traffic, cold first hits,
+// 100-cell batch viewports, and the retained pre-cache legacy encoder
+// as the comparison baseline. It is the machine-readable companion of
+// BenchmarkServeQuery{,Batch,Cold,Legacy}, runnable from tabula-bench
+// without the testing harness.
+func MeasureServing(rows int, seed int64, progress io.Writer) (*harness.ServeReport, error) {
+	db := tabula.Open()
+	params := tabula.DefaultParams(tabula.NewHistogramLoss("fare_amount"), 1.0, "payment_type", "vendor_name")
+	fprintf(progress, "serve-json: building %d-row cube...\n", rows)
+	cube, err := tabula.Build(tabula.GenerateTaxi(rows, seed), params)
+	if err != nil {
+		return nil, err
+	}
+	db.RegisterCube("c", cube)
+	srv := New(db)
+
+	wheres := []map[string]string{
+		{"payment_type": "cash"},
+		{"payment_type": "credit"},
+		{"payment_type": "cash", "vendor_name": "CMT"},
+		{"payment_type": "credit", "vendor_name": "VTS"},
+		{"vendor_name": "CMT"},
+	}
+	queryBodies := make([][]byte, len(wheres))
+	for i, where := range wheres {
+		if queryBodies[i], err = json.Marshal(map[string]any{"cube": "c", "where": where}); err != nil {
+			return nil, err
+		}
+	}
+	var viewport []map[string]string
+	for len(viewport) < 100 {
+		viewport = append(viewport, wheres[len(viewport)%len(wheres)])
+	}
+	batchBody, err := json.Marshal(map[string]any{"cube": "c", "queries": viewport})
+	if err != nil {
+		return nil, err
+	}
+
+	w := &discardResponseWriter{h: make(http.Header)}
+	serve := func(h http.Handler, path string, body []byte) error {
+		req, err := http.NewRequest("POST", path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		clear(w.h)
+		w.status = 0
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, w.status)
+		}
+		return nil
+	}
+
+	legacy := legacyQueryHandler(db)
+	rep := &harness.ServeReport{
+		Rows:       rows,
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CacheBytes: DefaultCacheBytes,
+	}
+	scenarios := []struct {
+		name string
+		op   func(i int) error
+	}{
+		{"warm", func(i int) error { return serve(srv, "/query", queryBodies[i%len(queryBodies)]) }},
+		{"cold", func(i int) error { srv.cache.Reset(); return serve(srv, "/query", queryBodies[i%len(queryBodies)]) }},
+		{"batch", func(i int) error { return serve(srv, "/query/batch", batchBody) }},
+		{"legacy", func(i int) error { return serve(legacy, "/query", queryBodies[i%len(queryBodies)]) }},
+	}
+	for _, sc := range scenarios {
+		fprintf(progress, "serve-json: measuring %s...\n", sc.name)
+		row, err := measureOp(sc.name, sc.op)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+	}
+	warm, leg := rep.Scenario("warm"), rep.Scenario("legacy")
+	if warm.NsPerOp > 0 && warm.AllocsPerOp > 0 {
+		rep.WarmSpeedupVsLegacy = leg.NsPerOp / warm.NsPerOp
+		rep.WarmAllocImprovementVsLegacy = leg.AllocsPerOp / warm.AllocsPerOp
+	}
+	return rep, nil
+}
+
+// measureOp times op until it has run for at least half a second (and
+// at least 30 times), reporting wall-clock and allocation deltas per
+// operation — a dependency-free analogue of testing.B.
+func measureOp(name string, op func(i int) error) (harness.ServeRow, error) {
+	for i := 0; i < 3; i++ { // warm up pools, caches, JIT-ish paths
+		if err := op(i); err != nil {
+			return harness.ServeRow{}, err
+		}
+	}
+	const (
+		minDuration = 500 * time.Millisecond
+		minIters    = 30
+	)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < minDuration || n < minIters {
+		if err := op(n); err != nil {
+			return harness.ServeRow{}, err
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	perOp := float64(elapsed.Nanoseconds()) / float64(n)
+	return harness.ServeRow{
+		Name:        name,
+		ReqPerSec:   1e9 / perOp,
+		NsPerOp:     perOp,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+		Iterations:  n,
+	}, nil
+}
+
+// discardResponseWriter drops bodies so measurements see the serving
+// path, not a response buffer.
+type discardResponseWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardResponseWriter) Header() http.Header         { return w.h }
+func (w *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardResponseWriter) WriteHeader(s int)           { w.status = s }
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// The pre-PR serving path, retained verbatim as the measured baseline:
+// rebuild a [][]any row matrix per request (boxing every scalar) and
+// hand it to encoding/json — no cache, no Content-Length, no
+// revalidation. BenchmarkServeQueryLegacy and MeasureServing's "legacy"
+// scenario run it; nothing serves it in production.
+
+type legacyTableJSON struct {
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+	Rows    [][]any  `json:"rows"`
+	NumRows int      `json:"num_rows"`
+}
+
+type legacyQueryResponse struct {
+	Sample     *legacyTableJSON `json:"sample,omitempty"`
+	FromGlobal bool             `json:"from_global"`
+}
+
+func legacyEncodeTable(t *tabula.Table) *legacyTableJSON {
+	out := &legacyTableJSON{NumRows: t.NumRows()}
+	for _, f := range t.Schema() {
+		out.Columns = append(out.Columns, f.Name)
+		out.Types = append(out.Types, f.Type.String())
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		row := make([]any, t.NumCols())
+		for c := 0; c < t.NumCols(); c++ {
+			v := t.Value(r, c)
+			switch v.Type {
+			case dataset.Int64:
+				row[c] = v.I
+			case dataset.Float64:
+				row[c] = v.F
+			case dataset.String:
+				row[c] = v.S
+			case dataset.Point:
+				row[c] = []float64{v.P.X, v.P.Y}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func legacyQueryHandler(db *tabula.DB) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := db.QueryByValues(r.Context(), req.Cube, req.Where)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(legacyQueryResponse{
+			Sample:     legacyEncodeTable(res.Sample),
+			FromGlobal: res.FromGlobal,
+		})
+	}
+}

@@ -4,43 +4,94 @@
 //
 // Endpoints:
 //
-//	POST /exec    {"sql": "..."}                      → DDL / SELECT
-//	POST /query   {"cube": "c", "where": {"a": "v"}}  → materialized sample
-//	POST /append  {"cube": "c", "rows": [[...], …]}   → incremental ingest
-//	GET  /cubes                                       → registered cubes
-//	GET  /stats?cube=c                                → initialization stats
-//	GET  /healthz                                     → liveness
-//	GET  /                                            → built-in dashboard demo page
+//	POST /exec         {"sql": "..."}                      → DDL / SELECT
+//	POST /query        {"cube": "c", "where": {"a": "v"}}  → materialized sample
+//	POST /query/batch  {"cube": "c", "queries": [{...},…]} → a viewport in one round trip
+//	POST /append       {"cube": "c", "rows": [[...], …]}   → incremental ingest
+//	GET  /cubes                                            → registered cubes
+//	GET  /stats?cube=c                                     → initialization stats
+//	GET  /cache                                            → response-cache stats
+//	GET  /healthz                                          → liveness
+//	GET  /                                                 → built-in dashboard demo page
+//
+// The serving path is built around the cube's snapshot immutability:
+// query responses are encoded once per {cube, generation, sample} and
+// then served from a byte-budget LRU as pre-encoded bytes with strong
+// ETags (If-None-Match → 304), precomputed Content-Length, and cached
+// gzip variants negotiated via Accept-Encoding. An Append bumps the
+// cube generation, so stale entries age out of the LRU naturally —
+// cache coherence costs no locks and no invalidation protocol.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 
 	"github.com/tabula-db/tabula"
 	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/respcache"
 )
+
+// DefaultCacheBytes is the response cache's default byte budget.
+const DefaultCacheBytes = 64 << 20
 
 // Server wraps a tabula.DB with HTTP handlers. Every handler passes the
 // request's context down the query path, so a disconnecting client or a
 // server shutdown aborts in-flight scans instead of letting them run to
 // completion against a closed socket.
 type Server struct {
-	db  *tabula.DB
-	mux *http.ServeMux
+	db    *tabula.DB
+	mux   *http.ServeMux
+	cache *respcache.Cache
+	gzip  bool
+	logf  func(format string, args ...any)
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithCacheBytes sets the response cache's byte budget. A budget <= 0
+// disables caching (every request re-encodes, still via the pooled
+// fast encoder).
+func WithCacheBytes(n int64) Option {
+	return func(s *Server) { s.cache = respcache.New(n) }
+}
+
+// WithGzip enables or disables gzip response variants (default on).
+func WithGzip(enabled bool) Option {
+	return func(s *Server) { s.gzip = enabled }
+}
+
+// WithLogger redirects the server's error log (short writes, encode
+// failures). The default is log.Printf.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
 }
 
 // New builds a Server over the DB.
-func New(db *tabula.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+func New(db *tabula.DB, opts ...Option) *Server {
+	s := &Server{
+		db:    db,
+		mux:   http.NewServeMux(),
+		cache: respcache.New(DefaultCacheBytes),
+		gzip:  true,
+		logf:  log.Printf,
+	}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("POST /exec", s.handleExec)
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("POST /append", s.handleAppend)
 	s.mux.HandleFunc("GET /cubes", s.handleCubes)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /cache", s.handleCacheStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux.HandleFunc("GET /{$}", s.handleDemo)
 	return s
@@ -58,101 +109,168 @@ type queryRequest struct {
 	Where map[string]string `json:"where"`
 }
 
-type tableJSON struct {
-	Columns []string `json:"columns"`
-	Types   []string `json:"types"`
-	Rows    [][]any  `json:"rows"`
-	NumRows int      `json:"num_rows"`
-}
-
+// queryResponse is the /exec wire shape; Sample holds the table's
+// pre-encoded JSON (see appendTableJSON).
 type queryResponse struct {
-	Sample     *tableJSON `json:"sample,omitempty"`
-	FromGlobal bool       `json:"from_global"`
-	Message    string     `json:"message,omitempty"`
+	Sample     json.RawMessage `json:"sample,omitempty"`
+	FromGlobal bool            `json:"from_global"`
+	Message    string          `json:"message,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeBody writes a fully materialized response: Content-Length is set
+// from the byte length, and short writes are logged instead of being
+// silently dropped (once the status line is out there is nothing else
+// to do with the error, but it must not vanish).
+func (s *Server) writeBody(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if n, err := w.Write(body); err != nil {
+		s.logf("server: response write failed after %d/%d bytes: %v", n, len(body), err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// writeJSON marshals v to a buffer first, so the status line and
+// Content-Length are only committed for a body that fully encoded.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.logf("server: encoding %T response: %v", v, err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	s.writeBody(w, status, b)
 }
 
-// encodeTable converts a table to its JSON wire form; Point values
-// encode as [lon, lat] pairs.
-func encodeTable(t *tabula.Table) *tableJSON {
-	out := &tableJSON{NumRows: t.NumRows()}
-	for _, f := range t.Schema() {
-		out.Columns = append(out.Columns, f.Name)
-		out.Types = append(out.Types, f.Type.String())
-	}
-	for r := 0; r < t.NumRows(); r++ {
-		row := make([]any, t.NumCols())
-		for c := 0; c < t.NumCols(); c++ {
-			v := t.Value(r, c)
-			switch v.Type {
-			case dataset.Int64:
-				row[c] = v.I
-			case dataset.Float64:
-				row[c] = v.F
-			case dataset.String:
-				row[c] = v.S
-			case dataset.Point:
-				row[c] = []float64{v.P.X, v.P.Y}
-			}
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	var req execRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if req.SQL == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("missing sql"))
 		return
 	}
 	res, err := s.db.Exec(r.Context(), req.SQL)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := queryResponse{FromGlobal: res.FromGlobal, Message: res.Message}
 	if res.Table != nil {
-		resp.Sample = encodeTable(res.Table)
+		resp.Sample = appendTableJSON(nil, res.Table)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// Single-query bodies are assembled as prefix + cached payload +
+// suffix, so the identity fast path writes the shared payload bytes
+// with zero copies and zero per-request encoding.
+const queryBodyPrefix = `{"sample":`
+
+func queryBodySuffix(fromGlobal bool) string {
+	if fromGlobal {
+		return `,"from_global":true}`
+	}
+	return `,"from_global":false}`
+}
+
+// payloadBytes returns the cached wire form of the result's sample,
+// encoding it (deduplicated singleflight-style) on first touch.
+func (s *Server) payloadBytes(cube string, res *tabula.QueryResult, class string) ([]byte, error) {
+	return s.cache.Get(cacheKey("p", cube, res.Generation, class), func() ([]byte, error) {
+		return encodeTableBytes(res.Sample), nil
+	})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if _, ok := s.db.CubeByName(req.Cube); !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
 		return
 	}
 	res, err := s.db.QueryByValues(r.Context(), req.Cube, req.Where)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
-		Sample:     encodeTable(res.Sample),
-		FromGlobal: res.FromGlobal,
+	class := classOf(res)
+	etag := etagFor(req.Cube, res.Generation, class)
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Vary", "Accept-Encoding")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	payload, err := s.payloadBytes(req.Cube, res, class)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	suffix := queryBodySuffix(res.FromGlobal)
+	bodyLen := len(queryBodyPrefix) + len(payload) + len(suffix)
+	h.Set("Content-Type", "application/json")
+
+	if s.gzip && bodyLen >= gzipMinBytes && acceptsGzip(r) {
+		gz, err := s.cache.Get(cacheKey("z", req.Cube, res.Generation, class), func() ([]byte, error) {
+			bp := getBuf()
+			full := append(*bp, queryBodyPrefix...)
+			full = append(full, payload...)
+			full = append(full, suffix...)
+			out, err := gzipBytes(full)
+			*bp = full[:0]
+			putBuf(bp)
+			return out, err
+		})
+		if err == nil {
+			h.Set("Content-Encoding", "gzip")
+			h.Set("Content-Length", strconv.Itoa(len(gz)))
+			w.WriteHeader(http.StatusOK)
+			if n, err := w.Write(gz); err != nil {
+				s.logf("server: response write failed after %d/%d bytes: %v", n, len(gz), err)
+			}
+			return
+		}
+		s.logf("server: gzip variant failed, serving identity: %v", err)
+	}
+
+	h.Set("Content-Length", strconv.Itoa(bodyLen))
+	w.WriteHeader(http.StatusOK)
+	written := 0
+	for _, part := range [3][]byte{[]byte(queryBodyPrefix), payload, []byte(suffix)} {
+		n, err := w.Write(part)
+		written += n
+		if err != nil {
+			s.logf("server: response write failed after %d/%d bytes: %v", written, bodyLen, err)
+			return
+		}
+	}
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":   s.cache != nil,
+		"entries":   st.Entries,
+		"bytes":     st.Bytes,
+		"hits":      st.Hits,
+		"misses":    st.Misses,
+		"shared":    st.Shared,
+		"evictions": st.Evictions,
 	})
 }
 
@@ -167,45 +285,45 @@ type appendRequest struct {
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	var req appendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	cube, ok := s.db.CubeByName(req.Cube)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
 		return
 	}
 	if !cube.Appendable() {
-		writeErr(w, http.StatusConflict, fmt.Errorf("cube %q was not built with EnableAppend", req.Cube))
+		s.writeErr(w, http.StatusConflict, fmt.Errorf("cube %q was not built with EnableAppend", req.Cube))
 		return
 	}
 	schema := cube.Schema()
 	batch := dataset.NewTable(schema)
 	for ri, row := range req.Rows {
 		if len(row) != len(schema) {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d has %d values, schema has %d", ri, len(row), len(schema)))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d has %d values, schema has %d", ri, len(row), len(schema)))
 			return
 		}
 		vals := make([]dataset.Value, len(schema))
 		for c, field := range schema {
 			v, err := dataset.ParseValue(field.Type, row[c])
 			if err != nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d column %q: %w", ri, field.Name, err))
+				s.writeErr(w, http.StatusBadRequest, fmt.Errorf("row %d column %q: %w", ri, field.Name, err))
 				return
 			}
 			vals[c] = v
 		}
 		if err := batch.AppendRow(vals...); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			s.writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	st, err := s.db.Append(r.Context(), req.Cube, batch)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"rows_appended":     st.RowsAppended,
 		"cells_touched":     st.CellsTouched,
 		"cells_now_iceberg": st.CellsNowIceberg,
@@ -217,20 +335,21 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCubes(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"cubes": s.db.Cubes()})
+	s.writeJSON(w, http.StatusOK, map[string][]string{"cubes": s.db.Cubes()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("cube")
 	cube, ok := s.db.CubeByName(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", name))
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", name))
 		return
 	}
 	st := cube.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"loss":                cube.LossName(),
 		"theta":               cube.Theta(),
+		"generation":          cube.Generation(),
 		"cubed_attrs":         cube.CubedAttrs(),
 		"cuboids":             st.NumCuboids,
 		"iceberg_cuboids":     st.NumIcebergCuboids,
