@@ -1,10 +1,32 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build test race vet bench bench-smoke bench-concurrent bench-json bench-serve
+.PHONY: check build test race vet lint cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve
 
-## check: the full gate — vet, build everything, and run the test suite
-## under the race detector. CI and pre-commit should run this.
-check: vet build race
+## check: the full gate — vet, the project linter, build everything, and
+## run the test suite under the race detector. CI and pre-commit should
+## run this.
+check: vet lint build race
+
+## lint: the project's custom static-analysis suite (ctxpoll,
+## snapshotmut, maporder, droppederr, atomicload). Zero findings
+## required; suppress individual lines with
+## //lint:ignore <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/tabula-lint ./...
+
+## cover: per-package statement coverage summary.
+cover:
+	$(GO) test -cover ./...
+
+## fuzz-smoke: run every fuzz target for FUZZTIME (default 10s) each —
+## long enough to catch shallow parser and query-path panics, short
+## enough for CI. Go allows one -fuzz pattern per invocation.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/engine
+	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/engine
+	$(GO) test -run '^$$' -fuzz '^FuzzParseValue$$' -fuzztime $(FUZZTIME) ./internal/dataset
+	$(GO) test -run '^$$' -fuzz '^FuzzQueryByValues$$' -fuzztime $(FUZZTIME) ./internal/core
 
 build:
 	$(GO) build ./...

@@ -67,6 +67,7 @@ func main() {
 		}
 		scale := harness.Scale{Rows: *rows, Queries: *queries, Seed: *seed}
 		if err := harness.WriteInitStageJSON(f, scale, counts, progress); err != nil {
+			//lint:ignore droppederr best-effort cleanup; the write error below is the one worth reporting
 			f.Close()
 			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
 			os.Exit(1)
@@ -94,6 +95,7 @@ func main() {
 			os.Exit(1)
 		}
 		if err := harness.WriteServeJSON(f, rep); err != nil {
+			//lint:ignore droppederr best-effort cleanup; the write error below is the one worth reporting
 			f.Close()
 			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,88 @@
+// Command tabula-lint runs the project's custom static-analysis suite
+// (internal/lint) over package patterns and reports violations of the
+// invariants the concurrency and determinism design depends on:
+//
+//	tabula-lint ./...            # whole module (run from the module root)
+//	tabula-lint -run ctxpoll ./internal/engine
+//	tabula-lint -list            # analyzer inventory
+//
+// Findings print one per line as "file:line: analyzer: message" and
+// make the exit status 1; a clean tree exits 0. Suppress an individual
+// finding with a reasoned directive on or directly above its line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The tool is built exclusively on the standard library's go/ast,
+// go/parser, go/token and go/types packages; it resolves imports with
+// the source importer, so it must run with a working directory inside
+// the module it analyzes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/tabula-db/tabula/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tabula-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, az := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", az.Name, az.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer, len(analyzers))
+		for _, az := range analyzers {
+			byName[az.Name] = az
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			az, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "tabula-lint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, az)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := lint.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "tabula-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(dirs)
+	if err != nil {
+		fmt.Fprintf(stderr, "tabula-lint: %v\n", err)
+		return 2
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "tabula-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListInventory(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	for _, name := range []string{"ctxpoll", "snapshotmut", "maporder", "droppederr", "atomicload"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "nosuch", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-run nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %s", errOut.String())
+	}
+}
+
+// TestSeededViolationFailsTheRun drives the CLI end to end over a
+// fixture package that contains deliberate violations: findings must
+// print in file:line: analyzer: message form and the exit status must
+// be nonzero.
+func TestSeededViolationFailsTheRun(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-run", "droppederr", "../../internal/lint/testdata/droppederr"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run over seeded violations = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "droppederr.go:") || !strings.Contains(out.String(), ": droppederr: ") {
+		t.Errorf("findings not in file:line: analyzer: message form:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "finding(s)") {
+		t.Errorf("stderr missing summary: %s", errOut.String())
+	}
+}

@@ -63,7 +63,9 @@ func main() {
 			log.Fatalf("tabula-server: %v", err)
 		}
 		cube, err := tabula.LoadCube(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatalf("tabula-server: loading cube: %v", err)
 		}

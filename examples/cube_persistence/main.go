@@ -42,7 +42,10 @@ func main() {
 	if err := fp.Close(); err != nil {
 		log.Fatal(err)
 	}
-	info, _ := os.Stat(cubeFile)
+	info, err := os.Stat(cubeFile)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("persisted to %s (%d bytes on disk)\n", cubeFile, info.Size())
 
 	// --- process 2: restart without the raw table -----------------------
@@ -52,7 +55,9 @@ func main() {
 	}
 	t0 := time.Now()
 	restored, err := tabula.LoadCube(fp2)
-	fp2.Close()
+	if cerr := fp2.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

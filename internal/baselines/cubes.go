@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/tabula-db/tabula/internal/core"
@@ -220,6 +221,9 @@ func (s *Snappy) matchingSampleRows(conds []core.Condition) ([]int32, error) {
 			out = append(out, rows...)
 		}
 	}
+	// Strata iteration order is randomized; sort so callers always see
+	// the matched rows in a stable order.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/tabula-db/tabula/internal/cube"
@@ -101,6 +102,7 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 	// grown — re-encode is impossible, so fail hard and mark the cube
 	// unusable for further appends rather than serve wrong answers).
 	vals := make([]dataset.Value, batch.NumCols())
+	//lint:ignore ctxpoll aborting mid-append would desynchronize the maintainer state from the raw table; ctx is honored before the first mutation (see the method doc)
 	for r := 0; r < batch.NumRows(); r++ {
 		for c := range vals {
 			vals[c] = batch.Value(r, c)
@@ -126,6 +128,7 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 	m.ev = ev
 	lat := cube.NewLattice(m.enc.NumAttrs())
 	touched := make(map[uint64]int) // key -> cuboid mask
+	//lint:ignore ctxpoll the fold must run to completion once the raw table has grown (see the method doc)
 	for row := from; row < m.raw.NumRows(); row++ {
 		for mask := 0; mask < lat.NumCuboids(); mask++ {
 			key := engine.GroupKeys(m.enc, next.codec, lat.Attrs(mask), int32(row))
@@ -141,7 +144,11 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 
 	// Stage 3: re-examine touched cells, rewriting the successor
 	// snapshot's cube table and sample list (the published snapshot stays
-	// untouched until the final swap).
+	// untouched until the final swap). Cells are visited in sorted
+	// (mask, key) order so the successor's fresh sample ids are
+	// deterministic — identical batches always publish byte-identical
+	// cubes, and Go's randomized map iteration never leaks into the
+	// snapshot (the maporder analyzer enforces this).
 	stats := &AppendStats{RowsAppended: batch.NumRows(), CellsTouched: len(touched)}
 	// Group touched keys by mask for efficient row retrieval.
 	byMask := make(map[int]map[uint64]struct{})
@@ -151,8 +158,14 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 		}
 		byMask[mask][key] = struct{}{}
 	}
+	masks := make([]int, 0, len(byMask))
+	for mask := range byMask {
+		masks = append(masks, mask)
+	}
+	sort.Ints(masks)
 	full := dataset.FullView(m.raw)
-	for mask, keys := range byMask {
+	for _, mask := range masks {
+		keys := byMask[mask]
 		attrs := lat.Attrs(mask)
 		needRows := make(map[uint64]struct{})
 		// First pass: decide per cell from the (cheap) state loss.
@@ -171,7 +184,13 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 			matched := engine.SemiJoinRows(m.enc, next.codec, attrs, full, needRows)
 			cellRows = engine.GroupRows(m.enc, next.codec, attrs, dataset.NewView(m.raw, matched))
 		}
-		for key, needsLocal := range verdict {
+		ordered := make([]uint64, 0, len(verdict))
+		for key := range verdict {
+			ordered = append(ordered, key)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		for _, key := range ordered {
+			needsLocal := verdict[key]
 			prevID, wasIceberg := next.cubeTable[key]
 			if !needsLocal {
 				if wasIceberg {

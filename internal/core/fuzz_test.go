@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// The fuzz cube is built once per process: fuzzing workers hammer the
+// query path, not Build.
+var (
+	fuzzOnce sync.Once
+	fuzzTab  *Tabula
+	fuzzErr  error
+)
+
+func fuzzCube() (*Tabula, error) {
+	fuzzOnce.Do(func() {
+		fuzzTab, fuzzErr = Build(context.Background(), taxiTable(1500, 7),
+			DefaultParams(loss.NewMean("fare"), 0.1, "distance", "passengers", "payment"))
+	})
+	return fuzzTab, fuzzErr
+}
+
+// FuzzQueryByValues throws arbitrary attribute/value pairs at the
+// display-form query entry point — the exact surface the HTTP handlers
+// expose to untrusted dashboards. The serving contract under fuzz:
+// never panic, reject garbage with an error (not a nil result), and
+// answer the same question identically every time (the deterministic
+// guarantee). Run with `go test -fuzz FuzzQueryByValues ./internal/core`.
+func FuzzQueryByValues(f *testing.F) {
+	seeds := [][2]string{
+		{"payment", "cash"},
+		{"payment", "dispute"},
+		{"distance", "[10,15)"},
+		{"passengers", "2"},
+		{"passengers", "not-a-number"},
+		{"passengers", "99999999999999999999"},
+		{"ghost", "1"},
+		{"fare", "12.5"}, // in the schema but not cubed
+		{"", ""},
+		{"payment", "\x00\xff"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, attr, value string) {
+		tab, err := fuzzCube()
+		if err != nil {
+			t.Fatalf("building fuzz cube: %v", err)
+		}
+		ctx := context.Background()
+		res, err := tab.QueryByValues(ctx, map[string]string{attr: value})
+		if err != nil {
+			return // rejected cleanly — unknown attribute or unparsable value
+		}
+		if res == nil || res.Sample == nil {
+			t.Fatalf("QueryByValues(%q=%q) returned nil result with nil error", attr, value)
+		}
+		again, err := tab.QueryByValues(ctx, map[string]string{attr: value})
+		if err != nil {
+			t.Fatalf("query succeeded then failed on repeat: %v", err)
+		}
+		if again.Sample.NumRows() != res.Sample.NumRows() || again.FromGlobal != res.FromGlobal {
+			t.Fatalf("identical query answered differently: %d/%v then %d/%v",
+				res.Sample.NumRows(), res.FromGlobal, again.Sample.NumRows(), again.FromGlobal)
+		}
+	})
+}

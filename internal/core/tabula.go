@@ -320,6 +320,11 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 	if p.SampleSelection && len(real.Cells) > 0 {
 		vertices := make([]samgraph.Vertex, len(real.Cells))
 		for i, c := range real.Cells {
+			if i&8191 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			vertices[i] = samgraph.Vertex{Rows: c.Rows, SampleRows: c.SampleRows}
 		}
 		opts := p.SamGraph
@@ -343,11 +348,24 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 			repID[v] = id
 		}
 		for i, c := range real.Cells {
+			if i&8191 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			c.SampleID = repID[sel.AssignedTo[i]]
 			sn.cubeTable[c.Key] = c.SampleID
 		}
 	} else {
-		for _, c := range real.Cells {
+		// Materializing one sample per cell is the heaviest loop of this
+		// stage (Tabula* persists every cell's sample), so it polls on
+		// every iteration.
+		for i, c := range real.Cells {
+			if i&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			c.SampleID = int32(len(sn.samples))
 			sn.samples = append(sn.samples, dataset.NewView(tbl, c.SampleRows).Materialize())
 			sn.cubeTable[c.Key] = c.SampleID

@@ -181,6 +181,7 @@ func RealRun(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, c
 	errs := make([]error, workers)
 	next := make(chan int)
 	go func() {
+		//lint:ignore ctxpoll the feeder blocks on the channel; workers poll ctx and drain it on cancellation, so the feeder always exits
 		for i := range res.Cells {
 			next <- i
 		}
@@ -215,6 +216,7 @@ func RealRun(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, c
 		}
 	}
 	if !opts.KeepRawRows {
+		//lint:ignore ctxpoll bounded pointer-clearing pass (one store per cell), cheaper than the poll itself
 		for _, c := range res.Cells {
 			c.Rows = nil
 		}

@@ -1,0 +1,59 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseValue asserts the display-form value parser — the entry
+// point every WHERE condition passes through on the QueryByValues
+// path — never panics on arbitrary input, and that any value it
+// accepts survives a print→parse round trip (so query responses can
+// echo predicate values verbatim). Run with
+// `go test -fuzz FuzzParseValue ./internal/dataset` for continuous
+// fuzzing; the seed corpus runs as part of the ordinary test suite.
+func FuzzParseValue(f *testing.F) {
+	seeds := []struct {
+		typ int
+		s   string
+	}{
+		{int(Int64), "42"}, {int(Int64), "-9223372036854775808"}, {int(Int64), "x"},
+		{int(Float64), "3.25"}, {int(Float64), "-1.5e-3"}, {int(Float64), "NaN"}, {int(Float64), "+Inf"},
+		{int(String), ""}, {int(String), "credit"}, {int(String), "[10,15)"},
+		{int(Point), "-73.78 40.64"}, {int(Point), "1"}, {int(Point), "a b"}, {int(Point), "1e308 -0"},
+		{99, "anything"},
+	}
+	for _, s := range seeds {
+		f.Add(s.typ, s.s)
+	}
+	f.Fuzz(func(t *testing.T, typ int, s string) {
+		v, err := ParseValue(Type(typ), s)
+		if err != nil {
+			return
+		}
+		if v.Type != Type(typ) {
+			t.Fatalf("ParseValue(%d, %q) returned a value of type %d", typ, s, int(v.Type))
+		}
+		if parsedNaN(v) {
+			return // NaN never compares equal; accepting it is fine, round-tripping is not defined
+		}
+		printed := v.String()
+		back, err := ParseValue(Type(typ), printed)
+		if err != nil {
+			t.Fatalf("printed value does not reparse: %q -> %q: %v", s, printed, err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("round trip changed the value: %q -> %q -> %q", s, printed, back.String())
+		}
+	})
+}
+
+func parsedNaN(v Value) bool {
+	switch v.Type {
+	case Float64:
+		return math.IsNaN(v.F)
+	case Point:
+		return math.IsNaN(v.P.X) || math.IsNaN(v.P.Y)
+	}
+	return false
+}

@@ -424,7 +424,12 @@ func (c *Catalog) executeAggregate(ctx context.Context, src *dataset.Table, view
 		schema[j] = dataset.Field{Name: name, Type: typ}
 	}
 	out := dataset.NewTable(schema)
-	for _, row := range outRows {
+	for i, row := range outRows {
+		if i%cancelCheckRows == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := out.AppendRow(row...); err != nil {
 			return nil, err
 		}

@@ -40,6 +40,7 @@ func (r *Report) String() string {
 	for _, row := range r.Rows {
 		fmt.Fprintln(tw, strings.Join(row, "\t"))
 	}
+	//lint:ignore droppederr tabwriter flushing into an in-memory strings.Builder cannot fail
 	tw.Flush()
 	for _, n := range r.Notes {
 		fmt.Fprintf(&sb, "note: %s\n", n)

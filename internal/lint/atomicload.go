@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerAtomicLoad polices the snapshot publication point itself.
+// The design publishes immutable state through atomic.Pointer fields
+// (core.Tabula.snap, the registry's cubeEntry.cube); every read must
+// go through .Load() and every publication through .Store() (or
+// Swap/CompareAndSwap). Two hazards survive go vet:
+//
+//   - touching the field any other way — assigning it, comparing it,
+//     passing its address — bypasses the atomic protocol (vet's
+//     copylocks catches by-value copies, not these), and
+//   - stashing a Load() result into a plain struct field creates a
+//     long-lived alias that silently pins one generation while the
+//     rest of the process moves on — exactly the stale-read bug the
+//     snapshot design exists to prevent. Loaded pointers belong in
+//     locals whose lifetime is one request.
+//
+// The analyzer finds every struct field declared as atomic.Pointer[T]
+// and verifies each use is an immediate .Load/.Store/.Swap/
+// .CompareAndSwap call, and that no Load() result is assigned to a
+// field.
+func AnalyzerAtomicLoad() *Analyzer {
+	return &Analyzer{
+		Name: "atomicload",
+		Doc:  "atomic.Pointer fields are only touched via Load/Store/Swap/CompareAndSwap; loads stay local",
+		Run:  runAtomicLoad,
+	}
+}
+
+var atomicPointerMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+func runAtomicLoad(p *Package) []Finding {
+	fields := atomicPointerFields(p)
+	if len(fields) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		par := parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.SelectorExpr:
+				if !fields[st.Sel.Name] {
+					return true
+				}
+				if f, bad := badAtomicUse(p, st, par); bad {
+					out = append(out, f)
+				}
+			case *ast.AssignStmt:
+				out = append(out, loadAliasedIntoField(p, st, fields)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// atomicPointerFields collects the names of struct fields declared as
+// atomic.Pointer[...] anywhere in the package.
+func atomicPointerFields(p *Package) map[string]bool {
+	fields := make(map[string]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if !isAtomicPointerType(f.Type) {
+					continue
+				}
+				for _, name := range f.Names {
+					fields[name.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// isAtomicPointerType matches the syntax atomic.Pointer[T].
+func isAtomicPointerType(t ast.Expr) bool {
+	idx, ok := t.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := idx.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Pointer" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "atomic"
+}
+
+// badAtomicUse reports a use of an atomic field that is not an
+// immediate accessor-method call. Field declarations and the selector
+// inside the accessor call itself are fine; everything else —
+// assignment, address-of, comparison, plain read — is a bypass.
+func badAtomicUse(p *Package, sel *ast.SelectorExpr, par map[ast.Node]ast.Node) (Finding, bool) {
+	parent := par[sel]
+	// t.snap.Load(): parent selector carries the method name and must
+	// itself be called.
+	if psel, ok := parent.(*ast.SelectorExpr); ok && psel.X == sel {
+		if atomicPointerMethods[psel.Sel.Name] {
+			if call, ok := par[psel].(*ast.CallExpr); ok && call.Fun == psel {
+				return Finding{}, false
+			}
+		}
+		return p.finding(sel,
+			"atomic.Pointer field %q accessed via %q; only Load/Store/Swap/CompareAndSwap may touch it",
+			sel.Sel.Name, psel.Sel.Name), true
+	}
+	// The selector of the field inside its own struct literal or
+	// declaration never appears here (those are *ast.Field / keys), so
+	// any other parent means the field value escaped the protocol.
+	return p.finding(sel,
+		"atomic.Pointer field %q used without Load/Store/Swap/CompareAndSwap; the pointer must never be read or written directly",
+		sel.Sel.Name), true
+}
+
+// loadAliasedIntoField flags `x.someField = y.snap.Load()`: the loaded
+// snapshot pointer outlives the operation that loaded it.
+func loadAliasedIntoField(p *Package, st *ast.AssignStmt, fields map[string]bool) []Finding {
+	var out []Finding
+	for i, rhs := range st.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		msel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || msel.Sel.Name != "Load" {
+			continue
+		}
+		fsel, ok := msel.X.(*ast.SelectorExpr)
+		if !ok || !fields[fsel.Sel.Name] {
+			continue
+		}
+		if i >= len(st.Lhs) {
+			continue
+		}
+		if lsel, ok := st.Lhs[i].(*ast.SelectorExpr); ok {
+			out = append(out, p.finding(st,
+				"snapshot pointer from %s.Load() aliased into field %s; loaded snapshots must stay in locals scoped to one operation",
+				exprText(p.Fset, msel.X), exprText(p.Fset, lsel)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// AnalyzerCtxPoll enforces the cancellation contract of DESIGN.md §7.1:
+// every long scan in a context-taking function must poll the context.
+//
+// A function (or method, or function literal) that declares a
+// context.Context parameter and contains a for/range loop over a
+// scan-scale collection — detected by name: the ranged expression or
+// the for condition mentions rows, cells, vertices, nodes, or targets —
+// must do one of the following inside the loop body:
+//
+//   - call ctx.Err() or ctx.Done() (directly or behind a cadence check
+//     such as `if i%cancelCheckRows == 0`), or
+//   - pass ctx to a callee (delegating the poll to a function that
+//     received the context).
+//
+// The race detector cannot see a missing poll: an unpollable scan is
+// not a data race, just a request that cannot be cancelled. Loops that
+// are intentionally poll-free (e.g. Append's fold stage, which must run
+// to completion once the raw table has grown) carry a
+// //lint:ignore ctxpoll <reason> directive.
+func AnalyzerCtxPoll() *Analyzer {
+	return &Analyzer{
+		Name: "ctxpoll",
+		Doc:  "context-taking functions must poll ctx inside row/cell/node scan loops",
+		Run:  runCtxPoll,
+	}
+}
+
+// scanKeywords mark a loop as scan-scale when they appear in the ranged
+// expression or the for-loop condition (lowercased). They name the
+// collections the paper's pipeline iterates: raw rows, cube cells, and
+// SamGraph vertices/nodes/targets.
+var scanKeywords = []string{"row", "cell", "vertex", "vertic", "node", "target"}
+
+func runCtxPoll(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			ctxName := contextParamName(ftype)
+			if ctxName == "" || ctxName == "_" {
+				return true
+			}
+			out = append(out, checkScanLoops(p, body, ctxName)...)
+			// Function literals nested inside are visited on their own
+			// (they may shadow or re-receive ctx), so don't recurse here.
+			return false
+		})
+	}
+	return out
+}
+
+// contextParamName returns the name of the first context.Context
+// parameter, or "".
+func contextParamName(ftype *ast.FuncType) string {
+	if ftype.Params == nil {
+		return ""
+	}
+	for _, field := range ftype.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if x, ok := sel.X.(*ast.Ident); !ok || x.Name != "context" {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return ""
+		}
+		return field.Names[0].Name
+	}
+	return ""
+}
+
+// checkScanLoops walks body (including nested function literals, where
+// ctx stays in scope as a capture) and reports scan-scale loops that
+// never poll ctx.
+func checkScanLoops(p *Package, body ast.Node, ctxName string) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A nested literal that declares its own context parameter takes
+		// over; its loops are checked against that parameter instead.
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if inner := contextParamName(lit.Type); inner != "" {
+				if inner != "_" {
+					out = append(out, checkScanLoops(p, lit.Body, inner)...)
+				}
+				return false
+			}
+		}
+		var loopBody *ast.BlockStmt
+		var subject ast.Node
+		var what string
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			if !mentionsScanKeyword(p.Fset, l.X) {
+				return true
+			}
+			loopBody, subject, what = l.Body, l, "range over "+exprText(p.Fset, l.X)
+		case *ast.ForStmt:
+			if l.Cond == nil || !mentionsScanKeyword(p.Fset, l.Cond) {
+				return true
+			}
+			loopBody, subject, what = l.Body, l, "loop while "+exprText(p.Fset, l.Cond)
+		default:
+			return true
+		}
+		if !pollsContext(loopBody, ctxName) {
+			out = append(out, p.finding(subject,
+				"%s never polls %s.Err(); scans must honor cancellation (poll every N iterations or pass %s to a callee)",
+				what, ctxName, ctxName))
+		}
+		return true
+	})
+	return out
+}
+
+func mentionsScanKeyword(fset *token.FileSet, e ast.Expr) bool {
+	text := strings.ToLower(exprText(fset, e))
+	for _, kw := range scanKeywords {
+		if strings.Contains(text, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "<expr>"
+	}
+	return sb.String()
+}
+
+// pollsContext reports whether the loop body contains a ctx.Err() or
+// ctx.Done() call, or any call that receives ctx as an argument.
+func pollsContext(body ast.Node, ctxName string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name == ctxName &&
+				(sel.Sel.Name == "Err" || sel.Sel.Name == "Done") {
+				found = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && id.Name == ctxName {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

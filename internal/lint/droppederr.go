@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDroppedErr flags silently discarded errors on the wire path:
+//
+//   - an assignment that discards an error-typed result into the blank
+//     identifier (`_ = enc.Encode(v)`, `n, _ := w.Write(b)`), and
+//   - an expression-statement call to a write-shaped method (Write,
+//     WriteString, Encode, Flush, Close, Sync, ...) whose error result
+//     vanishes.
+//
+// PR 1–3 made error propagation part of the serving contract (short
+// writes are logged, encode failures become 500s); this analyzer keeps
+// new code honest. Deliberate best-effort calls (e.g. closing a file
+// on an error path where the first error already won) carry a
+// //lint:ignore droppederr <reason> directive. Deferred calls are
+// exempt — `defer f.Close()` on a read-only handle is idiomatic — as
+// is everything in _test.go files (the loader never parses them).
+//
+// Error-typedness is established from resolved type information; a
+// call the type checker could not resolve is only flagged when its
+// method name is write-shaped.
+func AnalyzerDroppedErr() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc:  "errors must be handled, logged, or explicitly suppressed with a reason",
+		Run:  runDroppedErr,
+	}
+}
+
+// writeShapedNames are methods whose error result is the only signal a
+// write/flush/close failed.
+var writeShapedNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Flush": true, "Close": true, "Sync": true,
+}
+
+// infallibleWriters are receiver types whose write methods are
+// documented to always return a nil error; checking them is pure
+// ceremony. (strings.Builder and bytes.Buffer grow in memory and
+// cannot fail; the hash.Hash contract says "It never returns an
+// error", which covers every concrete digest behind those
+// interfaces.)
+var infallibleWriters = map[string]bool{
+	"strings.Builder": true, "bytes.Buffer": true, "hash/maphash.Hash": true,
+	"hash.Hash": true, "hash.Hash32": true, "hash.Hash64": true,
+}
+
+func runDroppedErr(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		par := parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				out = append(out, checkBlankErrAssign(p, st)...)
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if f, bad := uncheckedWriteCall(p, call, par); bad {
+						out = append(out, f)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkBlankErrAssign flags blank identifiers that swallow an
+// error-typed value.
+func checkBlankErrAssign(p *Package, st *ast.AssignStmt) []Finding {
+	var out []Finding
+	// Single call with multiple results: _ positions index the tuple.
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := callResultTuple(p, call)
+		if !ok {
+			return nil
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				out = append(out, p.finding(lhs,
+					"error result of %s discarded; handle it, log it, or //lint:ignore droppederr <reason>",
+					exprText(p.Fset, call.Fun)))
+			}
+		}
+		return out
+	}
+	for i, lhs := range st.Lhs {
+		if !isBlank(lhs) || i >= len(st.Rhs) {
+			continue
+		}
+		tv, ok := p.Info.Types[st.Rhs[i]]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		out = append(out, p.finding(lhs,
+			"error value %s discarded; handle it, log it, or //lint:ignore droppederr <reason>",
+			exprText(p.Fset, st.Rhs[i])))
+	}
+	return out
+}
+
+// uncheckedWriteCall flags expression-statement calls that drop a
+// write-shaped error. Deferred and go-routine'd calls never appear as
+// ExprStmt, so they are exempt by construction.
+func uncheckedWriteCall(p *Package, call *ast.CallExpr, par map[ast.Node]ast.Node) (Finding, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeShapedNames[sel.Sel.Name] {
+		return Finding{}, false
+	}
+	if tv, ok := p.Info.Types[sel.X]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if infallibleWriters[t.String()] {
+			return Finding{}, false
+		}
+	}
+	// WriteHeader and friends that genuinely return nothing are fine;
+	// only flag calls whose (resolved) signature includes an error. When
+	// the signature is unresolved, the write-shaped name alone decides.
+	if tuple, resolved := callResultTuple(p, call); resolved {
+		hasErr := false
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				hasErr = true
+			}
+		}
+		if !hasErr {
+			return Finding{}, false
+		}
+	}
+	return p.finding(call,
+		"error from %s is dropped; handle it, log it, or //lint:ignore droppederr <reason>",
+		exprText(p.Fset, call.Fun)), true
+}
+
+// callResultTuple returns the resolved result tuple of a call.
+func callResultTuple(p *Package, call *ast.CallExpr) (*types.Tuple, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	return sig.Results(), true
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

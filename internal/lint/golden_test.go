@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden tests follow the x/tools analysistest convention: a
+// fixture line carrying a comment
+//
+//	// want "regex"
+//
+// expects exactly that line to produce a finding whose message matches
+// the regex; every finding must be claimed by a want and every want
+// must be hit by a finding.
+
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// loadWants parses every fixture file in dir and extracts its want
+// comments.
+func loadWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var wants []*want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pat, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", e.Name(), c.Text, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regex %q: %v", e.Name(), pat, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &want{file: e.Name(), line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden checks one analyzer against its fixture package.
+func runGolden(t *testing.T, az *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", az.Name)
+	pkgs, err := Load([]string{dir})
+	if err != nil {
+		t.Fatalf("loading fixture package: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected one fixture package in %s, got %d", dir, len(pkgs))
+	}
+	if len(pkgs[0].TypeErrs) > 0 {
+		// Fixtures must type-check so analyzers run at full precision.
+		t.Fatalf("fixture package does not type-check: %v", pkgs[0].TypeErrs[0])
+	}
+	findings := Run(pkgs, []*Analyzer{az})
+	wants := loadWants(t, dir)
+	for _, f := range findings {
+		claimed := false
+		for _, w := range wants {
+			if filepath.Base(f.Pos.Filename) == w.file && f.Pos.Line == w.line && w.re.MatchString(f.Message) {
+				w.hit = true
+				claimed = true
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestCtxPollGolden(t *testing.T)     { runGolden(t, AnalyzerCtxPoll()) }
+func TestSnapshotMutGolden(t *testing.T) { runGolden(t, AnalyzerSnapshotMut()) }
+func TestMapOrderGolden(t *testing.T)    { runGolden(t, AnalyzerMapOrder()) }
+func TestDroppedErrGolden(t *testing.T)  { runGolden(t, AnalyzerDroppedErr()) }
+func TestAtomicLoadGolden(t *testing.T)  { runGolden(t, AnalyzerAtomicLoad()) }
+
+// TestAllStableOrder pins the suite inventory: names are unique,
+// non-empty, documented, and in the order the CLI lists them.
+func TestAllStableOrder(t *testing.T) {
+	got := All()
+	wantNames := []string{"ctxpoll", "snapshotmut", "maporder", "droppederr", "atomicload"}
+	if len(got) != len(wantNames) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(wantNames))
+	}
+	for i, az := range got {
+		if az.Name != wantNames[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, az.Name, wantNames[i])
+		}
+		if az.Doc == "" {
+			t.Errorf("analyzer %q has no doc", az.Name)
+		}
+		if az.Run == nil {
+			t.Errorf("analyzer %q has no Run", az.Name)
+		}
+	}
+}

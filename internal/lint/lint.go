@@ -1,0 +1,128 @@
+// Package lint implements tabula-lint, the project's custom static
+// analysis suite. It enforces — mechanically — the invariants the
+// concurrency and determinism design leans on but that go vet and the
+// race detector cannot see (docs/GUARANTEES.md, DESIGN.md §7):
+//
+//   - ctxpoll: a function that takes a context.Context and scans rows,
+//     cells, or graph nodes must poll ctx inside the loop (or delegate
+//     to a callee that receives ctx).
+//   - snapshotmut: fields reachable from the published snapshot type
+//     may only be written by the allowlisted maintainer functions;
+//     a write anywhere else is a write-after-publish the race detector
+//     cannot catch when it happens single-threaded.
+//   - maporder: ranging over a map while appending to a slice or
+//     writing output leaks map iteration order into results, breaking
+//     the bit-identical-at-any-worker-count contract, unless the
+//     destination is sorted afterwards.
+//   - droppederr: discarded error returns (`_ = f()`, unchecked
+//     `w.Write`/`Close`) silently swallow wire-path failures.
+//   - atomicload: published atomic.Pointer fields may only be touched
+//     through Load/Store/Swap/CompareAndSwap, and a loaded snapshot
+//     pointer must not be aliased into a plain struct field.
+//
+// Findings print as "file:line: analyzer: message". A finding is
+// suppressed by the directive
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the offending line or on the line directly above it; the
+// reason is mandatory. The package uses only the standard library
+// (go/ast, go/parser, go/token, go/types) — the module has zero
+// external dependencies and must stay that way.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line: analyzer: message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single package and
+// returns raw findings; the framework attaches the analyzer name,
+// applies suppressions, and sorts.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerCtxPoll(),
+		AnalyzerSnapshotMut(),
+		AnalyzerMapOrder(),
+		AnalyzerDroppedErr(),
+		AnalyzerAtomicLoad(),
+	}
+}
+
+// Run applies the analyzers to every package, drops suppressed
+// findings, and returns the rest sorted by position then analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		sup := collectSuppressions(p)
+		out = append(out, sup.malformed...)
+		for _, az := range analyzers {
+			for _, f := range az.Run(p) {
+				f.Analyzer = az.Name
+				if sup.covers(az.Name, f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// finding builds a Finding at the node's position.
+func (p *Package) finding(n ast.Node, format string, args ...any) Finding {
+	return Finding{Pos: p.Fset.Position(n.Pos()), Message: fmt.Sprintf(format, args...)}
+}
+
+// parents builds a child -> parent map for every node under root, so
+// analyzers can ask "what encloses this expression".
+func parents(root ast.Node) map[ast.Node]ast.Node {
+	m := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}

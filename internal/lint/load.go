@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and (best-effort) type-checked
+// package directory. Test files (_test.go) are excluded: the analyzers
+// police production code, and tests legitimately drop errors and range
+// maps for coverage.
+type Package struct {
+	Dir   string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Info holds whatever the type checker resolved. Analyzers must
+	// treat it as partial: when an expression is absent they either
+	// fall back to syntactic heuristics or stay silent, never guess.
+	Info *types.Info
+	// TypesPkg is non-nil even when type checking reported errors.
+	TypesPkg *types.Package
+	// TypeErrs records type-check problems (informational; the tool
+	// still analyzes what it can, mirroring go vet's behaviour on
+	// slightly-broken trees).
+	TypeErrs []error
+}
+
+// ExpandPatterns resolves go-style package patterns ("./...",
+// "dir/...", plain directories) into the list of directories that
+// contain at least one non-test .go file. testdata, hidden, and
+// underscore-prefixed directories are skipped, as the go tool does.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "." || root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		fi, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and type-checks the given package directories. All
+// packages share one FileSet and one source importer, so the standard
+// library and intra-module imports are resolved once. Type-check
+// errors never fail the load — analyzers degrade to syntax-only
+// precision on the affected expressions.
+//
+// Import resolution follows the go tool's module logic, so Load must
+// run with a working directory inside the module being analyzed (any
+// subdirectory works).
+func Load(dirs []string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		p, err := loadDir(fset, imp, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+func loadDir(fset *token.FileSet, imp types.Importer, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	name := ""
+	for _, e := range ents {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, fn), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+		name = f.Name.Name
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	p := &Package{
+		Dir:   dir,
+		Name:  name,
+		Fset:  fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrs = append(p.TypeErrs, err) },
+	}
+	// The package path only matters for error messages; the directory
+	// keeps it unique within one Load.
+	//lint:ignore droppederr type errors are collected via conf.Error so analysis can stay best-effort
+	p.TypesPkg, _ = conf.Check(dir, fset, files, p.Info)
+	return p, nil
+}

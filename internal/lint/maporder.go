@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerMapOrder guards the determinism contract of DESIGN.md §7.2:
+// parallel (and incremental) stages must produce bit-identical output
+// at any worker count, which means Go's randomized map iteration order
+// must never leak into results.
+//
+// A `range` over a map whose body appends to a slice or writes output
+// (Write/Fprint/Encode and friends) is flagged, unless a later
+// statement in the same block sorts the append destination
+// (sort.Slice/sort.Strings/sort.Ints/... or slices.Sort* on that
+// variable) — the collect-then-sort idiom is the sanctioned way to
+// iterate a map deterministically. Writes into other maps, counters,
+// and aggregations are order-insensitive and not flagged.
+//
+// The analyzer needs resolved type information to know the ranged
+// expression is a map; expressions the type checker could not resolve
+// are skipped rather than guessed at.
+func AnalyzerMapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "map iteration must not leak its order into slices or output",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		par := parents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(p, rng.X) {
+				return true
+			}
+			dests, writesOutput := orderSensitiveEffects(p, rng)
+			var unsorted []string
+			for _, d := range dests {
+				if !sortedAfter(p, rng, par, d) {
+					unsorted = append(unsorted, d)
+				}
+			}
+			switch {
+			case writesOutput:
+				out = append(out, p.finding(rng,
+					"range over map %s writes output inside the loop; map iteration order leaks into the stream — iterate sorted keys instead",
+					exprText(p.Fset, rng.X)))
+			case len(unsorted) > 0:
+				out = append(out, p.finding(rng,
+					"range over map %s appends to %q in map order without sorting it afterwards; collect keys and sort, or sort the result",
+					exprText(p.Fset, rng.X), unsorted[0]))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isMapType reports whether the type checker resolved e to a map.
+func isMapType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// outputCallNames are callee names that emit bytes in call order.
+var outputCallNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true,
+}
+
+// orderSensitiveEffects scans the loop body for appends (returning the
+// destination expressions) and output-writing calls. Nested function
+// literals are included: they run, if at all, in iteration order.
+func orderSensitiveEffects(p *Package, rng *ast.RangeStmt) (dests []string, writesOutput bool) {
+	seen := make(map[string]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if i < len(st.Lhs) {
+					d := exprText(p.Fset, st.Lhs[i])
+					if !seen[d] {
+						seen[d] = true
+						dests = append(dests, d)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := st.Fun.(type) {
+			case *ast.SelectorExpr:
+				if outputCallNames[fun.Sel.Name] {
+					writesOutput = true
+				}
+			}
+		}
+		return true
+	})
+	return dests, writesOutput
+}
+
+// sortNames recognizes the sorting calls that neutralize map order:
+// sort.<Anything> and slices.Sort<Anything> applied to the
+// destination.
+func isSortCall(call *ast.CallExpr) (arg ast.Expr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) == 0 {
+		return nil, false
+	}
+	pkg, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return nil, false
+	}
+	switch pkg.Name {
+	case "sort", "slices":
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// sortedAfter reports whether some statement after the range loop (in
+// any enclosing block, so the idiom survives being wrapped in an if)
+// sorts dest.
+func sortedAfter(p *Package, rng *ast.RangeStmt, par map[ast.Node]ast.Node, dest string) bool {
+	var node ast.Node = rng
+	for {
+		parent, ok := par[node]
+		if !ok {
+			return false
+		}
+		var stmts []ast.Stmt
+		switch b := parent.(type) {
+		case *ast.BlockStmt:
+			stmts = b.List
+		case *ast.CaseClause:
+			stmts = b.Body
+		case *ast.CommClause:
+			stmts = b.Body
+		}
+		if stmts != nil {
+			idx := -1
+			for i, st := range stmts {
+				if st == node {
+					idx = i
+					break
+				}
+			}
+			for i := idx + 1; i >= 0 && i < len(stmts); i++ {
+				if stmtSorts(p, stmts[i], dest) {
+					return true
+				}
+			}
+		}
+		node = parent
+		if _, isFunc := parent.(*ast.FuncLit); isFunc {
+			return false
+		}
+		if _, isFunc := parent.(*ast.FuncDecl); isFunc {
+			return false
+		}
+	}
+}
+
+// stmtSorts reports whether st is a sort call on dest.
+func stmtSorts(p *Package, st ast.Stmt, dest string) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	arg, ok := isSortCall(call)
+	return ok && exprText(p.Fset, arg) == dest
+}

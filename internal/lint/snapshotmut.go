@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerSnapshotMut enforces the snapshot immutability contract of
+// DESIGN.md §7.1: the serving state published through the atomic
+// pointer is never mutated after publication. -race cannot catch a
+// violation that happens while no query is in flight — the write is
+// simply wrong, not racy — so this is checked statically.
+//
+// In any package that declares a struct type named "snapshot", every
+// assignment, increment, or delete() whose target is reachable through
+// a snapshot field (sn.cubeTable[k] = v, next.samples = append(...),
+// sn.stats.X += y, delete(sn.cubeTable, k)) must occur inside one of
+// the allowlisted maintainer functions, which only ever touch
+// snapshots that are not yet published:
+//
+//   - newSnapshot / Build / Load construct a fresh snapshot before the
+//     first Store,
+//   - successor deep-copies the mutable pieces into an unpublished
+//     copy,
+//   - Append rewrites only that successor and publishes it with one
+//     atomic swap.
+//
+// Everything else — query paths, encoders, serving handlers — may read
+// snapshot fields but never write them. Type information, when
+// resolved, confirms the written field really belongs to the snapshot
+// struct; a selector that merely shares a field name with snapshot is
+// not flagged.
+func AnalyzerSnapshotMut() *Analyzer {
+	return &Analyzer{
+		Name: "snapshotmut",
+		Doc:  "snapshot fields may only be written by allowlisted maintainer functions",
+		Run:  runSnapshotMut,
+	}
+}
+
+// snapshotMutAllowed are the maintainer functions permitted to write
+// snapshot fields (see the analyzer doc for why each is safe).
+var snapshotMutAllowed = map[string]bool{
+	"newSnapshot": true,
+	"Build":       true,
+	"successor":   true,
+	"Load":        true,
+	"Append":      true,
+}
+
+func runSnapshotMut(p *Package) []Finding {
+	fields, snapType := snapshotFields(p)
+	if len(fields) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || snapshotMutAllowed[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if sel := snapshotFieldSel(p, lhs, fields, snapType); sel != nil {
+							out = append(out, p.finding(lhs,
+								"write to snapshot field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
+								sel.Sel.Name, allowedNames()))
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel := snapshotFieldSel(p, st.X, fields, snapType); sel != nil {
+						out = append(out, p.finding(st,
+							"write to snapshot field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
+							sel.Sel.Name, allowedNames()))
+					}
+				case *ast.CallExpr:
+					if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) > 0 {
+						if sel := snapshotFieldSel(p, st.Args[0], fields, snapType); sel != nil {
+							out = append(out, p.finding(st,
+								"delete from snapshot map field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
+								sel.Sel.Name, allowedNames()))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func allowedNames() string {
+	return "newSnapshot/Build/successor/Load/Append"
+}
+
+// snapshotFields collects the field names of the package's snapshot
+// struct and its types.Named form (nil when type info is unavailable).
+func snapshotFields(p *Package) (map[string]bool, *types.Named) {
+	fields := make(map[string]bool)
+	var named *types.Named
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "snapshot" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fields[name.Name] = true
+				}
+			}
+			if obj, ok := p.Info.Defs[ts.Name]; ok && obj != nil {
+				if nt, ok := obj.Type().(*types.Named); ok {
+					named = nt
+				}
+			}
+			return true
+		})
+	}
+	return fields, named
+}
+
+// snapshotFieldSel returns the selector through which expr writes a
+// snapshot field, or nil. It unwraps index expressions and nested
+// selectors, so sn.stats.X and next.cubeTable[k] both resolve to their
+// snapshot-level field.
+func snapshotFieldSel(p *Package, expr ast.Expr, fields map[string]bool, snapType *types.Named) *ast.SelectorExpr {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if fields[e.Sel.Name] && selRecvIsSnapshot(p, e, snapType) {
+				return e
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// selRecvIsSnapshot confirms (via type info, when resolved) that the
+// selector's receiver is the snapshot struct. Without type info it
+// accepts the name match — snapshot is unexported, so any same-package
+// selector sharing a field name is close enough to deserve a look.
+func selRecvIsSnapshot(p *Package, sel *ast.SelectorExpr, snapType *types.Named) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return true
+	}
+	if snapType == nil {
+		return true
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	nt, ok := recv.(*types.Named)
+	return ok && nt.Obj() == snapType.Obj()
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The directive silences findings of <analyzer> on its own line
+// (trailing comment) and on the line directly below it (comment above
+// the offending statement). The reason is mandatory — a suppression
+// without a written justification is itself reported.
+const ignorePrefix = "//lint:ignore"
+
+// suppressions indexes the ignore directives of one package.
+type suppressions struct {
+	// byAnalyzer maps analyzer name -> set of source lines covered,
+	// keyed by filename.
+	byAnalyzer map[string]map[string]map[int]bool
+	// malformed collects directives that do not parse; they surface as
+	// findings of the pseudo-analyzer "lint" so a typo cannot silently
+	// disable nothing.
+	malformed []Finding
+}
+
+func collectSuppressions(p *Package) *suppressions {
+	s := &suppressions{byAnalyzer: make(map[string]map[string]map[int]bool)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				analyzer, reason, _ := strings.Cut(rest, " ")
+				if analyzer == "" || strings.TrimSpace(reason) == "" {
+					s.malformed = append(s.malformed, Finding{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed directive: need //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				files := s.byAnalyzer[analyzer]
+				if files == nil {
+					files = make(map[string]map[int]bool)
+					s.byAnalyzer[analyzer] = files
+				}
+				lines := files[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					files[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether a finding of the named analyzer at pos is
+// suppressed.
+func (s *suppressions) covers(analyzer string, pos token.Position) bool {
+	return s.byAnalyzer[analyzer][pos.Filename][pos.Line]
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseOne builds a syntax-only Package from source (no type checking;
+// directive handling is purely lexical).
+func parseOne(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{
+		Dir:   ".",
+		Name:  f.Name.Name,
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+}
+
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	src := `package p
+
+//lint:ignore
+func a() {}
+
+//lint:ignore droppederr
+func b() {}
+`
+	p := parseOne(t, src)
+	findings := Run([]*Package{p}, nil)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "lint" {
+			t.Errorf("malformed directive reported as %q, want pseudo-analyzer \"lint\"", f.Analyzer)
+		}
+		if !strings.Contains(f.Message, "malformed directive") {
+			t.Errorf("unexpected message: %s", f.Message)
+		}
+	}
+	if findings[0].Pos.Line != 3 || findings[1].Pos.Line != 6 {
+		t.Errorf("findings at lines %d and %d, want 3 and 6", findings[0].Pos.Line, findings[1].Pos.Line)
+	}
+}
+
+func TestDirectiveCoversOwnAndNextLine(t *testing.T) {
+	src := `package p
+
+//lint:ignore ctxpoll reason here
+func a() {}
+`
+	p := parseOne(t, src)
+	sup := collectSuppressions(p)
+	if len(sup.malformed) != 0 {
+		t.Fatalf("well-formed directive reported malformed: %v", sup.malformed)
+	}
+	for _, line := range []int{3, 4} {
+		if !sup.covers("ctxpoll", token.Position{Filename: "fixture.go", Line: line}) {
+			t.Errorf("line %d not covered", line)
+		}
+	}
+	if sup.covers("ctxpoll", token.Position{Filename: "fixture.go", Line: 5}) {
+		t.Error("line 5 covered; the directive must only reach one line down")
+	}
+	if sup.covers("droppederr", token.Position{Filename: "fixture.go", Line: 3}) {
+		t.Error("directive for ctxpoll suppressed droppederr")
+	}
+	if sup.covers("ctxpoll", token.Position{Filename: "other.go", Line: 3}) {
+		t.Error("directive leaked into another file")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:      token.Position{Filename: "internal/core/x.go", Line: 12, Column: 3},
+		Analyzer: "maporder",
+		Message:  "boom",
+	}
+	if got, want := f.String(), "internal/core/x.go:12: maporder: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

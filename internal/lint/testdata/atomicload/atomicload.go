@@ -1,0 +1,42 @@
+// Package atomicload exercises the atomicload analyzer: atomic.Pointer
+// fields are only touched through their accessor methods, and loaded
+// snapshot pointers stay in locals.
+package atomicload
+
+import "sync/atomic"
+
+type snapshot struct{ gen uint64 }
+
+type server struct {
+	snap atomic.Pointer[snapshot]
+	// cached is a plain field; stashing a loaded snapshot here is the
+	// generation-pinning bug the analyzer exists to catch.
+	cached *snapshot
+}
+
+// The accessor protocol: all clean.
+func publish(s *server, sn *snapshot) { s.snap.Store(sn) }
+
+func load(s *server) *snapshot { return s.snap.Load() }
+
+func swapIn(s *server, sn *snapshot) *snapshot { return s.snap.Swap(sn) }
+
+func casIn(s *server, old, repl *snapshot) bool { return s.snap.CompareAndSwap(old, repl) }
+
+// alias stashes the loaded pointer into a struct field: flagged.
+func alias(s *server) {
+	s.cached = s.snap.Load() // want "aliased into field s.cached"
+}
+
+// directRead copies the atomic field without Load: flagged.
+func directRead(s *server) {
+	p := s.snap // want "used without Load/Store/Swap/CompareAndSwap"
+	_ = p
+}
+
+// suppressed carries a reasoned directive.
+func suppressed(s *server) {
+	//lint:ignore atomicload fixture exercising the directive form
+	q := s.snap
+	_ = q
+}

@@ -1,0 +1,110 @@
+// Package ctxpoll exercises the ctxpoll analyzer: a context-taking
+// function must poll ctx inside scan-scale loops (rows, cells, nodes).
+package ctxpoll
+
+import "context"
+
+type table struct {
+	rows  []int
+	cells []int
+}
+
+// scanNoPoll never checks ctx inside the loop: flagged.
+func scanNoPoll(ctx context.Context, t *table) int {
+	total := 0
+	for _, r := range t.rows { // want "never polls ctx"
+		total += r
+	}
+	return total
+}
+
+// scanWithPoll polls on a cadence: clean.
+func scanWithPoll(ctx context.Context, t *table) (int, error) {
+	total := 0
+	for i, r := range t.rows {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// scanDelegating passes ctx to a callee, which polls on its behalf:
+// clean.
+func scanDelegating(ctx context.Context, t *table) error {
+	for range t.cells {
+		if err := step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// noContext takes no context, so it has nothing to poll: not checked.
+func noContext(t *table) int {
+	n := 0
+	for _, r := range t.rows {
+		n += r
+	}
+	return n
+}
+
+// indexedScan is detected through the for-loop condition text: flagged.
+func indexedScan(ctx context.Context, rows []int) int {
+	total := 0
+	for i := 0; i < len(rows); i++ { // want "never polls ctx"
+		total += rows[i]
+	}
+	return total
+}
+
+// capturedCtx: a nested literal without its own context parameter is
+// checked against the captured outer ctx: flagged.
+func capturedCtx(ctx context.Context, t *table) func() int {
+	return func() int {
+		n := 0
+		for _, r := range t.rows { // want "never polls ctx"
+			n += r
+		}
+		return n
+	}
+}
+
+// ownCtxLiteral: a literal declaring its own context parameter is
+// checked against that parameter instead of the outer one: flagged
+// against "inner".
+func ownCtxLiteral(ctx context.Context, t *table) func(context.Context) int {
+	_ = ctx.Err()
+	return func(inner context.Context) int {
+		n := 0
+		for _, r := range t.rows { // want "never polls inner"
+			n += r
+		}
+		return n
+	}
+}
+
+// suppressed documents why the loop must run to completion.
+func suppressed(ctx context.Context, t *table) int {
+	total := 0
+	//lint:ignore ctxpoll the fold must finish once started
+	for _, r := range t.rows {
+		total += r
+	}
+	return total
+}
+
+// shortLoop iterates something that is not scan-scale by name: not
+// checked (the analyzer keys on rows/cells/nodes vocabulary).
+func shortLoop(ctx context.Context, attrs []string) int {
+	n := 0
+	for range attrs {
+		n++
+	}
+	return n
+}

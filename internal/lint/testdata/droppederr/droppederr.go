@@ -1,0 +1,79 @@
+// Package droppederr exercises the droppederr analyzer: silently
+// discarded error returns on the wire path are flagged.
+package droppederr
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+)
+
+// blankAssign discards an error value into the blank identifier:
+// flagged.
+func blankAssign(w io.Writer, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want "error value .* discarded"
+}
+
+// tupleBlank discards the error half of a multi-result call: flagged.
+func tupleBlank(w io.Writer, p []byte) int {
+	n, _ := w.Write(p) // want "error result of w.Write discarded"
+	return n
+}
+
+// uncheckedWrite drops a write-shaped error on the floor: flagged.
+func uncheckedWrite(w io.Writer, p []byte) {
+	w.Write(p) // want "error from w.Write is dropped"
+}
+
+// checkedWrite handles the error: clean.
+func checkedWrite(w io.Writer, p []byte) error {
+	if _, err := w.Write(p); err != nil {
+		return err
+	}
+	return nil
+}
+
+// builderWrite targets strings.Builder, whose writes cannot fail:
+// clean.
+func builderWrite(sb *strings.Builder, s string) {
+	sb.WriteString(s)
+}
+
+// hashWrite targets hash.Hash64, whose Write contract never returns an
+// error: clean.
+func hashWrite(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// deferredClose is idiomatic on a read-only handle and exempt by
+// construction: clean.
+func deferredClose(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [1]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// blankNonError discards a non-error value: clean.
+func blankNonError(xs []int) {
+	_ = len(xs)
+}
+
+// suppressedAbove uses the directive-above form.
+func suppressedAbove(f *os.File) {
+	//lint:ignore droppederr best-effort cleanup on an error path
+	f.Close()
+}
+
+// suppressedTrailing uses the same-line form.
+func suppressedTrailing(f *os.File) {
+	f.Close() //lint:ignore droppederr best-effort cleanup on an error path
+}

@@ -1,0 +1,85 @@
+// Package maporder exercises the maporder analyzer: ranging over a map
+// must not leak iteration order into slices or output streams.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// collectUnsorted leaks map order into a slice: flagged.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to \"keys\" in map order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom: clean.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printInLoop writes the stream in map order: flagged.
+func printInLoop(m map[string]int, sb *strings.Builder) {
+	for k, v := range m { // want "writes output inside the loop"
+		fmt.Fprintf(sb, "%s=%d\n", k, v)
+	}
+}
+
+// countOnly aggregates order-insensitively: clean.
+func countOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedInsideIf: the loop is wrapped in an if, the sort lives in the
+// enclosing block — still recognized: clean.
+func sortedInsideIf(m map[string]int, cond bool) []int {
+	var vals []int
+	if cond {
+		for _, v := range m {
+			vals = append(vals, v)
+		}
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// rangeSlice ranges a slice, not a map: not checked.
+func rangeSlice(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// fillMap writes into another map, which is order-insensitive: clean.
+func fillMap(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// suppressed documents why order does not matter here.
+func suppressed(m map[string]int) []int {
+	var out []int
+	//lint:ignore maporder the caller normalizes order before use
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

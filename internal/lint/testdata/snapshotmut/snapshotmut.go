@@ -1,0 +1,58 @@
+// Package snapshotmut exercises the snapshotmut analyzer: fields of
+// the published snapshot struct may only be written by the allowlisted
+// maintainer functions.
+package snapshotmut
+
+type stats struct{ NumCells int }
+
+type snapshot struct {
+	cubeTable map[uint64]int32
+	samples   []int
+	stats     stats
+}
+
+// successor is in the maintainer allowlist: mutation is fine.
+func (s *snapshot) successor() *snapshot {
+	next := &snapshot{cubeTable: make(map[uint64]int32, len(s.cubeTable))}
+	next.samples = append(next.samples, s.samples...)
+	for k, v := range s.cubeTable {
+		next.cubeTable[k] = v
+	}
+	return next
+}
+
+// Append is in the maintainer allowlist: mutation is fine.
+func Append(next *snapshot) {
+	next.cubeTable[1] = 2
+	delete(next.cubeTable, 3)
+	next.stats.NumCells++
+}
+
+// evilQuery mutates a snapshot outside the maintainer set: every write
+// shape is flagged.
+func evilQuery(sn *snapshot) {
+	sn.cubeTable[7] = 9                // want "write to snapshot field \"cubeTable\""
+	sn.stats.NumCells++                // want "write to snapshot field \"stats\""
+	delete(sn.cubeTable, 7)            // want "delete from snapshot map field \"cubeTable\""
+	sn.samples = append(sn.samples, 1) // want "write to snapshot field \"samples\""
+}
+
+// lookalike shares a field name with snapshot but is a different type;
+// resolved type information keeps it clean.
+type lookalike struct{ samples []int }
+
+func mutateLookalike(l *lookalike) {
+	l.samples = append(l.samples, 1)
+}
+
+// readOnlyQuery only reads snapshot fields: clean.
+func readOnlyQuery(sn *snapshot, key uint64) (int32, bool) {
+	id, ok := sn.cubeTable[key]
+	return id, ok
+}
+
+// suppressed carries a reasoned directive.
+func suppressed(sn *snapshot) {
+	//lint:ignore snapshotmut fixture exercising the directive form
+	sn.cubeTable[1] = 1
+}

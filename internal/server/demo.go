@@ -134,5 +134,7 @@ loadCubes();
 
 func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	_, _ = w.Write([]byte(demoHTML))
+	if n, err := w.Write([]byte(demoHTML)); err != nil {
+		s.logf("server: demo page write failed after %d/%d bytes: %v", n, len(demoHTML), err)
+	}
 }

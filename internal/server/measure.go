@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
 	"time"
@@ -213,9 +214,11 @@ func legacyQueryHandler(db *tabula.DB) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		_ = json.NewEncoder(w).Encode(legacyQueryResponse{
+		if err := json.NewEncoder(w).Encode(legacyQueryResponse{
 			Sample:     legacyEncodeTable(res.Sample),
 			FromGlobal: res.FromGlobal,
-		})
+		}); err != nil {
+			log.Printf("server: legacy handler response write failed: %v", err)
+		}
 	}
 }
