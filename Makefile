@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet lint cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve
+.PHONY: check build test race vet lint cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append
 
 ## check: the full gate — vet, the project linter, build everything, and
 ## run the test suite under the race detector. CI and pre-commit should
@@ -27,6 +27,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLex$$' -fuzztime $(FUZZTIME) ./internal/engine
 	$(GO) test -run '^$$' -fuzz '^FuzzParseValue$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run '^$$' -fuzz '^FuzzQueryByValues$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzAppendBatch$$' -fuzztime $(FUZZTIME) ./internal/core
 
 build:
 	$(GO) build ./...
@@ -63,3 +64,9 @@ bench-json:
 ## fixed seed and scale, written to BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/tabula-bench -serve-json BENCH_serve.json -rows 30000 -seed 42
+
+## bench-append: machine-readable append-maintenance numbers — append
+## latency and warm-cache retention across appends at S=1 (monolithic
+## baseline) vs sharded — written to BENCH_append.json.
+bench-append:
+	$(GO) run ./cmd/tabula-bench -append-json BENCH_append.json -rows 30000 -seed 42

@@ -8,6 +8,7 @@
 //	tabula-bench -experiment all -out results.txt
 //	tabula-bench -init-json BENCH_init.json [-workers 1,2,4,8]
 //	tabula-bench -serve-json BENCH_serve.json
+//	tabula-bench -append-json BENCH_append.json
 //	tabula-bench -list
 package main
 
@@ -35,6 +36,7 @@ func main() {
 		initJSON   = flag.String("init-json", "", "write an initialization stage-timing sweep to this JSON file and exit")
 		workers    = flag.String("workers", "", "comma-separated worker counts for -init-json (default 1,2,4,GOMAXPROCS)")
 		serveJSON  = flag.String("serve-json", "", "write serving-path throughput measurements to this JSON file and exit")
+		appendJSON = flag.String("append-json", "", "write append-latency and cache-retention measurements to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -108,6 +110,37 @@ func main() {
 		fmt.Printf("wrote %s (warm %.0f req/s vs legacy %.0f req/s: %.1fx; allocs/op %.0f vs %.0f: %.1fx)\n",
 			*serveJSON, warm.ReqPerSec, legacy.ReqPerSec, rep.WarmSpeedupVsLegacy,
 			warm.AllocsPerOp, legacy.AllocsPerOp, rep.WarmAllocImprovementVsLegacy)
+		return
+	}
+	if *appendJSON != "" {
+		var progress io.Writer = os.Stderr
+		if *quiet {
+			progress = nil
+		}
+		rep, err := server.MeasureAppend(*rows, *seed, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*appendJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := harness.WriteAppendJSON(f, rep); err != nil {
+			//lint:ignore droppederr best-effort cleanup; the write error below is the one worth reporting
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		shard := rep.Variant("sharded")
+		fmt.Printf("wrote %s (sharded retention %.0f%% vs monolithic %.0f%%; one-row append touched %d/%d shards; append latency ratio %.2fx)\n",
+			*appendJSON, rep.ShardedRetention*100, rep.MonolithicRetention*100,
+			shard.ShardsTouchedOneRow, shard.Shards, rep.AppendLatencyRatio)
 		return
 	}
 	if *experiment == "" {

@@ -152,8 +152,9 @@ func (db *DB) QueryByValues(ctx context.Context, cube string, where map[string]s
 
 // QueryBatchByValues answers a whole viewport of display-form queries
 // against ONE atomically loaded snapshot of the cube, so every result
-// shares a Generation and the dashboard sees a consistent cube version
-// even while appends land concurrently.
+// shares a Version and the dashboard sees a consistent cube snapshot
+// even while appends land concurrently (per-result Generations may
+// differ — each names the answering shard's age, not the snapshot's).
 func (db *DB) QueryBatchByValues(ctx context.Context, cube string, queries []map[string]string) ([]*QueryResult, error) {
 	c, ok := db.CubeByName(cube)
 	if !ok {

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/tabula-db/tabula/internal/cube"
@@ -14,15 +16,31 @@ import (
 )
 
 // maintenance holds the extra state an appendable cube retains: the raw
-// table, the attribute encoding, and the per-cell algebraic loss states,
-// so appended rows can be folded in without re-scanning history. It is
-// deliberately NOT part of the published snapshot — queries never touch
-// it, and it is only accessed under Tabula.maintMu.
+// table, the attribute encoding, and the per-cell algebraic loss states
+// (partitioned by the cube's shard routing so per-shard fold workers
+// never share a map), so appended rows can be folded in without
+// re-scanning history. It is deliberately NOT part of the published
+// snapshot — queries never touch it, and it is only accessed under
+// Tabula.maintMu.
 type maintenance struct {
-	raw    *dataset.Table
-	enc    *engine.CatEncoding
-	states map[uint64]loss.CellState
+	raw *dataset.Table
+	enc *engine.CatEncoding
+	// states[s] holds the loss states of every cell routing to shard s.
+	states []map[uint64]loss.CellState
 	ev     loss.CellEvaluator // bound to raw with the fixed global sample
+}
+
+// partitionStates splits a flat cell-state map into per-shard buckets
+// using the same routing queries use (engine.ShardOfKey).
+func partitionStates(flat map[uint64]loss.CellState, nShards int) []map[uint64]loss.CellState {
+	out := make([]map[uint64]loss.CellState, nShards)
+	for i := range out {
+		out[i] = make(map[uint64]loss.CellState)
+	}
+	for key, st := range flat {
+		out[engine.ShardOfKey(key, nShards)][key] = st
+	}
+	return out
 }
 
 // AppendStats reports what one Append did.
@@ -33,7 +51,11 @@ type AppendStats struct {
 	CellsNowGlobal  int
 	SamplesRebuilt  int
 	SamplesKept     int
-	Elapsed         time.Duration
+	// ShardsTouched lists (sorted) the indexes of the shards whose
+	// generation this append bumped; every other shard — and every
+	// response cached against its generation — survived unchanged.
+	ShardsTouched []int
+	Elapsed       time.Duration
 }
 
 // Appendable reports whether the cube was built with
@@ -44,15 +66,27 @@ func (t *Tabula) Appendable() bool {
 	return t.maint != nil
 }
 
+// foldItem is one (cell, row) fold a new row contributes: the row must
+// be added to the algebraic loss state of the cell identified by key
+// (which lives in cuboid mask).
+type foldItem struct {
+	key  uint64
+	mask int32
+	row  int32
+}
+
 // Append ingests a batch of new rows into the raw table and incrementally
 // maintains the sampling cube so the deterministic guarantee keeps
 // holding for every cell:
 //
-//  1. The batch is appended to the raw table and encoded (a categorical
-//     value outside the existing domains aborts before any mutation — the
-//     cube's address space would change and a rebuild is required).
+//  1. The batch is bulk-appended to the raw table (whole column slices,
+//     no per-value boxing) and encoded (a categorical value outside the
+//     existing domains aborts — the cube's address space would change
+//     and a rebuild is required).
 //  2. Each new row is folded into the algebraic loss state of all 2^n
-//     cells containing it; only those cells are re-examined.
+//     cells containing it; only those cells are re-examined. Cells are
+//     grouped by shard and folded on a bounded worker pool — shards
+//     never share state, so the workers need no locks.
 //  3. A touched cell whose loss against the global sample is now ≤ θ is
 //     served by the global sample again (its old local sample, if any, is
 //     unlinked — samples are only dropped, never invalidated).
@@ -67,10 +101,14 @@ func (t *Tabula) Appendable() bool {
 // Append mutates nothing the query processor reads: it assembles a
 // successor snapshot off the hot path and publishes it with one atomic
 // swap once the whole batch is folded in, so concurrent queries see
-// either the entire batch or none of it. Appends serialize among
-// themselves. The context is honored before any mutation begins; once
-// the raw table has grown the batch is applied to completion (aborting
-// midway would desynchronize the retained loss states).
+// either the entire batch or none of it. The successor copies only the
+// shards the batch touched and bumps only their generations; untouched
+// shards are shared by pointer, so responses cached against their
+// generations stay valid. Appends serialize among themselves. The
+// context is honored before any mutation begins; once the raw table has
+// grown the batch is applied to completion (aborting midway would
+// desynchronize the retained loss states). An empty batch is a no-op:
+// it publishes nothing and leaves the generation vector untouched.
 //
 // Ownership: a cube built with Params.EnableAppend retains the table
 // passed to Build as its raw table and grows it here; callers must not
@@ -93,21 +131,30 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 		return nil, err
 	}
 	start := time.Now()
+	if batch.NumRows() == 0 {
+		// Nothing to fold: publishing a successor would bump versions
+		// without changing a single answer, churning every viewport
+		// cache for free.
+		return &AppendStats{Elapsed: time.Since(start)}, nil
+	}
 	m := t.maint
-	next := cur.successor()
 	from := m.raw.NumRows()
+	nShards := len(cur.shards)
+	workers := t.params.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-	// Stage 1: append rows, then extend the encoding (which validates
-	// domains; on failure the encoding is untouched but the raw table has
-	// grown — re-encode is impossible, so fail hard and mark the cube
-	// unusable for further appends rather than serve wrong answers).
-	vals := make([]dataset.Value, batch.NumCols())
-	//lint:ignore ctxpoll aborting mid-append would desynchronize the maintainer state from the raw table; ctx is honored before the first mutation (see the method doc)
-	for r := 0; r < batch.NumRows(); r++ {
-		for c := range vals {
-			vals[c] = batch.Value(r, c)
-		}
-		m.raw.MustAppendRow(vals...)
+	// Stage 1: bulk-append the batch columns to the raw table, then
+	// extend the encoding (which validates domains; on failure the
+	// encoding is untouched but the raw table has grown — re-encode is
+	// impossible, so fail hard and mark the cube unusable for further
+	// appends rather than serve wrong answers).
+	if err := m.raw.AppendTable(batch); err != nil {
+		// Unreachable after schemasEqual, but if it ever fires the raw
+		// table may have partially grown.
+		t.maint = nil
+		return nil, fmt.Errorf("core: %w (cube is now read-only; rebuild to ingest this batch)", err)
 	}
 	if err := m.enc.AppendRows(from); err != nil {
 		t.maint = nil
@@ -115,9 +162,13 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 	}
 
 	// Stage 2: rebind the evaluator (column slices may have been
-	// reallocated by the append) and fold new rows into affected cells.
+	// reallocated by the append), route every (row, cell) fold to its
+	// shard, and fold shard-by-shard on the worker pool. Each worker
+	// owns its shard's state map outright, so the folds race on
+	// nothing; within a shard, items stay in row-major order for
+	// deterministic state evolution.
 	dr := t.params.Loss.(loss.DryRunner)
-	ev, err := dr.BindSample(m.raw, dataset.FullView(next.global))
+	ev, err := dr.BindSample(m.raw, dataset.FullView(cur.global))
 	if err != nil {
 		// The raw table already grew but the snapshot will not: the
 		// maintainer has diverged from the served cube, so further
@@ -127,114 +178,242 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 	}
 	m.ev = ev
 	lat := cube.NewLattice(m.enc.NumAttrs())
-	touched := make(map[uint64]int) // key -> cuboid mask
+	perShard := make([][]foldItem, nShards)
 	//lint:ignore ctxpoll the fold must run to completion once the raw table has grown (see the method doc)
 	for row := from; row < m.raw.NumRows(); row++ {
 		for mask := 0; mask < lat.NumCuboids(); mask++ {
-			key := engine.GroupKeys(m.enc, next.codec, lat.Attrs(mask), int32(row))
-			st, ok := m.states[key]
+			key := engine.GroupKeys(m.enc, cur.codec, lat.Attrs(mask), int32(row))
+			si := engine.ShardOfKey(key, nShards)
+			perShard[si] = append(perShard[si], foldItem{key: key, mask: int32(mask), row: int32(row)})
+		}
+	}
+	shardIdx := make([]int, 0, nShards) // touched shards, ascending
+	for si := 0; si < nShards; si++ {
+		if len(perShard[si]) > 0 {
+			shardIdx = append(shardIdx, si)
+		}
+	}
+	// touched[si]: key -> cuboid mask, for shard si's touched cells.
+	touched := make([]map[uint64]int, nShards)
+	runShards(workers, shardIdx, func(si int) error {
+		tm := make(map[uint64]int, len(perShard[si]))
+		states := m.states[si]
+		for _, it := range perShard[si] {
+			st, ok := states[it.key]
 			if !ok {
 				st = ev.NewState()
-				m.states[key] = st
+				states[it.key] = st
 			}
-			ev.Add(st, int32(row))
-			touched[key] = mask
+			ev.Add(st, it.row)
+			tm[it.key] = int(it.mask)
 		}
-	}
+		touched[si] = tm
+		return nil
+	})
 
-	// Stage 3: re-examine touched cells, rewriting the successor
-	// snapshot's cube table and sample list (the published snapshot stays
-	// untouched until the final swap). Cells are visited in sorted
-	// (mask, key) order so the successor's fresh sample ids are
-	// deterministic — identical batches always publish byte-identical
-	// cubes, and Go's randomized map iteration never leaks into the
-	// snapshot (the maporder analyzer enforces this).
-	stats := &AppendStats{RowsAppended: batch.NumRows(), CellsTouched: len(touched)}
-	// Group touched keys by mask for efficient row retrieval.
-	byMask := make(map[int]map[uint64]struct{})
-	for key, mask := range touched {
-		if byMask[mask] == nil {
-			byMask[mask] = make(map[uint64]struct{})
+	// Stage 3a: verdicts. A touched cell needs a local sample iff its
+	// folded state's loss exceeds θ. Cheap per cell; still sharded so
+	// the state maps stay worker-private.
+	verdicts := make([]map[uint64]bool, nShards)
+	runShards(workers, shardIdx, func(si int) error {
+		v := make(map[uint64]bool, len(touched[si]))
+		states := m.states[si]
+		for key := range touched[si] {
+			v[key] = ev.Loss(states[key]) > t.params.Theta
 		}
-		byMask[mask][key] = struct{}{}
+		verdicts[si] = v
+		return nil
+	})
+
+	// Stage 3b: retrieve raw rows for cells that need local-sample
+	// checks — one semi-join scan per touched cuboid (exactly as many
+	// scans as the monolithic path), cuboids in parallel. Keys are
+	// globally unique across cuboids, so the per-mask row maps merge
+	// without collisions.
+	needByMask := make(map[int]map[uint64]struct{})
+	for _, si := range shardIdx {
+		for key, needs := range verdicts[si] {
+			if !needs {
+				continue
+			}
+			mask := touched[si][key]
+			if needByMask[mask] == nil {
+				needByMask[mask] = make(map[uint64]struct{})
+			}
+			needByMask[mask][key] = struct{}{}
+		}
 	}
-	masks := make([]int, 0, len(byMask))
-	for mask := range byMask {
+	masks := make([]int, 0, len(needByMask))
+	for mask := range needByMask {
 		masks = append(masks, mask)
 	}
 	sort.Ints(masks)
 	full := dataset.FullView(m.raw)
-	for _, mask := range masks {
-		keys := byMask[mask]
+	perMaskRows := make([]map[uint64][]int32, len(masks))
+	runIndexes(workers, len(masks), func(mi int) error {
+		mask := masks[mi]
 		attrs := lat.Attrs(mask)
-		needRows := make(map[uint64]struct{})
-		// First pass: decide per cell from the (cheap) state loss.
-		verdict := make(map[uint64]bool) // true = needs a local sample
-		for key := range keys {
-			if ev.Loss(m.states[key]) > t.params.Theta {
-				verdict[key] = true
-				needRows[key] = struct{}{}
-			} else {
-				verdict[key] = false
-			}
+		matched := engine.SemiJoinRows(m.enc, cur.codec, attrs, full, needByMask[mask])
+		perMaskRows[mi] = engine.GroupRows(m.enc, cur.codec, attrs, dataset.NewView(m.raw, matched))
+		return nil
+	})
+	cellRows := make(map[uint64][]int32)
+	for _, rows := range perMaskRows { //lint:ignore ctxpoll bounded cell-map merge, one store per touched cell — cheaper than the poll itself
+		for key, r := range rows {
+			cellRows[key] = r
 		}
-		// Retrieve raw rows only for cells that need local-sample checks.
-		var cellRows map[uint64][]int32
-		if len(needRows) > 0 {
-			matched := engine.SemiJoinRows(m.enc, next.codec, attrs, full, needRows)
-			cellRows = engine.GroupRows(m.enc, next.codec, attrs, dataset.NewView(m.raw, matched))
-		}
-		ordered := make([]uint64, 0, len(verdict))
-		for key := range verdict {
+	}
+
+	// Stage 4: rebuild the touched shards in parallel, copy-on-write.
+	// Each worker builds a successor of its shard (bumping only that
+	// shard's generation) and rewrites its cube-table entries in sorted
+	// (mask, key) order, so fresh local sample ids are deterministic —
+	// identical batches always publish byte-identical cubes at any
+	// worker count, and Go's randomized map iteration never leaks into
+	// the snapshot (the maporder analyzer enforces this). Untouched
+	// shards keep their pointer and generation in the successor
+	// snapshot.
+	next := cur.successor()
+	type shardOutcome struct {
+		nowIceberg, nowGlobal, rebuilt, kept int
+	}
+	outcomes := make([]shardOutcome, nShards)
+	err = runShards(workers, shardIdx, func(si int) error {
+		sh := cur.shards[si].successor()
+		next.shards[si] = sh
+		ordered := make([]uint64, 0, len(verdicts[si]))
+		for key := range verdicts[si] {
 			ordered = append(ordered, key)
 		}
-		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		sort.Slice(ordered, func(i, j int) bool {
+			mi, mj := touched[si][ordered[i]], touched[si][ordered[j]]
+			if mi != mj {
+				return mi < mj
+			}
+			return ordered[i] < ordered[j]
+		})
+		out := &outcomes[si]
 		for _, key := range ordered {
-			needsLocal := verdict[key]
-			prevID, wasIceberg := next.cubeTable[key]
+			needsLocal := verdicts[si][key]
+			prevID, wasIceberg := sh.cubeTable[key]
 			if !needsLocal {
 				if wasIceberg {
 					// The global sample now suffices; unlink the local one.
-					delete(next.cubeTable, key)
-					stats.CellsNowGlobal++
+					delete(sh.cubeTable, key)
+					out.nowGlobal++
 				}
 				continue
 			}
-			stats.CellsNowIceberg++
-			rows := cellRows[key]
-			cellView := dataset.NewView(m.raw, rows)
+			out.nowIceberg++
+			cellView := dataset.NewView(m.raw, cellRows[key])
 			if wasIceberg {
 				// Keep the assigned sample if it still satisfies θ.
-				if t.params.Loss.Loss(cellView, dataset.FullView(next.samples[prevID])) <= t.params.Theta {
-					stats.SamplesKept++
+				if t.params.Loss.Loss(cellView, dataset.FullView(sh.samples[prevID])) <= t.params.Theta {
+					out.kept++
 					continue
 				}
 			}
 			sampleRows, err := sampling.Greedy(t.params.Loss, cellView, t.params.Theta, t.params.Greedy)
 			if err != nil {
-				// Same divergence as above: the batch is half-applied to
-				// the maintainer and cannot be rolled back.
-				t.maint = nil
-				return nil, fmt.Errorf("core: resampling cell %d: %w (cube is now read-only; rebuild to ingest this batch)", key, err)
+				return fmt.Errorf("core: resampling cell %d: %w", key, err)
 			}
-			id := int32(len(next.samples))
-			next.samples = append(next.samples, dataset.NewView(m.raw, sampleRows).Materialize())
-			next.cubeTable[key] = id
-			stats.SamplesRebuilt++
+			id := int32(len(sh.samples))
+			sh.samples = append(sh.samples, dataset.NewView(m.raw, sampleRows).Materialize())
+			sh.cubeTable[key] = id
+			out.rebuilt++
 		}
+		return nil
+	})
+	if err != nil {
+		// Same divergence as above: the batch is half-applied to the
+		// maintainer and cannot be rolled back.
+		t.maint = nil
+		return nil, fmt.Errorf("%w (cube is now read-only; rebuild to ingest this batch)", err)
+	}
+
+	stats := &AppendStats{
+		RowsAppended:  batch.NumRows(),
+		ShardsTouched: shardIdx,
+	}
+	for _, si := range shardIdx {
+		stats.CellsTouched += len(touched[si])
+		stats.CellsNowIceberg += outcomes[si].nowIceberg
+		stats.CellsNowGlobal += outcomes[si].nowGlobal
+		stats.SamplesRebuilt += outcomes[si].rebuilt
+		stats.SamplesKept += outcomes[si].kept
 	}
 
 	// Refresh the successor's stats, then publish it.
-	next.stats.NumIcebergCells = len(next.cubeTable)
-	next.stats.NumPersistedSamples = len(next.samples)
-	next.stats.CubeTableBytes = int64(len(next.cubeTable)) * cubeTableEntryBytes
+	next.stats.NumIcebergCells = next.numIcebergCells()
+	distinct := next.distinctSamples()
+	next.stats.NumPersistedSamples = len(distinct)
+	next.stats.CubeTableBytes = int64(next.numIcebergCells()) * cubeTableEntryBytes
 	next.stats.SampleTableBytes = 0
-	for _, s := range next.samples {
+	for _, s := range distinct {
 		next.stats.SampleTableBytes += s.Footprint()
 	}
 	t.snap.Store(next)
 	stats.Elapsed = time.Since(start)
 	return stats, nil
+}
+
+// runShards runs fn(idx) for every element of idxs on a pool of at most
+// `workers` goroutines and returns the error of the lowest-indexed
+// failing element (deterministic regardless of scheduling). fn runs
+// exactly once per element; callers rely on every element having been
+// processed when runShards returns, even when some fail.
+func runShards(workers int, idxs []int, fn func(idx int) error) error {
+	if len(idxs) == 0 {
+		return nil
+	}
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	if workers <= 1 {
+		var firstErr error
+		for _, idx := range idxs {
+			if err := fn(idx); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, len(idxs))
+	var wg sync.WaitGroup
+	var cursor int
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := cursor
+				cursor++
+				mu.Unlock()
+				if i >= len(idxs) {
+					return
+				}
+				errs[i] = fn(idxs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runIndexes is runShards over the index range [0, n).
+func runIndexes(workers, n int, fn func(i int) error) error {
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return runShards(workers, idxs, fn)
 }
 
 func schemasEqual(a, b dataset.Schema) error {

@@ -97,17 +97,19 @@ func TestBuildWorkersEquivalent(t *testing.T) {
 	}
 	ref := mk(1)
 	refSn := ref.snap.Load()
+	refCells := flattenCubeTable(refSn)
 	for _, workers := range []int{2, 7} {
 		got := mk(workers)
 		sn := got.snap.Load()
-		if len(sn.cubeTable) != len(refSn.cubeTable) {
-			t.Fatalf("workers=%d: %d cube-table entries, want %d", workers, len(sn.cubeTable), len(refSn.cubeTable))
+		cells := flattenCubeTable(sn)
+		if len(cells) != len(refCells) {
+			t.Fatalf("workers=%d: %d cube-table entries, want %d", workers, len(cells), len(refCells))
 		}
-		if len(sn.samples) != len(refSn.samples) {
-			t.Fatalf("workers=%d: %d persisted samples, want %d", workers, len(sn.samples), len(refSn.samples))
+		if got, want := len(sn.distinctSamples()), len(refSn.distinctSamples()); got != want {
+			t.Fatalf("workers=%d: %d persisted samples, want %d", workers, got, want)
 		}
-		for key, id := range refSn.cubeTable {
-			gotID, ok := sn.cubeTable[key]
+		for key, id := range refCells {
+			gotID, ok := cells[key]
 			if !ok {
 				t.Fatalf("workers=%d: cube table missing cell %d", workers, key)
 			}
@@ -123,4 +125,17 @@ func TestBuildWorkersEquivalent(t *testing.T) {
 			t.Fatalf("workers=%d: inventory diverged: %+v vs %+v", workers, st, refSt)
 		}
 	}
+}
+
+// flattenCubeTable reassembles the sharded cell→sample assignment into
+// one flat map keyed by cell, with shard-qualified sample identities so
+// two cubes with the same shard count compare exactly.
+func flattenCubeTable(sn *snapshot) map[uint64][2]int32 {
+	out := make(map[uint64][2]int32)
+	for si, sh := range sn.shards {
+		for key, id := range sh.cubeTable {
+			out[key] = [2]int32{int32(si), id}
+		}
+	}
+	return out
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/geo"
 	"github.com/tabula-db/tabula/internal/loss"
 )
 
@@ -66,6 +68,108 @@ func FuzzQueryByValues(f *testing.F) {
 		if again.Sample.NumRows() != res.Sample.NumRows() || again.FromGlobal != res.FromGlobal {
 			t.Fatalf("identical query answered differently: %d/%v then %d/%v",
 				res.Sample.NumRows(), res.FromGlobal, again.Sample.NumRows(), again.FromGlobal)
+		}
+	})
+}
+
+// FuzzAppendBatch throws adversarial batches at the sharded append
+// path: schema mismatches, domain growth (a categorical value the
+// build never saw), empty batches, and ordinary rows in fuzzer-chosen
+// mixes. The maintenance contract under fuzz: never panic, and never
+// corrupt the generation vector — its length never changes, entries
+// only ever grow, they grow by exactly one exactly when the append
+// touched that shard, and a rejected batch leaves the vector (and the
+// cube-wide version) untouched. Run with
+// `go test -fuzz FuzzAppendBatch ./internal/core`.
+func FuzzAppendBatch(f *testing.F) {
+	f.Add(uint8(5), uint8(0), false, false)
+	f.Add(uint8(0), uint8(1), false, false) // empty batch
+	f.Add(uint8(3), uint8(2), true, false)  // domain growth
+	f.Add(uint8(7), uint8(3), false, true)  // schema mismatch
+	f.Fuzz(func(t *testing.T, n, sel uint8, badDomain, badSchema bool) {
+		p := DefaultParams(loss.NewHistogram("fare"), 1.0, "distance", "payment")
+		p.EnableAppend = true
+		p.Seed = 3
+		tab, err := Build(context.Background(), taxiTable(250, 9), p)
+		if err != nil {
+			t.Fatalf("building fuzz cube: %v", err)
+		}
+		before := tab.Generations()
+		version := tab.Generation()
+
+		var batch *dataset.Table
+		if badSchema {
+			batch = dataset.NewTable(dataset.Schema{{Name: "x", Type: dataset.Int64}})
+			batch.MustAppendRow(dataset.IntValue(1))
+		} else {
+			batch = dataset.NewTable(taxiTable(1, 1).Schema())
+			dists := []string{"[0,5)", "[5,10)", "[10,15)"}
+			pays := []string{"cash", "credit", "dispute"}
+			for i := 0; i < int(n); i++ {
+				pay := pays[(int(sel)+i)%len(pays)]
+				if badDomain && i == 0 {
+					pay = "barter" // unseen value: domain growth, must be rejected
+				}
+				batch.MustAppendRow(
+					dataset.StringValue(dists[(int(sel)+i)%len(dists)]),
+					dataset.IntValue(1),
+					dataset.StringValue(pay),
+					dataset.FloatValue(10+float64(i)),
+					dataset.FloatValue(1),
+					dataset.PointValue(geo.Point{X: -74, Y: 40.7}),
+				)
+			}
+		}
+
+		st, err := tab.Append(context.Background(), batch)
+		after := tab.Generations()
+		if len(after) != len(before) {
+			t.Fatalf("generation vector resized: %d -> %d entries", len(before), len(after))
+		}
+		if err != nil {
+			// A rejected batch must leave the vector and version exactly
+			// as they were.
+			for i := range after {
+				if after[i] != before[i] {
+					t.Fatalf("failed append moved shard %d generation %d -> %d", i, before[i], after[i])
+				}
+			}
+			if tab.Generation() != version {
+				t.Fatalf("failed append moved version %d -> %d", version, tab.Generation())
+			}
+			return
+		}
+		if st.RowsAppended == 0 {
+			// Empty batch: a true no-op, nothing bumps.
+			if tab.Generation() != version {
+				t.Fatalf("empty append moved version %d -> %d", version, tab.Generation())
+			}
+			for i := range after {
+				if after[i] != before[i] {
+					t.Fatalf("empty append moved shard %d generation", i)
+				}
+			}
+			return
+		}
+		if tab.Generation() != version+1 {
+			t.Fatalf("append moved version %d -> %d, want +1", version, tab.Generation())
+		}
+		touched := make(map[int]bool, len(st.ShardsTouched))
+		for _, si := range st.ShardsTouched {
+			touched[si] = true
+		}
+		for i := range after {
+			want := before[i]
+			if touched[i] {
+				want++
+			}
+			if after[i] != want {
+				t.Fatalf("shard %d generation %d -> %d, want %d (touched=%v)", i, before[i], after[i], want, touched[i])
+			}
+		}
+		// The cube still answers.
+		if _, err := tab.QueryByValues(context.Background(), map[string]string{"payment": "cash"}); err != nil {
+			t.Fatalf("query after append: %v", err)
 		}
 	})
 }

@@ -9,39 +9,77 @@ import (
 	"github.com/tabula-db/tabula/internal/loss"
 )
 
-// The generation contract: 1 after Build (and Load), +1 per published
-// Append, stamped into every QueryResult — the invalidation axis for
-// snapshot-scoped response caches.
+// The version/generation contract: the cube-wide Version is 1 after
+// Build (and Load) and +1 per published Append; each shard carries its
+// own generation, bumped only when an Append touches it. Every
+// QueryResult is stamped with both — Version is the batch
+// tear-detection axis, {Shard, Generation} the response-cache
+// invalidation axis.
 func TestGenerationLifecycle(t *testing.T) {
 	tbl := taxiTable(2000, 401)
 	tab := buildAppendable(t, tbl, loss.NewHistogram("fare"), 1.0)
 	if g := tab.Generation(); g != 1 {
-		t.Fatalf("generation after Build = %d, want 1", g)
+		t.Fatalf("version after Build = %d, want 1", g)
+	}
+	gens := tab.Generations()
+	if len(gens) != tab.NumShards() {
+		t.Fatalf("generation vector has %d entries, want %d shards", len(gens), tab.NumShards())
+	}
+	for si, g := range gens {
+		if g != 1 {
+			t.Fatalf("shard %d generation after Build = %d, want 1", si, g)
+		}
 	}
 	res, err := tab.QueryByValues(context.Background(), map[string]string{"payment": "cash"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Generation != 1 {
-		t.Fatalf("QueryResult.Generation = %d, want 1", res.Generation)
+	if res.Version != 1 {
+		t.Fatalf("QueryResult.Version = %d, want 1", res.Version)
+	}
+	if res.Shard >= 0 && res.Generation != gens[res.Shard] {
+		t.Fatalf("QueryResult.Generation = %d, want shard %d's generation %d", res.Generation, res.Shard, gens[res.Shard])
 	}
 	for i := 1; i <= 3; i++ {
-		if _, err := tab.Append(context.Background(), taxiTable(200, int64(402+i))); err != nil {
+		before := tab.Generations()
+		stats, err := tab.Append(context.Background(), taxiTable(200, int64(402+i)))
+		if err != nil {
 			t.Fatal(err)
 		}
 		if g := tab.Generation(); g != uint64(1+i) {
-			t.Fatalf("generation after append %d = %d, want %d", i, g, 1+i)
+			t.Fatalf("version after append %d = %d, want %d", i, g, 1+i)
+		}
+		// Exactly the touched shards bump, by exactly one.
+		after := tab.Generations()
+		touched := make(map[int]bool, len(stats.ShardsTouched))
+		for _, si := range stats.ShardsTouched {
+			touched[si] = true
+		}
+		for si := range after {
+			want := before[si]
+			if touched[si] {
+				want++
+			}
+			if after[si] != want {
+				t.Fatalf("append %d: shard %d generation = %d, want %d (touched=%v)", i, si, after[si], want, touched[si])
+			}
 		}
 	}
 	res, err = tab.QueryByValues(context.Background(), map[string]string{"payment": "cash"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Generation != 4 {
-		t.Fatalf("QueryResult.Generation after appends = %d, want 4", res.Generation)
+	if res.Version != 4 {
+		t.Fatalf("QueryResult.Version after appends = %d, want 4", res.Version)
+	}
+	if res.Shard >= 0 {
+		if want := tab.Generations()[res.Shard]; res.Generation != want {
+			t.Fatalf("QueryResult.Generation = %d, want shard %d's generation %d", res.Generation, res.Shard, want)
+		}
 	}
 
-	// A persisted-and-restored cube starts over at generation 1.
+	// A persisted-and-restored cube starts over at version 1 with every
+	// shard at generation 1.
 	var buf bytes.Buffer
 	if err := tab.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -51,16 +89,22 @@ func TestGenerationLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	if g := loaded.Generation(); g != 1 {
-		t.Fatalf("generation after Load = %d, want 1", g)
+		t.Fatalf("version after Load = %d, want 1", g)
+	}
+	for si, g := range loaded.Generations() {
+		if g != 1 {
+			t.Fatalf("shard %d generation after Load = %d, want 1", si, g)
+		}
 	}
 }
 
 // The snapshot-tear regression: QueryByValues used to load the snapshot
 // once to parse values and again (inside Query) to answer, so an Append
-// between the loads could parse against one generation and answer from
+// between the loads could parse against one version and answer from
 // another. QueryBatchByValues makes the single-snapshot contract
-// observable: every result of a batch must carry the SAME generation,
-// no matter how many Appends publish mid-batch.
+// observable: every result of a batch must carry the SAME Version, no
+// matter how many Appends publish mid-batch. (Per-shard Generations
+// legitimately differ within a batch — shards age independently.)
 func TestQueryBatchSnapshotConsistentDuringAppends(t *testing.T) {
 	tbl := taxiTable(2500, 411)
 	tab := buildAppendable(t, tbl, loss.NewHistogram("fare"), 1.0)
@@ -95,10 +139,10 @@ func TestQueryBatchSnapshotConsistentDuringAppends(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gen := results[0].Generation
+		ver := results[0].Version
 		for i, r := range results {
-			if r.Generation != gen {
-				t.Fatalf("iter %d: result %d has generation %d, batch started at %d (torn snapshot)", iter, i, r.Generation, gen)
+			if r.Version != ver {
+				t.Fatalf("iter %d: result %d has version %d, batch started at %d (torn snapshot)", iter, i, r.Version, ver)
 			}
 		}
 	}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"github.com/tabula-db/tabula/internal/dataset"
@@ -16,16 +18,31 @@ import (
 //	magic "TBLC" | version u16
 //	theta f64 | lossName str | nattrs u16 | per attr: name str, dict (u32 count + values)
 //	global sample (dataset binary)
-//	cube table: u32 count + (key u64, sampleID i32)*
-//	sample table: u32 count + each sample (dataset binary)
+//	numShards u32
+//	distinct samples: u32 count + per sample: u32 byteLen + dataset binary
+//	per shard (numShards sections, in shard-index order):
+//	  local sample table: u32 count + (distinct sample index u32)*
+//	  cube table: u32 count + (key u64, local sampleID i32)*
+//
+// Version 2 introduced the per-shard sections: each shard persists its
+// cube-table entries and a local sample table of indexes into the
+// distinct-sample pool (a representative shared by several shards is
+// written once and re-linked on load). Samples are length-prefixed so
+// Load can split the pool without parsing and reconstruct the shards in
+// parallel. Generations are NOT persisted: a restarted middleware has
+// no caches to invalidate, so every shard restarts at generation 1.
 //
 // Values inside dictionaries are (type u8, payload); str is u32 len +
 // bytes. The raw table is NOT persisted: a loaded instance answers
 // queries but cannot be rebuilt.
 const (
 	persistMagic   = "TBLC"
-	persistVersion = 1
+	persistVersion = 2
 )
+
+// maxPersistShards bounds the shard count read from a stream; anything
+// larger indicates corruption, not configuration.
+const maxPersistShards = 1 << 16
 
 func writeStr(w io.Writer, s string) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
@@ -102,7 +119,10 @@ func readValue(r io.Reader) (dataset.Value, error) {
 // Save serializes the materialized sampling cube so a restarted
 // middleware can keep answering queries without re-initialization. It
 // serializes one atomically loaded snapshot, so saving is safe (and
-// consistent) while Appends run concurrently.
+// consistent) while Appends run concurrently. Saves of the same
+// snapshot are byte-identical: distinct samples are written in
+// deterministic first-occurrence order and cube-table keys in sorted
+// order.
 func (t *Tabula) Save(w io.Writer) error {
 	sn := t.snap.Load()
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -137,36 +157,78 @@ func (t *Tabula) Save(w io.Writer) error {
 	if err := sn.global.WriteBinary(bw); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(sn.cubeTable))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(sn.shards))); err != nil {
 		return err
 	}
-	keys := make([]uint64, 0, len(sn.cubeTable))
-	for k := range sn.cubeTable {
-		keys = append(keys, k)
+
+	// Distinct sample pool, length-prefixed so Load can parallelize the
+	// parse.
+	distinct := sn.distinctSamples()
+	poolIdx := make(map[*dataset.Table]uint32, len(distinct))
+	for i, s := range distinct {
+		poolIdx[s] = uint32(i)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		if err := binary.Write(bw, binary.LittleEndian, k); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, sn.cubeTable[k]); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(sn.samples))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(distinct))); err != nil {
 		return err
 	}
-	for _, s := range sn.samples {
-		if err := s.WriteBinary(bw); err != nil {
+	var buf bytes.Buffer
+	for _, s := range distinct {
+		buf.Reset()
+		if err := s.WriteBinary(&buf); err != nil {
 			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	// Per-shard sections.
+	for _, sh := range sn.shards {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(sh.samples))); err != nil {
+			return err
+		}
+		for _, s := range sh.samples {
+			if err := binary.Write(bw, binary.LittleEndian, poolIdx[s]); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(sh.cubeTable))); err != nil {
+			return err
+		}
+		keys := make([]uint64, 0, len(sh.cubeTable))
+		for k := range sh.cubeTable {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			if err := binary.Write(bw, binary.LittleEndian, k); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, sh.cubeTable[k]); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
+// rawShard is a shard section as read from the stream, before the
+// sample pool is linked in.
+type rawShard struct {
+	sampleRefs []uint32
+	keys       []uint64
+	ids        []int32
+}
+
 // Load reconstructs a query-serving Tabula instance from a Save stream.
 // The loaded instance answers queries with the original guarantee but
-// cannot be rebuilt (the raw table is not part of the cube).
+// cannot be rebuilt (the raw table is not part of the cube). The stream
+// is read sequentially, then the expensive reconstruction — parsing the
+// sample pool and building the per-shard cube tables — runs on all
+// cores.
 func Load(r io.Reader) (*Tabula, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
@@ -184,7 +246,7 @@ func Load(r io.Reader) (*Tabula, error) {
 		return nil, fmt.Errorf("core: unsupported cube version %d", version)
 	}
 	t := &Tabula{}
-	sn := &snapshot{cubeTable: make(map[uint64]int32), generation: 1}
+	sn := &snapshot{version: 1}
 	if err := binary.Read(br, binary.LittleEndian, &t.params.Theta); err != nil {
 		return nil, err
 	}
@@ -232,43 +294,122 @@ func Load(r io.Reader) (*Tabula, error) {
 		return nil, fmt.Errorf("core: reading global sample: %w", err)
 	}
 	sn.schema = sn.global.Schema()
-	var nCells uint32
-	if err := binary.Read(br, binary.LittleEndian, &nCells); err != nil {
+
+	var nShards uint32
+	if err := binary.Read(br, binary.LittleEndian, &nShards); err != nil {
 		return nil, err
 	}
-	for i := uint32(0); i < nCells; i++ {
-		var key uint64
-		var id int32
-		if err := binary.Read(br, binary.LittleEndian, &key); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
-			return nil, err
-		}
-		sn.cubeTable[key] = id
+	if nShards == 0 || nShards > maxPersistShards {
+		return nil, fmt.Errorf("core: unreasonable shard count %d", nShards)
 	}
-	var nSamples uint32
-	if err := binary.Read(br, binary.LittleEndian, &nSamples); err != nil {
+	t.params.Shards = int(nShards)
+
+	// Read the length-prefixed sample pool without parsing; the blobs
+	// decode in parallel below.
+	var nPool uint32
+	if err := binary.Read(br, binary.LittleEndian, &nPool); err != nil {
 		return nil, err
 	}
-	for i := uint32(0); i < nSamples; i++ {
-		s, err := dataset.ReadBinary(br)
+	if nPool > 1<<24 {
+		return nil, fmt.Errorf("core: unreasonable sample count %d", nPool)
+	}
+	blobs := make([][]byte, nPool)
+	for i := range blobs {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > 1<<30 {
+			return nil, fmt.Errorf("core: unreasonable sample size %d", n)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, err
+		}
+		blobs[i] = blob
+	}
+
+	// Read the per-shard sections into raw arrays (sequential: the
+	// stream dictates order).
+	raws := make([]rawShard, nShards)
+	for si := range raws {
+		var nRefs uint32
+		if err := binary.Read(br, binary.LittleEndian, &nRefs); err != nil {
+			return nil, err
+		}
+		if nRefs > 1<<24 {
+			return nil, fmt.Errorf("core: shard %d has unreasonable sample count %d", si, nRefs)
+		}
+		refs := make([]uint32, nRefs)
+		for i := range refs {
+			if err := binary.Read(br, binary.LittleEndian, &refs[i]); err != nil {
+				return nil, err
+			}
+			if refs[i] >= nPool {
+				return nil, fmt.Errorf("core: shard %d references missing pool sample %d", si, refs[i])
+			}
+		}
+		var nCells uint32
+		if err := binary.Read(br, binary.LittleEndian, &nCells); err != nil {
+			return nil, err
+		}
+		if nCells > 1<<28 {
+			return nil, fmt.Errorf("core: shard %d has unreasonable cell count %d", si, nCells)
+		}
+		keys := make([]uint64, nCells)
+		ids := make([]int32, nCells)
+		for i := range keys {
+			if err := binary.Read(br, binary.LittleEndian, &keys[i]); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &ids[i]); err != nil {
+				return nil, err
+			}
+			if ids[i] < 0 || ids[i] >= int32(nRefs) {
+				return nil, fmt.Errorf("core: shard %d cube table references missing sample %d", si, ids[i])
+			}
+		}
+		raws[si] = rawShard{sampleRefs: refs, keys: keys, ids: ids}
+	}
+
+	// Parallel reconstruction: decode the sample pool and build each
+	// shard's cube table on all cores.
+	workers := runtime.GOMAXPROCS(0)
+	pool := make([]*dataset.Table, nPool)
+	if err := runIndexes(workers, len(blobs), func(i int) error {
+		s, err := dataset.ReadBinary(bytes.NewReader(blobs[i]))
 		if err != nil {
-			return nil, fmt.Errorf("core: reading sample %d: %w", i, err)
+			return fmt.Errorf("core: reading sample %d: %w", i, err)
 		}
-		sn.samples = append(sn.samples, s)
+		pool[i] = s
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for _, id := range sn.cubeTable {
-		if int(id) < 0 || int(id) >= len(sn.samples) {
-			return nil, fmt.Errorf("core: cube table references missing sample %d", id)
+	sn.shards = make([]*shard, nShards)
+	if err := runIndexes(workers, int(nShards), func(si int) error {
+		raw := raws[si]
+		sh := newShard()
+		sh.samples = make([]*dataset.Table, len(raw.sampleRefs))
+		for i, ref := range raw.sampleRefs {
+			sh.samples[i] = pool[ref]
 		}
+		for i, k := range raw.keys {
+			sh.cubeTable[k] = raw.ids[i]
+		}
+		sn.shards[si] = sh
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+
 	// Recompute footprint stats for the loaded instance.
 	sn.stats.GlobalSampleSize = sn.global.NumRows()
-	sn.stats.NumPersistedSamples = len(sn.samples)
+	sn.stats.NumIcebergCells = sn.numIcebergCells()
+	sn.stats.NumPersistedSamples = len(pool)
 	sn.stats.GlobalSampleBytes = sn.global.Footprint()
-	sn.stats.CubeTableBytes = int64(len(sn.cubeTable)) * cubeTableEntryBytes
-	for _, s := range sn.samples {
+	sn.stats.CubeTableBytes = int64(sn.numIcebergCells()) * cubeTableEntryBytes
+	for _, s := range pool {
 		sn.stats.SampleTableBytes += s.Footprint()
 	}
 	t.snap.Store(sn)

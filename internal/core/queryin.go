@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"github.com/tabula-db/tabula/internal/dataset"
 	"github.com/tabula-db/tabula/internal/engine"
@@ -66,14 +65,20 @@ func (t *Tabula) QueryIn(ctx context.Context, conds []ConditionIn) (*QueryResult
 		}
 		if len(codes) == 0 {
 			// No known value matches: empty population.
-			return &QueryResult{Sample: dataset.NewTable(sn.schema), SampleID: -1, Generation: sn.generation}, nil
+			return &QueryResult{Sample: dataset.NewTable(sn.schema), Shard: -1, SampleID: -1, Version: sn.version}, nil
 		}
 		codesPerAttr[ai] = codes
 	}
 
 	// Enumerate the cross-product of constrained codes and collect the
-	// distinct samples that answer the member cells.
-	sampleIDs := make(map[int32]bool)
+	// distinct samples that answer the member cells. Distinctness is by
+	// physical table (a representative sample serving cells in several
+	// shards is one table shared by pointer), and assembly order is the
+	// deterministic cell-enumeration order — both independent of the
+	// shard layout, so QueryIn answers are identical at any shard
+	// count.
+	seen := make(map[*dataset.Table]bool)
+	var ordered []*dataset.Table
 	useGlobal := false
 	addr := make([]int32, len(sn.attrVals))
 	var cancelled error
@@ -84,8 +89,13 @@ func (t *Tabula) QueryIn(ctx context.Context, conds []ConditionIn) (*QueryResult
 		}
 		if ai == len(codesPerAttr) {
 			key := sn.codec.Encode(addr)
-			if id, ok := sn.cubeTable[key]; ok {
-				sampleIDs[id] = true
+			si := sn.shardOf(key)
+			sh := sn.shards[si]
+			if id, ok := sh.cubeTable[key]; ok {
+				if s := sh.samples[id]; !seen[s] {
+					seen[s] = true
+					ordered = append(ordered, s)
+				}
 			} else {
 				useGlobal = true
 			}
@@ -112,30 +122,17 @@ func (t *Tabula) QueryIn(ctx context.Context, conds []ConditionIn) (*QueryResult
 		return nil, cancelled
 	}
 
-	// Assemble the union sample.
+	// Assemble the union sample by bulk column copies; ctx is checked
+	// between tables (each copy is one memcpy-sized operation).
 	union := dataset.NewTable(sn.schema)
 	appendAll := func(s *dataset.Table) error {
-		vals := make([]dataset.Value, s.NumCols())
-		for r := 0; r < s.NumRows(); r++ {
-			if r&1023 == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			for c := range vals {
-				vals[c] = s.Value(r, c)
-			}
-			union.MustAppendRow(vals...)
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		return nil
+		return union.AppendTable(s)
 	}
-	ids := make([]int32, 0, len(sampleIDs))
-	for id := range sampleIDs {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if err := appendAll(sn.samples[id]); err != nil {
+	for _, s := range ordered {
+		if err := appendAll(s); err != nil {
 			return nil, err
 		}
 	}
@@ -144,5 +141,5 @@ func (t *Tabula) QueryIn(ctx context.Context, conds []ConditionIn) (*QueryResult
 			return nil, err
 		}
 	}
-	return &QueryResult{Sample: union, FromGlobal: useGlobal && len(ids) == 0, SampleID: -1, Generation: sn.generation}, nil
+	return &QueryResult{Sample: union, FromGlobal: useGlobal && len(ordered) == 0, Shard: -1, SampleID: -1, Version: sn.version}, nil
 }

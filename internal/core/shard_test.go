@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// tableFingerprint renders a table's full contents; two tables with
+// identical fingerprints hold identical rows in identical order.
+func tableFingerprint(tbl *dataset.Table) string {
+	var b strings.Builder
+	for r := 0; r < tbl.NumRows(); r++ {
+		for c := 0; c < tbl.NumCols(); c++ {
+			fmt.Fprintf(&b, "%v|", tbl.Value(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sharding is a physical layout choice, not a semantic one: a cube
+// built and maintained at S=16 must answer every query with exactly
+// the bytes the S=1 (monolithic) cube answers, before and after
+// appends. This is the acceptance gate for the whole refactor — the
+// shard routing, per-shard sample ids, and parallel append maintenance
+// may not leak into results.
+func TestShardCountInvariance(t *testing.T) {
+	mk := func(shards int) *Tabula {
+		t.Helper()
+		p := DefaultParams(loss.NewHistogram("fare"), 1.0, "distance", "passengers", "payment")
+		p.EnableAppend = true
+		p.Seed = 11
+		p.Shards = shards
+		tab, err := Build(context.Background(), taxiTable(3000, 141), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	mono, sharded := mk(1), mk(16)
+	if mono.NumShards() != 1 || sharded.NumShards() != 16 {
+		t.Fatalf("shard counts %d/%d, want 1/16", mono.NumShards(), sharded.NumShards())
+	}
+
+	dists := []string{"", "[0,5)", "[5,10)", "[10,15)"}
+	pass := []string{"", "1", "2", "3"}
+	pays := []string{"", "cash", "credit", "dispute"}
+	compareAll := func(stage string) {
+		t.Helper()
+		for _, d := range dists {
+			for _, c := range pass {
+				for _, p := range pays {
+					where := map[string]string{}
+					if d != "" {
+						where["distance"] = d
+					}
+					if c != "" {
+						where["passengers"] = c
+					}
+					if p != "" {
+						where["payment"] = p
+					}
+					if len(where) == 0 {
+						continue
+					}
+					rm, err := mono.QueryByValues(context.Background(), where)
+					if err != nil {
+						t.Fatalf("%s: mono %v: %v", stage, where, err)
+					}
+					rs, err := sharded.QueryByValues(context.Background(), where)
+					if err != nil {
+						t.Fatalf("%s: sharded %v: %v", stage, where, err)
+					}
+					if rm.FromGlobal != rs.FromGlobal {
+						t.Fatalf("%s: %v: from_global %v vs %v", stage, where, rm.FromGlobal, rs.FromGlobal)
+					}
+					if tableFingerprint(rm.Sample) != tableFingerprint(rs.Sample) {
+						t.Fatalf("%s: %v: samples diverge between S=1 and S=16", stage, where)
+					}
+				}
+			}
+		}
+		// The inventory must agree too: sharding repartitions cells, it
+		// does not reclassify them.
+		sm, ss := mono.Stats(), sharded.Stats()
+		if sm.NumIcebergCells != ss.NumIcebergCells || sm.NumPersistedSamples != ss.NumPersistedSamples {
+			t.Fatalf("%s: inventory diverged: %d/%d iceberg cells, %d/%d samples",
+				stage, sm.NumIcebergCells, ss.NumIcebergCells, sm.NumPersistedSamples, ss.NumPersistedSamples)
+		}
+	}
+
+	compareAll("after build")
+	for i := 0; i < 3; i++ {
+		batch := taxiTable(300, int64(142+i))
+		if _, err := mono.Append(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Append(context.Background(), batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareAll("after appends")
+
+	// QueryIn unions must agree as well (histogram is merge-safe).
+	in := []ConditionIn{{Attr: "payment", Values: []dataset.Value{
+		dataset.StringValue("cash"), dataset.StringValue("dispute"),
+	}}}
+	rm, err := mono.QueryIn(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sharded.QueryIn(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tableFingerprint(rm.Sample) != tableFingerprint(rs.Sample) {
+		t.Fatal("QueryIn union diverges between S=1 and S=16")
+	}
+}
+
+// A save/load round trip preserves the shard layout and the answers.
+func TestPersistPreservesShardLayout(t *testing.T) {
+	p := DefaultParams(loss.NewHistogram("fare"), 1.0, "distance", "passengers", "payment")
+	p.Seed = 11
+	p.Shards = 8
+	tab, err := Build(context.Background(), taxiTable(2000, 151), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumShards() != 8 {
+		t.Fatalf("loaded %d shards, want 8", loaded.NumShards())
+	}
+	for _, where := range []map[string]string{
+		{"payment": "dispute", "distance": "[10,15)"},
+		{"payment": "cash"},
+		{"distance": "[0,5)", "passengers": "2"},
+	} {
+		a, err := tab.QueryByValues(context.Background(), where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.QueryByValues(context.Background(), where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.FromGlobal != b.FromGlobal || tableFingerprint(a.Sample) != tableFingerprint(b.Sample) {
+			t.Fatalf("%v: answers diverge across save/load", where)
+		}
+		if a.Shard != b.Shard {
+			t.Fatalf("%v: shard %d before save, %d after load", where, a.Shard, b.Shard)
+		}
+	}
+}

@@ -14,6 +14,14 @@
 // Append builds a successor snapshot off the hot path and publishes it
 // with one atomic swap; concurrent readers keep serving the previous
 // snapshot until the swap and the new one afterwards, never a mix.
+//
+// Within a snapshot the cell→sample state is hash-partitioned into
+// shards keyed by cell group-key (engine.ShardOfKey), each carrying its
+// own monotonic generation. A successor copies only the shards an
+// Append touches — untouched shards are structurally shared by pointer
+// and keep their generation, so anything cached off a {shard,
+// generation} pair (response bytes, ETags) stays valid across appends
+// that never land in that shard.
 package core
 
 import (
@@ -71,7 +79,20 @@ type Params struct {
 	// states alive after Build so Append can maintain the cube
 	// incrementally. Costs extra memory proportional to the cell count.
 	EnableAppend bool
+	// Shards is the number of hash partitions the cell→sample state is
+	// split into (0 = DefaultShards). Each shard carries its own
+	// generation and is maintained independently by Append, so more
+	// shards mean finer-grained cache invalidation and more append
+	// parallelism. Query answers are identical at any shard count; the
+	// count is fixed for the cube's lifetime (Save persists it).
+	Shards int
 }
+
+// DefaultShards is the shard count used when Params.Shards is zero:
+// enough partitions that a localized append leaves most of the cube's
+// generations (and therefore most cached responses) untouched, small
+// enough that per-shard overhead stays negligible.
+const DefaultShards = 16
 
 // DefaultParams returns the paper's default configuration for the given
 // loss, threshold and cubed attributes.
@@ -123,43 +144,115 @@ func (s Stats) TotalBytes() int64 {
 	return s.GlobalSampleBytes + s.CubeTableBytes + s.SampleTableBytes
 }
 
+// shard is one hash partition of the cell→sample state: the cube-table
+// entries of every cell whose group-key routes here
+// (engine.ShardOfKey), plus the shard-local sample table those entries
+// index into. A shard is immutable once it is reachable from a
+// published snapshot — Append builds a successor shard for each
+// partition it touches and leaves the rest shared by pointer.
+type shard struct {
+	// generation is the shard's monotonic version: 1 for a freshly
+	// built (or loaded) cube, +1 each time an Append touches this
+	// shard. Together with a shard-local sample id it forms a stable
+	// identity for cached responses — within a shard generation every
+	// sample table is immutable and local ids are never reused (Append
+	// only appends to the sample list, it never compacts it), so
+	// {shard, generation, sampleID} names one immutable byte-identical
+	// payload forever.
+	generation uint64
+	cubeTable  map[uint64]int32 // cell key -> shard-local sample id
+	samples    []*dataset.Table // shard-local sample table
+}
+
+// newShard returns an empty shard at generation 1.
+func newShard() *shard {
+	return &shard{generation: 1, cubeTable: make(map[uint64]int32)}
+}
+
+// successor returns an unpublished deep copy of sh with its generation
+// bumped: the cube table is copied (the one structure Append rewrites),
+// the sample tables themselves are shared (immutable once built).
+func (sh *shard) successor() *shard {
+	next := &shard{
+		generation: sh.generation + 1,
+		cubeTable:  make(map[uint64]int32, len(sh.cubeTable)),
+		samples:    append([]*dataset.Table(nil), sh.samples...),
+	}
+	for k, v := range sh.cubeTable {
+		next.cubeTable[k] = v
+	}
+	return next
+}
+
 // snapshot is the immutable serving state of a Tabula instance:
 // everything the query processor touches. A snapshot is never mutated
 // after publication — Append assembles a successor (sharing the
 // unchanged pieces) and swaps the pointer, so a reader that loaded a
 // snapshot can keep using every field without synchronization.
 type snapshot struct {
-	schema    dataset.Schema
-	attrVals  [][]dataset.Value // per cubed attribute: code -> value
-	attrIdx   map[string]int    // cubed attribute name -> position
-	codec     *engine.KeyCodec
-	global    *dataset.Table
-	cubeTable map[uint64]int32
-	samples   []*dataset.Table
-	stats     Stats
-	// generation is the snapshot's monotonic version: 1 for a freshly
-	// built (or loaded) cube, +1 per published Append. Together with a
-	// sample id it forms a stable identity for cached responses — sample
-	// ids are never reused within a generation (Append only appends to
-	// the sample list, it never compacts it), so {generation, sampleID}
-	// names one immutable byte-identical payload forever.
-	generation uint64
+	schema   dataset.Schema
+	attrVals [][]dataset.Value // per cubed attribute: code -> value
+	attrIdx  map[string]int    // cubed attribute name -> position
+	codec    *engine.KeyCodec
+	global   *dataset.Table
+	// shards partitions the cell→sample state by group-key hash. The
+	// slice has a fixed length for the cube's lifetime; its elements
+	// are copy-on-write (see successor).
+	shards []*shard
+	stats  Stats
+	// version is the snapshot's cube-wide monotonic version: 1 for a
+	// freshly built (or loaded) cube, +1 per published Append. It
+	// orders whole snapshots (batch viewports use it to prove they were
+	// answered untorn); per-cell cache identity uses the per-shard
+	// generations instead, which survive appends to other shards.
+	version uint64
 }
 
 // successor returns a shallow copy of s sharing the immutable pieces
-// (schema, dictionaries, codec, global sample, already-persisted
-// samples) and deep-copying the cube table, the one structure Append
-// rewrites in place. The successor's generation is bumped so snapshot-
-// scoped caches (ETags, response bytes) invalidate on publication.
+// (schema, dictionaries, codec, global sample) and the shard pointers
+// themselves. Append replaces just the entries of the touched shards
+// with shard successors, so untouched shards are structurally shared
+// and keep their generation — the copy-on-write that lets snapshot-
+// scoped caches survive unrelated appends.
 func (s *snapshot) successor() *snapshot {
 	next := *s
-	next.generation = s.generation + 1
-	next.cubeTable = make(map[uint64]int32, len(s.cubeTable))
-	for k, v := range s.cubeTable {
-		next.cubeTable[k] = v
-	}
-	next.samples = append([]*dataset.Table(nil), s.samples...)
+	next.version = s.version + 1
+	next.shards = append([]*shard(nil), s.shards...)
 	return &next
+}
+
+// shardOf returns the shard index of a cell group-key.
+func (s *snapshot) shardOf(key uint64) int {
+	return engine.ShardOfKey(key, len(s.shards))
+}
+
+// numIcebergCells counts cube-table entries across all shards.
+func (s *snapshot) numIcebergCells() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.cubeTable)
+	}
+	return n
+}
+
+// distinctSamples enumerates the distinct persisted sample tables
+// across all shards, in deterministic first-occurrence order (shards in
+// index order, local samples in id order). Representative samples that
+// serve cells in several shards appear in each shard's local table but
+// are one physical table shared by pointer; footprint accounting and
+// persistence both dedupe through this.
+func (s *snapshot) distinctSamples() []*dataset.Table {
+	seen := make(map[*dataset.Table]bool)
+	var out []*dataset.Table
+	for _, sh := range s.shards {
+		for _, tbl := range sh.samples {
+			if !seen[tbl] {
+				seen[tbl] = true
+				out = append(out, tbl)
+			}
+		}
+	}
+	return out
 }
 
 // Tabula is an initialized middleware instance holding the partially
@@ -192,13 +285,17 @@ func (t *Tabula) lossName() string {
 	return t.loadedLossName
 }
 
-// newSnapshot precomputes the derived lookup structures of a snapshot.
-func newSnapshot(schema dataset.Schema, cubedAttrs []string) *snapshot {
+// newSnapshot precomputes the derived lookup structures of a snapshot
+// and allocates its empty shards.
+func newSnapshot(schema dataset.Schema, cubedAttrs []string, nShards int) *snapshot {
 	sn := &snapshot{
-		schema:     schema,
-		cubeTable:  make(map[uint64]int32),
-		attrIdx:    make(map[string]int, len(cubedAttrs)),
-		generation: 1,
+		schema:  schema,
+		attrIdx: make(map[string]int, len(cubedAttrs)),
+		shards:  make([]*shard, nShards),
+		version: 1,
+	}
+	for i := range sn.shards {
+		sn.shards[i] = newShard()
 	}
 	for i, name := range cubedAttrs {
 		sn.attrIdx[name] = i
@@ -235,8 +332,14 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 	if p.Delta == 0 {
 		p.Delta = 0.01
 	}
+	if p.Shards < 0 {
+		return nil, fmt.Errorf("core: negative shard count %d", p.Shards)
+	}
+	if p.Shards == 0 {
+		p.Shards = DefaultShards
+	}
 	t := &Tabula{params: p}
-	sn := newSnapshot(tbl.Schema().Clone(), p.CubedAttrs)
+	sn := newSnapshot(tbl.Schema().Clone(), p.CubedAttrs, p.Shards)
 	cols := make([]int, len(p.CubedAttrs))
 	for i, name := range p.CubedAttrs {
 		idx := tbl.Schema().ColumnIndex(name)
@@ -293,7 +396,7 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 		return nil, err
 	}
 	if p.EnableAppend {
-		t.maint = &maintenance{raw: tbl, enc: enc, states: kept, ev: ev}
+		t.maint = &maintenance{raw: tbl, enc: enc, states: partitionStates(kept, p.Shards), ev: ev}
 	}
 	sn.stats.DryRunTime = time.Since(dryStart)
 	sn.stats.NumCuboids = dry.Lattice.NumCuboids()
@@ -315,8 +418,12 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 	sn.stats.RealRunTime = time.Since(realStart)
 
 	// Stage 3: representative sample selection (or 1:1 persistence for
-	// Tabula*).
+	// Tabula*). Cell→sample assignments accumulate in flat (unsharded)
+	// structures first; sharding is a pure partitioning step afterwards,
+	// so query answers are identical at any shard count.
 	selStart := time.Now()
+	cubeTable := make(map[uint64]int32, len(real.Cells))
+	var samples []*dataset.Table
 	if p.SampleSelection && len(real.Cells) > 0 {
 		vertices := make([]samgraph.Vertex, len(real.Cells))
 		for i, c := range real.Cells {
@@ -343,8 +450,8 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 		sn.stats.SamGraphPairsTested = graph.PairsTested
 		repID := make(map[int]int32, len(sel.Representatives))
 		for _, v := range sel.Representatives {
-			id := int32(len(sn.samples))
-			sn.samples = append(sn.samples, dataset.NewView(tbl, real.Cells[v].SampleRows).Materialize())
+			id := int32(len(samples))
+			samples = append(samples, dataset.NewView(tbl, real.Cells[v].SampleRows).Materialize())
 			repID[v] = id
 		}
 		for i, c := range real.Cells {
@@ -354,7 +461,7 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 				}
 			}
 			c.SampleID = repID[sel.AssignedTo[i]]
-			sn.cubeTable[c.Key] = c.SampleID
+			cubeTable[c.Key] = c.SampleID
 		}
 	} else {
 		// Materializing one sample per cell is the heaviest loop of this
@@ -366,19 +473,48 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 					return nil, err
 				}
 			}
-			c.SampleID = int32(len(sn.samples))
-			sn.samples = append(sn.samples, dataset.NewView(tbl, c.SampleRows).Materialize())
-			sn.cubeTable[c.Key] = c.SampleID
+			c.SampleID = int32(len(samples))
+			samples = append(samples, dataset.NewView(tbl, c.SampleRows).Materialize())
+			cubeTable[c.Key] = c.SampleID
 		}
 	}
+
+	// Partition the flat assignment into shards: cells route by key
+	// hash; each shard gets a local sample table holding just the
+	// distinct samples its cells reference (shared by pointer with other
+	// shards referencing the same representative). Keys are visited in
+	// sorted order so local sample ids are deterministic.
+	keys := make([]uint64, 0, len(cubeTable))
+	for k := range cubeTable {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	localID := make([]map[int32]int32, p.Shards) // per shard: flat id -> local id
+	for i := range localID {
+		localID[i] = make(map[int32]int32)
+	}
+	for _, k := range keys {
+		si := sn.shardOf(k)
+		sh := sn.shards[si]
+		flat := cubeTable[k]
+		lid, ok := localID[si][flat]
+		if !ok {
+			lid = int32(len(sh.samples))
+			sh.samples = append(sh.samples, samples[flat])
+			localID[si][flat] = lid
+		}
+		sh.cubeTable[k] = lid
+	}
 	sn.stats.SelectionTime = time.Since(selStart)
-	sn.stats.NumPersistedSamples = len(sn.samples)
+	sn.stats.NumPersistedSamples = len(samples)
 	sn.stats.InitTime = time.Since(start)
 
-	// Memory accounting (Figure 9's three components).
+	// Memory accounting (Figure 9's three components). Samples shared
+	// across shards are counted once (distinctSamples dedupes by
+	// pointer).
 	sn.stats.GlobalSampleBytes = sn.global.Footprint()
-	sn.stats.CubeTableBytes = int64(len(sn.cubeTable)) * cubeTableEntryBytes
-	for _, s := range sn.samples {
+	sn.stats.CubeTableBytes = int64(len(cubeTable)) * cubeTableEntryBytes
+	for _, s := range sn.distinctSamples() {
 		sn.stats.SampleTableBytes += s.Footprint()
 	}
 	t.snap.Store(sn)
@@ -407,8 +543,10 @@ func (t *Tabula) CubedAttrs() []string { return append([]string(nil), t.params.C
 // GlobalSample returns the materialized global sample.
 func (t *Tabula) GlobalSample() *dataset.Table { return t.snap.Load().global }
 
-// NumPersistedSamples returns the sample-table size.
-func (t *Tabula) NumPersistedSamples() int { return len(t.snap.Load().samples) }
+// NumPersistedSamples returns the sample-table size: the number of
+// distinct persisted sample tables across all shards (a representative
+// sample serving cells in several shards counts once).
+func (t *Tabula) NumPersistedSamples() int { return len(t.snap.Load().distinctSamples()) }
 
 // Condition is one equality predicate of a dashboard query's WHERE
 // clause: attr = value, where attr must be a cubed attribute.
@@ -427,15 +565,28 @@ type QueryResult struct {
 	FromGlobal bool
 	// CellKey is the cube cell the query addressed.
 	CellKey uint64
-	// SampleID is the sample-table id used (-1 for the global sample or
-	// an empty answer).
+	// Shard is the index of the shard the addressed cell routes to, or
+	// -1 when no cell was addressed (unknown predicate value → empty
+	// population, or a QueryIn union spanning shards).
+	Shard int
+	// SampleID is the shard-local sample-table id used (-1 for the
+	// global sample or an empty answer). Ids are only meaningful within
+	// their shard; two shards reuse the same small integers.
 	SampleID int32
-	// Generation is the cube generation that answered the query.
-	// {Generation, SampleID} is a stable identity for the returned bytes:
-	// within a generation every sample table is immutable and ids are
-	// never reused, so serving layers may cache encoded responses keyed
-	// by it and invalidate by generation change alone.
+	// Generation is the generation of the shard that answered the
+	// query (0 when Shard is -1). The triple {Shard, Generation,
+	// SampleID} is a stable identity for the returned bytes: within a
+	// shard generation every sample table is immutable and local ids
+	// are never reused, so serving layers may cache encoded responses
+	// keyed by it and invalidate by shard-generation change alone —
+	// appends that touch other shards leave the identity (and any bytes
+	// cached under it) valid.
 	Generation uint64
+	// Version is the cube-wide version of the snapshot that answered
+	// the query (+1 per published Append, regardless of which shards it
+	// touched). Batch viewports use it to prove snapshot consistency:
+	// results answered together always share a Version.
+	Version uint64
 }
 
 // Query answers a dashboard query whose WHERE clause is a conjunction of
@@ -461,7 +612,7 @@ func (t *Tabula) Query(ctx context.Context, conds []Condition) (*QueryResult, er
 // given snapshot. Callers that perform multi-step work (value parsing,
 // batch viewports) load the snapshot once and pass it here, so every
 // step — condition resolution and the cell lookup — observes the same
-// generation even while Appends publish successors concurrently.
+// snapshot version even while Appends publish successors concurrently.
 func (t *Tabula) queryOn(sn *snapshot, conds []Condition) (*QueryResult, error) {
 	codes := make([]int32, len(sn.attrVals))
 	for i := range codes {
@@ -477,16 +628,21 @@ func (t *Tabula) queryOn(sn *snapshot, conds []Condition) (*QueryResult, error) 
 		}
 		code := sn.codeOf(ai, c.Value)
 		if code == engine.NullCode {
-			// Unknown value: the population is empty.
-			return &QueryResult{Sample: dataset.NewTable(sn.schema), SampleID: -1, Generation: sn.generation}, nil
+			// Unknown value: the population is empty. No cell (and no
+			// shard) was addressed; the identity {-1, 0, -1} is stable
+			// forever because appends can never introduce the value
+			// (domain growth forces a rebuild).
+			return &QueryResult{Sample: dataset.NewTable(sn.schema), Shard: -1, SampleID: -1, Version: sn.version}, nil
 		}
 		codes[ai] = code
 	}
 	key := sn.codec.Encode(codes)
-	if id, ok := sn.cubeTable[key]; ok {
-		return &QueryResult{Sample: sn.samples[id], CellKey: key, SampleID: id, Generation: sn.generation}, nil
+	si := sn.shardOf(key)
+	sh := sn.shards[si]
+	if id, ok := sh.cubeTable[key]; ok {
+		return &QueryResult{Sample: sh.samples[id], CellKey: key, Shard: si, SampleID: id, Generation: sh.generation, Version: sn.version}, nil
 	}
-	return &QueryResult{Sample: sn.global, FromGlobal: true, CellKey: key, SampleID: -1, Generation: sn.generation}, nil
+	return &QueryResult{Sample: sn.global, FromGlobal: true, CellKey: key, Shard: si, SampleID: -1, Generation: sh.generation, Version: sn.version}, nil
 }
 
 // parseConds parses display-form predicate values against the snapshot's
@@ -532,7 +688,7 @@ func (t *Tabula) QueryByValues(ctx context.Context, conds map[string]string) (*Q
 
 // QueryBatchByValues answers a whole batch of display-form queries — a
 // dashboard viewport's worth of cells — against ONE atomically loaded
-// snapshot. Every result carries the same Generation, so the client sees
+// snapshot. Every result carries the same Version, so the client sees
 // a consistent view of the cube: either entirely before or entirely
 // after any concurrent Append, never a mix. A per-query resolution error
 // (unknown attribute, bad value) fails the whole batch.
@@ -561,10 +717,27 @@ func (t *Tabula) QueryBatchByValues(ctx context.Context, queries []map[string]st
 	return out, nil
 }
 
-// Generation returns the published snapshot's generation: 1 after Build
-// or Load, +1 per published Append. It is the invalidation axis for
-// anything cached off query results (see QueryResult.Generation).
-func (t *Tabula) Generation() uint64 { return t.snap.Load().generation }
+// Generation returns the published snapshot's cube-wide version: 1
+// after Build or Load, +1 per published Append. It orders whole
+// snapshots; per-cell cache invalidation uses the finer-grained
+// per-shard generations (see Generations and QueryResult.Generation).
+func (t *Tabula) Generation() uint64 { return t.snap.Load().version }
+
+// Generations returns the published snapshot's generation vector: one
+// monotonic generation per shard, in shard-index order. An Append bumps
+// only the generations of the shards it touched, so an unchanged entry
+// proves every response cached against that shard is still valid.
+func (t *Tabula) Generations() []uint64 {
+	sn := t.snap.Load()
+	out := make([]uint64, len(sn.shards))
+	for i, sh := range sn.shards {
+		out[i] = sh.generation
+	}
+	return out
+}
+
+// NumShards returns the cube's fixed shard count.
+func (t *Tabula) NumShards() int { return len(t.snap.Load().shards) }
 
 // codeOf maps a value of cubed attribute ai to its dense code, or
 // NullCode when the value never occurs in the raw table.

@@ -309,6 +309,51 @@ func (t *Table) MustAppendRow(values ...Value) {
 	}
 }
 
+// AppendTable bulk-appends every row of src to t, copying whole column
+// slices instead of boxing values row by row: numeric and point columns
+// append their backing arrays directly, and string columns remap src's
+// dictionary codes through one code-to-code table (built once per
+// column, not once per row). Column types must match positionally; the
+// schema is validated before any column is touched, so a mismatch
+// leaves t unchanged.
+func (t *Table) AppendTable(src *Table) error {
+	if len(src.cols) != len(t.cols) {
+		return fmt.Errorf("dataset: AppendTable got %d columns, table has %d", len(src.cols), len(t.cols))
+	}
+	for i := range t.cols {
+		if src.cols[i].typ != t.cols[i].typ {
+			return fmt.Errorf("dataset: AppendTable column %q is %v, table expects %v",
+				src.schema[i].Name, src.cols[i].typ, t.cols[i].typ)
+		}
+	}
+	for i, c := range t.cols {
+		s := src.cols[i]
+		switch c.typ {
+		case Int64:
+			c.ints = append(c.ints, s.ints...)
+		case Float64:
+			c.floats = append(c.floats, s.floats...)
+		case Point:
+			c.points = append(c.points, s.points...)
+		case String:
+			remap := make([]int32, len(s.dict))
+			for j, str := range s.dict {
+				id, ok := c.dictID[str]
+				if !ok {
+					id = int32(len(c.dict))
+					c.dict = append(c.dict, str)
+					c.dictID[str] = id
+				}
+				remap[j] = id
+			}
+			for _, code := range s.codes {
+				c.codes = append(c.codes, remap[code])
+			}
+		}
+	}
+	return nil
+}
+
 // Value returns the value at (row, col).
 func (t *Table) Value(row, col int) Value { return t.cols[col].value(row) }
 

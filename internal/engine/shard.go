@@ -1,0 +1,37 @@
+package engine
+
+// Shard routing for the partitioned sampling cube: cell group-keys are
+// hash-partitioned into a fixed number of shards, each maintained and
+// versioned independently (per-shard generations). The routing must be
+// a pure function of the key and the shard count — queries, appends,
+// persistence, and the serving cache all derive a cell's shard
+// independently and must agree forever.
+//
+// Raw group-keys make poor partition keys: mixed-radix encoding packs
+// low-cardinality attributes into the low bits, so consecutive cells of
+// one cuboid differ only in a few low bits and a plain modulo would
+// pile whole cuboids onto few shards. The key is therefore finalized
+// with the SplitMix64 avalanche function (Steele et al., "Fast
+// Splittable Pseudorandom Number Generators"), which diffuses every
+// input bit into the output before the modulo.
+
+// shardMix is the SplitMix64 finalizer: a bijective avalanche over
+// uint64, so distinct keys never collide before the modulo.
+func shardMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOfKey maps a cell group-key to its shard in [0, n). It is
+// deterministic across processes and Go versions; persisted cubes and
+// cache keys depend on that stability. n must be >= 1.
+func ShardOfKey(key uint64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	return int(shardMix(key) % uint64(n))
+}

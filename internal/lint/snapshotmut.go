@@ -6,42 +6,52 @@ import (
 )
 
 // AnalyzerSnapshotMut enforces the snapshot immutability contract of
-// DESIGN.md §7.1: the serving state published through the atomic
+// DESIGN.md §7.1/§7.5: the serving state published through the atomic
 // pointer is never mutated after publication. -race cannot catch a
 // violation that happens while no query is in flight — the write is
 // simply wrong, not racy — so this is checked statically.
 //
-// In any package that declares a struct type named "snapshot", every
-// assignment, increment, or delete() whose target is reachable through
-// a snapshot field (sn.cubeTable[k] = v, next.samples = append(...),
-// sn.stats.X += y, delete(sn.cubeTable, k)) must occur inside one of
-// the allowlisted maintainer functions, which only ever touch
-// snapshots that are not yet published:
+// In any package that declares a struct type named "snapshot" or
+// "shard", every assignment, increment, or delete() whose target is
+// reachable through a field of those structs (sh.cubeTable[k] = v,
+// next.shards = append(...), sn.stats.X += y, delete(sh.cubeTable, k))
+// must occur inside one of the allowlisted maintainer functions, which
+// only ever touch state that is not yet published:
 //
-//   - newSnapshot / Build / Load construct a fresh snapshot before the
-//     first Store,
+//   - newSnapshot / newShard / Build / Load construct fresh state
+//     before the first Store,
 //   - successor deep-copies the mutable pieces into an unpublished
-//     copy,
-//   - Append rewrites only that successor and publishes it with one
-//     atomic swap.
+//     copy (per shard, so untouched shards stay structurally shared),
+//   - Append rewrites only successor shards and publishes them with
+//     one atomic swap.
 //
 // Everything else — query paths, encoders, serving handlers — may read
-// snapshot fields but never write them. Type information, when
-// resolved, confirms the written field really belongs to the snapshot
-// struct; a selector that merely shares a field name with snapshot is
-// not flagged.
+// snapshot and shard fields but never write them. This is what makes
+// the per-shard copy-on-write of §7.5 sound: a shard pointer shared
+// between two snapshots is safe exactly because no code path can write
+// through it. Type information, when resolved, confirms the written
+// field really belongs to one of the protected structs; a selector
+// that merely shares a field name is not flagged.
 func AnalyzerSnapshotMut() *Analyzer {
 	return &Analyzer{
 		Name: "snapshotmut",
-		Doc:  "snapshot fields may only be written by allowlisted maintainer functions",
+		Doc:  "snapshot and shard fields may only be written by allowlisted maintainer functions",
 		Run:  runSnapshotMut,
 	}
 }
 
+// snapshotMutTypes are the struct type names whose fields are
+// write-protected outside the maintainer set.
+var snapshotMutTypes = map[string]bool{
+	"snapshot": true,
+	"shard":    true,
+}
+
 // snapshotMutAllowed are the maintainer functions permitted to write
-// snapshot fields (see the analyzer doc for why each is safe).
+// protected fields (see the analyzer doc for why each is safe).
 var snapshotMutAllowed = map[string]bool{
 	"newSnapshot": true,
+	"newShard":    true,
 	"Build":       true,
 	"successor":   true,
 	"Load":        true,
@@ -49,8 +59,8 @@ var snapshotMutAllowed = map[string]bool{
 }
 
 func runSnapshotMut(p *Package) []Finding {
-	fields, snapType := snapshotFields(p)
-	if len(fields) == 0 {
+	fieldOwner, named := snapshotMutFields(p)
+	if len(fieldOwner) == 0 {
 		return nil
 	}
 	var out []Finding
@@ -64,24 +74,24 @@ func runSnapshotMut(p *Package) []Finding {
 				switch st := n.(type) {
 				case *ast.AssignStmt:
 					for _, lhs := range st.Lhs {
-						if sel := snapshotFieldSel(p, lhs, fields, snapType); sel != nil {
+						if sel, owner := protectedFieldSel(p, lhs, fieldOwner, named); sel != nil {
 							out = append(out, p.finding(lhs,
-								"write to snapshot field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
-								sel.Sel.Name, allowedNames()))
+								"write to %s field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
+								owner, sel.Sel.Name, allowedNames()))
 						}
 					}
 				case *ast.IncDecStmt:
-					if sel := snapshotFieldSel(p, st.X, fields, snapType); sel != nil {
+					if sel, owner := protectedFieldSel(p, st.X, fieldOwner, named); sel != nil {
 						out = append(out, p.finding(st,
-							"write to snapshot field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
-							sel.Sel.Name, allowedNames()))
+							"write to %s field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
+							owner, sel.Sel.Name, allowedNames()))
 					}
 				case *ast.CallExpr:
 					if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) > 0 {
-						if sel := snapshotFieldSel(p, st.Args[0], fields, snapType); sel != nil {
+						if sel, owner := protectedFieldSel(p, st.Args[0], fieldOwner, named); sel != nil {
 							out = append(out, p.finding(st,
-								"delete from snapshot map field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
-								sel.Sel.Name, allowedNames()))
+								"delete from %s map field %q outside the maintainer set (%s); published snapshots are immutable — build a successor instead",
+								owner, sel.Sel.Name, allowedNames()))
 						}
 					}
 				}
@@ -93,18 +103,20 @@ func runSnapshotMut(p *Package) []Finding {
 }
 
 func allowedNames() string {
-	return "newSnapshot/Build/successor/Load/Append"
+	return "newSnapshot/newShard/Build/successor/Load/Append"
 }
 
-// snapshotFields collects the field names of the package's snapshot
-// struct and its types.Named form (nil when type info is unavailable).
-func snapshotFields(p *Package) (map[string]bool, *types.Named) {
-	fields := make(map[string]bool)
-	var named *types.Named
+// snapshotMutFields collects the field names of the package's
+// protected structs (field name -> owning struct name) and their
+// types.Named forms (named type object -> struct name; empty when type
+// info is unavailable).
+func snapshotMutFields(p *Package) (map[string]string, map[*types.TypeName]string) {
+	fieldOwner := make(map[string]string)
+	named := make(map[*types.TypeName]string)
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
-			if !ok || ts.Name.Name != "snapshot" {
+			if !ok || !snapshotMutTypes[ts.Name.Name] {
 				return true
 			}
 			st, ok := ts.Type.(*ast.StructType)
@@ -113,25 +125,25 @@ func snapshotFields(p *Package) (map[string]bool, *types.Named) {
 			}
 			for _, f := range st.Fields.List {
 				for _, name := range f.Names {
-					fields[name.Name] = true
+					fieldOwner[name.Name] = ts.Name.Name
 				}
 			}
 			if obj, ok := p.Info.Defs[ts.Name]; ok && obj != nil {
 				if nt, ok := obj.Type().(*types.Named); ok {
-					named = nt
+					named[nt.Obj()] = ts.Name.Name
 				}
 			}
 			return true
 		})
 	}
-	return fields, named
+	return fieldOwner, named
 }
 
-// snapshotFieldSel returns the selector through which expr writes a
-// snapshot field, or nil. It unwraps index expressions and nested
-// selectors, so sn.stats.X and next.cubeTable[k] both resolve to their
-// snapshot-level field.
-func snapshotFieldSel(p *Package, expr ast.Expr, fields map[string]bool, snapType *types.Named) *ast.SelectorExpr {
+// protectedFieldSel returns the selector through which expr writes a
+// protected field, plus the owning struct's name, or (nil, ""). It
+// unwraps index expressions and nested selectors, so sn.stats.X and
+// sh.cubeTable[k] both resolve to their protected field.
+func protectedFieldSel(p *Package, expr ast.Expr, fieldOwner map[string]string, named map[*types.TypeName]string) (*ast.SelectorExpr, string) {
 	for {
 		switch e := expr.(type) {
 		case *ast.IndexExpr:
@@ -141,32 +153,42 @@ func snapshotFieldSel(p *Package, expr ast.Expr, fields map[string]bool, snapTyp
 		case *ast.StarExpr:
 			expr = e.X
 		case *ast.SelectorExpr:
-			if fields[e.Sel.Name] && selRecvIsSnapshot(p, e, snapType) {
-				return e
+			if owner, ok := fieldOwner[e.Sel.Name]; ok {
+				if resolved, ok2 := selRecvProtected(p, e, named); ok2 {
+					if resolved != "" {
+						owner = resolved
+					}
+					return e, owner
+				}
 			}
 			expr = e.X
 		default:
-			return nil
+			return nil, ""
 		}
 	}
 }
 
-// selRecvIsSnapshot confirms (via type info, when resolved) that the
-// selector's receiver is the snapshot struct. Without type info it
-// accepts the name match — snapshot is unexported, so any same-package
-// selector sharing a field name is close enough to deserve a look.
-func selRecvIsSnapshot(p *Package, sel *ast.SelectorExpr, snapType *types.Named) bool {
+// selRecvProtected confirms (via type info, when resolved) that the
+// selector's receiver is one of the protected structs, returning its
+// name. Without type info it accepts the name match with an empty
+// owner — the structs are unexported, so any same-package selector
+// sharing a field name is close enough to deserve a look.
+func selRecvProtected(p *Package, sel *ast.SelectorExpr, named map[*types.TypeName]string) (string, bool) {
 	s, ok := p.Info.Selections[sel]
 	if !ok {
-		return true
+		return "", true
 	}
-	if snapType == nil {
-		return true
+	if len(named) == 0 {
+		return "", true
 	}
 	recv := s.Recv()
 	if ptr, ok := recv.(*types.Pointer); ok {
 		recv = ptr.Elem()
 	}
 	nt, ok := recv.(*types.Named)
-	return ok && nt.Obj() == snapType.Obj()
+	if !ok {
+		return "", false
+	}
+	owner, ok := named[nt.Obj()]
+	return owner, ok
 }

@@ -1,43 +1,69 @@
 // Package snapshotmut exercises the snapshotmut analyzer: fields of
-// the published snapshot struct may only be written by the allowlisted
-// maintainer functions.
+// the published snapshot and shard structs may only be written by the
+// allowlisted maintainer functions.
 package snapshotmut
 
 type stats struct{ NumCells int }
 
-type snapshot struct {
-	cubeTable map[uint64]int32
-	samples   []int
-	stats     stats
+type shard struct {
+	generation uint64
+	cubeTable  map[uint64]int32
+	samples    []int
 }
 
-// successor is in the maintainer allowlist: mutation is fine.
+type snapshot struct {
+	shards  []*shard
+	stats   stats
+	version uint64
+}
+
+// newShard is in the maintainer allowlist: mutation is fine.
+func newShard() *shard {
+	sh := &shard{cubeTable: make(map[uint64]int32)}
+	sh.generation = 1
+	return sh
+}
+
+// successor is in the maintainer allowlist: mutation is fine — for
+// both structs.
 func (s *snapshot) successor() *snapshot {
-	next := &snapshot{cubeTable: make(map[uint64]int32, len(s.cubeTable))}
-	next.samples = append(next.samples, s.samples...)
-	for k, v := range s.cubeTable {
+	next := &snapshot{shards: make([]*shard, len(s.shards))}
+	copy(next.shards, s.shards)
+	next.version = s.version + 1
+	return next
+}
+
+func (sh *shard) successor() *shard {
+	next := newShard()
+	next.generation = sh.generation + 1
+	for k, v := range sh.cubeTable {
 		next.cubeTable[k] = v
 	}
+	next.samples = append(next.samples, sh.samples...)
 	return next
 }
 
 // Append is in the maintainer allowlist: mutation is fine.
 func Append(next *snapshot) {
-	next.cubeTable[1] = 2
-	delete(next.cubeTable, 3)
+	sh := next.shards[0]
+	sh.cubeTable[1] = 2
+	delete(sh.cubeTable, 3)
 	next.stats.NumCells++
+	next.version++
 }
 
-// evilQuery mutates a snapshot outside the maintainer set: every write
-// shape is flagged.
-func evilQuery(sn *snapshot) {
-	sn.cubeTable[7] = 9                // want "write to snapshot field \"cubeTable\""
-	sn.stats.NumCells++                // want "write to snapshot field \"stats\""
-	delete(sn.cubeTable, 7)            // want "delete from snapshot map field \"cubeTable\""
-	sn.samples = append(sn.samples, 1) // want "write to snapshot field \"samples\""
+// evilQuery mutates published state outside the maintainer set: every
+// write shape, on either struct, is flagged.
+func evilQuery(sn *snapshot, sh *shard) {
+	sh.cubeTable[7] = 9                       // want "write to shard field \"cubeTable\""
+	sn.stats.NumCells++                       // want "write to snapshot field \"stats\""
+	delete(sh.cubeTable, 7)                   // want "delete from shard map field \"cubeTable\""
+	sh.samples = append(sh.samples, 1)        // want "write to shard field \"samples\""
+	sn.shards = append(sn.shards, newShard()) // want "write to snapshot field \"shards\""
+	sn.shards[0].generation++                 // want "write to shard field \"generation\""
 }
 
-// lookalike shares a field name with snapshot but is a different type;
+// lookalike shares a field name with shard but is a different type;
 // resolved type information keeps it clean.
 type lookalike struct{ samples []int }
 
@@ -45,14 +71,14 @@ func mutateLookalike(l *lookalike) {
 	l.samples = append(l.samples, 1)
 }
 
-// readOnlyQuery only reads snapshot fields: clean.
+// readOnlyQuery only reads protected fields: clean.
 func readOnlyQuery(sn *snapshot, key uint64) (int32, bool) {
-	id, ok := sn.cubeTable[key]
+	id, ok := sn.shards[0].cubeTable[key]
 	return id, ok
 }
 
 // suppressed carries a reasoned directive.
-func suppressed(sn *snapshot) {
+func suppressed(sh *shard) {
 	//lint:ignore snapshotmut fixture exercising the directive form
-	sn.cubeTable[1] = 1
+	sh.cubeTable[1] = 1
 }

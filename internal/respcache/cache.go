@@ -3,11 +3,13 @@
 //
 // The cache exploits the core package's snapshot invariant: a published
 // cube snapshot and every sample table in it are immutable, and
-// {generation, sampleID} names one byte-identical payload forever. Keys
-// embed that identity, so the cache needs no explicit invalidation — an
-// Append publishes a successor snapshot with a higher generation, new
-// requests key under the new generation, and the previous generation's
-// entries simply go cold and fall out of the LRU. Coherence costs zero
+// {shard, shard generation, sampleID} names one byte-identical payload
+// forever. Keys embed that identity, so the cache needs no explicit
+// invalidation — an Append publishes a successor snapshot that bumps
+// only the generations of the shards it touched, new requests for those
+// shards key under the new generations, and the stale entries simply go
+// cold and fall out of the LRU. Entries keyed to untouched shards keep
+// their identities and stay hot across the append. Coherence costs zero
 // locks on the cube side and one short mutex hold here.
 //
 // First hits are deduplicated singleflight-style: when N requests miss

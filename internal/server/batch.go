@@ -15,16 +15,23 @@ import (
 // times, and — because representative sample selection assigns one
 // sample to many cells — ships the same payload bytes repeatedly. The
 // batch endpoint resolves every cell against ONE cube snapshot (all
-// results share a generation; a concurrent Append can never tear the
-// viewport), dedupes cells that resolve to the same payload, and ships
-// each distinct payload once, referenced by index:
+// results share a snapshot Version; a concurrent Append can never tear
+// the viewport), dedupes cells that resolve to the same per-shard
+// payload identity, and ships each distinct payload once, referenced
+// by index:
 //
 //	request:  {"cube":"c","queries":[{"a":"x"},{"a":"y"},…]}
-//	response: {"generation":3,
-//	           "results":[{"payload":0,"from_global":false},…],
+//	response: {"results":[{"payload":0,"shard":3,"generation":2,"from_global":false},…],
 //	           "payloads":[{"columns":…,"rows":…},…]}
 //
-// results[i] answers queries[i]; results[i].payload indexes payloads.
+// results[i] answers queries[i]; results[i].payload indexes payloads;
+// shard/generation stamp the answering shard so a client can correlate
+// cells with the generation vector reported by GET /cache. The body is
+// a pure function of the per-result identities — deliberately carrying
+// no cube-wide version — so its ETag (the identity-list hash) stays
+// valid across appends that do not touch the viewport's shards, and a
+// panned-back dashboard keeps revalidating with 304s while the cube
+// streams.
 
 // maxBatchQueries bounds one viewport request.
 const maxBatchQueries = 4096
@@ -59,21 +66,24 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Dedup: one payload per distinct class, in first-appearance order.
-	classes := make([]string, len(results))
+	// Dedup: one payload per distinct {shard, generation, class}
+	// identity, in first-appearance order. (A sample shared across
+	// shards ships once per shard — the price of per-shard identities
+	// that survive appends to other shards.)
+	idents := make([]string, len(results))
 	payloadIdx := make(map[string]int)
 	var distinct []*tabula.QueryResult
 	for i, res := range results {
-		class := classOf(res)
-		classes[i] = class
-		if _, ok := payloadIdx[class]; !ok {
-			payloadIdx[class] = len(distinct)
+		ident := identityOf(res)
+		idents[i] = ident
+		if _, ok := payloadIdx[ident]; !ok {
+			payloadIdx[ident] = len(distinct)
 			distinct = append(distinct, res)
 		}
 	}
-	gen := results[0].Generation
-	hash := strconv.FormatUint(viewportHash(classes), 16)
-	etag := etagFor(req.Cube, gen, "b"+hash)
+	hash := strconv.FormatUint(viewportHash(idents), 16)
+	ident := "b" + hash
+	etag := etagFor(req.Cube, ident)
 	h := w.Header()
 	h.Set("ETag", etag)
 	h.Set("Vary", "Accept-Encoding")
@@ -84,15 +94,17 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 
 	assemble := func() ([]byte, error) {
 		bp := getBuf()
-		b := append(*bp, `{"generation":`...)
-		b = strconv.AppendUint(b, gen, 10)
-		b = append(b, `,"results":[`...)
+		b := append(*bp, `{"results":[`...)
 		for i, res := range results {
 			if i > 0 {
 				b = append(b, ',')
 			}
 			b = append(b, `{"payload":`...)
-			b = strconv.AppendInt(b, int64(payloadIdx[classes[i]]), 10)
+			b = strconv.AppendInt(b, int64(payloadIdx[idents[i]]), 10)
+			b = append(b, `,"shard":`...)
+			b = strconv.AppendInt(b, int64(res.Shard), 10)
+			b = append(b, `,"generation":`...)
+			b = strconv.AppendUint(b, res.Generation, 10)
 			if res.FromGlobal {
 				b = append(b, `,"from_global":true}`...)
 			} else {
@@ -104,7 +116,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			if i > 0 {
 				b = append(b, ',')
 			}
-			payload, err := s.payloadBytes(req.Cube, res, classOf(res))
+			payload, err := s.payloadBytes(req.Cube, res, identityOf(res))
 			if err != nil {
 				*bp = b[:0]
 				putBuf(bp)
@@ -120,17 +132,18 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		return out, nil
 	}
 
-	// Whole-viewport bodies are themselves cached per {generation,
-	// viewport}: dashboards across users repeat pan positions, so a hot
-	// viewport is assembled once per snapshot.
-	body, err := s.cache.Get(cacheKey("v", req.Cube, gen, hash), assemble)
+	// Whole-viewport bodies are themselves cached per identity-list
+	// hash: dashboards across users repeat pan positions, so a hot
+	// viewport is assembled once — and stays assembled across appends
+	// that miss its shards.
+	body, err := s.cache.Get(cacheKey("v", req.Cube, ident), assemble)
 	if err != nil {
 		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	h.Set("Content-Type", "application/json")
 	if s.gzip && len(body) >= gzipMinBytes && acceptsGzip(r) {
-		gz, err := s.cache.Get(cacheKey("V", req.Cube, gen, hash), func() ([]byte, error) {
+		gz, err := s.cache.Get(cacheKey("V", req.Cube, ident), func() ([]byte, error) {
 			return gzipBytes(body)
 		})
 		if err == nil {

@@ -10,20 +10,26 @@ import (
 	"github.com/tabula-db/tabula"
 )
 
-// Snapshot-scoped response caching and the wire-level fast paths.
+// Shard-scoped response caching and the wire-level fast paths.
 //
-// Keying rides the core invariant that a published snapshot is
-// immutable and sample ids are never reused within a generation: the
-// triple {cube, generation, payload class} names one byte-identical
-// response forever. An Append publishes a successor snapshot with a
-// bumped generation, so new requests key under fresh entries and stale
-// ones age out of the LRU — invalidation by snapshot swap, no
-// bookkeeping.
+// Keying rides the core identity contract that a {shard, shard
+// generation, sample id} triple names immutable bytes forever: the
+// cache identity of a cell response is "s{shard}.g{generation}.{class}"
+// under the cube's name. An Append bumps ONLY the generations of the
+// shards it touched, so responses served from untouched shards keep
+// their identities: their cache entries stay hot and their ETags keep
+// revalidating to 304 across the append. Entries of touched shards key
+// under fresh identities and the stale ones age out of the LRU —
+// invalidation by snapshot swap, no bookkeeping. (Under the old
+// cube-wide generation every append evicted everything; sharding is
+// what lets a streaming cube keep a warm cache.)
 //
 // The payload class collapses distinct WHERE clauses that resolve to
-// the same bytes: "s<id>" for a persisted sample, "g" for the global
-// sample, "e" for an empty population. Dozens of dashboard cells that
-// share a representative sample therefore share one cache entry.
+// the same bytes: "s<id>" for a persisted sample (shard-local id), "g"
+// for the global sample, "e" for an empty population. Dozens of
+// dashboard cells in one shard that share a representative sample
+// therefore share one cache entry. A sample shared across shards is
+// cached once per shard — the byte cost of append-survival.
 
 // classOf maps a query result to its payload class.
 func classOf(res *tabula.QueryResult) string {
@@ -37,28 +43,37 @@ func classOf(res *tabula.QueryResult) string {
 	}
 }
 
+// identityOf maps a query result to its cache identity,
+// "s{shard}.g{generation}.{class}". Results that address no cell
+// (unknown value → empty population) carry shard -1 and generation 0,
+// which is stable: the empty payload for a cube's schema never changes.
+func identityOf(res *tabula.QueryResult) string {
+	return "s" + strconv.Itoa(res.Shard) +
+		".g" + strconv.FormatUint(res.Generation, 10) +
+		"." + classOf(res)
+}
+
 // cacheKey builds a cache key. kind distinguishes entry spaces:
 // "p" table payload, "z" gzipped single-query body, "v"/"V" batch body
 // identity/gzip.
-func cacheKey(kind, cube string, gen uint64, class string) string {
+func cacheKey(kind, cube, ident string) string {
 	var b strings.Builder
-	b.Grow(len(kind) + len(cube) + len(class) + 24)
+	b.Grow(len(kind) + len(cube) + len(ident) + 2)
 	b.WriteString(kind)
 	b.WriteByte('|')
 	b.WriteString(cube)
 	b.WriteByte('|')
-	b.WriteString(strconv.FormatUint(gen, 10))
-	b.WriteByte('|')
-	b.WriteString(class)
+	b.WriteString(ident)
 	return b.String()
 }
 
-// etagFor builds the strong ETag of a single-cell response:
-// "{cube}.g{generation}.{class}". It changes exactly when a snapshot
-// swap changes the bytes a cell resolves to, so If-None-Match
-// revalidation is sound with zero coordination.
-func etagFor(cube string, gen uint64, class string) string {
-	return `"` + cube + ".g" + strconv.FormatUint(gen, 10) + "." + class + `"`
+// etagFor builds the strong ETag of a response:
+// "{cube}.s{shard}.g{shardGen}.{class}". It changes exactly when an
+// append to the answering shard changes the bytes a cell resolves to,
+// so If-None-Match revalidation is sound with zero coordination — and
+// keeps answering 304 for cells of untouched shards.
+func etagFor(cube, ident string) string {
+	return `"` + cube + "." + ident + `"`
 }
 
 // etagMatches reports whether an If-None-Match header value matches the
@@ -129,14 +144,17 @@ func (w *bytesWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// viewportHash fingerprints the ordered class list of a batch response.
-// Two viewports whose cells resolve to the same payload classes in the
-// same order produce identical bodies, so the hash (keyed under the
-// generation) is both the batch cache key and its ETag discriminator.
-func viewportHash(classes []string) uint64 {
+// viewportHash fingerprints the ordered identity list of a batch
+// response. The body is a pure function of the identities (payload
+// indexes, shard/generation stamps, from_global flags, and payload
+// bytes all derive from them), so the hash is both the batch cache key
+// and its ETag discriminator — and because identities are per-shard,
+// a viewport whose shards an append did not touch keeps its hash, its
+// cached body, and its 304s.
+func viewportHash(idents []string) uint64 {
 	h := fnv.New64a()
-	for _, c := range classes {
-		h.Write([]byte(c))
+	for _, id := range idents {
+		h.Write([]byte(id))
 		h.Write([]byte{0})
 	}
 	return h.Sum64()

@@ -275,10 +275,11 @@ func TestBatchViewport(t *testing.T) {
 		t.Fatalf("batch: %d %s", resp.StatusCode, body)
 	}
 	var out struct {
-		Generation uint64 `json:"generation"`
-		Results    []struct {
-			Payload    int  `json:"payload"`
-			FromGlobal bool `json:"from_global"`
+		Results []struct {
+			Payload    int    `json:"payload"`
+			Shard      int    `json:"shard"`
+			Generation uint64 `json:"generation"`
+			FromGlobal bool   `json:"from_global"`
 		} `json:"results"`
 		Payloads []struct {
 			Columns []string `json:"columns"`
@@ -291,8 +292,16 @@ func TestBatchViewport(t *testing.T) {
 	if len(out.Results) != 100 {
 		t.Fatalf("%d results, want 100", len(out.Results))
 	}
-	if out.Generation != cube.Generation() {
-		t.Fatalf("batch generation %d, cube %d", out.Generation, cube.Generation())
+	// Every cell-addressed result is stamped with its answering shard's
+	// current generation (the whole batch resolved on one snapshot).
+	gens := cube.Generations()
+	for i, r := range out.Results {
+		if r.Shard < -1 || r.Shard >= len(gens) {
+			t.Fatalf("result %d names shard %d of %d", i, r.Shard, len(gens))
+		}
+		if r.Shard >= 0 && r.Generation != gens[r.Shard] {
+			t.Fatalf("result %d: generation %d, shard %d is at %d", i, r.Generation, r.Shard, gens[r.Shard])
+		}
 	}
 	// Dedup: 100 cells over a 20-cell domain cannot need 100 payloads.
 	if len(out.Payloads) >= 100 || len(out.Payloads) == 0 {

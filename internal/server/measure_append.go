@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+
+	"github.com/tabula-db/tabula"
+	"github.com/tabula-db/tabula/internal/harness"
+)
+
+// MeasureAppend produces the BENCH_append.json report: append
+// maintenance latency and warm-response-cache retention across
+// appends, at S=1 (the monolithic pre-sharding baseline) and at the
+// default shard count. Each variant warms the full two-attribute cell
+// domain through the HTTP stack, lands one single-row append, and
+// revalidates every warmed ETag — the retained 304s are exactly the
+// cells whose shards the append did not touch, which for the
+// monolithic cube is none of them. Append latency itself is measured
+// on Cube.Append directly so it reports the parallel per-shard
+// fold/rebuild, not JSON row parsing.
+func MeasureAppend(rows int, seed int64, progress io.Writer) (*harness.AppendReport, error) {
+	rep := &harness.AppendReport{
+		Rows:       rows,
+		Seed:       seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CacheBytes: DefaultCacheBytes,
+	}
+	const rowsPerBatch = 500
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"monolithic", 1},
+		{"sharded", 0}, // 0 = the core default shard count
+	} {
+		v, err := measureAppendVariant(cfg.name, cfg.shards, rows, rowsPerBatch, seed, progress)
+		if err != nil {
+			return nil, err
+		}
+		rep.Variants = append(rep.Variants, *v)
+	}
+	mono, shard := rep.Variant("monolithic"), rep.Variant("sharded")
+	rep.MonolithicRetention = mono.RetentionRatio
+	rep.ShardedRetention = shard.RetentionRatio
+	if shard.Append.NsPerOp > 0 {
+		rep.AppendLatencyRatio = mono.Append.NsPerOp / shard.Append.NsPerOp
+	}
+	return rep, nil
+}
+
+func measureAppendVariant(name string, shards, rows, rowsPerBatch int, seed int64, progress io.Writer) (*harness.AppendVariant, error) {
+	db := tabula.Open()
+	params := tabula.DefaultParams(tabula.NewHistogramLoss("fare_amount"), 1.0, "payment_type", "vendor_name")
+	params.EnableAppend = true
+	params.Shards = shards
+	fprintf(progress, "append-json: building %d-row cube (%s)...\n", rows, name)
+	cube, err := tabula.Build(tabula.GenerateTaxi(rows, seed), params)
+	if err != nil {
+		return nil, err
+	}
+	db.RegisterCube("c", cube)
+	srv := New(db)
+
+	// Warm every cell of the two-attribute domain (singles and pairs)
+	// and record each cell's ETag.
+	payments := []string{"cash", "credit", "no_charge", "dispute"}
+	vendors := []string{"CMT", "DDS", "VTS"}
+	var wheres []map[string]string
+	for _, p := range payments {
+		wheres = append(wheres, map[string]string{"payment_type": p})
+		for _, vn := range vendors {
+			wheres = append(wheres, map[string]string{"payment_type": p, "vendor_name": vn})
+		}
+	}
+	for _, vn := range vendors {
+		wheres = append(wheres, map[string]string{"vendor_name": vn})
+	}
+	serveQuery := func(where map[string]string, inm string) (int, string, error) {
+		body, err := json.Marshal(map[string]any{"cube": "c", "where": where})
+		if err != nil {
+			return 0, "", err
+		}
+		req, err := http.NewRequest("POST", "/query", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		w := &discardResponseWriter{h: make(http.Header)}
+		srv.ServeHTTP(w, req)
+		return w.status, w.h.Get("ETag"), nil
+	}
+	etags := make([]string, len(wheres))
+	for i, where := range wheres {
+		status, etag, err := serveQuery(where, "")
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK || etag == "" {
+			return nil, fmt.Errorf("warming %v: status %d, etag %q", where, status, etag)
+		}
+		etags[i] = etag
+	}
+
+	// One single-row append, then revalidate every warmed cell.
+	st, err := cube.Append(context.Background(), tabula.GenerateTaxi(1, seed+99))
+	if err != nil {
+		return nil, err
+	}
+	retained := 0
+	for i, where := range wheres {
+		status, _, err := serveQuery(where, etags[i])
+		if err != nil {
+			return nil, err
+		}
+		if status == http.StatusNotModified {
+			retained++
+		}
+	}
+
+	// Maintenance latency over rowsPerBatch-row batches; batches are
+	// pre-generated so generation cost stays out of the measurement.
+	fprintf(progress, "append-json: measuring %d-row appends (%s)...\n", rowsPerBatch, name)
+	const nBatches = 64
+	batches := make([]*tabula.Table, nBatches)
+	for i := range batches {
+		batches[i] = tabula.GenerateTaxi(rowsPerBatch, seed+1000+int64(i))
+	}
+	var appended, shardsTouched int
+	row, err := measureOp("append_"+name, func(i int) error {
+		st, err := cube.Append(context.Background(), batches[i%nBatches])
+		if err != nil {
+			return err
+		}
+		appended++
+		shardsTouched += len(st.ShardsTouched)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	v := &harness.AppendVariant{
+		Name:                name,
+		Shards:              cube.NumShards(),
+		RowsPerBatch:        rowsPerBatch,
+		Append:              row,
+		ShardsTouchedOneRow: len(st.ShardsTouched),
+		WarmedETags:         len(wheres),
+		Retained304:         retained,
+		RetentionRatio:      float64(retained) / float64(len(wheres)),
+	}
+	if appended > 0 {
+		v.AvgShardsTouched = float64(shardsTouched) / float64(appended)
+	}
+	return v, nil
+}

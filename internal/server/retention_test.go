@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// The tentpole behavior at the HTTP layer: an append bumps only the
+// generations of the shards it touches, so conditional requests for
+// cells served by UNTOUCHED shards keep revalidating to 304 across the
+// append, while cells of touched shards get fresh ETags and full
+// bodies. Under the old cube-wide generation every warmed ETag died on
+// every append; this test pins the retention win and its exact
+// boundary.
+func TestAppendRetainsUntouchedShardETags(t *testing.T) {
+	_, ts, cube := newCubeServer(t)
+
+	// Warm every cell of the two-attribute domain and record its ETag
+	// and answering shard.
+	payments := []string{"cash", "credit", "dispute", "no charge", "unknown"}
+	vendors := []string{"CMT", "VTS", "DDS"}
+	type cell struct {
+		where map[string]string
+		etag  string
+		shard int
+	}
+	var cells []cell
+	addCell := func(where map[string]string) {
+		t.Helper()
+		resp, body := doQuery(t, ts.URL+"/query", map[string]any{"cube": "c", "where": where}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm %v: %d %s", where, resp.StatusCode, body)
+		}
+		res, err := cube.QueryByValues(context.Background(), where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, cell{where: where, etag: resp.Header.Get("ETag"), shard: res.Shard})
+	}
+	for _, p := range payments {
+		addCell(map[string]string{"payment_type": p})
+		for _, v := range vendors {
+			addCell(map[string]string{"payment_type": p, "vendor_name": v})
+		}
+	}
+
+	// Append one row: it lands in one cell per cuboid, so at most a
+	// handful of the 16 shards are touched.
+	resp, raw := doQuery(t, ts.URL+"/append", map[string]any{
+		"cube": "c",
+		"rows": [][]string{
+			{"CMT", "Mon", "1", "cash", "standard", "N", "Mon", "12.5", "0", "2.3", "-73.98 40.75"},
+		},
+	}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: %d %s", resp.StatusCode, raw)
+	}
+	var ap struct {
+		ShardsTouched []int `json:"shards_touched"`
+	}
+	if err := json.Unmarshal(raw, &ap); err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.ShardsTouched) == 0 || len(ap.ShardsTouched) > cube.NumShards()/4 {
+		t.Fatalf("append touched %v of %d shards, want 1..%d", ap.ShardsTouched, cube.NumShards(), cube.NumShards()/4)
+	}
+	touched := make(map[int]bool)
+	for _, si := range ap.ShardsTouched {
+		touched[si] = true
+	}
+
+	// Revalidate every warmed cell: 304 exactly when its shard was not
+	// touched.
+	var kept, lost int
+	for _, c := range cells {
+		resp, body := doQuery(t, ts.URL+"/query", map[string]any{"cube": "c", "where": c.where},
+			map[string]string{"If-None-Match": c.etag})
+		if touched[c.shard] {
+			lost++
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%v (touched shard %d): status %d, want fresh 200", c.where, c.shard, resp.StatusCode)
+			}
+			if et := resp.Header.Get("ETag"); et == c.etag {
+				t.Fatalf("%v: ETag %q unchanged though shard %d was touched", c.where, et, c.shard)
+			}
+			if len(body) == 0 {
+				t.Fatalf("%v: fresh response carried no body", c.where)
+			}
+		} else {
+			kept++
+			if resp.StatusCode != http.StatusNotModified {
+				t.Fatalf("%v (untouched shard %d): status %d, want 304", c.where, c.shard, resp.StatusCode)
+			}
+		}
+	}
+	// The boundary must be exercised from both sides, and retention must
+	// clear the acceptance bar: ≥50% of warmed entries survive.
+	if kept == 0 || lost == 0 {
+		t.Fatalf("degenerate split: %d kept, %d lost", kept, lost)
+	}
+	if kept*2 < kept+lost {
+		t.Fatalf("retention %d/%d below 50%%", kept, kept+lost)
+	}
+}
+
+// Sharded appends interleaved with batch viewport reads under -race:
+// concurrent readers must always see an untorn snapshot (uniform
+// Version) while the parallel per-shard maintenance publishes.
+func TestShardedAppendBatchQueryRace(t *testing.T) {
+	_, ts, _ := newCubeServer(t)
+	queries := []map[string]string{
+		{"payment_type": "cash"}, {"payment_type": "credit"},
+		{"payment_type": "cash", "vendor_name": "CMT"},
+		{"payment_type": "dispute", "vendor_name": "VTS"},
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, raw := doQuery(t, ts.URL+"/append", map[string]any{
+				"cube": "c",
+				"rows": [][]string{
+					{"VTS", "Tue", "2", "credit", "standard", "N", "Tue", "9.5", "1", "1.1", "-73.99 40.73"},
+				},
+			}, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("append: %d %s", resp.StatusCode, raw)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 40; i++ {
+		resp, body := doQuery(t, ts.URL+"/query/batch", map[string]any{"cube": "c", "queries": queries}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

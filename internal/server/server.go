@@ -15,12 +15,14 @@
 //	GET  /                                                 → built-in dashboard demo page
 //
 // The serving path is built around the cube's snapshot immutability:
-// query responses are encoded once per {cube, generation, sample} and
-// then served from a byte-budget LRU as pre-encoded bytes with strong
-// ETags (If-None-Match → 304), precomputed Content-Length, and cached
-// gzip variants negotiated via Accept-Encoding. An Append bumps the
-// cube generation, so stale entries age out of the LRU naturally —
-// cache coherence costs no locks and no invalidation protocol.
+// query responses are encoded once per {cube, shard, shard generation,
+// sample} and then served from a byte-budget LRU as pre-encoded bytes
+// with strong ETags (If-None-Match → 304), precomputed Content-Length,
+// and cached gzip variants negotiated via Accept-Encoding. An Append
+// bumps only the generations of the shards it touched, so entries and
+// ETags of untouched shards survive the append while stale ones age
+// out of the LRU naturally — cache coherence costs no locks and no
+// invalidation protocol.
 package server
 
 import (
@@ -186,8 +188,8 @@ func queryBodySuffix(fromGlobal bool) string {
 
 // payloadBytes returns the cached wire form of the result's sample,
 // encoding it (deduplicated singleflight-style) on first touch.
-func (s *Server) payloadBytes(cube string, res *tabula.QueryResult, class string) ([]byte, error) {
-	return s.cache.Get(cacheKey("p", cube, res.Generation, class), func() ([]byte, error) {
+func (s *Server) payloadBytes(cube string, res *tabula.QueryResult, ident string) ([]byte, error) {
+	return s.cache.Get(cacheKey("p", cube, ident), func() ([]byte, error) {
 		return encodeTableBytes(res.Sample), nil
 	})
 }
@@ -207,8 +209,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	class := classOf(res)
-	etag := etagFor(req.Cube, res.Generation, class)
+	ident := identityOf(res)
+	etag := etagFor(req.Cube, ident)
 	h := w.Header()
 	h.Set("ETag", etag)
 	h.Set("Vary", "Accept-Encoding")
@@ -216,7 +218,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	payload, err := s.payloadBytes(req.Cube, res, class)
+	payload, err := s.payloadBytes(req.Cube, res, ident)
 	if err != nil {
 		s.writeErr(w, http.StatusInternalServerError, err)
 		return
@@ -226,7 +228,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	h.Set("Content-Type", "application/json")
 
 	if s.gzip && bodyLen >= gzipMinBytes && acceptsGzip(r) {
-		gz, err := s.cache.Get(cacheKey("z", req.Cube, res.Generation, class), func() ([]byte, error) {
+		gz, err := s.cache.Get(cacheKey("z", req.Cube, ident), func() ([]byte, error) {
 			bp := getBuf()
 			full := append(*bp, queryBodyPrefix...)
 			full = append(full, payload...)
@@ -261,8 +263,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCacheStats reports the response cache's counters plus each
+// cube's generation vector — the invalidation frontier: a cached entry
+// is still servable exactly when its shard's generation matches the
+// vector.
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
+	cubes := make(map[string]any)
+	for _, name := range s.db.Cubes() {
+		if cube, ok := s.db.CubeByName(name); ok {
+			cubes[name] = map[string]any{
+				"version":     cube.Generation(),
+				"shards":      cube.NumShards(),
+				"generations": cube.Generations(),
+			}
+		}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"enabled":   s.cache != nil,
 		"entries":   st.Entries,
@@ -271,6 +287,7 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 		"misses":    st.Misses,
 		"shared":    st.Shared,
 		"evictions": st.Evictions,
+		"cubes":     cubes,
 	})
 }
 
@@ -323,6 +340,10 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	shards := st.ShardsTouched
+	if shards == nil {
+		shards = []int{}
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"rows_appended":     st.RowsAppended,
 		"cells_touched":     st.CellsTouched,
@@ -330,6 +351,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		"cells_now_global":  st.CellsNowGlobal,
 		"samples_rebuilt":   st.SamplesRebuilt,
 		"samples_kept":      st.SamplesKept,
+		"shards_touched":    shards,
 		"elapsed_ms":        st.Elapsed.Milliseconds(),
 	})
 }
@@ -350,6 +372,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"loss":                cube.LossName(),
 		"theta":               cube.Theta(),
 		"generation":          cube.Generation(),
+		"shards":              cube.NumShards(),
+		"generations":         cube.Generations(),
 		"cubed_attrs":         cube.CubedAttrs(),
 		"cuboids":             st.NumCuboids,
 		"iceberg_cuboids":     st.NumIcebergCuboids,
