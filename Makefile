@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet lint cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append
+.PHONY: check build test race vet lint cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append bench-batch
 
 ## check: the full gate — vet, the project linter, build everything, and
 ## run the test suite under the race detector. CI and pre-commit should
@@ -64,6 +64,12 @@ bench-json:
 ## fixed seed and scale, written to BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/tabula-bench -serve-json BENCH_serve.json -rows 30000 -seed 42
+
+## bench-batch: the viewport hot path — warm 100-cell batch viewports
+## and the cold full-domain variant whose per-cell payload encodes run
+## through the parallel miss-fill.
+bench-batch:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeQueryBatch' -benchmem ./internal/server
 
 ## bench-append: machine-readable append-maintenance numbers — append
 ## latency and warm-cache retention across appends at S=1 (monolithic

@@ -110,6 +110,10 @@ func main() {
 		fmt.Printf("wrote %s (warm %.0f req/s vs legacy %.0f req/s: %.1fx; allocs/op %.0f vs %.0f: %.1fx)\n",
 			*serveJSON, warm.ReqPerSec, legacy.ReqPerSec, rep.WarmSpeedupVsLegacy,
 			warm.AllocsPerOp, legacy.AllocsPerOp, rep.WarmAllocImprovementVsLegacy)
+		if batch := rep.Scenario("batch"); batch != nil {
+			fmt.Printf("  batch viewport: %.0f req/s, %.0f ns/op, %.0f allocs/op; cold parallel fill p1→p4: %.2fx\n",
+				batch.ReqPerSec, batch.NsPerOp, batch.AllocsPerOp, rep.BatchParallelSpeedup)
+		}
 		return
 	}
 	if *appendJSON != "" {

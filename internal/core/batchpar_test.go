@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// resFingerprint renders every observable field of a QueryResult; two
+// results with identical fingerprints are byte-identical answers.
+func resFingerprint(res *QueryResult) string {
+	return fmt.Sprintf("global=%v key=%d shard=%d sample=%d gen=%d ver=%d\n%s",
+		res.FromGlobal, res.CellKey, res.Shard, res.SampleID, res.Generation, res.Version,
+		tableFingerprint(res.Sample))
+}
+
+// viewportQueries builds a deterministic batch mixing every resolution
+// path: hot display-form hits, shared cells (payload dedup), rolled-up
+// cells, unknown values (empty population), and non-canonical integer
+// spellings ("01", "+2") that miss the display fast path but resolve.
+func viewportQueries() []map[string]string {
+	dists := []string{"", "[0,5)", "[5,10)", "[10,15)"}
+	pass := []string{"", "1", "2", "3", "01", "+2"}
+	pays := []string{"", "cash", "credit", "dispute", "barter"}
+	var out []map[string]string
+	for _, d := range dists {
+		for _, c := range pass {
+			for _, p := range pays {
+				where := map[string]string{}
+				if d != "" {
+					where["distance"] = d
+				}
+				if c != "" {
+					where["passengers"] = c
+				}
+				if p != "" {
+					where["payment"] = p
+				}
+				out = append(out, where)
+			}
+		}
+	}
+	// Repeat the viewport so the batch is comfortably larger than the
+	// worker count and every cell appears several times.
+	out = append(out, out...)
+	return out
+}
+
+// The parallel batch is an execution strategy, not a semantic one: at
+// any worker count and any shard count, QueryBatchByValues must produce
+// byte-identical results to the sequential walk — same samples, same
+// identities, same versions, in the same order.
+func TestQueryBatchParallelDeterminism(t *testing.T) {
+	queries := viewportQueries()
+	for _, shards := range []int{1, 16} {
+		p := DefaultParams(loss.NewHistogram("fare"), 1.0, "distance", "passengers", "payment")
+		p.Seed = 11
+		p.Shards = shards
+		tab, err := Build(context.Background(), taxiTable(2500, 171), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tab.params.Workers = 1
+		ref, err := tab.QueryBatchByValues(context.Background(), queries)
+		if err != nil {
+			t.Fatalf("S=%d sequential batch: %v", shards, err)
+		}
+		refPrints := make([]string, len(ref))
+		for i, res := range ref {
+			refPrints[i] = resFingerprint(res)
+		}
+
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			tab.params.Workers = workers
+			got, err := tab.QueryBatchByValues(context.Background(), queries)
+			if err != nil {
+				t.Fatalf("S=%d workers=%d: %v", shards, workers, err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("S=%d workers=%d: %d results, want %d", shards, workers, len(got), len(ref))
+			}
+			for i, res := range got {
+				if fp := resFingerprint(res); fp != refPrints[i] {
+					t.Fatalf("S=%d workers=%d: query %d diverged from sequential:\n got %s\nwant %s",
+						shards, workers, i, fp, refPrints[i])
+				}
+			}
+		}
+	}
+}
+
+// A failing batch must fail identically at any worker count: same error
+// message, naming the lowest-indexed bad query — even when a worker
+// processing a later query hits its (different) error first.
+func TestQueryBatchParallelErrorDeterminism(t *testing.T) {
+	p := DefaultParams(loss.NewHistogram("fare"), 1.0, "distance", "passengers", "payment")
+	p.Seed = 11
+	tab, err := Build(context.Background(), taxiTable(1200, 173), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := viewportQueries()
+	// Three distinct failures planted out of order; index 40 must win.
+	queries[90] = map[string]string{"ghost": "1"}                 // unknown attribute
+	queries[40] = map[string]string{"passengers": "not-a-number"} // parse error
+	queries[70] = map[string]string{"fare": "12.5"}               // in schema, not cubed
+
+	tab.params.Workers = 1
+	_, refErr := tab.QueryBatchByValues(context.Background(), queries)
+	if refErr == nil {
+		t.Fatal("sequential batch with bad queries succeeded")
+	}
+	if !strings.HasPrefix(refErr.Error(), "query 40:") {
+		t.Fatalf("sequential error %q does not name the lowest bad query", refErr)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		tab.params.Workers = workers
+		_, err := tab.QueryBatchByValues(context.Background(), queries)
+		if err == nil {
+			t.Fatalf("workers=%d: batch with bad queries succeeded", workers)
+		}
+		if err.Error() != refErr.Error() {
+			t.Fatalf("workers=%d: error %q, sequential said %q", workers, err, refErr)
+		}
+	}
+}
+
+// A cancelled context stops a parallel batch mid-flight with ctx.Err().
+func TestQueryBatchParallelCancellation(t *testing.T) {
+	p := DefaultParams(loss.NewHistogram("fare"), 1.0, "distance", "passengers", "payment")
+	p.Seed = 11
+	tab, err := Build(context.Background(), taxiTable(1200, 177), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.params.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tab.QueryBatchByValues(ctx, viewportQueries()); err != context.Canceled {
+		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+}
+
+// The dictionary fast path must agree with the sorted parse-then-
+// resolve slow path on every query — answers and errors alike. This is
+// the answer-preservation contract of the snapshot value dictionaries.
+func TestQueryByValuesFastPathMatchesSlowPath(t *testing.T) {
+	p := DefaultParams(loss.NewHistogram("fare"), 1.0, "distance", "passengers", "payment")
+	p.Seed = 11
+	tab, err := Build(context.Background(), taxiTable(1500, 179), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := viewportQueries()
+	cases = append(cases,
+		map[string]string{"ghost": "1"},
+		map[string]string{"passengers": "not-a-number"},
+		map[string]string{"passengers": "99999999999999999999"},
+		map[string]string{"fare": "12.5"},
+		map[string]string{"payment": "barter", "ghost": "1"}, // unknown value + unknown attr: sorted order decides
+		map[string]string{"payment": "barter", "fare": "1"},  // unknown value + not-cubed attr
+		map[string]string{"": ""},
+	)
+	sn := tab.snap.Load()
+	for _, where := range cases {
+		fast, fastErr := tab.QueryByValues(context.Background(), where)
+		slow, slowErr := tab.queryValuesSlow(sn, where)
+		if (fastErr == nil) != (slowErr == nil) {
+			t.Fatalf("%v: fast err %v, slow err %v", where, fastErr, slowErr)
+		}
+		if fastErr != nil {
+			if fastErr.Error() != slowErr.Error() {
+				t.Fatalf("%v: fast err %q, slow err %q", where, fastErr, slowErr)
+			}
+			continue
+		}
+		if resFingerprint(fast) != resFingerprint(slow) {
+			t.Fatalf("%v: fast path diverged from slow path:\n got %s\nwant %s",
+				where, resFingerprint(fast), resFingerprint(slow))
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+)
+
+// dictionary is a snapshot's per-attribute value index: for every cubed
+// attribute it maps a canonical value — and, on a fast path, the value's
+// display string — to the value's dense code. It turns condition
+// resolution from an O(domain) Equal scan (the old snapshot.codeOf
+// loop) plus a per-query sort-and-parse (the old parseConds hot path)
+// into two map hits per predicate.
+//
+// A dictionary is part of the immutable serving state: it is built once
+// by newDictionary while its snapshot is still unpublished (Build,
+// Load) and never written afterwards — the snapshotmut analyzer
+// enforces this exactly as it does for snapshot and shard fields.
+// Appends cannot change it: the cube's value domains are fixed for its
+// lifetime (domain growth forces a rebuild), so successor snapshots
+// share the dictionary by pointer, and everything resolved through it
+// is answer-preserving by construction — the maps are populated from
+// the same attrVals tables the linear scan walked.
+type dictionary struct {
+	// codes maps a canonical value (see engine.CanonValue) of attribute
+	// ai to its dense code. Keys are canonical, so probes must be too.
+	codes []map[dataset.Value]int32
+	// display maps the canonical display form (dataset.Value.String) of
+	// a value of attribute ai to its dense code. A miss here does NOT
+	// mean the value is unknown: non-canonical spellings ("+5", "05")
+	// parse to known values — callers fall back to ParseValue plus a
+	// codes lookup (or the deterministic sorted slow path).
+	display []map[string]int32
+}
+
+// newDictionary indexes the attrVals tables of a snapshot under
+// construction. It is a snapshotmut maintainer: the only function
+// permitted to write dictionary fields.
+func newDictionary(attrVals [][]dataset.Value) *dictionary {
+	d := &dictionary{
+		codes:   make([]map[dataset.Value]int32, len(attrVals)),
+		display: make([]map[string]int32, len(attrVals)),
+	}
+	for ai, vals := range attrVals {
+		cm := make(map[dataset.Value]int32, len(vals))
+		dm := make(map[string]int32, len(vals))
+		for c, v := range vals {
+			cm[engine.CanonValue(v)] = int32(c)
+			dm[v.String()] = int32(c)
+		}
+		d.codes[ai] = cm
+		d.display[ai] = dm
+	}
+	return d
+}
+
+// codeOf maps a value of attribute ai to its dense code, or NullCode
+// when the value never occurs in the raw table. Only String and Int64
+// attributes can be cubed, so the canonical-key lookup is exact.
+func (d *dictionary) codeOf(ai int, v dataset.Value) int32 {
+	if c, ok := d.codes[ai][engine.CanonValue(v)]; ok {
+		return c
+	}
+	return engine.NullCode
+}
+
+// displayCode maps the display form of a value of attribute ai to its
+// dense code. ok is false on a miss, which callers must treat as
+// "resolve the slow way", not "unknown value": the string may be a
+// non-canonical spelling of a known value, or garbage that should
+// surface a deterministic parse error.
+func (d *dictionary) displayCode(ai int, s string) (int32, bool) {
+	c, ok := d.display[ai][s]
+	return c, ok
+}
+
+// codesPool recycles the per-query cell-address scratch ([]int32, one
+// code per cubed attribute). Query resolution is two map hits per
+// predicate once dictionaries are in place; without the pool the
+// address slice would be the hot path's last per-query allocation.
+var codesPool = sync.Pool{
+	New: func() any {
+		b := make([]int32, 0, 8)
+		return &b
+	},
+}
+
+// getCodes returns a pooled length-n address slice with every
+// coordinate initialized to NullCode (the rolled-up "*").
+func getCodes(n int) *[]int32 {
+	p := codesPool.Get().(*[]int32)
+	s := *p
+	if cap(s) < n {
+		s = make([]int32, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = engine.NullCode
+	}
+	*p = s
+	return p
+}
+
+func putCodes(p *[]int32) {
+	codesPool.Put(p)
+}

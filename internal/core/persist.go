@@ -286,6 +286,7 @@ func Load(r io.Reader) (*Tabula, error) {
 	for i, aname := range t.params.CubedAttrs {
 		sn.attrIdx[aname] = i
 	}
+	sn.dict = newDictionary(sn.attrVals)
 	sn.codec, err = engine.NewKeyCodec(cards)
 	if err != nil {
 		return nil, err

@@ -77,49 +77,60 @@ func (t *Tabula) QueryIn(ctx context.Context, conds []ConditionIn) (*QueryResult
 	// deterministic cell-enumeration order — both independent of the
 	// shard layout, so QueryIn answers are identical at any shard
 	// count.
+	//
+	// The enumeration is an iterative odometer over the constrained
+	// attributes (last attribute fastest — the same order the old
+	// recursive descent visited), with a ctx poll per cell instead of
+	// the old per-outermost-value poll: no recursion, no closure
+	// allocations, and a disconnected dashboard stops paying within one
+	// cell regardless of which attribute carries the large IN list.
+	type inDim struct {
+		ai    int
+		codes []int32
+	}
+	var dims []inDim
+	cp := getCodes(len(sn.attrVals))
+	defer putCodes(cp)
+	addr := *cp
+	for ai, codes := range codesPerAttr {
+		if codes != nil {
+			dims = append(dims, inDim{ai: ai, codes: codes})
+			addr[ai] = codes[0]
+		}
+	}
 	seen := make(map[*dataset.Table]bool)
 	var ordered []*dataset.Table
 	useGlobal := false
-	addr := make([]int32, len(sn.attrVals))
-	var cancelled error
-	var rec func(ai int)
-	rec = func(ai int) {
-		if cancelled != nil {
-			return
+	idx := make([]int, len(dims))
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		if ai == len(codesPerAttr) {
-			key := sn.codec.Encode(addr)
-			si := sn.shardOf(key)
-			sh := sn.shards[si]
-			if id, ok := sh.cubeTable[key]; ok {
-				if s := sh.samples[id]; !seen[s] {
-					seen[s] = true
-					ordered = append(ordered, s)
-				}
-			} else {
-				useGlobal = true
+		key := sn.codec.Encode(addr)
+		si := sn.shardOf(key)
+		sh := sn.shards[si]
+		if id, ok := sh.cubeTable[key]; ok {
+			if s := sh.samples[id]; !seen[s] {
+				seen[s] = true
+				ordered = append(ordered, s)
 			}
-			return
+		} else {
+			useGlobal = true
 		}
-		if codesPerAttr[ai] == nil {
-			addr[ai] = engine.NullCode
-			rec(ai + 1)
-			return
+		// Advance the odometer: bump the last dimension, carrying
+		// leftwards past exhausted ones; when the carry walks off the
+		// front, every cell has been visited.
+		k := len(dims) - 1
+		for k >= 0 && idx[k]+1 == len(dims[k].codes) {
+			idx[k] = 0
+			addr[dims[k].ai] = dims[k].codes[0]
+			k--
 		}
-		for _, code := range codesPerAttr[ai] {
-			if ai == 0 {
-				if err := ctx.Err(); err != nil {
-					cancelled = err
-					return
-				}
-			}
-			addr[ai] = code
-			rec(ai + 1)
+		if k < 0 {
+			break
 		}
-	}
-	rec(0)
-	if cancelled != nil {
-		return nil, cancelled
+		idx[k]++
+		addr[dims[k].ai] = dims[k].codes[idx[k]]
 	}
 
 	// Assemble the union sample by bulk column copies; ctx is checked

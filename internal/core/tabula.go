@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -193,8 +194,12 @@ type snapshot struct {
 	schema   dataset.Schema
 	attrVals [][]dataset.Value // per cubed attribute: code -> value
 	attrIdx  map[string]int    // cubed attribute name -> position
-	codec    *engine.KeyCodec
-	global   *dataset.Table
+	// dict indexes attrVals for O(1) condition resolution (value→code
+	// and display-string→code). Value domains are fixed for the cube's
+	// lifetime, so successors share it by pointer forever.
+	dict   *dictionary
+	codec  *engine.KeyCodec
+	global *dataset.Table
 	// shards partitions the cell→sample state by group-key hash. The
 	// slice has a fixed length for the cube's lifetime; its elements
 	// are copy-on-write (see successor).
@@ -368,6 +373,7 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 		}
 		sn.attrVals[ai] = vals
 	}
+	sn.dict = newDictionary(sn.attrVals)
 
 	k, err := sampling.SerflingSize(p.Epsilon, p.Delta)
 	if err != nil {
@@ -614,10 +620,9 @@ func (t *Tabula) Query(ctx context.Context, conds []Condition) (*QueryResult, er
 // step — condition resolution and the cell lookup — observes the same
 // snapshot version even while Appends publish successors concurrently.
 func (t *Tabula) queryOn(sn *snapshot, conds []Condition) (*QueryResult, error) {
-	codes := make([]int32, len(sn.attrVals))
-	for i := range codes {
-		codes[i] = engine.NullCode
-	}
+	cp := getCodes(len(sn.attrVals))
+	defer putCodes(cp)
+	codes := *cp
 	for _, c := range conds {
 		ai, ok := sn.attrIdx[c.Attr]
 		if !ok {
@@ -636,18 +641,29 @@ func (t *Tabula) queryOn(sn *snapshot, conds []Condition) (*QueryResult, error) 
 		}
 		codes[ai] = code
 	}
+	return sn.answerCell(codes), nil
+}
+
+// answerCell addresses the cell encoded by codes and assembles its
+// answer: the shard-local sample when the cell is iceberg, the global
+// sample otherwise. codes is not retained.
+func (sn *snapshot) answerCell(codes []int32) *QueryResult {
 	key := sn.codec.Encode(codes)
 	si := sn.shardOf(key)
 	sh := sn.shards[si]
 	if id, ok := sh.cubeTable[key]; ok {
-		return &QueryResult{Sample: sh.samples[id], CellKey: key, Shard: si, SampleID: id, Generation: sh.generation, Version: sn.version}, nil
+		return &QueryResult{Sample: sh.samples[id], CellKey: key, Shard: si, SampleID: id, Generation: sh.generation, Version: sn.version}
 	}
-	return &QueryResult{Sample: sn.global, FromGlobal: true, CellKey: key, Shard: si, SampleID: -1, Generation: sh.generation, Version: sn.version}, nil
+	return &QueryResult{Sample: sn.global, FromGlobal: true, CellKey: key, Shard: si, SampleID: -1, Generation: sh.generation, Version: sn.version}
 }
 
 // parseConds parses display-form predicate values against the snapshot's
 // schema. Attributes are visited in sorted order so error messages are
-// deterministic.
+// deterministic. It survives as the slow half of display-form
+// resolution: queryValuesOn answers the hot path from the snapshot
+// dictionary and re-enters here (via queryValuesSlow) only when a
+// predicate needs a parse error, a non-canonical spelling, or the
+// legacy unknown-value ordering semantics.
 func (sn *snapshot) parseConds(conds map[string]string) ([]Condition, error) {
 	out := make([]Condition, 0, len(conds))
 	attrs := make([]string, 0, len(conds))
@@ -669,16 +685,46 @@ func (sn *snapshot) parseConds(conds map[string]string) ([]Condition, error) {
 	return out, nil
 }
 
-// QueryByValues is a convenience Query over (attr, string-or-int) pairs
-// with values given in display form; it parses each value against the
-// attribute's column type. Parsing and the cell lookup run against a
-// single snapshot load, so a concurrent Append can never make the query
-// parse against one generation and answer from another.
-func (t *Tabula) QueryByValues(ctx context.Context, conds map[string]string) (*QueryResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
+// queryValuesOn resolves one display-form query against sn. The fast
+// path is two map hits per predicate — attribute name → position,
+// display string → code — with zero sorts, zero parses, and a pooled
+// address scratch. Anything surprising (attribute not cubed, display
+// miss) falls back to the sorted parse-then-resolve slow path, which
+// reproduces the pre-dictionary behaviour verbatim; since map iteration
+// order is random, the fast path must never answer a query the slow
+// path would reject (or vice versa) — bailing out wholesale on the
+// first surprise is what keeps answers and error messages deterministic
+// and byte-identical to the sequential path.
+func (t *Tabula) queryValuesOn(sn *snapshot, conds map[string]string) (*QueryResult, error) {
+	cp := getCodes(len(sn.attrVals))
+	codes := *cp
+	for a, s := range conds {
+		ai, ok := sn.attrIdx[a]
+		if !ok {
+			putCodes(cp)
+			return t.queryValuesSlow(sn, conds)
+		}
+		code, ok := sn.dict.displayCode(ai, s)
+		if !ok {
+			// Unknown display form: a parse error, a non-canonical
+			// spelling of a known value, or an unknown value (whose
+			// empty-population answer depends on sorted attribute order
+			// when mixed with errors). All deterministic via the slow
+			// path; none hot.
+			putCodes(cp)
+			return t.queryValuesSlow(sn, conds)
+		}
+		codes[ai] = code
 	}
-	sn := t.snap.Load()
+	res := sn.answerCell(codes)
+	putCodes(cp)
+	return res, nil
+}
+
+// queryValuesSlow is the deterministic display-form slow path: the
+// legacy sorted parse-then-resolve pipeline, kept verbatim so fallback
+// queries answer (and fail) exactly as they did before dictionaries.
+func (t *Tabula) queryValuesSlow(sn *snapshot, conds map[string]string) (*QueryResult, error) {
 	out, err := sn.parseConds(conds)
 	if err != nil {
 		return nil, err
@@ -686,33 +732,107 @@ func (t *Tabula) QueryByValues(ctx context.Context, conds map[string]string) (*Q
 	return t.queryOn(sn, out)
 }
 
+// QueryByValues is a convenience Query over (attr, string-or-int) pairs
+// with values given in display form; it resolves each value against the
+// snapshot's value dictionary (falling back to parsing against the
+// attribute's column type). Resolution and the cell lookup run against
+// a single snapshot load, so a concurrent Append can never make the
+// query resolve against one generation and answer from another.
+func (t *Tabula) QueryByValues(ctx context.Context, conds map[string]string) (*QueryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.queryValuesOn(t.snap.Load(), conds)
+}
+
 // QueryBatchByValues answers a whole batch of display-form queries — a
 // dashboard viewport's worth of cells — against ONE atomically loaded
 // snapshot. Every result carries the same Version, so the client sees
 // a consistent view of the cube: either entirely before or entirely
 // after any concurrent Append, never a mix. A per-query resolution error
-// (unknown attribute, bad value) fails the whole batch.
+// (unknown attribute, bad value) fails the whole batch with the
+// lowest-indexed query's error.
+//
+// The batch fans out over a bounded worker pool (Params.Workers, 0 =
+// GOMAXPROCS) against the single loaded snapshot. Results are written
+// by index and errors are selected by lowest index after the pool
+// drains, so the answer — success or failure — is byte-identical at any
+// worker count. Workers poll ctx before every query, so a disconnected
+// dashboard stops paying for a 4096-query batch mid-flight; a cancelled
+// batch reports ctx.Err().
 func (t *Tabula) QueryBatchByValues(ctx context.Context, queries []map[string]string) ([]*QueryResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sn := t.snap.Load()
 	out := make([]*QueryResult, len(queries))
-	for i, q := range queries {
-		if i&255 == 0 {
+	workers := t.params.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers <= 1 {
+		for i, q := range queries {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			res, err := t.queryValuesOn(sn, q)
+			if err != nil {
+				return nil, fmt.Errorf("query %d: %w", i, err)
+			}
+			out[i] = res
 		}
-		conds, err := sn.parseConds(q)
-		if err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
+		return out, nil
+	}
+
+	// firstErr tracks the lowest-indexed failure; resolution errors do
+	// not abort the remaining queries (the batch fails as a whole with a
+	// deterministic error regardless of scheduling), only cancellation
+	// stops the workers.
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	setErr := func(i int, err error) {
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, firstErr = i, err
 		}
-		res, err := t.queryOn(sn, conds)
-		if err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
+		mu.Unlock()
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(queries) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					setErr(i, err)
+					return
+				}
+				res, err := t.queryValuesOn(sn, queries[i])
+				if err != nil {
+					setErr(i, fmt.Errorf("query %d: %w", i, err))
+					continue
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		out[i] = res
+		return nil, firstErr
 	}
 	return out, nil
 }
@@ -740,12 +860,9 @@ func (t *Tabula) Generations() []uint64 {
 func (t *Tabula) NumShards() int { return len(t.snap.Load().shards) }
 
 // codeOf maps a value of cubed attribute ai to its dense code, or
-// NullCode when the value never occurs in the raw table.
+// NullCode when the value never occurs in the raw table. One dictionary
+// hit — the old per-call linear Equal scan over the attribute domain is
+// gone, which matters most to QueryIn (one lookup per IN-list value).
 func (s *snapshot) codeOf(ai int, v dataset.Value) int32 {
-	for c, val := range s.attrVals[ai] {
-		if val.Equal(v) {
-			return int32(c)
-		}
-	}
-	return engine.NullCode
+	return s.dict.codeOf(ai, v)
 }

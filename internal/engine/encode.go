@@ -125,14 +125,37 @@ func (e *CatEncoding) Value(ai int, code int32) dataset.Value { return e.vals[ai
 // CodeOf maps a value of attribute ai to its dense code, or NullCode if
 // the value does not occur in the table.
 func (e *CatEncoding) CodeOf(ai int, v dataset.Value) int32 {
-	// Linear scan is fine: attribute cardinalities are dashboard-filter
-	// sized (a handful of buckets).
+	// Linear scan is fine here: CodeOf only runs on the maintenance path
+	// (AppendRows caches it per distinct value). The serving path keys
+	// per-snapshot value dictionaries with CanonValue instead.
 	for c, val := range e.vals[ai] {
 		if val.Equal(v) {
 			return int32(c)
 		}
 	}
 	return NullCode
+}
+
+// CanonValue returns v rebuilt through its type's constructor so every
+// inactive payload field is zero. Value.Equal compares only the active
+// field, but Go map keys compare every field of the struct — a caller-
+// built Value carrying junk in an inactive field would Equal a stored
+// value yet miss it in a map. Canonicalizing both the stored keys and
+// the probe makes map-key equality coincide with Equal, which is what
+// lets snapshot value dictionaries replace linear Equal scans.
+func CanonValue(v dataset.Value) dataset.Value {
+	switch v.Type {
+	case dataset.Int64:
+		return dataset.IntValue(v.I)
+	case dataset.Float64:
+		return dataset.FloatValue(v.F)
+	case dataset.String:
+		return dataset.StringValue(v.S)
+	case dataset.Point:
+		return dataset.PointValue(v.P)
+	default:
+		return dataset.Value{Type: v.Type}
+	}
 }
 
 // Columns returns the table column indexes in attribute order.

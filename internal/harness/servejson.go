@@ -10,7 +10,10 @@ type ServeRow struct {
 	// Name identifies the scenario: "warm" (cached repeated-cell
 	// traffic), "cold" (every request a first hit), "batch" (100-cell
 	// viewport per request), "legacy" (the pre-cache per-request
-	// encoder, the comparison baseline).
+	// encoder, the comparison baseline), "batch_parallel_p1" /
+	// "batch_parallel_p4" (a cold full-domain viewport per request —
+	// every distinct payload re-encoded through the parallel miss-fill —
+	// at GOMAXPROCS 1 and 4).
 	Name        string  `json:"name"`
 	ReqPerSec   float64 `json:"req_per_sec"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -34,6 +37,11 @@ type ServeReport struct {
 	WarmSpeedupVsLegacy float64 `json:"warm_req_per_sec_speedup_vs_legacy"`
 	// WarmAllocImprovementVsLegacy is legacy allocs/op ÷ warm allocs/op.
 	WarmAllocImprovementVsLegacy float64 `json:"warm_allocs_improvement_vs_legacy"`
+	// BatchParallelSpeedup is batch_parallel_p1 ns/op ÷ batch_parallel_p4
+	// ns/op: the wall-clock scaling the parallel viewport miss-fill gets
+	// from 1 → 4 processors on the measuring host (≈1.0 on a single-CPU
+	// machine, where extra workers can only time-slice one core).
+	BatchParallelSpeedup float64 `json:"batch_parallel_speedup_p1_to_p4"`
 }
 
 // Scenario returns the named row, or nil.

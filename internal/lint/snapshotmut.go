@@ -11,17 +11,20 @@ import (
 // violation that happens while no query is in flight — the write is
 // simply wrong, not racy — so this is checked statically.
 //
-// In any package that declares a struct type named "snapshot" or
-// "shard", every assignment, increment, or delete() whose target is
-// reachable through a field of those structs (sh.cubeTable[k] = v,
-// next.shards = append(...), sn.stats.X += y, delete(sh.cubeTable, k))
-// must occur inside one of the allowlisted maintainer functions, which
-// only ever touch state that is not yet published:
+// In any package that declares a struct type named "snapshot", "shard",
+// or "dictionary", every assignment, increment, or delete() whose
+// target is reachable through a field of those structs (sh.cubeTable[k]
+// = v, next.shards = append(...), sn.stats.X += y, d.codes[ai] = m,
+// delete(sh.cubeTable, k)) must occur inside one of the allowlisted
+// maintainer functions, which only ever touch state that is not yet
+// published:
 //
-//   - newSnapshot / newShard / Build / Load construct fresh state
-//     before the first Store,
+//   - newSnapshot / newShard / newDictionary / Build / Load construct
+//     fresh state before the first Store,
 //   - successor deep-copies the mutable pieces into an unpublished
-//     copy (per shard, so untouched shards stay structurally shared),
+//     copy (per shard, so untouched shards stay structurally shared;
+//     the dictionary is never copied — value domains are fixed for the
+//     cube's lifetime, so successors share it by pointer),
 //   - Append rewrites only successor shards and publishes them with
 //     one atomic swap.
 //
@@ -43,19 +46,21 @@ func AnalyzerSnapshotMut() *Analyzer {
 // snapshotMutTypes are the struct type names whose fields are
 // write-protected outside the maintainer set.
 var snapshotMutTypes = map[string]bool{
-	"snapshot": true,
-	"shard":    true,
+	"snapshot":   true,
+	"shard":      true,
+	"dictionary": true,
 }
 
 // snapshotMutAllowed are the maintainer functions permitted to write
 // protected fields (see the analyzer doc for why each is safe).
 var snapshotMutAllowed = map[string]bool{
-	"newSnapshot": true,
-	"newShard":    true,
-	"Build":       true,
-	"successor":   true,
-	"Load":        true,
-	"Append":      true,
+	"newSnapshot":   true,
+	"newShard":      true,
+	"newDictionary": true,
+	"Build":         true,
+	"successor":     true,
+	"Load":          true,
+	"Append":        true,
 }
 
 func runSnapshotMut(p *Package) []Finding {
@@ -103,7 +108,7 @@ func runSnapshotMut(p *Package) []Finding {
 }
 
 func allowedNames() string {
-	return "newSnapshot/newShard/Build/successor/Load/Append"
+	return "newSnapshot/newShard/newDictionary/Build/successor/Load/Append"
 }
 
 // snapshotMutFields collects the field names of the package's

@@ -11,10 +11,27 @@ type shard struct {
 	samples    []int
 }
 
+type dictionary struct {
+	codes   []map[int64]int32
+	display []map[string]int32
+}
+
 type snapshot struct {
 	shards  []*shard
 	stats   stats
+	dict    *dictionary
 	version uint64
+}
+
+// newDictionary is in the maintainer allowlist: mutation is fine.
+func newDictionary(n int) *dictionary {
+	d := &dictionary{display: make([]map[string]int32, n)}
+	d.codes = make([]map[int64]int32, n)
+	for i := 0; i < n; i++ {
+		d.codes[i] = map[int64]int32{}
+		d.display[i] = map[string]int32{}
+	}
+	return d
 }
 
 // newShard is in the maintainer allowlist: mutation is fine.
@@ -61,6 +78,17 @@ func evilQuery(sn *snapshot, sh *shard) {
 	sh.samples = append(sh.samples, 1)        // want "write to shard field \"samples\""
 	sn.shards = append(sn.shards, newShard()) // want "write to snapshot field \"shards\""
 	sn.shards[0].generation++                 // want "write to shard field \"generation\""
+}
+
+// evilResolve mutates a published dictionary outside the maintainer
+// set: a query path "caching" a resolution into the shared dictionary
+// would race with every other reader.
+func evilResolve(sn *snapshot, d *dictionary) {
+	d.codes[0][5] = 1                    // want "write to dictionary field \"codes\""
+	d.display[0]["5"] = 1                // want "write to dictionary field \"display\""
+	delete(d.display[0], "5")            // want "delete from dictionary map field \"display\""
+	sn.dict = newDictionary(1)           // want "write to snapshot field \"dict\""
+	sn.dict.codes = append(d.codes, nil) // want "write to dictionary field \"codes\""
 }
 
 // lookalike shares a field name with shard but is a different type;

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"github.com/tabula-db/tabula"
 )
@@ -69,17 +72,26 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	// Dedup: one payload per distinct {shard, generation, class}
 	// identity, in first-appearance order. (A sample shared across
 	// shards ships once per shard — the price of per-shard identities
-	// that survive appends to other shards.)
+	// that survive appends to other shards.) Results are compared on a
+	// packed comparable key, and identity strings are built once per
+	// DISTINCT payload — a 100-cell viewport resolving to a handful of
+	// representative samples no longer allocates 100 identity strings.
 	idents := make([]string, len(results))
-	payloadIdx := make(map[string]int)
+	resultIdx := make([]int, len(results))
+	payloadIdx := make(map[identKey]int, 16)
 	var distinct []*tabula.QueryResult
+	var distinctIdents []string
 	for i, res := range results {
-		ident := identityOf(res)
-		idents[i] = ident
-		if _, ok := payloadIdx[ident]; !ok {
-			payloadIdx[ident] = len(distinct)
+		k := identKeyOf(res)
+		j, ok := payloadIdx[k]
+		if !ok {
+			j = len(distinct)
+			payloadIdx[k] = j
 			distinct = append(distinct, res)
+			distinctIdents = append(distinctIdents, identityOf(res))
 		}
+		resultIdx[i] = j
+		idents[i] = distinctIdents[j]
 	}
 	hash := strconv.FormatUint(viewportHash(idents), 16)
 	ident := "b" + hash
@@ -93,6 +105,28 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	assemble := func() ([]byte, error) {
+		// Fill the distinct payloads concurrently: each encode is an
+		// independent respcache miss (or hit), and the cache's
+		// singleflight already dedups concurrent encodes of the same
+		// identity across batches — so a cold viewport pays each encode
+		// once, in parallel, with a ctx poll per payload. Errors resolve
+		// to the lowest payload index for determinism.
+		ctx := r.Context()
+		payloads := make([][]byte, len(distinct))
+		err := runPool(runtime.GOMAXPROCS(0), len(distinct), func(j int) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			p, err := s.payloadBytes(req.Cube, distinct[j], distinctIdents[j])
+			if err != nil {
+				return err
+			}
+			payloads[j] = p
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		bp := getBuf()
 		b := append(*bp, `{"results":[`...)
 		for i, res := range results {
@@ -100,7 +134,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 				b = append(b, ',')
 			}
 			b = append(b, `{"payload":`...)
-			b = strconv.AppendInt(b, int64(payloadIdx[idents[i]]), 10)
+			b = strconv.AppendInt(b, int64(resultIdx[i]), 10)
 			b = append(b, `,"shard":`...)
 			b = strconv.AppendInt(b, int64(res.Shard), 10)
 			b = append(b, `,"generation":`...)
@@ -112,15 +146,9 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		b = append(b, `],"payloads":[`...)
-		for i, res := range distinct {
+		for i, payload := range payloads {
 			if i > 0 {
 				b = append(b, ',')
-			}
-			payload, err := s.payloadBytes(req.Cube, res, identityOf(res))
-			if err != nil {
-				*bp = b[:0]
-				putBuf(bp)
-				return nil, err
 			}
 			b = append(b, payload...)
 		}
@@ -162,4 +190,74 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if n, err := w.Write(body); err != nil {
 		s.logf("server: response write failed after %d/%d bytes: %v", n, len(body), err)
 	}
+}
+
+// identKey is the comparable form of a result's cache identity
+// "s{shard}.g{generation}.{class}" (see identityOf): the dedup map keys
+// on this packed struct instead of a formatted string, so per-result
+// identity strings are only materialized once per distinct payload.
+type identKey struct {
+	shard      int
+	generation uint64
+	sampleID   int32
+	fromGlobal bool
+}
+
+func identKeyOf(res *tabula.QueryResult) identKey {
+	return identKey{
+		shard:      res.Shard,
+		generation: res.Generation,
+		sampleID:   res.SampleID,
+		fromGlobal: res.FromGlobal,
+	}
+}
+
+// runPool runs fn(j) for every j in [0, n) on at most `workers`
+// goroutines and returns the lowest-indexed error (deterministic
+// regardless of scheduling). fn runs once per index even after a
+// failure; callers abort early by polling their context inside fn.
+func runPool(workers, n int, fn func(j int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for j := 0; j < n; j++ {
+			if err := fn(j); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(cursor.Add(1) - 1)
+				if j >= n {
+					return
+				}
+				if err := fn(j); err != nil {
+					mu.Lock()
+					if errIdx == -1 || j < errIdx {
+						errIdx, firstErr = j, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }

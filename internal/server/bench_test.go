@@ -125,6 +125,19 @@ func BenchmarkServeQueryBatch(b *testing.B) {
 	serveBench(b, s, "/query/batch", bodies, false)
 }
 
+// BenchmarkServeQueryBatchCold: a full-domain 100-query viewport with
+// the cache dropped per iteration, so every distinct cell's payload is
+// re-encoded through the parallel miss-fill (runPool fan-out). This is
+// the scenario behind BENCH_serve.json's batch_parallel rows.
+func BenchmarkServeQueryBatchCold(b *testing.B) {
+	s := benchCubeServer(b)
+	body, err := json.Marshal(map[string]any{"cube": "c", "queries": coldViewport()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveBench(b, s, "/query/batch", [][]byte{body}, true)
+}
+
 // BenchmarkServeQueryLegacy is the pre-PR serving path, kept verbatim
 // as the comparison baseline: rebuild a [][]any row matrix per request
 // and hand it to encoding/json, no cache, no Content-Length.

@@ -54,6 +54,10 @@ func MeasureServing(rows int, seed int64, progress io.Writer) (*harness.ServeRep
 	if err != nil {
 		return nil, err
 	}
+	coldBatchBody, err := json.Marshal(map[string]any{"cube": "c", "queries": coldViewport()})
+	if err != nil {
+		return nil, err
+	}
 
 	w := &discardResponseWriter{h: make(http.Header)}
 	serve := func(h http.Handler, path string, body []byte) error {
@@ -94,12 +98,66 @@ func MeasureServing(rows int, seed int64, progress io.Writer) (*harness.ServeRep
 		}
 		rep.Scenarios = append(rep.Scenarios, row)
 	}
+
+	// batch_parallel_p{1,4}: a COLD full-domain viewport per request —
+	// the cache is dropped each op, so all 19 distinct payload encodes
+	// run through the runPool fan-out — measured at GOMAXPROCS 1 and 4
+	// to report how the parallel miss-fill scales with processors. On a
+	// single-CPU host both land near each other (four goroutines
+	// time-slice one core); the JSON records whatever the hardware
+	// actually delivers.
+	prevProcs := runtime.GOMAXPROCS(0)
+	for _, procs := range []int{1, 4} {
+		name := fmt.Sprintf("batch_parallel_p%d", procs)
+		fprintf(progress, "serve-json: measuring %s...\n", name)
+		runtime.GOMAXPROCS(procs)
+		row, err := measureOp(name, func(i int) error {
+			srv.cache.Reset()
+			return serve(srv, "/query/batch", coldBatchBody)
+		})
+		runtime.GOMAXPROCS(prevProcs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+	}
+
 	warm, leg := rep.Scenario("warm"), rep.Scenario("legacy")
 	if warm.NsPerOp > 0 && warm.AllocsPerOp > 0 {
 		rep.WarmSpeedupVsLegacy = leg.NsPerOp / warm.NsPerOp
 		rep.WarmAllocImprovementVsLegacy = leg.AllocsPerOp / warm.AllocsPerOp
 	}
+	p1, p4 := rep.Scenario("batch_parallel_p1"), rep.Scenario("batch_parallel_p4")
+	if p1 != nil && p4 != nil && p4.NsPerOp > 0 {
+		rep.BatchParallelSpeedup = p1.NsPerOp / p4.NsPerOp
+	}
 	return rep, nil
+}
+
+// coldViewport is the full cube domain of the taxi cube — every
+// payment×vendor pair plus the single-attribute rollups (19 distinct
+// cells) — repeated to a 100-query dashboard burst. Unlike the hot
+// `viewport` above, a cache-reset request over this shape pays one
+// payload encode per distinct cell, so the parallel miss-fill is the
+// dominant cost.
+func coldViewport() []map[string]string {
+	payments := []string{"cash", "credit", "no_charge", "dispute"}
+	vendors := []string{"CMT", "DDS", "VTS"}
+	var cells []map[string]string
+	for _, p := range payments {
+		cells = append(cells, map[string]string{"payment_type": p})
+		for _, v := range vendors {
+			cells = append(cells, map[string]string{"payment_type": p, "vendor_name": v})
+		}
+	}
+	for _, v := range vendors {
+		cells = append(cells, map[string]string{"vendor_name": v})
+	}
+	out := make([]map[string]string, 0, 100)
+	for len(out) < 100 {
+		out = append(out, cells[len(out)%len(cells)])
+	}
+	return out
 }
 
 // measureOp times op until it has run for at least half a second (and
