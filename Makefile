@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet lint cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append bench-batch
+.PHONY: check build test race vet lint cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append bench-batch bench-init
 
 ## check: the full gate — vet, the project linter, build everything, and
 ## run the test suite under the race detector. CI and pre-commit should
@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseValue$$' -fuzztime $(FUZZTIME) ./internal/dataset
 	$(GO) test -run '^$$' -fuzz '^FuzzQueryByValues$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzAppendBatch$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzDryRunChunked$$' -fuzztime $(FUZZTIME) ./internal/cube
 
 build:
 	$(GO) build ./...
@@ -70,6 +71,12 @@ bench-serve:
 ## through the parallel miss-fill.
 bench-batch:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeQueryBatch' -benchmem ./internal/server
+
+## bench-init: the dry-run scan kernels — the vectorized path (chunked
+## key packing, dense-slot accumulators, columnar loss kernels) against
+## the retained scalar ablation, with allocation counts.
+bench-init:
+	$(GO) test -run '^$$' -bench 'BenchmarkDryRunScan' -benchmem ./internal/cube
 
 ## bench-append: machine-readable append-maintenance numbers — append
 ## latency and warm-cache retention across appends at S=1 (monolithic

@@ -68,7 +68,8 @@ func main() {
 			os.Exit(1)
 		}
 		scale := harness.Scale{Rows: *rows, Queries: *queries, Seed: *seed}
-		if err := harness.WriteInitStageJSON(f, scale, counts, progress); err != nil {
+		rep, err := harness.WriteInitStageJSON(f, scale, counts, progress)
+		if err != nil {
 			//lint:ignore droppederr best-effort cleanup; the write error below is the one worth reporting
 			f.Close()
 			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
@@ -78,7 +79,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tabula-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *initJSON)
+		if k := rep.DryRunKernel; k != nil {
+			fmt.Printf("wrote %s (dry-run scan: vectorized %.1f ns/row vs scalar %.1f ns/row: %.2fx; allocs/op %.0f vs %.0f: %.1fx fewer)\n",
+				*initJSON, k.VectorizedNsPerRow, k.ScalarNsPerRow, k.Speedup,
+				k.VectorizedAllocsPerOp, k.ScalarAllocsPerOp, k.AllocReduction)
+		} else {
+			fmt.Printf("wrote %s\n", *initJSON)
+		}
 		return
 	}
 	if *serveJSON != "" {

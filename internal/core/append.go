@@ -179,12 +179,34 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 	m.ev = ev
 	lat := cube.NewLattice(m.enc.NumAttrs())
 	perShard := make([][]foldItem, nShards)
-	//lint:ignore ctxpoll the fold must run to completion once the raw table has grown (see the method doc)
-	for row := from; row < m.raw.NumRows(); row++ {
-		for mask := 0; mask < lat.NumCuboids(); mask++ {
-			key := engine.GroupKeys(m.enc, cur.codec, lat.Attrs(mask), int32(row))
-			si := engine.ShardOfKey(key, nShards)
-			perShard[si] = append(perShard[si], foldItem{key: key, mask: int32(mask), row: int32(row)})
+	// Mask-major chunked routing: one KeyPacker per cuboid packs the
+	// batch's keys column-at-a-time instead of re-deriving each key
+	// per (row, cuboid) pair. Relative to the old row-major loop this
+	// only permutes items across cells (keys are globally unique across
+	// cuboids); within a cell rows stay in ascending order, so shard
+	// state evolution is deterministic and byte-identical. The routing
+	// intentionally runs to completion without polling ctx: once the raw
+	// table has grown, aborting mid-fold would diverge the maintainer
+	// from the served cube (see the method doc).
+	total := m.raw.NumRows()
+	chunk := engine.ChunkRows
+	if added := total - from; added < chunk {
+		chunk = added
+	}
+	keyBuf := make([]uint64, chunk)
+	for mask := 0; mask < lat.NumCuboids(); mask++ {
+		packer := engine.NewKeyPacker(m.enc, cur.codec, lat.Attrs(mask))
+		for base := from; base < total; base += chunk {
+			cnt := total - base
+			if cnt > chunk {
+				cnt = chunk
+			}
+			keys := keyBuf[:cnt]
+			packer.PackRange(base, keys)
+			for i, key := range keys {
+				si := engine.ShardOfKey(key, nShards)
+				perShard[si] = append(perShard[si], foldItem{key: key, mask: int32(mask), row: int32(base + i)})
+			}
 		}
 	}
 	shardIdx := make([]int, 0, nShards) // touched shards, ascending

@@ -80,6 +80,10 @@ type Params struct {
 	// states alive after Build so Append can maintain the cube
 	// incrementally. Costs extra memory proportional to the cell count.
 	EnableAppend bool
+	// ScanChunk is the row-chunk size of the vectorized dry-run scan
+	// (0 = engine.ChunkRows). Results are identical at any size; only
+	// throughput changes.
+	ScanChunk int
 	// Shards is the number of hash partitions the cell→sample state is
 	// split into (0 = DefaultShards). Each shard carries its own
 	// generation and is maintained independently by Append, so more
@@ -397,7 +401,8 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 		return nil, err
 	}
 	dryStart := time.Now()
-	dry, kept, err := cube.DryRunKeep(ctx, tbl, enc, codec, ev, p.Theta, p.EnableAppend, p.Workers)
+	dry, kept, err := cube.DryRunKeepOpts(ctx, tbl, enc, codec, ev, p.Theta, p.EnableAppend,
+		cube.ScanOptions{Workers: p.Workers, ChunkSize: p.ScanChunk})
 	if err != nil {
 		return nil, err
 	}

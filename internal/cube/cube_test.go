@@ -97,7 +97,7 @@ func taxiMini(n int, seed int64) *dataset.Table {
 	return t
 }
 
-func setupCube(t *testing.T, tbl *dataset.Table) (*engine.CatEncoding, *engine.KeyCodec) {
+func setupCube(t testing.TB, tbl *dataset.Table) (*engine.CatEncoding, *engine.KeyCodec) {
 	t.Helper()
 	enc, err := engine.NewCatEncoding(tbl, []int{0, 1, 2})
 	if err != nil {

@@ -1,0 +1,237 @@
+package cube
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// ScanOptions tunes the dry-run stage's scan kernels.
+type ScanOptions struct {
+	// Workers bounds the stage's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// ChunkSize is the number of rows packed per chunk on the vectorized
+	// path (0 = engine.ChunkRows). Results are identical at any size;
+	// only throughput changes.
+	ChunkSize int
+	// ForceScalar disables the vectorized kernels even for evaluators
+	// that provide them — the ablation reference for benchmarks and the
+	// equivalence tests.
+	ForceScalar bool
+}
+
+// denseCuboid is one cuboid's cells in dense-slot layout: keys[slot] is
+// the cell key, slotOf inverts it, and the loss states live in the
+// evaluator's flat DenseStates bank instead of a map of boxed states.
+type denseCuboid struct {
+	keys   []uint64
+	slotOf map[uint64]int32
+	states loss.DenseStates
+}
+
+func newDenseCuboid(ce loss.ChunkEvaluator) *denseCuboid {
+	return &denseCuboid{slotOf: make(map[uint64]int32), states: ce.NewDense()}
+}
+
+// slot returns key's slot index, assigning the next dense slot on first
+// sight. Callers must Grow the state bank to len(keys) before folding.
+func (c *denseCuboid) slot(key uint64) int32 {
+	if s, ok := c.slotOf[key]; ok {
+		return s
+	}
+	s := int32(len(c.keys))
+	c.keys = append(c.keys, key)
+	c.slotOf[key] = s
+	return s
+}
+
+// dryRunDense is the vectorized dry run: chunked key packing, dense-slot
+// accumulation, and chunk folds through the evaluator's columnar kernel.
+// It mirrors dryRunScalar stage for stage and must produce bit-identical
+// results (same per-worker row order, same worker merge order, same
+// ascending-parent-key derivation order).
+func dryRunDense(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ce loss.ChunkEvaluator, theta float64, keep bool, opts ScanOptions) (*DryRunResult, map[uint64]loss.CellState, error) {
+	lat := NewLattice(enc.NumAttrs())
+	res := &DryRunResult{
+		Lattice: lat,
+		Theta:   theta,
+		Cuboids: make([]CuboidStats, lat.NumCuboids()),
+	}
+	n := tbl.NumRows()
+	res.RowsScanned = int64(n)
+
+	base, err := scanBaseDense(ctx, enc, codec, ce, lat.Attrs(lat.Base()), n, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cuboids := make([]*denseCuboid, lat.NumCuboids())
+	cuboids[lat.Base()] = base
+
+	var (
+		stateBytes atomic.Int64
+		errOnce    sync.Once
+		deriveErr  error
+	)
+	fail := func(err error) { errOnce.Do(func() { deriveErr = err }) }
+	runDerivationTree(lat, opts.Workers, keep,
+		func(mask int) bool {
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return false
+			}
+			if mask != lat.Base() {
+				parent := lat.DerivationParent(mask)
+				p := cuboids[parent]
+				if p == nil {
+					fail(fmt.Errorf("cube: internal error, parent cuboid %b not derived before %b", parent, mask))
+					return false
+				}
+				child, err := p.rollUp(ctx, codec, ce, trailingAttr(parent&^mask))
+				if err != nil {
+					fail(err)
+					return false
+				}
+				cuboids[mask] = child
+			}
+			cuboids[mask].collectStats(ce, theta, res, mask, &stateBytes)
+			return true
+		},
+		func(mask int) { cuboids[mask] = nil })
+	if deriveErr != nil {
+		return nil, nil, deriveErr
+	}
+
+	res.StateBytes = stateBytes.Load()
+	var kept map[uint64]loss.CellState
+	if keep {
+		kept = make(map[uint64]loss.CellState)
+		for _, cur := range cuboids {
+			if cur == nil {
+				continue
+			}
+			for j, key := range cur.keys {
+				kept[key] = cur.states.Export(int32(j))
+			}
+		}
+	}
+	return res, kept, nil
+}
+
+// scanBaseDense builds the base cuboid in dense layout: each worker
+// packs its row range chunk by chunk (polling ctx once per chunk),
+// remaps packed keys to worker-local slots, and folds the chunk through
+// the evaluator's columnar kernel. Worker partials merge slot-by-slot in
+// worker order — the same per-cell fold order as the scalar scan, so
+// float sums match bit for bit. The worker clamp mirrors scanBaseCuboid
+// exactly: the split boundaries determine how partial sums group, and
+// both paths must group identically.
+func scanBaseDense(ctx context.Context, enc *engine.CatEncoding, codec *engine.KeyCodec, ce loss.ChunkEvaluator, baseAttrs []int, n int, opts ScanOptions) (*denseCuboid, error) {
+	workers, chunk := opts.Workers, opts.ChunkSize
+	if workers > n/8192+1 {
+		workers = n/8192 + 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partials := make([]*denseCuboid, workers)
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partials[w] = newDenseCuboid(ce)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			packer := engine.NewKeyPacker(enc, codec, baseAttrs)
+			cur := newDenseCuboid(ce)
+			keyBuf := make([]uint64, chunk)
+			slotBuf := make([]int32, chunk)
+			rowBuf := make([]int32, chunk)
+			for base := lo; base < hi; base += chunk {
+				if ctx.Err() != nil {
+					partials[w] = nil
+					return
+				}
+				m := hi - base
+				if m > chunk {
+					m = chunk
+				}
+				keys, slots, rows := keyBuf[:m], slotBuf[:m], rowBuf[:m]
+				packer.PackRange(base, keys)
+				for i, key := range keys {
+					slots[i] = cur.slot(key)
+				}
+				for i := range rows {
+					rows[i] = int32(base + i)
+				}
+				cur.states.Grow(len(cur.keys))
+				cur.states.AddChunk(slots, rows)
+			}
+			partials[w] = cur
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	base := partials[0]
+	for _, p := range partials[1:] {
+		for j, key := range p.keys {
+			s := base.slot(key)
+			base.states.Grow(len(base.keys))
+			base.states.MergeSlot(s, p.states, int32(j))
+		}
+	}
+	return base, nil
+}
+
+// rollUp derives the child cuboid that removes attribute attr, merging
+// parent slots in ascending-key order — the same order the scalar path
+// uses, so derived float sums are bit-identical.
+func (c *denseCuboid) rollUp(ctx context.Context, codec *engine.KeyCodec, ce loss.ChunkEvaluator, attr int) (*denseCuboid, error) {
+	order := make([]int32, len(c.keys))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return c.keys[order[i]] < c.keys[order[j]] })
+	child := newDenseCuboid(ce)
+	for i, pj := range order {
+		if i%cancelCheckCells == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		s := child.slot(rollUpKey(codec, c.keys[pj], attr))
+		child.states.Grow(len(child.keys))
+		child.states.MergeSlot(s, c.states, pj)
+	}
+	return child, nil
+}
+
+// collectStats fills the cuboid's DryRunResult entry (cell count,
+// sorted iceberg inventory) and adds its state footprint.
+func (c *denseCuboid) collectStats(ce loss.ChunkEvaluator, theta float64, res *DryRunResult, mask int, stateBytes *atomic.Int64) {
+	stats := &res.Cuboids[mask]
+	stats.Mask = mask
+	stats.NumCells = len(c.keys)
+	for j, key := range c.keys {
+		if c.states.Loss(int32(j)) > theta {
+			stats.IcebergKeys = append(stats.IcebergKeys, key)
+		}
+	}
+	sort.Slice(stats.IcebergKeys, func(i, j int) bool { return stats.IcebergKeys[i] < stats.IcebergKeys[j] })
+	stateBytes.Add(int64(len(c.keys)) * ce.StateBytes())
+}

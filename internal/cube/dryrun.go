@@ -101,6 +101,35 @@ func DryRun(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, co
 // derived (unless keep retains them). Cancelling ctx aborts the stage
 // with ctx.Err().
 func DryRunKeep(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64, keep bool, workers int) (*DryRunResult, map[uint64]loss.CellState, error) {
+	return DryRunKeepOpts(ctx, tbl, enc, codec, ev, theta, keep, ScanOptions{Workers: workers})
+}
+
+// DryRunKeepOpts is DryRunKeep with explicit scan tuning. When the
+// evaluator provides the columnar fast path (loss.ChunkEvaluator) and
+// opts doesn't force the scalar path, the vectorized kernels run:
+// chunked column-at-a-time key packing, dense-slot state banks, and
+// chunk-granularity loss folds. Evaluators without the fast path (e.g.
+// compiled DSL losses) take the per-row scalar path wholesale. Both
+// paths fold rows and merge states in the same deterministic order, so
+// DryRunResult — inventories, losses, StateBytes — is byte-identical
+// whichever path runs (TestDryRunVectorizedMatchesScalar enforces it).
+func DryRunKeepOpts(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64, keep bool, opts ScanOptions) (*DryRunResult, map[uint64]loss.CellState, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = engine.ChunkRows
+	}
+	if ce, ok := ev.(loss.ChunkEvaluator); ok && !opts.ForceScalar {
+		return dryRunDense(ctx, tbl, enc, codec, ce, theta, keep, opts)
+	}
+	return dryRunScalar(ctx, tbl, enc, codec, ev, theta, keep, opts)
+}
+
+// dryRunScalar is the retained per-row reference path (the vectorized
+// path's ablation baseline, and the only path for evaluators without
+// the columnar fast path).
+func dryRunScalar(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64, keep bool, opts ScanOptions) (*DryRunResult, map[uint64]loss.CellState, error) {
 	lat := NewLattice(enc.NumAttrs())
 	res := &DryRunResult{
 		Lattice: lat,
@@ -109,9 +138,7 @@ func DryRunKeep(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding
 	}
 	n := tbl.NumRows()
 	res.RowsScanned = int64(n)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := opts.Workers
 
 	baseAttrs := lat.Attrs(lat.Base())
 	base, err := scanBaseCuboid(ctx, enc, codec, ev, baseAttrs, n, workers)
@@ -123,58 +150,20 @@ func DryRunKeep(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding
 	// non-base mask derives from its fixed DerivationParent, so the tree's
 	// branches are independent: a cuboid only reads its parent's states
 	// (never mutating them) and owns states[mask] and res.Cuboids[mask].
-	// pending[p] counts p's underived children; the last child to finish
-	// frees the parent's states (keep retains everything for Append).
 	states := make([]map[uint64]loss.CellState, lat.NumCuboids())
 	states[lat.Base()] = base
-	children := make([][]int, lat.NumCuboids())
-	for _, mask := range lat.TopDownOrder() {
-		if mask == lat.Base() {
-			continue
-		}
-		p := lat.DerivationParent(mask)
-		children[p] = append(children[p], mask)
-	}
-	pending := make([]int32, lat.NumCuboids())
-	for m := range children {
-		pending[m] = int32(len(children[m]))
-	}
 
 	var (
-		wg         sync.WaitGroup
 		stateBytes atomic.Int64
 		errOnce    sync.Once
 		deriveErr  error
 	)
 	fail := func(err error) { errOnce.Do(func() { deriveErr = err }) }
-	// sem caps concurrently-running derivations at the worker budget;
-	// goroutines are cheap, the state merges are not.
-	sem := make(chan struct{}, workers)
-	var process func(mask int)
-	process = func(mask int) {
-		defer wg.Done()
-		sem <- struct{}{}
-		ok := deriveCuboid(ctx, lat, codec, ev, theta, states, res, mask, &stateBytes, fail)
-		<-sem
-		if ok {
-			for _, c := range children[mask] {
-				wg.Add(1)
-				go process(c)
-			}
-			if !keep && len(children[mask]) == 0 {
-				states[mask] = nil // leaf: nobody derives from it
-			}
-		}
-		if mask != lat.Base() {
-			parent := lat.DerivationParent(mask)
-			if atomic.AddInt32(&pending[parent], -1) == 0 && !keep {
-				states[parent] = nil
-			}
-		}
-	}
-	wg.Add(1)
-	process(lat.Base())
-	wg.Wait()
+	runDerivationTree(lat, workers, keep,
+		func(mask int) bool {
+			return deriveCuboid(ctx, lat, codec, ev, theta, states, res, mask, &stateBytes, fail)
+		},
+		func(mask int) { states[mask] = nil })
 	if deriveErr != nil {
 		return nil, nil, deriveErr
 	}
@@ -190,6 +179,56 @@ func DryRunKeep(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding
 		}
 	}
 	return res, kept, nil
+}
+
+// runDerivationTree walks the cuboid derivation tree concurrently:
+// derive(mask) computes one cuboid from its (already-derived) parent and
+// returns false to stop descending that branch; release(mask) frees a
+// cuboid's states once no child needs them. pending[p] counts p's
+// underived children; the last child to finish releases the parent
+// (keep retains everything for Append). sem caps concurrently-running
+// derivations at the worker budget; goroutines are cheap, the state
+// merges are not.
+func runDerivationTree(lat Lattice, workers int, keep bool, derive func(mask int) bool, release func(mask int)) {
+	children := make([][]int, lat.NumCuboids())
+	for _, mask := range lat.TopDownOrder() {
+		if mask == lat.Base() {
+			continue
+		}
+		p := lat.DerivationParent(mask)
+		children[p] = append(children[p], mask)
+	}
+	pending := make([]int32, lat.NumCuboids())
+	for m := range children {
+		pending[m] = int32(len(children[m]))
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	var process func(mask int)
+	process = func(mask int) {
+		defer wg.Done()
+		sem <- struct{}{}
+		ok := derive(mask)
+		<-sem
+		if ok {
+			for _, c := range children[mask] {
+				wg.Add(1)
+				go process(c)
+			}
+			if !keep && len(children[mask]) == 0 {
+				release(mask) // leaf: nobody derives from it
+			}
+		}
+		if mask != lat.Base() {
+			parent := lat.DerivationParent(mask)
+			if atomic.AddInt32(&pending[parent], -1) == 0 && !keep {
+				release(parent)
+			}
+		}
+	}
+	wg.Add(1)
+	process(lat.Base())
+	wg.Wait()
 }
 
 // deriveCuboid computes one cuboid's states (non-base masks roll their
@@ -210,23 +249,30 @@ func deriveCuboid(ctx context.Context, lat Lattice, codec *engine.KeyCodec, ev l
 		// Remove the attribute that distinguishes parent from mask.
 		removed := parent &^ mask
 		attr := trailingAttr(removed)
+		// Merge parents in ascending-key order: float merges are not
+		// associative at ulp level, so a fixed order makes derived losses
+		// identical run-to-run — and identical to the vectorized path,
+		// which rolls its dense slots up in the same order.
+		pkeys := make([]uint64, 0, len(pstates))
+		for key := range pstates {
+			pkeys = append(pkeys, key)
+		}
+		sort.Slice(pkeys, func(i, j int) bool { return pkeys[i] < pkeys[j] })
 		cur := make(map[uint64]loss.CellState)
-		i := 0
-		for key, st := range pstates {
+		for i, key := range pkeys {
 			if i%cancelCheckCells == 0 && i > 0 {
 				if err := ctx.Err(); err != nil {
 					fail(err)
 					return false
 				}
 			}
-			i++
 			ckey := rollUpKey(codec, key, attr)
 			dst, ok := cur[ckey]
 			if !ok {
 				dst = ev.NewState()
 				cur[ckey] = dst
 			}
-			ev.Merge(dst, st)
+			ev.Merge(dst, pstates[key])
 		}
 		states[mask] = cur
 	}

@@ -1,0 +1,308 @@
+package cube
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/geo"
+	"github.com/tabula-db/tabula/internal/loss"
+)
+
+// sameLoss compares finalized losses exactly; NaN equals NaN so that a
+// degenerate cell cannot hide a path divergence.
+func sameLoss(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+// requireSameDryRun asserts the vectorized result is byte-identical to
+// the scalar one: same scan accounting, same cell counts, same iceberg
+// inventories, and — when states were kept — the same cell keys with
+// bit-identical finalized losses and deeply equal states.
+func requireSameDryRun(t *testing.T, ev loss.CellEvaluator, want, got *DryRunResult, wantKept, gotKept map[uint64]loss.CellState) {
+	t.Helper()
+	if got.RowsScanned != want.RowsScanned {
+		t.Fatalf("RowsScanned = %d, want %d", got.RowsScanned, want.RowsScanned)
+	}
+	if got.StateBytes != want.StateBytes {
+		t.Fatalf("StateBytes = %d, want %d", got.StateBytes, want.StateBytes)
+	}
+	if len(got.Cuboids) != len(want.Cuboids) {
+		t.Fatalf("NumCuboids = %d, want %d", len(got.Cuboids), len(want.Cuboids))
+	}
+	for m := range want.Cuboids {
+		a, b := want.Cuboids[m], got.Cuboids[m]
+		if a.Mask != b.Mask || a.NumCells != b.NumCells {
+			t.Fatalf("cuboid %b: cells %d/%d, want %d/%d", m, b.Mask, b.NumCells, a.Mask, a.NumCells)
+		}
+		if !reflect.DeepEqual(a.IcebergKeys, b.IcebergKeys) {
+			t.Fatalf("cuboid %b: iceberg keys %v, want %v", m, b.IcebergKeys, a.IcebergKeys)
+		}
+	}
+	if (wantKept == nil) != (gotKept == nil) {
+		t.Fatalf("kept maps: scalar=%v vectorized=%v", wantKept != nil, gotKept != nil)
+	}
+	if len(gotKept) != len(wantKept) {
+		t.Fatalf("kept %d states, want %d", len(gotKept), len(wantKept))
+	}
+	for key, wantSt := range wantKept {
+		gotSt, ok := gotKept[key]
+		if !ok {
+			t.Fatalf("kept state for cell %d missing from vectorized run", key)
+		}
+		if !sameLoss(ev.Loss(wantSt), ev.Loss(gotSt)) {
+			t.Fatalf("cell %d: loss %v, want %v", key, ev.Loss(gotSt), ev.Loss(wantSt))
+		}
+		if !reflect.DeepEqual(wantSt, gotSt) {
+			t.Fatalf("cell %d: state %#v, want %#v", key, gotSt, wantSt)
+		}
+	}
+}
+
+// TestDryRunVectorizedMatchesScalar is the equivalence contract of the
+// vectorized dry run: for every built-in loss, worker count, and chunk
+// size, the dense-slot path must reproduce the scalar path's
+// DryRunResult and retained states exactly — same bits, not just same
+// verdicts. The scalar baseline always runs with the same worker count
+// so both paths split the scan identically.
+func TestDryRunVectorizedMatchesScalar(t *testing.T) {
+	tbl := taxiMini(4000, 71)
+	enc, codec := setupCube(t, tbl)
+	sam := globalSample(tbl, 180, 9)
+	cases := []struct {
+		name  string
+		f     loss.Func
+		theta float64
+	}{
+		{"mean", loss.NewMean("fare"), 0.08},
+		{"histogram", loss.NewHistogram("fare"), 0.05},
+		{"heatmap", loss.NewHeatmap("pickup", geo.Euclidean), 0.005},
+		{"regression", loss.NewRegression("passengers", "fare"), 2.0},
+		{"distinct", loss.NewDistinct("payment"), 0.3},
+	}
+	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+	chunks := []int{1, 7, 4096}
+	for _, tc := range cases {
+		ev, err := tc.f.(loss.DryRunner).BindSample(tbl, sam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ev.(loss.ChunkEvaluator); !ok {
+			t.Fatalf("%s: built-in loss must provide the columnar fast path", tc.name)
+		}
+		for _, w := range workers {
+			scalar, scalarKept, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+				tc.theta, true, ScanOptions{Workers: w, ForceScalar: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scalar.TotalIcebergCells() == 0 && tc.name != "distinct" {
+				t.Fatalf("%s: degenerate case, no iceberg cells to compare", tc.name)
+			}
+			for _, chunk := range chunks {
+				dense, denseKept, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+					tc.theta, true, ScanOptions{Workers: w, ChunkSize: chunk})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Run(tc.name, func(t *testing.T) {
+					requireSameDryRun(t, ev, scalar, dense, scalarKept, denseKept)
+				})
+			}
+		}
+	}
+}
+
+// A DSL-compiled loss has no columnar kernel, so DryRunKeepOpts must
+// fall back wholesale to the per-row path — and still produce the same
+// result as an explicitly scalar run.
+func TestDryRunDSLLossFallsBackToScalar(t *testing.T) {
+	tbl := taxiMini(2000, 72)
+	enc, codec := setupCube(t, tbl)
+	sam := globalSample(tbl, 120, 10)
+	st, err := engine.Parse(`CREATE AGGREGATE myloss(Raw, Sam) RETURN decimal AS
+		BEGIN ABS(AVG(Raw) - AVG(Sam)) / AVG(Raw) END`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := loss.Compile(st.(*engine.CreateAggregate), []string{"fare"}, geo.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := f.(loss.DryRunner).BindSample(tbl, sam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ev.(loss.ChunkEvaluator); ok {
+		t.Fatal("DSL evaluator unexpectedly implements ChunkEvaluator; the fallback case is untested")
+	}
+	scalar, scalarKept, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+		0.08, true, ScanOptions{Workers: 4, ForceScalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, autoKept, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+		0.08, true, ScanOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDryRun(t, ev, scalar, auto, scalarKept, autoKept)
+}
+
+// The Int64 target exercises Distinct's stringified fallback (only
+// String columns take the dictionary-code path) on both scan paths.
+func TestDryRunDistinctInt64Fallback(t *testing.T) {
+	tbl := taxiMini(1500, 73)
+	enc, codec := setupCube(t, tbl)
+	sam := globalSample(tbl, 60, 11)
+	ev, err := loss.NewDistinct("passengers").BindSample(tbl, sam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, scalarKept, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+		0.3, true, ScanOptions{Workers: 2, ForceScalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, denseKept, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+		0.3, true, ScanOptions{Workers: 2, ChunkSize: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDryRun(t, ev, scalar, dense, scalarKept, denseKept)
+}
+
+// benchTaxi is taxiMini at dashboard cardinality: 24 distance buckets ×
+// 8 passenger counts × 6 payment methods ≈ 1.2k base cells, so per-cell
+// costs (boxed states, map growth) are visible instead of being drowned
+// by the fixed scan cost.
+func benchTaxi(n int, seed int64) *dataset.Table {
+	schema := dataset.Schema{
+		{Name: "distance", Type: dataset.String},
+		{Name: "passengers", Type: dataset.Int64},
+		{Name: "payment", Type: dataset.String},
+		{Name: "fare", Type: dataset.Float64},
+	}
+	t := dataset.NewTable(schema)
+	r := rand.New(rand.NewSource(seed))
+	pays := []string{"cash", "credit", "dispute", "no-charge", "voucher", "unknown"}
+	for i := 0; i < n; i++ {
+		d := fmt.Sprintf("[%d,%d)", r.Intn(24), r.Intn(24)+24)
+		t.MustAppendRow(
+			dataset.StringValue(d),
+			dataset.IntValue(int64(1+r.Intn(8))),
+			dataset.StringValue(pays[r.Intn(len(pays))]),
+			dataset.FloatValue(10+r.Float64()*5),
+		)
+	}
+	return t
+}
+
+// benchDryRunScan times one full dry run (scan + derivation) per
+// iteration at Workers=1, isolating the kernels from the scheduler. The
+// scalar variant is the ablation baseline the vectorized path is
+// measured against in BENCH_init.json.
+func benchDryRunScan(b *testing.B, forceScalar bool) {
+	tbl := benchTaxi(30000, 99)
+	enc, codec := setupCube(b, tbl)
+	ev, err := loss.NewMean("fare").BindSample(tbl, globalSample(tbl, 1000, 12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := ScanOptions{Workers: 1, ForceScalar: forceScalar}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev, 0.08, false, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDryRunScanScalar(b *testing.B)     { benchDryRunScan(b, true) }
+func BenchmarkDryRunScanVectorized(b *testing.B) { benchDryRunScan(b, false) }
+
+// FuzzDryRunChunked cross-checks the two key-packing kernels against the
+// per-row reference and the two full dry-run paths against each other on
+// randomized tables, worker counts, and chunk sizes.
+func FuzzDryRunChunked(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint8(3), uint8(1))
+	f.Add(int64(2), uint16(500), uint8(0), uint8(4))
+	f.Add(int64(3), uint16(1), uint8(1), uint8(2))
+	f.Add(int64(4), uint16(300), uint8(255), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16, chunkRaw, workersRaw uint8) {
+		n := int(nRaw)%600 + 1
+		chunk := int(chunkRaw)%96 + 1
+		workers := int(workersRaw) % 5 // 0 = default
+		tbl := taxiMini(n, seed)
+		enc, codec := setupCube(t, tbl)
+
+		// Kernel level: chunked packing must equal per-row GroupKeys for
+		// both the contiguous and the gather variant.
+		lat := NewLattice(enc.NumAttrs())
+		attrs := lat.Attrs(lat.Base())
+		packer := engine.NewKeyPacker(enc, codec, attrs)
+		packed := make([]uint64, n)
+		for base := 0; base < n; base += chunk {
+			m := n - base
+			if m > chunk {
+				m = chunk
+			}
+			packer.PackRange(base, packed[base:base+m])
+		}
+		for row := 0; row < n; row++ {
+			if want := engine.GroupKeys(enc, codec, attrs, int32(row)); packed[row] != want {
+				t.Fatalf("PackRange row %d: key %d, want %d", row, packed[row], want)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		gathered := make([]uint64, n)
+		packer.PackRows(ids, gathered)
+		for i, row := range ids {
+			if gathered[i] != packed[row] {
+				t.Fatalf("PackRows row %d: key %d, want %d", row, gathered[i], packed[row])
+			}
+		}
+
+		// End to end: dense and scalar dry runs must agree cell for cell.
+		k := n / 10
+		if k < 1 {
+			k = 1
+		}
+		ev, err := loss.NewMean("fare").BindSample(tbl, globalSample(tbl, k, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar, _, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+			0.08, false, ScanOptions{Workers: workers, ForceScalar: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, _, err := DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+			0.08, false, ScanOptions{Workers: workers, ChunkSize: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range scalar.Cuboids {
+			a, b := scalar.Cuboids[m], dense.Cuboids[m]
+			if a.NumCells != b.NumCells || !reflect.DeepEqual(a.IcebergKeys, b.IcebergKeys) {
+				t.Fatalf("cuboid %b: dense %d cells %v, scalar %d cells %v",
+					m, b.NumCells, b.IcebergKeys, a.NumCells, a.IcebergKeys)
+			}
+		}
+	})
+}

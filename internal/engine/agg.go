@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/tabula-db/tabula/internal/dataset"
@@ -223,7 +224,25 @@ type DistinctState struct {
 func NewDistinctState() *DistinctState { return &DistinctState{set: make(map[string]struct{})} }
 
 // Add implements AggState.
-func (s *DistinctState) Add(v dataset.Value) { s.set[v.String()] = struct{}{} }
+func (s *DistinctState) Add(v dataset.Value) { s.set[distinctKey(v)] = struct{}{} }
+
+// distinctKey renders v's canonical display form without going through
+// Value.String's fmt.Sprintf for the common scalar types — the per-Add
+// formatting alloc dominates DISTINCT folds otherwise. The output must
+// stay byte-identical to v.String() (Keys() exposes it, and states built
+// before and after this fast path must merge).
+func distinctKey(v dataset.Value) string {
+	switch v.Type {
+	case dataset.String:
+		return v.S
+	case dataset.Int64:
+		return strconv.FormatInt(v.I, 10)
+	case dataset.Float64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.String()
+	}
+}
 
 // Merge implements AggState.
 func (s *DistinctState) Merge(o AggState) {

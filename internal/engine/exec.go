@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -99,22 +100,32 @@ func Filter(ctx context.Context, t *dataset.Table, pred Expr) ([]int32, error) {
 // grouping list. attrs are indexes into the encoding's attribute order; the
 // returned keys place NullCode at every attribute not in attrs, so keys
 // from different cuboids of the same codec never collide.
+//
+// Keys are packed column-at-a-time in ChunkRows-sized chunks (KeyPacker)
+// rather than per row; row ids within each cell list stay in view order.
 func GroupRows(enc *CatEncoding, codec *KeyCodec, attrs []int, view dataset.View) map[uint64][]int32 {
-	weights := make([]uint64, len(attrs))
-	colCodes := make([][]int32, len(attrs))
-	for i, ai := range attrs {
-		weights[i] = codec.weights[ai]
-		colCodes[i] = enc.codes[ai]
-	}
+	p := NewKeyPacker(enc, codec, attrs)
 	out := make(map[uint64][]int32)
 	n := view.Len()
-	for i := 0; i < n; i++ {
-		row := view.RowID(i)
-		var key uint64
-		for a := range attrs {
-			key += (uint64(colCodes[a][row]) + 1) * weights[a]
+	keyBuf := make([]uint64, ChunkRows)
+	for base := 0; base < n; base += ChunkRows {
+		m := n - base
+		if m > ChunkRows {
+			m = ChunkRows
 		}
-		out[key] = append(out[key], row)
+		keys := keyBuf[:m]
+		if view.All {
+			p.PackRange(base, keys)
+			for i, key := range keys {
+				out[key] = append(out[key], int32(base+i))
+			}
+		} else {
+			ids := view.Rows[base : base+m]
+			p.PackRows(ids, keys)
+			for i, key := range keys {
+				out[key] = append(out[key], ids[i])
+			}
+		}
 	}
 	return out
 }
@@ -135,35 +146,145 @@ func GroupKeys(enc *CatEncoding, codec *KeyCodec, attrs []int, row int32) uint64
 // iceberg cell table" path (Algorithm 2, second branch) whose cost the
 // Inequation 1 model weighs against a full GroupBy.
 func SemiJoinRows(enc *CatEncoding, codec *KeyCodec, attrs []int, view dataset.View, keys map[uint64]struct{}) []int32 {
-	weights := make([]uint64, len(attrs))
-	colCodes := make([][]int32, len(attrs))
-	for i, ai := range attrs {
-		weights[i] = codec.weights[ai]
-		colCodes[i] = enc.codes[ai]
-	}
+	p := NewKeyPacker(enc, codec, attrs)
 	var out []int32
 	n := view.Len()
-	for i := 0; i < n; i++ {
-		row := view.RowID(i)
-		var key uint64
-		for a := range attrs {
-			key += (uint64(colCodes[a][row]) + 1) * weights[a]
+	keyBuf := make([]uint64, ChunkRows)
+	for base := 0; base < n; base += ChunkRows {
+		m := n - base
+		if m > ChunkRows {
+			m = ChunkRows
 		}
-		if _, ok := keys[key]; ok {
-			out = append(out, row)
+		packed := keyBuf[:m]
+		if view.All {
+			p.PackRange(base, packed)
+			for i, key := range packed {
+				if _, ok := keys[key]; ok {
+					out = append(out, int32(base+i))
+				}
+			}
+		} else {
+			ids := view.Rows[base : base+m]
+			p.PackRows(ids, packed)
+			for i, key := range packed {
+				if _, ok := keys[key]; ok {
+					out = append(out, ids[i])
+				}
+			}
 		}
 	}
 	return out
 }
 
 // AggregateView folds column col of the view through aggregate f.
+//
+// For the builtin count/sum/avg/min/max aggregates over Int64/Float64
+// columns it reads the column's backing slice directly — no per-row
+// Value boxing, no virtual Add — producing the exact result of the boxed
+// fold (same accumulation order, same NaN/empty-view semantics). Other
+// aggregates and column types take the generic path.
 func AggregateView(view dataset.View, col int, f AggFunc) dataset.Value {
+	if b, ok := f.(builtinAgg); ok {
+		if v, ok := aggregateColumnar(view, col, b.name); ok {
+			return v
+		}
+	}
 	st := f.NewState()
 	n := view.Len()
 	for i := 0; i < n; i++ {
 		st.Add(view.Value(i, col))
 	}
 	return st.Value()
+}
+
+// aggregateColumnar is AggregateView's typed fast path. The reported
+// value must be bit-identical to the boxed fold's: sums accumulate in
+// view order, AVG of an empty view is NaN, and MIN/MAX replicate
+// minMaxState's update rule (`min == (f < cur)`) including its ±Inf
+// seeds and NaN behaviour.
+func aggregateColumnar(view dataset.View, col int, name string) (dataset.Value, bool) {
+	if name == "COUNT" {
+		// countState ignores values entirely; any column type counts.
+		return dataset.IntValue(int64(view.Len())), true
+	}
+	schema := view.Table.Schema()
+	if col < 0 || col >= len(schema) {
+		return dataset.Value{}, false
+	}
+	var fs []float64
+	var is []int64
+	switch schema[col].Type {
+	case dataset.Float64:
+		fs = view.Table.Floats(col)
+	case dataset.Int64:
+		is = view.Table.Ints(col)
+	default:
+		return dataset.Value{}, false
+	}
+	switch name {
+	case "SUM", "AVG":
+		var sum float64
+		switch {
+		case fs != nil && view.All:
+			for _, f := range fs {
+				sum += f
+			}
+		case fs != nil:
+			for _, r := range view.Rows {
+				sum += fs[r]
+			}
+		case view.All:
+			for _, v := range is {
+				sum += float64(v)
+			}
+		default:
+			for _, r := range view.Rows {
+				sum += float64(is[r])
+			}
+		}
+		if name == "SUM" {
+			return dataset.FloatValue(sum), true
+		}
+		n := view.Len()
+		if n == 0 {
+			return dataset.FloatValue(math.NaN()), true
+		}
+		return dataset.FloatValue(sum / float64(n)), true
+	case "MIN", "MAX":
+		isMin := name == "MIN"
+		cur := math.Inf(1)
+		if !isMin {
+			cur = math.Inf(-1)
+		}
+		switch {
+		case fs != nil && view.All:
+			for _, f := range fs {
+				if isMin == (f < cur) {
+					cur = f
+				}
+			}
+		case fs != nil:
+			for _, r := range view.Rows {
+				if f := fs[r]; isMin == (f < cur) {
+					cur = f
+				}
+			}
+		case view.All:
+			for _, v := range is {
+				if f := float64(v); isMin == (f < cur) {
+					cur = f
+				}
+			}
+		default:
+			for _, r := range view.Rows {
+				if f := float64(is[r]); isMin == (f < cur) {
+					cur = f
+				}
+			}
+		}
+		return dataset.FloatValue(cur), true
+	}
+	return dataset.Value{}, false
 }
 
 // HashJoin performs an inner equi-join between the rows of left and right

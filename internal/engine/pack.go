@@ -1,0 +1,81 @@
+package engine
+
+// ChunkRows is the default number of rows a chunked kernel packs per
+// iteration: large enough to amortize the per-chunk bookkeeping and keep
+// the column slices streaming through cache, small enough that the chunk
+// buffers (keys, slots, row ids) stay well inside L2 and a ctx poll per
+// chunk matches the scan loops' cancelCheckRows cadence.
+const ChunkRows = 4096
+
+// KeyPacker packs cube cell keys column-at-a-time: instead of walking
+// every attribute for one row (GroupKeys), it walks every row of a chunk
+// for one attribute, reading the attribute's dense code slice
+// sequentially and accumulating mixed-radix digits into a reusable
+// []uint64 buffer. The result for each row is byte-identical to
+// GroupKeys(enc, codec, attrs, row); FuzzDryRunChunked enforces that.
+//
+// The packer snapshots the code slices at construction, so build one per
+// scan (they are cheap) rather than caching across table appends.
+type KeyPacker struct {
+	weights []uint64
+	cols    [][]int32
+}
+
+// NewKeyPacker prepares a packer for the grouping list attrs (indexes
+// into the encoding's attribute order, as in GroupKeys).
+func NewKeyPacker(enc *CatEncoding, codec *KeyCodec, attrs []int) *KeyPacker {
+	p := &KeyPacker{
+		weights: make([]uint64, len(attrs)),
+		cols:    make([][]int32, len(attrs)),
+	}
+	for i, ai := range attrs {
+		p.weights[i] = codec.weights[ai]
+		p.cols[i] = enc.codes[ai]
+	}
+	return p
+}
+
+// PackRange fills dst[i] with the cell key of table row lo+i.
+func (p *KeyPacker) PackRange(lo int, dst []uint64) {
+	if len(p.cols) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	c := p.cols[0][lo : lo+len(dst)]
+	w := p.weights[0]
+	for i, code := range c {
+		dst[i] = (uint64(code) + 1) * w
+	}
+	for a := 1; a < len(p.cols); a++ {
+		c := p.cols[a][lo : lo+len(dst)]
+		w := p.weights[a]
+		for i, code := range c {
+			dst[i] += (uint64(code) + 1) * w
+		}
+	}
+}
+
+// PackRows fills dst[i] with the cell key of table row ids[i]; dst and
+// ids must have equal length.
+func (p *KeyPacker) PackRows(ids []int32, dst []uint64) {
+	if len(p.cols) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	c := p.cols[0]
+	w := p.weights[0]
+	for i, row := range ids {
+		dst[i] = (uint64(c[row]) + 1) * w
+	}
+	for a := 1; a < len(p.cols); a++ {
+		c := p.cols[a]
+		w := p.weights[a]
+		for i, row := range ids {
+			dst[i] += (uint64(c[row]) + 1) * w
+		}
+	}
+}

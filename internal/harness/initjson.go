@@ -5,11 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"time"
 
 	"github.com/tabula-db/tabula/internal/core"
+	"github.com/tabula-db/tabula/internal/cube"
+	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/engine"
+	"github.com/tabula-db/tabula/internal/loss"
 	"github.com/tabula-db/tabula/internal/nyctaxi"
+	"github.com/tabula-db/tabula/internal/sampling"
 )
 
 // InitStageRow is one worker-count measurement of the initialization
@@ -32,14 +38,122 @@ type InitStageRow struct {
 }
 
 // InitStageReport is the payload of BENCH_init.json: a fixed-seed,
-// fixed-scale initialization sweep over worker counts.
+// fixed-scale initialization sweep over worker counts, plus a
+// single-threaded comparison of the dry-run scan kernels.
 type InitStageReport struct {
-	Rows       int            `json:"rows"`
-	Seed       int64          `json:"seed"`
-	Theta      float64        `json:"theta"`
-	Attrs      []string       `json:"attrs"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Sweep      []InitStageRow `json:"sweep"`
+	Rows         int                `json:"rows"`
+	Seed         int64              `json:"seed"`
+	Theta        float64            `json:"theta"`
+	Attrs        []string           `json:"attrs"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Sweep        []InitStageRow     `json:"sweep"`
+	DryRunKernel *DryRunKernelStats `json:"dry_run_kernel,omitempty"`
+}
+
+// DryRunKernelStats compares the vectorized dry-run scan (chunked key
+// packing + dense-slot accumulators + columnar loss kernels) against the
+// retained scalar path on the same table, encoding, and evaluator. Both
+// run at Workers=1 so memory-stats deltas are attributable and the
+// comparison isolates the kernels rather than the scheduler.
+type DryRunKernelStats struct {
+	Rows  int `json:"rows"`
+	Iters int `json:"iters"`
+
+	ScalarNsPerRow        float64 `json:"scalar_ns_per_row"`
+	VectorizedNsPerRow    float64 `json:"vectorized_ns_per_row"`
+	ScalarAllocsPerOp     float64 `json:"scalar_allocs_per_op"`
+	VectorizedAllocsPerOp float64 `json:"vectorized_allocs_per_op"`
+	ScalarBytesPerOp      float64 `json:"scalar_bytes_per_op"`
+	VectorizedBytesPerOp  float64 `json:"vectorized_bytes_per_op"`
+
+	// Speedup is scalar ns/row over vectorized ns/row; AllocReduction is
+	// scalar allocs/op over vectorized allocs/op.
+	Speedup        float64 `json:"speedup"`
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// measureAllocs runs fn iters times after a GC and reports per-iteration
+// wall-clock nanoseconds, heap allocations, and allocated bytes.
+func measureAllocs(iters int, fn func() error) (nsPerOp, allocsPerOp, bytesPerOp float64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(iters),
+		float64(after.Mallocs-before.Mallocs) / float64(iters),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		nil
+}
+
+// MeasureDryRunKernel runs the mean-loss dry run through both scan paths
+// at the given scale and returns the per-row and per-op comparison.
+func MeasureDryRunKernel(s Scale, progress io.Writer) (*DryRunKernelStats, error) {
+	tbl := nyctaxi.Generate(s.Rows, s.Seed)
+	attrs := defaultAttrs(5)
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		cols[i] = tbl.Schema().ColumnIndex(a)
+	}
+	enc, err := engine.NewCatEncoding(tbl, cols)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := engine.NewKeyCodec(enc.Cardinalities())
+	if err != nil {
+		return nil, err
+	}
+	k := s.Rows / 20
+	if k < 100 {
+		k = 100
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	sam := dataset.NewView(tbl, sampling.Random(dataset.FullView(tbl), k, rng))
+	ev, err := loss.NewMean(nyctaxi.ColFare).BindSample(tbl, sam)
+	if err != nil {
+		return nil, err
+	}
+	const theta, iters = 0.05, 5
+	run := func(forceScalar bool) func() error {
+		return func() error {
+			_, _, err := cube.DryRunKeepOpts(context.Background(), tbl, enc, codec, ev,
+				theta, false, cube.ScanOptions{Workers: 1, ForceScalar: forceScalar})
+			return err
+		}
+	}
+	Fprintf(progress, "init-json: measuring dry-run kernels (scalar)...\n")
+	sNs, sAllocs, sBytes, err := measureAllocs(iters, run(true))
+	if err != nil {
+		return nil, err
+	}
+	Fprintf(progress, "init-json: measuring dry-run kernels (vectorized)...\n")
+	vNs, vAllocs, vBytes, err := measureAllocs(iters, run(false))
+	if err != nil {
+		return nil, err
+	}
+	st := &DryRunKernelStats{
+		Rows:                  s.Rows,
+		Iters:                 iters,
+		ScalarNsPerRow:        sNs / float64(s.Rows),
+		VectorizedNsPerRow:    vNs / float64(s.Rows),
+		ScalarAllocsPerOp:     sAllocs,
+		VectorizedAllocsPerOp: vAllocs,
+		ScalarBytesPerOp:      sBytes,
+		VectorizedBytesPerOp:  vBytes,
+	}
+	if vNs > 0 {
+		st.Speedup = sNs / vNs
+	}
+	if vAllocs > 0 {
+		st.AllocReduction = sAllocs / vAllocs
+	}
+	return st, nil
 }
 
 // InitStageSweep builds the mean-loss cube once per worker count at the
@@ -85,19 +199,27 @@ func InitStageSweep(s Scale, workerCounts []int, progress io.Writer) (*InitStage
 			TotalBytes:          st.TotalBytes(),
 		})
 	}
+	kernel, err := MeasureDryRunKernel(s, progress)
+	if err != nil {
+		return nil, err
+	}
+	rep.DryRunKernel = kernel
 	return rep, nil
 }
 
-// WriteInitStageJSON runs InitStageSweep and writes the report as
-// indented JSON.
-func WriteInitStageJSON(w io.Writer, s Scale, workerCounts []int, progress io.Writer) error {
+// WriteInitStageJSON runs InitStageSweep, writes the report as indented
+// JSON, and returns it so callers can print a summary.
+func WriteInitStageJSON(w io.Writer, s Scale, workerCounts []int, progress io.Writer) (*InitStageReport, error) {
 	rep, err := InitStageSweep(s, workerCounts, progress)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -19,7 +19,14 @@ import (
 //   - call ctx.Err() or ctx.Done() (directly or behind a cadence check
 //     such as `if i%cancelCheckRows == 0`), or
 //   - pass ctx to a callee (delegating the poll to a function that
-//     received the context).
+//     received the context), or
+//   - run inside an enclosing loop that itself polls ctx. This is the
+//     chunk-granularity pattern of the vectorized scan: the outer loop
+//     advances one bounded chunk at a time and polls per chunk, so the
+//     inner per-chunk row loop needs no poll of its own. The exemption
+//     does not cross function-literal boundaries — a literal (usually a
+//     goroutine body) runs on its own schedule, so its loops must poll
+//     regardless of what the spawning loop does.
 //
 // The race detector cannot see a missing poll: an unpollable scan is
 // not a data race, just a request that cannot be cancelled. Loops that
@@ -94,41 +101,52 @@ func contextParamName(ftype *ast.FuncType) string {
 
 // checkScanLoops walks body (including nested function literals, where
 // ctx stays in scope as a capture) and reports scan-scale loops that
-// never poll ctx.
+// never poll ctx — directly, or through an enclosing loop that polls at
+// chunk granularity.
 func checkScanLoops(p *Package, body ast.Node, ctxName string) []Finding {
+	return scanLoopFindings(p, body, ctxName, false)
+}
+
+// scanLoopFindings is the recursive worker: enclosingPolls records
+// whether some enclosing loop in the same function already polls ctx
+// each iteration, which covers bounded inner loops (the chunked-scan
+// pattern). The flag resets at function-literal boundaries.
+func scanLoopFindings(p *Package, body ast.Node, ctxName string, enclosingPolls bool) []Finding {
 	var out []Finding
 	ast.Inspect(body, func(n ast.Node) bool {
-		// A nested literal that declares its own context parameter takes
-		// over; its loops are checked against that parameter instead.
-		if lit, ok := n.(*ast.FuncLit); ok {
-			if inner := contextParamName(lit.Type); inner != "" {
+		switch l := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal that declares its own context parameter
+			// takes over; its loops are checked against that parameter.
+			if inner := contextParamName(l.Type); inner != "" {
 				if inner != "_" {
-					out = append(out, checkScanLoops(p, lit.Body, inner)...)
+					out = append(out, scanLoopFindings(p, l.Body, inner, false)...)
 				}
 				return false
 			}
-		}
-		var loopBody *ast.BlockStmt
-		var subject ast.Node
-		var what string
-		switch l := n.(type) {
+			// A literal capturing the outer ctx (typically a goroutine
+			// body) runs on its own schedule, so enclosing-loop polls do
+			// not cover it.
+			out = append(out, scanLoopFindings(p, l.Body, ctxName, false)...)
+			return false
 		case *ast.RangeStmt:
-			if !mentionsScanKeyword(p.Fset, l.X) {
-				return true
+			polls := pollsContext(l.Body, ctxName)
+			if mentionsScanKeyword(p.Fset, l.X) && !polls && !enclosingPolls {
+				out = append(out, p.finding(l,
+					"range over %s never polls %s.Err(); scans must honor cancellation (poll every N iterations or pass %s to a callee)",
+					exprText(p.Fset, l.X), ctxName, ctxName))
 			}
-			loopBody, subject, what = l.Body, l, "range over "+exprText(p.Fset, l.X)
+			out = append(out, scanLoopFindings(p, l.Body, ctxName, enclosingPolls || polls)...)
+			return false
 		case *ast.ForStmt:
-			if l.Cond == nil || !mentionsScanKeyword(p.Fset, l.Cond) {
-				return true
+			polls := pollsContext(l.Body, ctxName)
+			if l.Cond != nil && mentionsScanKeyword(p.Fset, l.Cond) && !polls && !enclosingPolls {
+				out = append(out, p.finding(l,
+					"loop while %s never polls %s.Err(); scans must honor cancellation (poll every N iterations or pass %s to a callee)",
+					exprText(p.Fset, l.Cond), ctxName, ctxName))
 			}
-			loopBody, subject, what = l.Body, l, "loop while "+exprText(p.Fset, l.Cond)
-		default:
-			return true
-		}
-		if !pollsContext(loopBody, ctxName) {
-			out = append(out, p.finding(subject,
-				"%s never polls %s.Err(); scans must honor cancellation (poll every N iterations or pass %s to a callee)",
-				what, ctxName, ctxName))
+			out = append(out, scanLoopFindings(p, l.Body, ctxName, enclosingPolls || polls)...)
+			return false
 		}
 		return true
 	})

@@ -108,3 +108,76 @@ func shortLoop(ctx context.Context, attrs []string) int {
 	}
 	return n
 }
+
+// chunkedScan is the vectorized-scan pattern: the outer loop advances a
+// bounded chunk at a time and polls ctx per chunk, so the inner per-chunk
+// row loops need no poll of their own: clean.
+func chunkedScan(ctx context.Context, rows []int) (int, error) {
+	total := 0
+	for base := 0; base < len(rows); base += 4096 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		hi := base + 4096
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		chunk := rows[base:hi]
+		for _, r := range chunk {
+			total += r
+		}
+		for i := range chunk {
+			total += i
+		}
+	}
+	return total, nil
+}
+
+// chunkedScanNoPoll nests scan loops but the outer loop never polls, so
+// the exemption does not apply: both flagged.
+func chunkedScanNoPoll(ctx context.Context, t *table) int {
+	total := 0
+	for range t.cells { // want "never polls ctx"
+		for _, r := range t.rows { // want "never polls ctx"
+			total += r
+		}
+	}
+	return total
+}
+
+// chunkLoopPolls polls inside the inner loop: the inner loop is clean,
+// and the outer loop is clean too because the inner poll runs every
+// outer iteration.
+func chunkLoopPolls(ctx context.Context, t *table) (int, error) {
+	total := 0
+	for range t.cells {
+		for i, r := range t.rows {
+			if i%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			total += r
+		}
+	}
+	return total, nil
+}
+
+// goroutineBody: the enclosing loop polls, but the literal it spawns
+// runs on its own schedule, so its scan loop must poll independently:
+// flagged.
+func goroutineBody(ctx context.Context, t *table) error {
+	for range t.cells {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		go func() {
+			n := 0
+			for _, r := range t.rows { // want "never polls ctx"
+				n += r
+			}
+			_ = n
+		}()
+	}
+	return nil
+}

@@ -75,20 +75,55 @@ func (d *Distinct) Loss(raw, sam dataset.View) float64 {
 	return coverageLoss(r, s)
 }
 
+// distinctState is a cell's distinct-value set. Exactly one of the two
+// maps is non-nil, fixed by the evaluator that created it: codes when
+// the target is a String column (dictionary codes are compared instead
+// of allocating a stringified key per row), set on the fallback for
+// other column types.
 type distinctState struct {
-	set map[string]struct{}
+	set   map[string]struct{}
+	codes map[int32]struct{}
 }
 
 type distinctCellEvaluator struct {
-	keys []string // target column pre-stringified per row
+	// codes is the raw table's per-row dictionary codes when the target
+	// column is a String column; keys/sam are unused then.
+	codes    []int32
+	samCodes map[int32]struct{}
+
+	// keys is the stringified fallback for non-String targets.
+	keys []string
 	sam  map[string]struct{}
 }
 
-// BindSample implements DryRunner.
+// BindSample implements DryRunner. When the target is a String column the
+// evaluator compares dictionary codes: cell sets hold the raw table's
+// codes, and the sample's values — the sample view may be over a
+// different table with its own dictionary — are remapped into raw codes.
+// A sample value absent from the raw dictionary can never intersect a
+// raw cell's set, so it is skipped; coverage is unchanged.
 func (d *Distinct) BindSample(table *dataset.Table, sam dataset.View) (CellEvaluator, error) {
 	col := table.Schema().ColumnIndex(d.Column)
 	if col < 0 {
 		return nil, errUnknownColumn(d.Column)
+	}
+	if samCol := sam.Table.Schema().ColumnIndex(d.Column); samCol >= 0 &&
+		table.Schema()[col].Type == dataset.String &&
+		sam.Table.Schema()[samCol].Type == dataset.String {
+		codes, dict := table.StringCodes(col)
+		rank := make(map[string]int32, len(dict))
+		for c, s := range dict {
+			rank[s] = int32(c)
+		}
+		samRowCodes, samDict := sam.Table.StringCodes(samCol)
+		samCodes := make(map[int32]struct{})
+		n := sam.Len()
+		for i := 0; i < n; i++ {
+			if c, ok := rank[samDict[samRowCodes[sam.RowID(i)]]]; ok {
+				samCodes[c] = struct{}{}
+			}
+		}
+		return &distinctCellEvaluator{codes: codes, samCodes: samCodes}, nil
 	}
 	keys := make([]string, table.NumRows())
 	for i := range keys {
@@ -102,25 +137,96 @@ func (d *Distinct) BindSample(table *dataset.Table, sam dataset.View) (CellEvalu
 }
 
 func (e *distinctCellEvaluator) NewState() CellState {
+	if e.codes != nil {
+		return &distinctState{codes: make(map[int32]struct{})}
+	}
 	return &distinctState{set: make(map[string]struct{})}
 }
 
 func (e *distinctCellEvaluator) Add(st CellState, row int32) {
-	st.(*distinctState).set[e.keys[row]] = struct{}{}
+	s := st.(*distinctState)
+	if e.codes != nil {
+		s.codes[e.codes[row]] = struct{}{}
+		return
+	}
+	s.set[e.keys[row]] = struct{}{}
 }
 
 func (e *distinctCellEvaluator) Merge(dst, src CellState) {
-	d := dst.(*distinctState)
-	for k := range src.(*distinctState).set {
+	d, s := dst.(*distinctState), src.(*distinctState)
+	if d.codes != nil {
+		for c := range s.codes {
+			d.codes[c] = struct{}{}
+		}
+		return
+	}
+	for k := range s.set {
 		d.set[k] = struct{}{}
 	}
 }
 
 func (e *distinctCellEvaluator) Loss(st CellState) float64 {
-	return coverageLoss(st.(*distinctState).set, e.sam)
+	s := st.(*distinctState)
+	if e.codes != nil {
+		return coverageCodesLoss(s.codes, e.samCodes)
+	}
+	return coverageLoss(s.set, e.sam)
 }
 
 func (e *distinctCellEvaluator) StateBytes() int64 { return 64 }
+
+func coverageCodesLoss(raw, sam map[int32]struct{}) float64 {
+	if len(raw) == 0 {
+		return 0
+	}
+	covered := 0
+	for c := range raw {
+		if _, ok := sam[c]; ok {
+			covered++
+		}
+	}
+	return 1 - float64(covered)/float64(len(raw))
+}
+
+// distinctDense banks distinct states by slot. Sets stay maps (a
+// distinct state is inherently a set), but the chunk fold reads the
+// dictionary-code slice directly with no per-row boxing or dispatch.
+type distinctDense struct {
+	ev    *distinctCellEvaluator
+	cells []*distinctState
+}
+
+// NewDense implements ChunkEvaluator.
+func (e *distinctCellEvaluator) NewDense() DenseStates { return &distinctDense{ev: e} }
+
+func (d *distinctDense) Len() int { return len(d.cells) }
+
+func (d *distinctDense) Grow(n int) {
+	for len(d.cells) < n {
+		d.cells = append(d.cells, d.ev.NewState().(*distinctState))
+	}
+}
+
+func (d *distinctDense) AddChunk(slots, rows []int32) {
+	if codes := d.ev.codes; codes != nil {
+		for i, s := range slots {
+			d.cells[s].codes[codes[rows[i]]] = struct{}{}
+		}
+		return
+	}
+	keys := d.ev.keys
+	for i, s := range slots {
+		d.cells[s].set[keys[rows[i]]] = struct{}{}
+	}
+}
+
+func (d *distinctDense) MergeSlot(dst int32, other DenseStates, src int32) {
+	d.ev.Merge(d.cells[dst], other.(*distinctDense).cells[src])
+}
+
+func (d *distinctDense) Loss(slot int32) float64 { return d.ev.Loss(d.cells[slot]) }
+
+func (d *distinctDense) Export(slot int32) CellState { return d.cells[slot] }
 
 type distinctGreedy struct {
 	keys []string

@@ -122,6 +122,61 @@ func (e *heatmapCellEvaluator) Loss(st CellState) float64 {
 
 func (e *heatmapCellEvaluator) StateBytes() int64 { return 16 }
 
+// heatmapDense holds the (Σ min-distance, count) states as flat slices;
+// per-row nearest-sample distances still go through the grid index, but
+// the state probe, the count, and the sum are unboxed.
+type heatmapDense struct {
+	ev     *heatmapCellEvaluator
+	sumMin []float64
+	n      []int64
+}
+
+// NewDense implements ChunkEvaluator.
+func (e *heatmapCellEvaluator) NewDense() DenseStates { return &heatmapDense{ev: e} }
+
+func (d *heatmapDense) Len() int { return len(d.n) }
+
+func (d *heatmapDense) Grow(n int) {
+	for len(d.n) < n {
+		d.sumMin = append(d.sumMin, 0)
+		d.n = append(d.n, 0)
+	}
+}
+
+func (d *heatmapDense) AddChunk(slots, rows []int32) {
+	if d.ev.empty {
+		for _, s := range slots {
+			d.n[s]++
+		}
+		return
+	}
+	pts, grid := d.ev.points, d.ev.grid
+	for i, s := range slots {
+		d.sumMin[s] += grid.NearestDistance(pts[rows[i]])
+		d.n[s]++
+	}
+}
+
+func (d *heatmapDense) MergeSlot(dst int32, other DenseStates, src int32) {
+	o := other.(*heatmapDense)
+	d.sumMin[dst] += o.sumMin[src]
+	d.n[dst] += o.n[src]
+}
+
+func (d *heatmapDense) Loss(slot int32) float64 {
+	if d.n[slot] == 0 {
+		return 0
+	}
+	if d.ev.empty {
+		return math.Inf(1)
+	}
+	return d.sumMin[slot] / float64(d.n[slot])
+}
+
+func (d *heatmapDense) Export(slot int32) CellState {
+	return &heatmapCellState{sumMin: d.sumMin[slot], n: d.n[slot]}
+}
+
 // heatmapGreedy tracks, for every raw tuple, the distance to the nearest
 // tuple of the growing sample. Adding candidate c changes the loss to
 // (1/n) Σ_i min(minDist[i], d(i, c)).

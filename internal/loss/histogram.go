@@ -126,6 +126,61 @@ func (e *histCellEvaluator) Loss(st CellState) float64 {
 
 func (e *histCellEvaluator) StateBytes() int64 { return 16 }
 
+// histDense mirrors heatmapDense for the 1-D variant: flat (Σ min-
+// distance, count) slices, nearest1D per row with the empty-sample check
+// hoisted out of the chunk loop.
+type histDense struct {
+	ev     *histCellEvaluator
+	sumMin []float64
+	n      []int64
+}
+
+// NewDense implements ChunkEvaluator.
+func (e *histCellEvaluator) NewDense() DenseStates { return &histDense{ev: e} }
+
+func (d *histDense) Len() int { return len(d.n) }
+
+func (d *histDense) Grow(n int) {
+	for len(d.n) < n {
+		d.sumMin = append(d.sumMin, 0)
+		d.n = append(d.n, 0)
+	}
+}
+
+func (d *histDense) AddChunk(slots, rows []int32) {
+	if len(d.ev.sam) == 0 {
+		for _, s := range slots {
+			d.n[s]++
+		}
+		return
+	}
+	vals, sam := d.ev.vals, d.ev.sam
+	for i, s := range slots {
+		d.sumMin[s] += nearest1D(sam, vals[rows[i]])
+		d.n[s]++
+	}
+}
+
+func (d *histDense) MergeSlot(dst int32, other DenseStates, src int32) {
+	o := other.(*histDense)
+	d.sumMin[dst] += o.sumMin[src]
+	d.n[dst] += o.n[src]
+}
+
+func (d *histDense) Loss(slot int32) float64 {
+	if d.n[slot] == 0 {
+		return 0
+	}
+	if len(d.ev.sam) == 0 {
+		return math.Inf(1)
+	}
+	return d.sumMin[slot] / float64(d.n[slot])
+}
+
+func (d *histDense) Export(slot int32) CellState {
+	return &heatmapCellState{sumMin: d.sumMin[slot], n: d.n[slot]}
+}
+
 type histGreedy struct {
 	vals    []float64
 	minDist []float64

@@ -74,6 +74,47 @@ type DryRunner interface {
 	BindSample(table *dataset.Table, sam dataset.View) (CellEvaluator, error)
 }
 
+// DenseStates is a flat, slot-indexed bank of per-cell loss states — the
+// columnar counterpart of a map[cellKey]CellState. The vectorized dry-run
+// scan remaps packed cell keys to small dense slot indexes and folds
+// whole row chunks at once, so the built-in losses can accumulate into
+// typed slices (one struct per state, no per-cell heap allocation, no
+// per-row interface dispatch).
+//
+// A bank belongs to the ChunkEvaluator that created it; slots are dense
+// [0, Len()) and only ever grow. Every operation must produce results
+// bit-identical to the equivalent CellState sequence (same accumulation
+// order ⇒ same float sums), which is what lets DryRunResult stay
+// byte-identical between the scalar and vectorized paths.
+type DenseStates interface {
+	// Len returns the number of live slots.
+	Len() int
+	// Grow extends the bank to n slots; new slots start empty.
+	Grow(n int)
+	// AddChunk folds table row rows[i] into slot slots[i] for every i,
+	// reading the target columns directly from their backing slices.
+	AddChunk(slots, rows []int32)
+	// MergeSlot folds slot src of other — a bank created by the same
+	// evaluator — into slot dst of the receiver.
+	MergeSlot(dst int32, other DenseStates, src int32)
+	// Loss finalizes loss(slot's rows, boundSample).
+	Loss(slot int32) float64
+	// Export converts a slot into the evaluator's heap CellState (the
+	// same concrete type NewState/Add/Merge produce), so retained states
+	// keep working with the per-row Append maintenance path.
+	Export(slot int32) CellState
+}
+
+// ChunkEvaluator is the optional columnar fast path of a CellEvaluator.
+// The paper's built-in losses implement it; evaluators that don't (e.g.
+// compiled DSL losses) make the dry run fall back wholesale to the
+// per-row CellState loop, so results never depend on which path ran.
+type ChunkEvaluator interface {
+	CellEvaluator
+	// NewDense returns an empty state bank bound to this evaluator.
+	NewDense() DenseStates
+}
+
 // GreedyEvaluator supports the greedy sampling loop: it tracks the current
 // sample (a growing subset of the raw view) and answers "what would the
 // loss be if raw tuple i were added" efficiently.
@@ -178,3 +219,13 @@ func IsMergeSafe(f Func) bool {
 	ms, ok := f.(MergeSafe)
 	return ok && ms.MergeSafe()
 }
+
+// The paper's built-in losses all provide the columnar fast path; DSL
+// losses intentionally do not (they fall back to the per-row loop).
+var (
+	_ ChunkEvaluator = (*meanCellEvaluator)(nil)
+	_ ChunkEvaluator = (*heatmapCellEvaluator)(nil)
+	_ ChunkEvaluator = (*histCellEvaluator)(nil)
+	_ ChunkEvaluator = (*regCellEvaluator)(nil)
+	_ ChunkEvaluator = (*distinctCellEvaluator)(nil)
+)

@@ -127,6 +127,47 @@ func (e *meanCellEvaluator) Loss(st CellState) float64 {
 
 func (e *meanCellEvaluator) StateBytes() int64 { return 16 }
 
+// meanDense holds the (Σ target, count) states as two flat slices.
+type meanDense struct {
+	ev  *meanCellEvaluator
+	sum []float64
+	n   []int64
+}
+
+// NewDense implements ChunkEvaluator.
+func (e *meanCellEvaluator) NewDense() DenseStates { return &meanDense{ev: e} }
+
+func (d *meanDense) Len() int { return len(d.sum) }
+
+func (d *meanDense) Grow(n int) {
+	for len(d.sum) < n {
+		d.sum = append(d.sum, 0)
+		d.n = append(d.n, 0)
+	}
+}
+
+func (d *meanDense) AddChunk(slots, rows []int32) {
+	fs := d.ev.floats
+	for i, s := range slots {
+		d.sum[s] += fs[rows[i]]
+		d.n[s]++
+	}
+}
+
+func (d *meanDense) MergeSlot(dst int32, other DenseStates, src int32) {
+	o := other.(*meanDense)
+	d.sum[dst] += o.sum[src]
+	d.n[dst] += o.n[src]
+}
+
+func (d *meanDense) Loss(slot int32) float64 {
+	return relMeanLoss(d.sum[slot], d.n[slot], d.ev.samSum, d.ev.samN)
+}
+
+func (d *meanDense) Export(slot int32) CellState {
+	return &meanCellState{sum: d.sum[slot], n: d.n[slot]}
+}
+
 // meanGreedy is the O(1)-per-candidate incremental evaluator.
 type meanGreedy struct {
 	vals   []float64

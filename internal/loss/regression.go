@@ -124,6 +124,46 @@ func (e *regCellEvaluator) Loss(st CellState) float64 {
 
 func (e *regCellEvaluator) StateBytes() int64 { return 40 }
 
+// regDense holds the regression sufficient statistics by value in one
+// flat slice — AddXY on &states[s] is a concrete (inlinable) call, and a
+// cuboid's worth of states is a single allocation.
+type regDense struct {
+	ev     *regCellEvaluator
+	states []engine.RegressionState
+}
+
+// NewDense implements ChunkEvaluator.
+func (e *regCellEvaluator) NewDense() DenseStates { return &regDense{ev: e} }
+
+func (d *regDense) Len() int { return len(d.states) }
+
+func (d *regDense) Grow(n int) {
+	for len(d.states) < n {
+		d.states = append(d.states, engine.RegressionState{})
+	}
+}
+
+func (d *regDense) AddChunk(slots, rows []int32) {
+	xs, ys := d.ev.xs, d.ev.ys
+	for i, s := range slots {
+		row := rows[i]
+		d.states[s].AddXY(xs[row], ys[row])
+	}
+}
+
+func (d *regDense) MergeSlot(dst int32, other DenseStates, src int32) {
+	d.states[dst].MergeReg(&other.(*regDense).states[src])
+}
+
+func (d *regDense) Loss(slot int32) float64 {
+	return regAngleLoss(&d.states[slot], d.ev.sam)
+}
+
+func (d *regDense) Export(slot int32) CellState {
+	st := d.states[slot]
+	return &st
+}
+
 type regGreedy struct {
 	xs, ys []float64
 	raw    *engine.RegressionState
