@@ -1,19 +1,28 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet lint cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append bench-batch bench-init
+.PHONY: check build test race vet lint lint-json cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append bench-batch bench-init
 
 ## check: the full gate — vet, the project linter, build everything, and
 ## run the test suite under the race detector. CI and pre-commit should
 ## run this.
 check: vet lint build race
 
-## lint: the project's custom static-analysis suite (ctxpoll,
-## snapshotmut, maporder, droppederr, atomicload). Zero findings
-## required; suppress individual lines with
-## //lint:ignore <analyzer> <reason>.
+## lint: the project's custom static-analysis suite — the AST layer
+## (ctxpoll, snapshotmut, maporder, droppederr, atomicload) plus the
+## dataflow layer (poolpair, chunkalias, hotalloc, stalesuppress) built
+## on shared function summaries. Zero findings required; suppress
+## individual lines with //lint:ignore <analyzer> <reason> — but note a
+## directive that suppresses nothing is itself a stalesuppress finding.
+## -time reports load/analyze wall time to stderr so regressions in the
+## parallel driver are visible in every run.
 lint:
-	$(GO) run ./cmd/tabula-lint ./...
+	$(GO) run ./cmd/tabula-lint -time ./...
+
+## lint-json: the same suite with machine-readable output; CI uses this
+## to attach a findings artifact when the gate fails.
+lint-json:
+	$(GO) run ./cmd/tabula-lint -json ./...
 
 ## cover: per-package statement coverage summary.
 cover:

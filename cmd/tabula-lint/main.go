@@ -5,10 +5,17 @@
 //	tabula-lint ./...            # whole module (run from the module root)
 //	tabula-lint -run ctxpoll ./internal/engine
 //	tabula-lint -list            # analyzer inventory
+//	tabula-lint -json ./...      # machine-readable findings (CI artifact)
+//	tabula-lint -p 1 -time ./... # sequential driver with wall-time report
 //
 // Findings print one per line as "file:line: analyzer: message" and
-// make the exit status 1; a clean tree exits 0. Suppress an individual
-// finding with a reasoned directive on or directly above its line:
+// make the exit status 1; a clean tree exits 0. With -json they print
+// instead as one JSON array with the stable schema
+// {"file","line","analyzer","message"}, sorted like the text output.
+// -p bounds the load/analysis worker pool (default: one per CPU; the
+// output is byte-identical at any -p). -time reports load/analyze wall
+// times on stderr. Suppress an individual finding with a reasoned
+// directive on or directly above its line:
 //
 //	//lint:ignore <analyzer> <reason>
 //
@@ -19,11 +26,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/tabula-db/tabula/internal/lint"
 )
@@ -37,6 +47,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array of {file,line,analyzer,message}")
+	workers := fs.Int("p", runtime.GOMAXPROCS(0), "package load/analysis parallelism (1 = sequential)")
+	timing := fs.Bool("time", false, "report load/analyze wall time on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,18 +84,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "tabula-lint: %v\n", err)
 		return 2
 	}
-	pkgs, err := lint.Load(dirs)
+	loadStart := time.Now()
+	pkgs, err := lint.LoadN(dirs, *workers)
 	if err != nil {
 		fmt.Fprintf(stderr, "tabula-lint: %v\n", err)
 		return 2
 	}
-	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f.String())
+	loadDur := time.Since(loadStart)
+	runStart := time.Now()
+	findings := lint.RunN(pkgs, analyzers, *workers)
+	runDur := time.Since(runStart)
+	if *timing {
+		fmt.Fprintf(stderr, "tabula-lint: -p %d: load %s, analyze %s, total %s (%d packages)\n",
+			*workers, loadDur.Round(time.Millisecond), runDur.Round(time.Millisecond),
+			(loadDur + runDur).Round(time.Millisecond), len(pkgs))
+	}
+	if *asJSON {
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "tabula-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "tabula-lint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the stable machine-readable schema. Field names and
+// order are part of the CI-artifact contract — add fields at the end,
+// never rename.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as one indented JSON array (an empty
+// run emits [] so consumers can always parse the artifact).
+func writeJSON(w io.Writer, findings []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,10 @@ func TestListInventory(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errOut.String())
 	}
-	for _, name := range []string{"ctxpoll", "snapshotmut", "maporder", "droppederr", "atomicload"} {
+	for _, name := range []string{
+		"ctxpoll", "snapshotmut", "maporder", "droppederr", "atomicload",
+		"poolpair", "chunkalias", "hotalloc", "stalesuppress",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -42,5 +46,47 @@ func TestSeededViolationFailsTheRun(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "finding(s)") {
 		t.Errorf("stderr missing summary: %s", errOut.String())
+	}
+}
+
+// TestJSONOutput pins the machine-readable schema: a -json run over
+// seeded violations emits a JSON array of {file,line,analyzer,message}
+// objects (and still exits 1 so CI can both fail and upload the
+// artifact).
+func TestJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "-run", "poolpair", "../../internal/lint/testdata/poolpair"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run -json over seeded violations = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json run over seeded violations produced an empty array")
+	}
+	for i, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Analyzer != "poolpair" || f.Message == "" {
+			t.Errorf("finding %d has incomplete schema: %+v", i, f)
+		}
+	}
+}
+
+// TestJSONCleanRunEmitsEmptyArray keeps the artifact parseable on a
+// clean tree.
+func TestJSONCleanRunEmitsEmptyArray(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "-run", "maporder", "../../internal/lint/testdata/poolpair"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("clean -json run = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json run should emit [], got %q", out.String())
 	}
 }

@@ -700,30 +700,40 @@ func (sn *snapshot) parseConds(conds map[string]string) ([]Condition, error) {
 // path would reject (or vice versa) — bailing out wholesale on the
 // first surprise is what keeps answers and error messages deterministic
 // and byte-identical to the sequential path.
+// The pooled scratch is released at exactly one site: resolveCell is
+// done with the codes by the time it returns, so the release happens
+// before either branch — a shape poolpair verifies path-free, with no
+// per-query defer allocation on the fast path.
 func (t *Tabula) queryValuesOn(sn *snapshot, conds map[string]string) (*QueryResult, error) {
 	cp := getCodes(len(sn.attrVals))
-	codes := *cp
+	res, ok := sn.resolveCell(*cp, conds)
+	putCodes(cp)
+	if !ok {
+		return t.queryValuesSlow(sn, conds)
+	}
+	return res, nil
+}
+
+// resolveCell resolves display-form predicates into the codes scratch
+// and answers the cell, reporting ok=false on the first surprise —
+// attribute not cubed, or display form absent from the dictionary: a
+// parse error, a non-canonical spelling of a known value, or an
+// unknown value (whose empty-population answer depends on sorted
+// attribute order when mixed with errors). All deterministic via the
+// slow path; none hot. The scratch is not retained past the return.
+func (sn *snapshot) resolveCell(codes []int32, conds map[string]string) (*QueryResult, bool) {
 	for a, s := range conds {
 		ai, ok := sn.attrIdx[a]
 		if !ok {
-			putCodes(cp)
-			return t.queryValuesSlow(sn, conds)
+			return nil, false
 		}
 		code, ok := sn.dict.displayCode(ai, s)
 		if !ok {
-			// Unknown display form: a parse error, a non-canonical
-			// spelling of a known value, or an unknown value (whose
-			// empty-population answer depends on sorted attribute order
-			// when mixed with errors). All deterministic via the slow
-			// path; none hot.
-			putCodes(cp)
-			return t.queryValuesSlow(sn, conds)
+			return nil, false
 		}
 		codes[ai] = code
 	}
-	res := sn.answerCell(codes)
-	putCodes(cp)
-	return res, nil
+	return sn.answerCell(codes), true
 }
 
 // queryValuesSlow is the deterministic display-form slow path: the

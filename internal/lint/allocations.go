@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Allocation-site classification shared by the hotalloc analyzer and
+// the summary pass's Allocates bit. The kinds mirror the allocations
+// PR 3–7 hunted out of the hot paths by hand:
+//
+//   - fmt formatting calls (Sprintf and family allocate the result and
+//     box every argument),
+//   - string ⇄ []byte/[]rune conversions (each copies the bytes),
+//   - map and slice composite literals (one heap allocation each),
+//   - function literals (closure allocation when anything is captured),
+//   - interface boxing: a non-pointer-shaped concrete value assigned or
+//     passed where an interface is expected heap-allocates the boxed
+//     copy. Pointer-shaped values (pointers, maps, chans, funcs) fit in
+//     the interface word and are exempt.
+//
+// make/new/append are deliberately NOT flagged: growing a result set
+// inside a scan loop is often the loop's whole point, and the paper's
+// kernels pre-size or pool those. The flagged kinds are the ones that
+// are almost never intentional inside a per-row loop.
+
+// allocSite is one classified allocation.
+type allocSite struct {
+	node ast.Node
+	kind string // human fragment: "fmt.Sprintf call", "string([]byte) conversion", ...
+}
+
+// fmtAllocNames are the fmt functions whose result (or boxed operands)
+// allocate per call.
+var fmtAllocNames = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+// allocSitesIn collects the allocation sites directly inside n,
+// descending into nested blocks but not into function literals (a
+// literal is itself reported as a closure allocation and owns its own
+// body). Allocations inside a return statement or a panic argument are
+// exempt: that path exits the scan, so the allocation runs at most
+// once per loop, not per iteration — `return fmt.Errorf(...)` is the
+// sanctioned error-exit shape.
+func allocSitesIn(p *Package, n ast.Node) []allocSite {
+	var out []allocSite
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == n {
+			return true
+		}
+		switch x := node.(type) {
+		case *ast.ReturnStmt:
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+			if kind, ok := callAllocKind(p, x); ok {
+				out = append(out, allocSite{node: x, kind: kind})
+				// The call is already a finding; don't double-report
+				// boxing of its arguments.
+				for _, a := range x.Args {
+					out = append(out, allocSitesIn(p, a)...)
+				}
+				return false
+			}
+			out = append(out, boxedArgs(p, x)...)
+		case *ast.FuncLit:
+			out = append(out, allocSite{node: x, kind: "closure allocation (func literal)"})
+			return false
+		case *ast.CompositeLit:
+			if kind, ok := compositeAllocKind(p, x); ok {
+				out = append(out, allocSite{node: x, kind: kind})
+			}
+		case *ast.AssignStmt:
+			out = append(out, boxedAssigns(p, x)...)
+		}
+		return true
+	})
+	return out
+}
+
+// bodyAllocates reports whether a function body contains any
+// allocation site (the summary pass's coarse bit).
+func bodyAllocates(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			found = true
+			return false
+		case *ast.CompositeLit:
+			if _, ok := compositeAllocKind(p, x); ok {
+				found = true
+			}
+		case *ast.CallExpr:
+			if _, ok := callAllocKind(p, x); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// compositeAllocKind classifies map/slice composite literals. Struct
+// and array literals are value-constructed and exempt.
+func compositeAllocKind(p *Package, lit *ast.CompositeLit) (string, bool) {
+	// Inside a parent composite literal, element literals without an
+	// explicit type share the parent's allocation; classify only typed
+	// literals.
+	if lit.Type == nil {
+		return "", false
+	}
+	if tv, ok := p.Info.Types[lit]; ok && tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			return "map literal", true
+		case *types.Slice:
+			return "slice literal", true
+		}
+		return "", false
+	}
+	switch lit.Type.(type) {
+	case *ast.MapType:
+		return "map literal", true
+	case *ast.ArrayType:
+		return "slice literal", true
+	}
+	return "", false
+}
+
+// callAllocKind classifies calls that allocate by definition: fmt
+// formatting and string⇄[]byte/[]rune conversions.
+func callAllocKind(p *Package, call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && fmtAllocNames[sel.Sel.Name] {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
+			return "fmt." + sel.Sel.Name + " call", true
+		}
+	}
+	// Conversions need the operand's type to distinguish string([]byte)
+	// (copies) from string(code) (also allocates, but flagged as boxing
+	// territory only when it lands in an interface) — stay precise and
+	// only flag the byte/rune round-trips.
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	to := tv.Type.Underlying()
+	argTV, ok := p.Info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return "", false
+	}
+	from := argTV.Type.Underlying()
+	if isStringType(to) && isByteOrRuneSlice(from) {
+		return "string(bytes) conversion", true
+	}
+	if isByteOrRuneSlice(to) && isStringType(from) {
+		return "[]byte(string) conversion", true
+	}
+	return "", false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// boxedArgs reports arguments that box a non-pointer-shaped concrete
+// value into an interface parameter.
+func boxedArgs(p *Package, call *ast.CallExpr) []allocSite {
+	sig := callSignature(p, call)
+	if sig == nil {
+		return nil
+	}
+	var out []allocSite
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len()-1 {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= sig.Params().Len() {
+			break
+		}
+		pt := sig.Params().At(pi).Type()
+		if sig.Variadic() && pi == sig.Params().Len()-1 && call.Ellipsis == 0 {
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(p, arg) {
+			out = append(out, allocSite{node: arg, kind: "interface boxing of " + typeLabel(p, arg)})
+		}
+	}
+	return out
+}
+
+// boxedAssigns reports assignments that box a concrete value into an
+// interface-typed destination.
+func boxedAssigns(p *Package, st *ast.AssignStmt) []allocSite {
+	var out []allocSite
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		ltv, ok := p.Info.Types[lhs]
+		if !ok || ltv.Type == nil {
+			continue
+		}
+		if _, isIface := ltv.Type.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if boxes(p, st.Rhs[i]) {
+			out = append(out, allocSite{node: st.Rhs[i], kind: "interface boxing of " + typeLabel(p, st.Rhs[i])})
+		}
+	}
+	return out
+}
+
+// boxes reports whether storing e into an interface heap-allocates:
+// the static type is concrete and not pointer-shaped. Untyped nil and
+// existing interfaces are exempt.
+func boxes(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		if t.Kind() == types.UntypedNil {
+			return false
+		}
+		// Untyped constants box, but into a compile-time-known value
+		// the runtime interns for small ints; still an allocation in
+		// general, but constant arguments are overwhelmingly log/error
+		// slow paths. Flag only non-constant operands.
+		return tv.Value == nil
+	}
+	return tv.Value == nil
+}
+
+func typeLabel(p *Package, e ast.Expr) string {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return "value"
+	}
+	s := tv.Type.String()
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// callSignature resolves the call's function signature, or nil.
+func callSignature(p *Package, call *ast.CallExpr) *types.Signature {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerChunkAlias enforces the chunk-reuse contract of the
+// vectorized scan (DESIGN.md §7.7): engine.KeyPacker packs group keys
+// into reusable []uint64 chunks and hands them — together with the
+// dictionary-code column slices — to loss.ChunkEvaluator.AddChunk. The
+// next PackRange/PackRows overwrites that storage in place, so an
+// AddChunk implementation that retains a chunk slice beyond the call
+// (stores it in a field, a package variable, a channel, returns it, or
+// passes it to a callee that does any of those) reads torn data on the
+// next chunk and silently corrupts the dry run's loss decisions.
+//
+// The analyzer checks every method or function named AddChunk: each
+// slice parameter is a taint origin, and any heap or return escape of a
+// tainted value — including transitively through the function-summary
+// table, so a helper the chunk is passed to cannot launder the
+// retention — is a finding. Copying is the sanctioned shape:
+// append([]T(nil), chunk...) or copy(dst, chunk) break the alias.
+func AnalyzerChunkAlias() *Analyzer {
+	return &Analyzer{
+		Name: "chunkalias",
+		Doc:  "AddChunk implementations must not retain chunk key/column slices beyond the call",
+		Run:  runChunkAlias,
+	}
+}
+
+// chunkMethodName is the loss.ChunkEvaluator entry point whose slice
+// arguments are reused by the caller.
+const chunkMethodName = "AddChunk"
+
+func runChunkAlias(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name != chunkMethodName {
+				continue
+			}
+			names := paramNames(fn.Type)
+			sliceParam := make([]bool, len(names))
+			for i, name := range names {
+				if name == "" || name == "_" {
+					continue
+				}
+				sliceParam[i] = paramIsSlice(p, fn.Type, i)
+			}
+			tw := newTaintWalker(p, p.Sums)
+			var tracked taintSet
+			for i, name := range names {
+				if sliceParam[i] {
+					tw.seed(name, 1<<uint(i))
+					tracked |= 1 << uint(i)
+				}
+			}
+			if tracked == 0 {
+				continue
+			}
+			tw.walkBody(fn.Body)
+			for _, ev := range tw.escapes {
+				hit := ev.origins & tracked
+				if hit == 0 {
+					continue
+				}
+				out = append(out, p.finding(ev.node,
+					"AddChunk retains chunk slice %s via %s; the caller reuses chunk storage — copy before retaining",
+					originParams(hit, names), ev.detail))
+			}
+		}
+	}
+	return out
+}
+
+// paramIsSlice reports whether parameter position i has slice type,
+// using type info when present and the declared type syntax otherwise.
+func paramIsSlice(p *Package, ftype *ast.FuncType, i int) bool {
+	pos := 0
+	for _, f := range ftype.Params.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		if i < pos+n {
+			if tv, ok := p.Info.Types[f.Type]; ok && tv.Type != nil {
+				_, isSlice := tv.Type.Underlying().(*types.Slice)
+				return isSlice
+			}
+			if _, ok := f.Type.(*ast.ArrayType); ok {
+				at := f.Type.(*ast.ArrayType)
+				return at.Len == nil
+			}
+			return false
+		}
+		pos += n
+	}
+	return false
+}
+
+// originParams renders the parameter names behind an origin bitset.
+func originParams(origins taintSet, names []string) string {
+	out := ""
+	for i, name := range names {
+		if origins&(1<<uint(i)) == 0 {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		if name == "" {
+			name = "_"
+		}
+		out += name
+	}
+	if out == "" {
+		return "parameter"
+	}
+	return out
+}

@@ -49,6 +49,14 @@ func loadWants(t *testing.T, dir string) []*want {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
 				if !ok {
+					// A want may ride at the end of another comment — the
+					// stalesuppress fixtures expect findings on the
+					// //lint:ignore directive line itself.
+					if i := strings.LastIndex(c.Text, "// want "); i > 0 {
+						rest, ok = c.Text[i+len("// want "):], true
+					}
+				}
+				if !ok {
 					continue
 				}
 				pat, err := strconv.Unquote(strings.TrimSpace(rest))
@@ -70,7 +78,14 @@ func loadWants(t *testing.T, dir string) []*want {
 // runGolden checks one analyzer against its fixture package.
 func runGolden(t *testing.T, az *Analyzer) {
 	t.Helper()
-	dir := filepath.Join("testdata", az.Name)
+	runGoldenWith(t, filepath.Join("testdata", az.Name), []*Analyzer{az})
+}
+
+// runGoldenWith checks a fixture package against an explicit analyzer
+// list (stalesuppress needs the full suite active so directives naming
+// other analyzers are judged).
+func runGoldenWith(t *testing.T, dir string, analyzers []*Analyzer) {
+	t.Helper()
 	pkgs, err := Load([]string{dir})
 	if err != nil {
 		t.Fatalf("loading fixture package: %v", err)
@@ -82,7 +97,7 @@ func runGolden(t *testing.T, az *Analyzer) {
 		// Fixtures must type-check so analyzers run at full precision.
 		t.Fatalf("fixture package does not type-check: %v", pkgs[0].TypeErrs[0])
 	}
-	findings := Run(pkgs, []*Analyzer{az})
+	findings := Run(pkgs, analyzers)
 	wants := loadWants(t, dir)
 	for _, f := range findings {
 		claimed := false
@@ -108,12 +123,26 @@ func TestSnapshotMutGolden(t *testing.T) { runGolden(t, AnalyzerSnapshotMut()) }
 func TestMapOrderGolden(t *testing.T)    { runGolden(t, AnalyzerMapOrder()) }
 func TestDroppedErrGolden(t *testing.T)  { runGolden(t, AnalyzerDroppedErr()) }
 func TestAtomicLoadGolden(t *testing.T)  { runGolden(t, AnalyzerAtomicLoad()) }
+func TestPoolPairGolden(t *testing.T)    { runGolden(t, AnalyzerPoolPair()) }
+func TestChunkAliasGolden(t *testing.T)  { runGolden(t, AnalyzerChunkAlias()) }
+func TestHotAllocGolden(t *testing.T)    { runGolden(t, AnalyzerHotAlloc()) }
+
+// TestStaleSuppressGolden runs the whole suite over the fixture:
+// stalesuppress judges directives against the analyzers that actually
+// ran, and the used-suppression case needs droppederr active to have
+// something to suppress.
+func TestStaleSuppressGolden(t *testing.T) {
+	runGoldenWith(t, filepath.Join("testdata", "stalesuppress"), All())
+}
 
 // TestAllStableOrder pins the suite inventory: names are unique,
 // non-empty, documented, and in the order the CLI lists them.
 func TestAllStableOrder(t *testing.T) {
 	got := All()
-	wantNames := []string{"ctxpoll", "snapshotmut", "maporder", "droppederr", "atomicload"}
+	wantNames := []string{
+		"ctxpoll", "snapshotmut", "maporder", "droppederr", "atomicload",
+		"poolpair", "chunkalias", "hotalloc", "stalesuppress",
+	}
 	if len(got) != len(wantNames) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(wantNames))
 	}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerHotAlloc enforces the O(1)-allocation contract of the scan
+// kernels (DESIGN.md §7.6–7.7): the per-row and per-cell loops of the
+// hot packages — internal/engine, internal/cube, internal/core — must
+// not allocate per iteration. Inside a scan loop (the ranged expression
+// or for condition mentions rows or cells, same detection as ctxpoll)
+// the analyzer reports:
+//
+//   - fmt.Sprintf / fmt.Errorf and family (result + boxed operands),
+//   - string ⇄ []byte conversions (byte copies),
+//   - map and slice composite literals,
+//   - function literals (closure allocation),
+//   - interface boxing of non-pointer-shaped concrete values.
+//
+// make/append/new and struct literals are NOT flagged — pre-sizing and
+// result growth are what scan loops are for; see allocations.go for the
+// rationale per kind.
+//
+// Outside the hot packages the check is opt-in: a function whose doc
+// comment contains a line starting with //lint:hot has ALL of its loops
+// checked (not just keyword-matched ones). The loss AddChunk kernels
+// use this — their `range slots` loops carry no scan keyword but run
+// once per row.
+func AnalyzerHotAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "row/cell scan loops in hot packages must not allocate per iteration",
+		Run:  runHotAlloc,
+	}
+}
+
+// hotPackageDirs are the package directory suffixes whose scan loops
+// are checked without opt-in. The analyzer's own fixture package is in
+// the list so the golden tests exercise the no-opt-in path.
+var hotPackageDirs = []string{"internal/engine", "internal/cube", "internal/core", "testdata/hotalloc"}
+
+// hotDirective marks a function for all-loops checking via its doc
+// comment.
+const hotDirective = "//lint:hot"
+
+// hotAllocKeywords mark a loop as a scan loop (subset of ctxpoll's
+// scanKeywords: the allocation contract covers row and cell scans; the
+// samgraph node loops allocate by design while building).
+var hotAllocKeywords = []string{"row", "cell"}
+
+func runHotAlloc(p *Package) []Finding {
+	hotPkg := false
+	dir := strings.TrimSuffix(p.Dir, "/")
+	for _, suf := range hotPackageDirs {
+		if strings.HasSuffix(dir, suf) {
+			hotPkg = true
+			break
+		}
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hotAll := hasHotDirective(fn.Doc)
+			if !hotPkg && !hotAll {
+				continue
+			}
+			out = append(out, hotAllocLoops(p, fn.Body, hotAll)...)
+		}
+	}
+	return out
+}
+
+// hasHotDirective reports whether a doc comment opts the function into
+// all-loops checking.
+func hasHotDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotAllocLoops finds the outermost checked loops and reports every
+// allocation site inside them. Once a loop is checked its whole body is
+// scanned (nested loops included), so sites are reported exactly once.
+func hotAllocLoops(p *Package, body ast.Node, hotAll bool) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			if hotAll || mentionsHotKeyword(p, l.X) {
+				out = append(out, hotAllocReport(p, l.Body, "range over "+exprText(p.Fset, l.X))...)
+				return false
+			}
+		case *ast.ForStmt:
+			if hotAll || (l.Cond != nil && mentionsHotKeyword(p, l.Cond)) {
+				label := "loop"
+				if l.Cond != nil {
+					label = "loop while " + exprText(p.Fset, l.Cond)
+				}
+				out = append(out, hotAllocReport(p, l.Body, label)...)
+				return false
+			}
+		case *ast.FuncLit:
+			// A literal outside any checked loop starts fresh; //lint:hot
+			// covers the whole declared function, closures included.
+			out = append(out, hotAllocLoops(p, l.Body, hotAll)...)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func mentionsHotKeyword(p *Package, e ast.Expr) bool {
+	text := strings.ToLower(exprText(p.Fset, e))
+	for _, kw := range hotAllocKeywords {
+		if strings.Contains(text, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotAllocReport turns the allocation sites of one checked loop body
+// into findings.
+func hotAllocReport(p *Package, body *ast.BlockStmt, loopLabel string) []Finding {
+	var out []Finding
+	for _, site := range allocSitesIn(p, body) {
+		out = append(out, p.finding(site.node,
+			"%s inside scan %s; hoist it out of the per-iteration path or pool it",
+			site.kind, loopLabel))
+	}
+	return out
+}

@@ -20,6 +20,26 @@
 //     through Load/Store/Swap/CompareAndSwap, and a loaded snapshot
 //     pointer must not be aliased into a plain struct field.
 //
+// On top of the per-package walks sits a dataflow layer (summary.go,
+// taint.go): a function-summary pass computed once per Run records
+// which functions return pooled objects, which parameters escape into
+// fields/globals/channels/returns, which release their argument to a
+// pool, and which bodies allocate. Three analyzers consume it:
+//
+//   - poolpair: every pooled object (sync.Pool Get or provider call) is
+//     released on all paths — defer or every return — and never escapes
+//     the acquiring function.
+//   - chunkalias: no AddChunk implementation, nor any callee it hands
+//     the chunk to, retains the reused key/column slices beyond the
+//     call.
+//   - hotalloc: row/cell scan loops in internal/engine, internal/cube,
+//     internal/core (opt-in elsewhere via //lint:hot) must not allocate
+//     per iteration: no fmt.Sprintf, string⇄[]byte conversion,
+//     interface boxing, map/slice literal, or closure.
+//   - stalesuppress: a //lint:ignore directive that suppresses zero
+//     findings is itself a finding, so the suppression inventory cannot
+//     rot.
+//
 // Findings print as "file:line: analyzer: message". A finding is
 // suppressed by the directive
 //
@@ -35,7 +55,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Finding is one analyzer diagnostic.
@@ -67,25 +90,59 @@ func All() []*Analyzer {
 		AnalyzerMapOrder(),
 		AnalyzerDroppedErr(),
 		AnalyzerAtomicLoad(),
+		AnalyzerPoolPair(),
+		AnalyzerChunkAlias(),
+		AnalyzerHotAlloc(),
+		AnalyzerStaleSuppress(),
 	}
 }
 
 // Run applies the analyzers to every package, drops suppressed
 // findings, and returns the rest sorted by position then analyzer.
+// Packages are analyzed in parallel (one worker per CPU); see RunN.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
-	for _, p := range pkgs {
-		sup := collectSuppressions(p)
-		out = append(out, sup.malformed...)
-		for _, az := range analyzers {
-			for _, f := range az.Run(p) {
-				f.Analyzer = az.Name
-				if sup.covers(az.Name, f.Pos) {
-					continue
+	return RunN(pkgs, analyzers, runtime.GOMAXPROCS(0))
+}
+
+// RunN is Run with an explicit worker count (1 = the sequential
+// driver). The function-summary table is built first over every
+// package — dataflow analyzers need cross-package summaries — then
+// packages are checked concurrently, each worker running the full
+// analyzer list over its package (suppressions are per-package state,
+// so no locking). Findings are merged and globally sorted, making the
+// output byte-identical at any worker count.
+func RunN(pkgs []*Package, analyzers []*Analyzer, workers int) []Finding {
+	sums := BuildSummaries(pkgs)
+	active := make(map[string]bool, len(analyzers))
+	for _, az := range analyzers {
+		active[az.Name] = true
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(pkgs) {
+					return
 				}
-				out = append(out, f)
+				perPkg[i] = runPackage(pkgs[i], sums, analyzers, active)
 			}
-		}
+		}()
+	}
+	wg.Wait()
+	var out []Finding
+	for _, fs := range perPkg {
+		out = append(out, fs...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -100,6 +157,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+	return out
+}
+
+// runPackage applies the analyzer list to one package: suppressions
+// collected, every AST analyzer run with its findings filtered, then
+// the framework-integrated stalesuppress pass over the directives the
+// run left unused.
+func runPackage(p *Package, sums *Summaries, analyzers []*Analyzer, active map[string]bool) []Finding {
+	p.Sums = sums
+	sup := collectSuppressions(p)
+	var out []Finding
+	out = append(out, sup.malformed...)
+	for _, az := range analyzers {
+		for _, f := range az.Run(p) {
+			f.Analyzer = az.Name
+			if sup.covers(az.Name, f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	if active["stalesuppress"] {
+		out = append(out, staleFindings(sup, active)...)
+	}
 	return out
 }
 

@@ -9,8 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Package is one loaded, parsed, and (best-effort) type-checked
@@ -32,6 +35,10 @@ type Package struct {
 	// still analyzes what it can, mirroring go vet's behaviour on
 	// slightly-broken trees).
 	TypeErrs []error
+	// Sums is the cross-package function-summary table of the current
+	// Run, attached by the framework before analyzers execute. Dataflow
+	// analyzers (poolpair, chunkalias) resolve callees through it.
+	Sums *Summaries
 }
 
 // ExpandPatterns resolves go-style package patterns ("./...",
@@ -106,21 +113,81 @@ func hasGoFiles(dir string) bool {
 //
 // Import resolution follows the go tool's module logic, so Load must
 // run with a working directory inside the module being analyzed (any
-// subdirectory works).
+// subdirectory works). Packages load in parallel (one worker per CPU);
+// see LoadN.
 func Load(dirs []string) ([]*Package, error) {
+	return LoadN(dirs, runtime.GOMAXPROCS(0))
+}
+
+// LoadN is Load with an explicit worker count (1 = the sequential
+// driver). Parsing and per-package body checking run concurrently; the
+// shared token.FileSet synchronizes internally, and the shared source
+// importer — which does not — is serialized behind a mutex, so import
+// resolution is sequential but everything downstream of it is not.
+// The returned slice is in dirs order regardless of worker count.
+func LoadN(dirs []string, workers int) ([]*Package, error) {
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	var pkgs []*Package
-	for _, dir := range dirs {
-		p, err := loadDir(fset, imp, dir)
+	imp := &lockedImporter{imp: importer.ForCompiler(fset, "source", nil)}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(dirs) {
+		workers = len(dirs)
+	}
+	loaded := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(dirs) {
+					return
+				}
+				loaded[i], errs[i] = loadDir(fset, imp, dirs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	// Lowest-index error wins, so failures are deterministic at any
+	// worker count.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	var pkgs []*Package
+	for _, p := range loaded {
 		if p != nil {
 			pkgs = append(pkgs, p)
 		}
 	}
 	return pkgs, nil
+}
+
+// lockedImporter serializes a non-concurrency-safe importer (the
+// source importer type-checks dependencies on demand and keeps
+// unguarded caches). Imported packages are immutable once returned, so
+// only the resolution step needs the lock.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, ".", 0)
+}
+
+func (l *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from, ok := l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return l.imp.Import(path)
 }
 
 func loadDir(fset *token.FileSet, imp types.Importer, dir string) (*Package, error) {

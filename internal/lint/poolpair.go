@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerPoolPair enforces the pooled-buffer lifecycle of the hot
+// paths (DESIGN.md §7.6): every pooled object acquired in a function —
+// a direct sync.Pool Get or a call to a pool provider like
+// core.getCodes / server.getBuf (functions whose summary says they
+// return pooled values) — must be
+//
+//   - released on every path out of its scope: a defer of the matching
+//     Put (or of a releaser like putCodes), or a release before every
+//     return; and
+//   - confined to the acquiring function: a pooled value that escapes
+//     into a struct field, package variable, channel, return value, or
+//     a callee that retains it will be recycled by the pool while still
+//     referenced, silently corrupting a later query's answer.
+//
+// Provider functions themselves (their whole purpose is returning the
+// pooled object) and releaser functions (parameter flows to Put) are
+// exempt from the checks their callers are held to. Paths that end in
+// panic/log.Fatal/os.Exit are exempt: sync.Pool is GC-backed, so a
+// leak on a crash path costs one reuse, not correctness.
+func AnalyzerPoolPair() *Analyzer {
+	return &Analyzer{
+		Name: "poolpair",
+		Doc:  "pooled objects are released on all paths and never escape the acquiring function",
+		Run:  runPoolPair,
+	}
+}
+
+func runPoolPair(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		par := parents(file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if own := p.ownSummary(fn); own != nil && own.ReturnsPooled {
+				continue // provider: returning the pooled object is its job
+			}
+			tw := newTaintWalker(p, p.Sums)
+			tw.walkBody(fn.Body)
+			if len(tw.acquisitions) == 0 {
+				continue
+			}
+			for _, ev := range tw.escapes {
+				if ev.origins&poolOrigin == 0 {
+					continue
+				}
+				out = append(out, p.finding(ev.node,
+					"pooled object escapes via %s; pooled buffers must not outlive the acquiring function", ev.detail))
+			}
+			var releaseNodes []ast.Node
+			for _, ev := range tw.releases {
+				releaseNodes = append(releaseNodes, ev.node)
+			}
+			for _, acq := range tw.acquisitions {
+				out = append(out, checkReleasedOnAllPaths(p, par, acq.node, releaseNodes)...)
+			}
+		}
+	}
+	return out
+}
+
+// ownSummary resolves the summary of the declared function itself.
+func (p *Package) ownSummary(fn *ast.FuncDecl) *FuncSummary {
+	if p.Sums == nil {
+		return nil
+	}
+	if obj := p.Info.Defs[fn.Name]; obj != nil {
+		return p.Sums.byObj[obj]
+	}
+	if fn.Recv == nil {
+		return p.Sums.byName[p.Dir+"\x00"+fn.Name.Name]
+	}
+	return nil
+}
+
+// checkReleasedOnAllPaths verifies that from the statement acquiring a
+// pooled object, every path to the end of its scope (the innermost
+// block containing the acquisition) passes a release. The walk is
+// structured and path-sensitive over if/switch/select/for: a branch
+// either releases, or terminates having released, or is a finding.
+func checkReleasedOnAllPaths(p *Package, par map[ast.Node]ast.Node, acq ast.Node, releaseNodes []ast.Node) []Finding {
+	stmts, idx := enclosingStmtList(par, acq)
+	if stmts == nil {
+		return nil
+	}
+	c := &poolPathChecker{p: p, releaseNodes: releaseNodes, acqPos: p.Fset.Position(acq.Pos())}
+	released, terminates := c.checkStmts(stmts[idx:], 0)
+	if !released && !terminates {
+		c.violations = append(c.violations, p.finding(acq,
+			"pooled object acquired here is not released before the end of its scope; defer the release or release on every exit"))
+	}
+	return c.violations
+}
+
+// enclosingStmtList walks up from a node to the statement list that
+// contains it (a block, case clause, or comm clause body) and returns
+// the list plus the index of the containing statement.
+func enclosingStmtList(par map[ast.Node]ast.Node, n ast.Node) ([]ast.Stmt, int) {
+	for cur := n; cur != nil; cur = par[cur] {
+		parent := par[cur]
+		var list []ast.Stmt
+		switch pn := parent.(type) {
+		case *ast.BlockStmt:
+			list = pn.List
+		case *ast.CaseClause:
+			list = pn.Body
+		case *ast.CommClause:
+			list = pn.Body
+		default:
+			continue
+		}
+		for i, st := range list {
+			if st == cur {
+				return list, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// poolPathChecker is the structured walk. checkStmts/checkStmt return
+// (released, terminates): released means every continuing path has
+// passed a release; terminates means no path falls through (each
+// terminated path was judged — release before return, or exempt).
+type poolPathChecker struct {
+	p            *Package
+	releaseNodes []ast.Node
+	acqPos       token.Position
+	violations   []Finding
+}
+
+func (c *poolPathChecker) violation(n ast.Node, what string) {
+	c.violations = append(c.violations, c.p.finding(n,
+		"%s without releasing the pooled object acquired at line %d; defer the release or release on every exit",
+		what, c.acqPos.Line))
+}
+
+// containsRelease reports whether a release call site lies within the
+// statement's source range.
+func (c *poolPathChecker) containsRelease(st ast.Stmt) bool {
+	for _, n := range c.releaseNodes {
+		if st.Pos() <= n.Pos() && n.End() <= st.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *poolPathChecker) checkStmts(stmts []ast.Stmt, loopDepth int) (released, terminates bool) {
+	for _, st := range stmts {
+		r, t := c.checkStmt(st, loopDepth)
+		if t {
+			return r, true
+		}
+		if r {
+			return true, false
+		}
+	}
+	return false, false
+}
+
+func (c *poolPathChecker) checkStmt(st ast.Stmt, loopDepth int) (released, terminates bool) {
+	switch s := st.(type) {
+	case *ast.ReturnStmt:
+		c.violation(s, "return")
+		return false, true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			if loopDepth == 0 {
+				// Leaves the acquisition's scope (the loop-body iteration)
+				// without a release.
+				c.violation(s, s.Tok.String())
+			}
+			return false, true
+		default: // goto, fallthrough: path continues elsewhere
+			return false, true
+		}
+	case *ast.DeferStmt:
+		// A deferred release covers every subsequent exit.
+		if c.containsRelease(s) {
+			return true, false
+		}
+		return false, false
+	case *ast.IfStmt:
+		rb, tb := c.checkStmts(s.Body.List, loopDepth)
+		re, te := false, false
+		if s.Else != nil {
+			re, te = c.checkStmt(s.Else, loopDepth)
+		}
+		term := tb && te
+		rel := (rb || tb) && (re || te)
+		return rel && !term, term
+	case *ast.BlockStmt:
+		return c.checkStmts(s.List, loopDepth)
+	case *ast.SwitchStmt:
+		return c.checkClauses(s.Body.List, loopDepth, true)
+	case *ast.TypeSwitchStmt:
+		return c.checkClauses(s.Body.List, loopDepth, true)
+	case *ast.SelectStmt:
+		// A blocking select always executes some clause: no implicit
+		// fall-through branch even without default.
+		return c.checkClauses(s.Body.List, loopDepth, false)
+	case *ast.ForStmt:
+		c.checkStmts(s.Body.List, loopDepth+1)
+		if s.Cond == nil && !containsLoopExit(s.Body) {
+			return false, true // for{} with no break never falls through
+		}
+		return false, false
+	case *ast.RangeStmt:
+		c.checkStmts(s.Body.List, loopDepth+1)
+		return false, false
+	case *ast.LabeledStmt:
+		return c.checkStmt(s.Stmt, loopDepth)
+	case *ast.ExprStmt:
+		if isTerminalCall(s.X) {
+			return false, true
+		}
+		if c.containsRelease(s) {
+			return true, false
+		}
+		return false, false
+	default:
+		if c.containsRelease(st) {
+			return true, false
+		}
+		return false, false
+	}
+}
+
+// checkClauses merges switch/select clause bodies. With
+// implicitFallthrough (switch without default), one branch is a no-op.
+func (c *poolPathChecker) checkClauses(clauses []ast.Stmt, loopDepth int, needDefault bool) (bool, bool) {
+	hasDefault := false
+	allRel, allTerm := true, true
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			body = cc.Body
+			hasDefault = true // select clauses all execute; no implicit branch
+		default:
+			continue
+		}
+		r, t := c.checkStmts(body, loopDepth)
+		allRel = allRel && (r || t)
+		allTerm = allTerm && t
+	}
+	if needDefault && !hasDefault {
+		return false, false // implicit no-op branch falls through unreleased
+	}
+	if len(clauses) == 0 {
+		return false, false
+	}
+	return allRel && !allTerm, allTerm
+}
+
+// containsLoopExit reports whether a loop body can break out of its own
+// loop (break or labeled goto at this nesting level; nested loops own
+// their breaks).
+func containsLoopExit(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if found {
+				return false
+			}
+			switch b := x.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if x != n {
+					walk(b, depth+1)
+					return false
+				}
+			case *ast.BranchStmt:
+				// Labeled breaks/gotos may target any level; treat as an
+				// exit. Unlabeled break exits only at depth 0.
+				if b.Tok == token.GOTO || b.Label != nil || (b.Tok == token.BREAK && depth == 0) {
+					found = true
+					return false
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+	return found
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// log.Fatal*.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name == "panic"
+	case *ast.SelectorExpr:
+		switch f.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln":
+			return true
+		}
+	}
+	return false
+}

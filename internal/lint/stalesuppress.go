@@ -1,0 +1,61 @@
+package lint
+
+// AnalyzerStaleSuppress keeps the suppression inventory honest: a
+// //lint:ignore directive that suppresses zero findings is itself a
+// finding. Without it the inventory only grows — the code a directive
+// excused gets fixed or deleted, the directive stays, and a later real
+// finding on that line is silently swallowed by a suppression written
+// for something else.
+//
+// The check is framework-integrated rather than a per-package AST walk
+// (the Run field is a no-op): the framework marks each directive used
+// as it suppresses findings, and after every other analyzer has run it
+// reports the well-formed directives that suppressed nothing. Only
+// directives naming an analyzer in the current run set are judged — a
+// `tabula-lint -run ctxpoll` pass must not condemn droppederr ignores
+// it never exercised.
+//
+// A stale finding can itself be suppressed (//lint:ignore stalesuppress
+// <reason>) for directives that are load-bearing only on other
+// platforms or build configurations; those directives are judged last
+// so the suppression is counted as used first.
+func AnalyzerStaleSuppress() *Analyzer {
+	return &Analyzer{
+		Name: "stalesuppress",
+		Doc:  "//lint:ignore directives must suppress at least one finding",
+		Run:  func(p *Package) []Finding { return nil }, // framework-integrated; see staleFindings
+	}
+}
+
+// staleFindings reports the unused directives of one package after all
+// other analyzers have run. active is the set of analyzer names in this
+// run.
+func staleFindings(sup *suppressions, active map[string]bool) []Finding {
+	var out []Finding
+	emit := func(d *directive) {
+		if !active[d.analyzer] || d.used {
+			return
+		}
+		if sup.covers("stalesuppress", d.pos) {
+			return
+		}
+		out = append(out, Finding{
+			Pos:      d.pos,
+			Analyzer: "stalesuppress",
+			Message:  "//lint:ignore " + d.analyzer + " suppresses no findings; delete the stale directive",
+		})
+	}
+	// Two passes: judging a stalesuppress-analyzer directive marks other
+	// directives' suppressions used, so those go last.
+	for _, d := range sup.directives {
+		if d.analyzer != "stalesuppress" {
+			emit(d)
+		}
+	}
+	for _, d := range sup.directives {
+		if d.analyzer == "stalesuppress" {
+			emit(d)
+		}
+	}
+	return out
+}

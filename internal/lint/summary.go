@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The function-summary pass. Computed once per Run over every loaded
+// package and shared by the dataflow analyzers (poolpair, chunkalias),
+// it records for each declared function:
+//
+//   - whether its return value derives from a sync.Pool Get (the
+//     function is a pool *provider*, like core.getCodes or
+//     server.getBuf),
+//   - which of its parameters it hands to a sync.Pool Put, directly or
+//     through another releaser (the function is a pool *releaser*,
+//     like core.putCodes),
+//   - which of its parameters escape the call: into a struct field, a
+//     package-level variable, or a channel (heap escape — the callee
+//     retains the argument beyond the call), or into its own return
+//     value (return escape — the result aliases the argument, as in
+//     append-style helpers),
+//   - whether its body contains an allocation site (see allocations.go).
+//
+// Summaries are transitive: a function that passes its parameter to a
+// callee whose summary says that parameter escapes inherits the escape,
+// and a function returning the result of a pool provider is itself a
+// provider. The table is computed by re-walking every function until
+// the flags reach a fixed point; flags only ever turn on, so the loop
+// terminates in call-graph-depth passes.
+//
+// The pass is deliberately conservative in one direction only: callees
+// it cannot resolve (standard library, interface dispatch, function
+// values) are assumed neither to retain their arguments nor to return
+// pooled objects. That keeps the analyzers quiet on sort.Slice,
+// strconv.AppendInt and friends; the invariants being enforced are
+// about this module's own pool and chunk plumbing, which the table
+// covers completely on a ./... run.
+
+// FuncSummary is the dataflow summary of one declared function.
+type FuncSummary struct {
+	// Name is the function or method name (diagnostic use only).
+	Name string
+	// ReturnsPooled reports that some return value derives from a
+	// sync.Pool Get (the function is a pool provider).
+	ReturnsPooled bool
+	// ParamEscapesHeap[i] reports that parameter i may be retained
+	// beyond the call: assigned into a field, a package-level variable,
+	// appended as an element into an escaping slice, or sent on a
+	// channel.
+	ParamEscapesHeap []bool
+	// ParamEscapesReturn[i] reports that the function's result may
+	// alias parameter i (append-style helpers).
+	ParamEscapesReturn []bool
+	// ParamReleased[i] reports that parameter i flows into a sync.Pool
+	// Put — calling the function releases the argument back to its
+	// pool.
+	ParamReleased []bool
+	// Allocates reports that the body contains at least one allocation
+	// site of the kinds hotalloc polices.
+	Allocates bool
+}
+
+// escapesHeap reports whether argument position i (after variadic
+// clamping) escapes to the heap.
+func (s *FuncSummary) escapesHeap(i int) bool {
+	return s != nil && i >= 0 && i < len(s.ParamEscapesHeap) && s.ParamEscapesHeap[i]
+}
+
+func (s *FuncSummary) escapesReturn(i int) bool {
+	return s != nil && i >= 0 && i < len(s.ParamEscapesReturn) && s.ParamEscapesReturn[i]
+}
+
+func (s *FuncSummary) releases(i int) bool {
+	return s != nil && i >= 0 && i < len(s.ParamReleased) && s.ParamReleased[i]
+}
+
+// Summaries is the cross-package function-summary table of one Run.
+type Summaries struct {
+	// byObj resolves callees through type information (works across
+	// packages and for methods).
+	byObj map[types.Object]*FuncSummary
+	// byName is the syntactic fallback for same-package calls when type
+	// information is unavailable, keyed by "<dir>\x00<name>".
+	byName map[string]*FuncSummary
+}
+
+// lookupCall resolves the summary of a call's callee from within
+// package p, or nil when the callee is unknown (stdlib, interface
+// dispatch, function value).
+func (s *Summaries) lookupCall(p *Package, call *ast.CallExpr) *FuncSummary {
+	if s == nil {
+		return nil
+	}
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[f]; obj != nil {
+			return s.byObj[obj]
+		}
+		return s.byName[p.Dir+"\x00"+f.Name]
+	case *ast.SelectorExpr:
+		if obj := p.Info.Uses[f.Sel]; obj != nil {
+			return s.byObj[obj]
+		}
+	}
+	return nil
+}
+
+// paramIndex clamps argument position i to the callee's parameter
+// count, mapping every variadic argument onto the variadic parameter.
+func paramIndex(nParams int, i int) int {
+	if nParams == 0 {
+		return -1
+	}
+	if i >= nParams {
+		return nParams - 1
+	}
+	return i
+}
+
+// BuildSummaries computes the function-summary table over the loaded
+// packages. It walks every declared function with the taint tracker
+// (taint.go), seeding each parameter as a taint origin, and records the
+// escape/release/provider events the walk reports; the walk repeats
+// until no summary flag changes, making the table transitive through
+// in-module call chains.
+func BuildSummaries(pkgs []*Package) *Summaries {
+	sums := &Summaries{
+		byObj:  make(map[types.Object]*FuncSummary),
+		byName: make(map[string]*FuncSummary),
+	}
+	type unit struct {
+		p  *Package
+		fn *ast.FuncDecl
+		s  *FuncSummary
+	}
+	var units []unit
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				n := numParams(fn.Type)
+				s := &FuncSummary{
+					Name:               fn.Name.Name,
+					ParamEscapesHeap:   make([]bool, n),
+					ParamEscapesReturn: make([]bool, n),
+					ParamReleased:      make([]bool, n),
+					Allocates:          bodyAllocates(p, fn.Body),
+				}
+				if obj := p.Info.Defs[fn.Name]; obj != nil {
+					sums.byObj[obj] = s
+				}
+				if fn.Recv == nil {
+					sums.byName[p.Dir+"\x00"+fn.Name.Name] = s
+				}
+				units = append(units, unit{p: p, fn: fn, s: s})
+			}
+		}
+	}
+	// Fixed point: flags are monotone (they only turn on), so the loop
+	// ends within call-graph-depth passes; the cap is a safety net.
+	for pass := 0; pass < 10; pass++ {
+		changed := false
+		for _, u := range units {
+			if summarizeFunc(u.p, u.fn, u.s, sums) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// numParams counts declared parameters (flattening grouped names).
+func numParams(ftype *ast.FuncType) int {
+	if ftype.Params == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range ftype.Params.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// paramNames returns the declared parameter names in position order
+// ("" for unnamed).
+func paramNames(ftype *ast.FuncType) []string {
+	if ftype.Params == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range ftype.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, "")
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, name.Name)
+		}
+	}
+	return out
+}
+
+// summarizeFunc re-derives one function's summary flags from a taint
+// walk over its body and merges them in, reporting whether anything
+// changed.
+func summarizeFunc(p *Package, fn *ast.FuncDecl, s *FuncSummary, sums *Summaries) bool {
+	tw := newTaintWalker(p, sums)
+	for i, name := range paramNames(fn.Type) {
+		if name != "" && name != "_" {
+			tw.seed(name, 1<<uint(i))
+		}
+	}
+	tw.walkBody(fn.Body)
+	changed := false
+	set := func(dst []bool, origins taintSet) {
+		for i := range dst {
+			if origins&(1<<uint(i)) != 0 && !dst[i] {
+				dst[i] = true
+				changed = true
+			}
+		}
+	}
+	set(s.ParamEscapesHeap, tw.heapEscaped)
+	set(s.ParamEscapesReturn, tw.returnEscaped)
+	set(s.ParamReleased, tw.released)
+	if tw.returnEscaped&poolOrigin != 0 && !s.ReturnsPooled {
+		s.ReturnsPooled = true
+		changed = true
+	}
+	return changed
+}
+
+// isPoolGetCall reports whether call is sync.Pool.Get — resolved
+// through type information when available, by a receiver named
+// *Pool/*pool otherwise.
+func isPoolGetCall(p *Package, call *ast.CallExpr) bool {
+	return isPoolMethodCall(p, call, "Get", 0)
+}
+
+// isPoolPutCall reports whether call is sync.Pool.Put.
+func isPoolPutCall(p *Package, call *ast.CallExpr) bool {
+	return isPoolMethodCall(p, call, "Put", 1)
+}
+
+func isPoolMethodCall(p *Package, call *ast.CallExpr, name string, nargs int) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name || len(call.Args) != nargs {
+		return false
+	}
+	if tv, ok := p.Info.Types[sel.X]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		return t.String() == "sync.Pool"
+	}
+	// Syntactic fallback: the project's pools are all named *Pool.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		lower := strings.ToLower(id.Name)
+		return strings.HasSuffix(lower, "pool")
+	}
+	return false
+}

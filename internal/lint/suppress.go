@@ -15,11 +15,22 @@ import (
 // without a written justification is itself reported.
 const ignorePrefix = "//lint:ignore"
 
+// directive is one parsed //lint:ignore, tracked so stalesuppress can
+// report directives that suppress nothing.
+type directive struct {
+	analyzer string
+	pos      token.Position
+	// used flips when the directive actually suppresses a finding.
+	used bool
+}
+
 // suppressions indexes the ignore directives of one package.
 type suppressions struct {
-	// byAnalyzer maps analyzer name -> set of source lines covered,
-	// keyed by filename.
-	byAnalyzer map[string]map[string]map[int]bool
+	// byAnalyzer maps analyzer name -> filename -> line -> directive, so
+	// covering a finding marks the directive used.
+	byAnalyzer map[string]map[string]map[int]*directive
+	// directives lists every well-formed directive in source order.
+	directives []*directive
 	// malformed collects directives that do not parse; they surface as
 	// findings of the pseudo-analyzer "lint" so a typo cannot silently
 	// disable nothing.
@@ -27,7 +38,7 @@ type suppressions struct {
 }
 
 func collectSuppressions(p *Package) *suppressions {
-	s := &suppressions{byAnalyzer: make(map[string]map[string]map[int]bool)}
+	s := &suppressions{byAnalyzer: make(map[string]map[string]map[int]*directive)}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -46,18 +57,24 @@ func collectSuppressions(p *Package) *suppressions {
 					})
 					continue
 				}
+				d := &directive{analyzer: analyzer, pos: pos}
+				s.directives = append(s.directives, d)
 				files := s.byAnalyzer[analyzer]
 				if files == nil {
-					files = make(map[string]map[int]bool)
+					files = make(map[string]map[int]*directive)
 					s.byAnalyzer[analyzer] = files
 				}
 				lines := files[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]bool)
+					lines = make(map[int]*directive)
 					files[pos.Filename] = lines
 				}
-				lines[pos.Line] = true
-				lines[pos.Line+1] = true
+				lines[pos.Line] = d
+				// The line below is covered too, unless another directive
+				// sits there already (it owns its own line).
+				if lines[pos.Line+1] == nil {
+					lines[pos.Line+1] = d
+				}
 			}
 		}
 	}
@@ -65,7 +82,12 @@ func collectSuppressions(p *Package) *suppressions {
 }
 
 // covers reports whether a finding of the named analyzer at pos is
-// suppressed.
+// suppressed, marking the matching directive as used.
 func (s *suppressions) covers(analyzer string, pos token.Position) bool {
-	return s.byAnalyzer[analyzer][pos.Filename][pos.Line]
+	d := s.byAnalyzer[analyzer][pos.Filename][pos.Line]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
 }

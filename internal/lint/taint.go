@@ -1,0 +1,534 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The taint tracker: a source-order walk over one function body that
+// propagates "this value aliases X" facts through the assignments,
+// slices, dereferences and calls Go code actually uses to move buffers
+// around. It is the shared engine under the summary pass (taint origins
+// = the function's parameters), poolpair (origin = a sync.Pool Get),
+// and chunkalias (origins = AddChunk's slice parameters).
+//
+// A taintSet is a bitset of origins: bits 0..61 are parameter
+// positions, bit 62 (poolOrigin) marks values derived from a pool Get.
+// Locals are tracked by name — the walk is flow-insensitive across
+// loop back-edges and tolerates shadowing, which is precise enough for
+// the straight-line pool and chunk plumbing it polices (and for the
+// golden fixtures, which type-check at full precision).
+type taintSet uint64
+
+// poolOrigin marks values derived from a sync.Pool Get.
+const poolOrigin taintSet = 1 << 62
+
+type taintWalker struct {
+	p    *Package
+	sums *Summaries
+	// vars maps local names to the origins they may alias.
+	vars map[string]taintSet
+	// Accumulated events.
+	heapEscaped   taintSet // assigned into field/global/channel, or retained by a callee
+	returnEscaped taintSet // flowed into a return value
+	released      taintSet // handed to a sync.Pool Put (directly or via a releaser)
+	// escapes records each heap/return escape site for analyzers that
+	// report per-site findings.
+	escapes []taintEvent
+	// releases records each release site (statement position) so
+	// poolpair's path walk can match them.
+	releases []taintEvent
+	// acquisitions records each pool Get (or provider call) site.
+	acquisitions []taintEvent
+}
+
+// taintEvent is one dataflow event: the origins involved and the node
+// it happened at.
+type taintEvent struct {
+	origins taintSet
+	node    ast.Node
+	kind    string // "heap", "return", "release", "acquire"
+	detail  string // human fragment for findings ("struct field", ...)
+}
+
+func newTaintWalker(p *Package, sums *Summaries) *taintWalker {
+	return &taintWalker{p: p, sums: sums, vars: make(map[string]taintSet)}
+}
+
+// seed marks a name as aliasing the given origins before the walk.
+func (tw *taintWalker) seed(name string, origins taintSet) {
+	tw.vars[name] |= origins
+}
+
+func (tw *taintWalker) taintOf(name string) taintSet { return tw.vars[name] }
+
+func (tw *taintWalker) escape(origins taintSet, n ast.Node, kind, detail string) {
+	if origins == 0 {
+		return
+	}
+	switch kind {
+	case "heap":
+		tw.heapEscaped |= origins
+	case "return":
+		tw.returnEscaped |= origins
+	}
+	tw.escapes = append(tw.escapes, taintEvent{origins: origins, node: n, kind: kind, detail: detail})
+}
+
+func (tw *taintWalker) release(origins taintSet, n ast.Node) {
+	tw.released |= origins
+	tw.releases = append(tw.releases, taintEvent{origins: origins, node: n, kind: "release"})
+}
+
+// walkBody processes a whole function body in source order.
+func (tw *taintWalker) walkBody(body *ast.BlockStmt) {
+	for _, st := range body.List {
+		tw.walkStmt(st)
+	}
+}
+
+func (tw *taintWalker) walkStmt(st ast.Stmt) {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		tw.walkAssign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						tw.assignTo(name, tw.evalExpr(vs.Values[i]))
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		tw.evalExpr(s.X)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			tw.escape(tw.evalExpr(res), s, "return", "return value")
+		}
+	case *ast.SendStmt:
+		tw.escape(tw.evalExpr(s.Value), s, "heap", "channel send")
+		tw.evalExpr(s.Chan)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			tw.walkStmt(s.Init)
+		}
+		tw.evalExpr(s.Cond)
+		tw.walkBody(s.Body)
+		if s.Else != nil {
+			tw.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			tw.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			tw.evalExpr(s.Cond)
+		}
+		if s.Post != nil {
+			tw.walkStmt(s.Post)
+		}
+		tw.walkBody(s.Body)
+	case *ast.RangeStmt:
+		origins := tw.evalExpr(s.X)
+		if s.Value != nil && tw.aliasingExpr(s.Value) {
+			tw.assignTo(s.Value, origins)
+		}
+		tw.walkBody(s.Body)
+	case *ast.BlockStmt:
+		tw.walkBody(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			tw.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			tw.evalExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					tw.evalExpr(e)
+				}
+				for _, bs := range cc.Body {
+					tw.walkStmt(bs)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			tw.walkStmt(s.Init)
+		}
+		// `switch y := x.(type)` aliases y to x in every clause.
+		if as, ok := s.Assign.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			tw.assignTo(as.Lhs[0], tw.evalExpr(as.Rhs[0]))
+		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
+			tw.evalExpr(es.X)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, bs := range cc.Body {
+					tw.walkStmt(bs)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					tw.walkStmt(cc.Comm)
+				}
+				for _, bs := range cc.Body {
+					tw.walkStmt(bs)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		tw.evalExpr(s.Call)
+	case *ast.GoStmt:
+		tw.evalExpr(s.Call)
+	case *ast.LabeledStmt:
+		tw.walkStmt(s.Stmt)
+	case *ast.IncDecStmt:
+		tw.evalExpr(s.X)
+	}
+}
+
+// walkAssign propagates taint through one assignment and reports heap
+// escapes when a tainted value lands somewhere that outlives the call.
+func (tw *taintWalker) walkAssign(s *ast.AssignStmt) {
+	// Multi-value RHS (x, y := f()): the call's taint flows to every
+	// aliasing LHS.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		origins := tw.evalExpr(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			tw.assignTo(lhs, origins)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		tw.assignTo(lhs, tw.evalExpr(s.Rhs[i]))
+	}
+}
+
+// assignTo routes taint into an assignment target. Local targets pick
+// up the taint; targets that outlive the function (fields of anything
+// non-local, package-level variables, unknown names) report a heap
+// escape.
+func (tw *taintWalker) assignTo(lhs ast.Expr, origins taintSet) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if tw.isPackageLevel(l) {
+			tw.escape(origins, l, "heap", "package-level variable")
+			return
+		}
+		tw.vars[l.Name] = origins
+	case *ast.StarExpr:
+		// Writing through a pointer we track (e.g. *bp = b[:0], bp
+		// pooled) keeps the alias local; through anything else the
+		// pointee's lifetime is unknown — but the project's only such
+		// writes are into tracked pool boxes, so stay quiet unless the
+		// pointer is a parameter-rooted escape target.
+		if origins == 0 {
+			return
+		}
+		if tw.evalExpr(l.X) == 0 && tw.isExternalTarget(l.X) {
+			tw.escape(origins, l, "heap", "write through external pointer")
+		}
+	case *ast.SelectorExpr:
+		if origins == 0 {
+			tw.evalExpr(l.X)
+			return
+		}
+		// x.f = tainted: if x is a purely local value, the alias stays
+		// local (taint x); otherwise the field outlives the call.
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok && !tw.isPackageLevel(id) {
+			if tw.vars[id.Name] != 0 || tw.isLocalValue(id) {
+				tw.vars[id.Name] |= origins
+				return
+			}
+		}
+		tw.escape(origins, l, "heap", "struct field")
+	case *ast.IndexExpr:
+		if origins == 0 {
+			tw.evalExpr(l.X)
+			return
+		}
+		// m[k] = tainted / s[i] = tainted: escapes unless the container
+		// is itself a local.
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok && !tw.isPackageLevel(id) {
+			tw.vars[id.Name] |= origins
+			return
+		}
+		tw.escape(origins, l, "heap", "container element")
+	}
+}
+
+// isPackageLevel reports whether the identifier resolves to a
+// package-level variable.
+func (tw *taintWalker) isPackageLevel(id *ast.Ident) bool {
+	if tw.p.TypesPkg == nil {
+		return false
+	}
+	obj := tw.p.Info.Uses[id]
+	if obj == nil {
+		obj = tw.p.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() == tw.p.TypesPkg.Scope()
+}
+
+// isLocalValue reports whether the identifier is a non-pointer local —
+// writing a field of a local struct value cannot escape by itself.
+func (tw *taintWalker) isLocalValue(id *ast.Ident) bool {
+	if tw.p.TypesPkg == nil {
+		return false
+	}
+	obj := tw.p.Info.Uses[id]
+	if obj == nil {
+		obj = tw.p.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == tw.p.TypesPkg.Scope() {
+		return false
+	}
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return true
+}
+
+// isExternalTarget reports whether a pointer expression is rooted at a
+// parameter or receiver (so writes through it are caller-visible).
+// Without type info this stays false — quiet, not guessing.
+func (tw *taintWalker) isExternalTarget(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || tw.p.TypesPkg == nil {
+		return false
+	}
+	obj := tw.p.Info.Uses[id]
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() != tw.p.TypesPkg.Scope() && v.IsField()
+}
+
+// aliasingExpr reports whether an expression's static type can alias
+// memory (slice, pointer, map, chan, func, interface). Basic values
+// copied out of tainted containers drop the taint.
+func (tw *taintWalker) aliasingExpr(e ast.Expr) bool {
+	tv, ok := tw.p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		// Unresolved: propagate (the conservative choice for the
+		// fixtures, which always type-check, never hits this).
+		return true
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// evalExpr returns the origins the expression's value may alias,
+// firing escape/release events for calls along the way.
+func (tw *taintWalker) evalExpr(e ast.Expr) taintSet {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return tw.vars[x.Name]
+	case *ast.ParenExpr:
+		return tw.evalExpr(x.X)
+	case *ast.StarExpr:
+		return tw.evalExpr(x.X)
+	case *ast.UnaryExpr:
+		return tw.evalExpr(x.X)
+	case *ast.SliceExpr:
+		if x.Low != nil {
+			tw.evalExpr(x.Low)
+		}
+		if x.High != nil {
+			tw.evalExpr(x.High)
+		}
+		return tw.evalExpr(x.X)
+	case *ast.IndexExpr:
+		tw.evalExpr(x.Index)
+		origins := tw.evalExpr(x.X)
+		if origins != 0 && tw.aliasingExpr(e) {
+			return origins
+		}
+		return 0
+	case *ast.SelectorExpr:
+		origins := tw.evalExpr(x.X)
+		if origins != 0 && tw.aliasingExpr(e) {
+			return origins
+		}
+		return 0
+	case *ast.TypeAssertExpr:
+		return tw.evalExpr(x.X)
+	case *ast.CompositeLit:
+		var origins taintSet
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				origins |= tw.evalExpr(kv.Value)
+			} else {
+				origins |= tw.evalExpr(el)
+			}
+		}
+		return origins
+	case *ast.BinaryExpr:
+		tw.evalExpr(x.X)
+		tw.evalExpr(x.Y)
+		return 0
+	case *ast.FuncLit:
+		// The literal shares the walker's environment: captures alias
+		// the same origins, and escapes inside it (channel sends, field
+		// stores) fire against the same accumulators. Its own returns
+		// are not the outer function's returns, so they are walked with
+		// return-escapes muted.
+		tw.walkMutedReturns(x.Body)
+		return 0
+	case *ast.CallExpr:
+		return tw.evalCall(x)
+	}
+	return 0
+}
+
+// walkMutedReturns walks a nested function literal's body with return
+// statements treated as plain expression uses (a closure returning a
+// tainted value does not return it from the enclosing function).
+func (tw *taintWalker) walkMutedReturns(body *ast.BlockStmt) {
+	saved := tw.returnEscaped
+	savedEvents := len(tw.escapes)
+	tw.walkBody(body)
+	// Drop return-escape events the closure added; keep heap escapes.
+	tw.returnEscaped = saved
+	kept := tw.escapes[:savedEvents]
+	for _, ev := range tw.escapes[savedEvents:] {
+		if ev.kind != "return" {
+			kept = append(kept, ev)
+		}
+	}
+	tw.escapes = kept
+}
+
+// evalCall routes call-site dataflow: pool Gets acquire, pool Puts and
+// releaser callees release, callees with escaping parameters fire
+// escapes, and provider/append-style callees propagate taint to the
+// result.
+func (tw *taintWalker) evalCall(call *ast.CallExpr) taintSet {
+	// Builtins with aliasing-relevant semantics.
+	if isBuiltinName(call) {
+		id := ast.Unparen(call.Fun).(*ast.Ident)
+		obj := tw.p.Info.Uses[id]
+		if obj == nil {
+			return tw.evalBuiltin(call)
+		}
+		if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+			return tw.evalBuiltin(call)
+		}
+	}
+	// Conversions (string(b), []byte(s), T(x)) alias their operand for
+	// reference types and are not calls.
+	if tv, ok := tw.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		var origins taintSet
+		for _, a := range call.Args {
+			origins |= tw.evalExpr(a)
+		}
+		if origins != 0 && tw.aliasingExpr(call) {
+			return origins
+		}
+		return 0
+	}
+
+	if isPoolGetCall(tw.p, call) {
+		tw.acquisitions = append(tw.acquisitions, taintEvent{origins: poolOrigin, node: call, kind: "acquire"})
+		return poolOrigin
+	}
+	if isPoolPutCall(tw.p, call) {
+		tw.release(tw.evalExpr(call.Args[0]), call)
+		return 0
+	}
+
+	sum := tw.sums.lookupCall(tw.p, call)
+	var ret taintSet
+	for i, arg := range call.Args {
+		origins := tw.evalExpr(arg)
+		if origins == 0 || sum == nil {
+			continue
+		}
+		pi := paramIndex(len(sum.ParamEscapesHeap), i)
+		if sum.escapesHeap(pi) {
+			tw.escape(origins, arg, "heap", "retained by "+sum.Name)
+		}
+		if sum.escapesReturn(pi) {
+			ret |= origins
+		}
+		if sum.releases(pi) {
+			tw.release(origins, call)
+		}
+	}
+	if sum != nil && sum.ReturnsPooled {
+		tw.acquisitions = append(tw.acquisitions, taintEvent{origins: poolOrigin, node: call, kind: "acquire"})
+		ret |= poolOrigin
+	}
+	// A call through a function literal evaluates the literal too.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		tw.walkMutedReturns(lit.Body)
+	}
+	return ret
+}
+
+func isBuiltinName(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch id.Name {
+	case "append", "len", "cap", "copy", "delete", "make", "new", "panic",
+		"print", "println", "min", "max", "clear", "close", "recover":
+		return true
+	}
+	return false
+}
+
+// evalBuiltin models the builtins that matter for aliasing: append's
+// result aliases its first argument, and appending a slice *as an
+// element* (no ...) retains that slice header; spreads copy values.
+func (tw *taintWalker) evalBuiltin(call *ast.CallExpr) taintSet {
+	id := ast.Unparen(call.Fun).(*ast.Ident)
+	switch id.Name {
+	case "append":
+		var origins taintSet
+		for i, a := range call.Args {
+			o := tw.evalExpr(a)
+			if i == 0 {
+				origins |= o
+				continue
+			}
+			if call.Ellipsis == token.NoPos || i < len(call.Args)-1 {
+				// Element append: the header is retained in the result.
+				if tw.aliasingExpr(a) {
+					origins |= o
+				}
+			}
+		}
+		return origins
+	default:
+		for _, a := range call.Args {
+			tw.evalExpr(a)
+		}
+		return 0
+	}
+}

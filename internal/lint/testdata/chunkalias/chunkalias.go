@@ -1,0 +1,121 @@
+// Package chunkalias exercises the chunkalias analyzer: AddChunk
+// implementations receive key/column slices whose backing storage the
+// caller (engine.KeyPacker) reuses for the next chunk, so retaining
+// any of them beyond the call reads torn data.
+package chunkalias
+
+// cleanFold reads per-row values and writes per-slot accumulators —
+// the sanctioned kernel shape. Clean.
+type cleanFold struct {
+	sum []float64
+	n   []int64
+	col []float64
+}
+
+//lint:hot AddChunk runs once per raw row.
+func (d *cleanFold) AddChunk(slots, rows []int32) {
+	for i, s := range slots {
+		d.sum[s] += d.col[rows[i]]
+		d.n[s]++
+	}
+}
+
+// fieldRetainer parks the rows slice in a field: the next chunk
+// overwrites it in place.
+type fieldRetainer struct {
+	lastRows []int32
+}
+
+func (d *fieldRetainer) AddChunk(slots, rows []int32) {
+	d.lastRows = rows // want "AddChunk retains chunk slice rows via struct field"
+	_ = slots
+}
+
+// colAliaser is the loss-state shape the satellite task names: a state
+// that aliases a sample-column slice handed in with the chunk instead
+// of copying the values out of it.
+type colAliaser struct {
+	state struct {
+		colView []float64 // aliases reused chunk storage
+	}
+}
+
+func (d *colAliaser) AddChunk(keys []uint64, col []float64) {
+	d.state.colView = col // want "AddChunk retains chunk slice col via struct field"
+	_ = keys
+}
+
+// copier snapshots the column by value before retaining — the
+// sanctioned fix for colAliaser. Clean.
+type copier struct {
+	saved []float64
+}
+
+func (d *copier) AddChunk(keys []uint64, col []float64) {
+	d.saved = append(d.saved[:0], col...)
+	_ = keys
+}
+
+// chunkLog appends the slice header itself into a long-lived
+// collection: every entry ends up aliasing the same reused storage.
+type chunkLog struct {
+	chunks [][]uint64
+}
+
+func (d *chunkLog) AddChunk(keys []uint64, rows []int32) {
+	d.chunks = append(d.chunks, keys) // want "AddChunk retains chunk slice keys via struct field"
+	_ = rows
+}
+
+// globalKeys is the package-level retention sink.
+var globalKeys []uint64
+
+type globalStash struct{}
+
+func (globalStash) AddChunk(keys []uint64, rows []int32) {
+	globalKeys = keys // want "AddChunk retains chunk slice keys via package-level variable"
+	_ = rows
+}
+
+// stash keeps its argument; passing the chunk through it launders the
+// retention unless the summary table carries it across the call.
+func stash(keys []uint64) {
+	globalKeys = keys
+}
+
+type laundering struct{}
+
+func (laundering) AddChunk(keys []uint64, rows []int32) {
+	stash(keys) // want "AddChunk retains chunk slice keys via retained by stash"
+	_ = rows
+}
+
+// returner hands the chunk back out; the caller may hold it past the
+// next pack.
+type returner struct{}
+
+func (returner) AddChunk(slots, rows []int32) []int32 {
+	return rows // want "AddChunk retains chunk slice rows via return value"
+}
+
+// sender ships the chunk to another goroutine, which races the reuse.
+type sender struct {
+	ch chan []int32
+}
+
+func (d *sender) AddChunk(slots, rows []int32) {
+	d.ch <- rows // want "AddChunk retains chunk slice rows via channel send"
+	_ = slots
+}
+
+// valueReader copies scalar elements out of the chunk — elements are
+// values, not aliases. Clean.
+type valueReader struct {
+	last int32
+}
+
+func (d *valueReader) AddChunk(slots, rows []int32) {
+	for i := range slots {
+		d.last = rows[i]
+	}
+}

@@ -1,0 +1,106 @@
+// Package hotalloc exercises the hotalloc analyzer: row/cell scan
+// loops in hot packages (this fixture directory is on the hot list)
+// must not allocate per iteration; elsewhere the check is opt-in per
+// function via //lint:hot.
+package hotalloc
+
+import "fmt"
+
+// results is a package-level sink so assignments are not dead code.
+var results []string
+
+// sprintfPerRow formats inside the row loop: one allocation per row.
+func sprintfPerRow(rows []int64) {
+	for _, r := range rows {
+		results = append(results, fmt.Sprintf("row-%d", r)) // want "fmt.Sprintf call inside scan"
+	}
+}
+
+// conversionPerRow round-trips string⇄bytes inside the row loop.
+func conversionPerRow(rows []string) int {
+	total := 0
+	for _, r := range rows {
+		b := []byte(r) // want "byte\\(string\\) conversion inside scan"
+		total += len(b)
+	}
+	return total
+}
+
+// mapPerCell builds a map literal per cell.
+func mapPerCell(cells []int32) {
+	for range cells {
+		m := map[string]int{} // want "map literal inside scan"
+		_ = m
+	}
+}
+
+// slicePerCell builds a slice literal per cell.
+func slicePerCell(cells []int32) {
+	for range cells {
+		s := []int{1, 2, 3} // want "slice literal inside scan"
+		_ = s
+	}
+}
+
+// closurePerRow allocates a closure per row.
+func closurePerRow(rows []int64, apply func(func() int64)) {
+	for _, r := range rows {
+		apply(func() int64 { return r }) // want "closure allocation"
+	}
+}
+
+// take boxes its argument when handed a non-pointer-shaped concrete
+// value.
+func take(v any) { _ = v }
+
+// boxingPerRow boxes an int64 into an interface per row.
+func boxingPerRow(rows []int64) {
+	for _, r := range rows {
+		take(r) // want "interface boxing of int64"
+	}
+}
+
+// counterLoop has no scan keyword and no opt-in: not checked. Clean.
+func counterLoop(n int) {
+	for i := 0; i < n; i++ {
+		results = append(results, fmt.Sprintf("i-%d", i))
+	}
+}
+
+//lint:hot the fold below runs once per raw row even though the loop
+// variable carries no scan keyword.
+func optedIn(slots []int32) {
+	for range slots {
+		results = append(results, fmt.Sprintf("s")) // want "fmt.Sprintf call inside scan"
+	}
+}
+
+// preSized allocates with make/append/struct literals — the sanctioned
+// kinds. Clean.
+type acc struct{ n, sum int64 }
+
+func preSized(rows []int64) []acc {
+	out := make([]acc, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, acc{n: 1, sum: r})
+	}
+	return out
+}
+
+// errorExit allocates only on the path that leaves the scan: exempt.
+func errorExit(rows []int64) error {
+	for _, r := range rows {
+		if r < 0 {
+			return fmt.Errorf("negative row %d", r)
+		}
+	}
+	return nil
+}
+
+// pointerPassthrough hands interfaces pointer-shaped values: no boxing
+// allocation. Clean.
+func pointerPassthrough(rows []*acc) {
+	for _, r := range rows {
+		take(r)
+	}
+}

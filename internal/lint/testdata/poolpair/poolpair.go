@@ -1,0 +1,183 @@
+// Package poolpair exercises the poolpair analyzer: pooled objects
+// must be released on all paths and must not escape the acquiring
+// function.
+package poolpair
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// leaked is the heap-escape sink for the escape cases.
+var leaked *[]byte
+
+// getBuf is a pool provider: returning the pooled object is its job,
+// so it is exempt; its callers inherit the release obligation. Clean.
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// putBuf is a releaser: its parameter flows to Put. Clean.
+func putBuf(bp *[]byte) {
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// deferRelease releases via defer, covering every exit. Clean.
+func deferRelease(fail bool) int {
+	bp := getBuf()
+	defer putBuf(bp)
+	if fail {
+		return 0
+	}
+	return len(*bp)
+}
+
+// everyPath releases manually on each return. Clean.
+func everyPath(fail bool) int {
+	bp := getBuf()
+	if fail {
+		putBuf(bp)
+		return 0
+	}
+	n := len(*bp)
+	putBuf(bp)
+	return n
+}
+
+// singleSite resolves first, releases once, branches after — the
+// QueryByValues shape. Clean.
+func singleSite(fail bool) int {
+	bp := getBuf()
+	n := len(*bp)
+	putBuf(bp)
+	if fail {
+		return 0
+	}
+	return n
+}
+
+// missedPath forgets the release on the early return.
+func missedPath(fail bool) int {
+	bp := getBuf()
+	if fail {
+		return 0 // want "return without releasing the pooled object acquired at line \\d+"
+	}
+	putBuf(bp)
+	return 1
+}
+
+// neverReleased drops the buffer on the floor in a void function.
+func neverReleased() {
+	bp := getBuf() // want "not released before the end of its scope"
+	_ = bp
+}
+
+// escapesGlobal parks the pooled buffer in a package variable: the
+// pool will recycle it while still referenced.
+func escapesGlobal() {
+	bp := getBuf()
+	leaked = bp // want "pooled object escapes via package-level variable"
+	putBuf(bp)
+}
+
+// holder outlives the call via the heap-escape cases below.
+type holder struct{ buf *[]byte }
+
+var sink holder
+
+// escapesField stores the pooled buffer into a non-local struct field.
+func escapesField() {
+	bp := getBuf()
+	sink.buf = bp // want "pooled object escapes via (struct field|package-level variable)"
+	putBuf(bp)
+}
+
+// retain is a helper that keeps its argument; passing a pooled buffer
+// to it is an escape the summary table carries across the call.
+func retain(bp *[]byte) {
+	leaked = bp
+}
+
+// escapesThroughCallee launders the escape through a helper.
+func escapesThroughCallee() {
+	bp := getBuf()
+	retain(bp) // want "pooled object escapes via retained by retain"
+	putBuf(bp)
+}
+
+// escapesChannel sends the pooled buffer away.
+func escapesChannel(ch chan *[]byte) {
+	bp := getBuf()
+	ch <- bp // want "pooled object escapes via channel send"
+	putBuf(bp)
+}
+
+// directGet acquires straight from the pool without the provider;
+// same rules apply.
+func directGet(fail bool) {
+	bp := bufPool.Get().(*[]byte)
+	if fail {
+		return // want "return without releasing the pooled object acquired at line \\d+"
+	}
+	bufPool.Put(bp)
+}
+
+// releaseViaHelper releases transitively through putBuf on all paths.
+// Clean.
+func releaseViaHelper(n int) int {
+	bp := getBuf()
+	switch {
+	case n < 0:
+		putBuf(bp)
+		return -1
+	default:
+		putBuf(bp)
+		return 1
+	}
+}
+
+// switchNoDefault releases in every listed case but a value outside
+// them falls through unreleased.
+func switchNoDefault(n int) {
+	bp := getBuf() // want "not released before the end of its scope"
+	switch n {
+	case 0:
+		putBuf(bp)
+	case 1:
+		putBuf(bp)
+	}
+}
+
+// panicPath is exempt on the crash path: sync.Pool is GC-backed, so a
+// leak on panic costs one reuse, not correctness. Clean.
+func panicPath(fail bool) {
+	bp := getBuf()
+	if fail {
+		panic("boom")
+	}
+	putBuf(bp)
+}
+
+// loopAcquire acquires per iteration and continues past the release.
+func loopAcquire(items []int) {
+	for range items {
+		bp := getBuf()
+		if len(*bp) > 0 {
+			continue // want "continue without releasing the pooled object acquired at line \\d+"
+		}
+		putBuf(bp)
+	}
+}
+
+// deferClosureRelease releases inside a deferred closure (the
+// gzip-scratch shape). Clean.
+func deferClosureRelease(fail bool) error {
+	bp := getBuf()
+	defer func() {
+		putBuf(bp)
+	}()
+	if fail {
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+// Package stalesuppress exercises the stalesuppress analyzer: a
+// //lint:ignore directive that suppresses zero findings is itself a
+// finding. The golden test runs the FULL analyzer suite over this
+// package — stalesuppress only judges directives whose analyzer
+// actually ran.
+package stalesuppress
+
+import "io"
+
+// usedSuppression really does suppress a droppederr finding on the
+// line below it: the directive is load-bearing. Clean (and the
+// droppederr finding it covers stays suppressed).
+func usedSuppression(w io.Writer, p []byte) {
+	//lint:ignore droppederr fixture exercises a used suppression
+	w.Write(p)
+}
+
+// staleSuppression excuses a finding that no longer exists — the
+// unchecked write it once covered was fixed, the directive stayed.
+func staleSuppression(w io.Writer, p []byte) error {
+	//lint:ignore droppederr nothing below drops an error anymore // want "suppresses no findings"
+	_, err := w.Write(p)
+	return err
+}
+
+// staleOtherAnalyzer is stale for a different analyzer, proving the
+// check is per-directive, not per-file.
+func staleOtherAnalyzer() int {
+	//lint:ignore maporder no map is ranged here // want "suppresses no findings"
+	return 1
+}
+
+// excusedStale is a stale directive whose staleness is itself
+// suppressed (the pattern for directives that are load-bearing only on
+// other build configurations). Clean.
+func excusedStale(w io.Writer, p []byte) error {
+	//lint:ignore stalesuppress fixture: directive below is load-bearing elsewhere
+	//lint:ignore droppederr load-bearing on another platform
+	_, err := w.Write(p)
+	return err
+}

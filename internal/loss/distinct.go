@@ -207,6 +207,8 @@ func (d *distinctDense) Grow(n int) {
 	}
 }
 
+//lint:hot AddChunk runs once per raw row; the set-insert fold must not
+// allocate beyond the set entries themselves.
 func (d *distinctDense) AddChunk(slots, rows []int32) {
 	if codes := d.ev.codes; codes != nil {
 		for i, s := range slots {

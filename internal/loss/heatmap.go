@@ -143,6 +143,7 @@ func (d *heatmapDense) Grow(n int) {
 	}
 }
 
+//lint:hot AddChunk runs once per raw row; the fold must not allocate.
 func (d *heatmapDense) AddChunk(slots, rows []int32) {
 	if d.ev.empty {
 		for _, s := range slots {

@@ -147,6 +147,7 @@ func (d *histDense) Grow(n int) {
 	}
 }
 
+//lint:hot AddChunk runs once per raw row; the fold must not allocate.
 func (d *histDense) AddChunk(slots, rows []int32) {
 	if len(d.ev.sam) == 0 {
 		for _, s := range slots {

@@ -146,6 +146,7 @@ func (d *meanDense) Grow(n int) {
 	}
 }
 
+//lint:hot AddChunk runs once per raw row; the fold must not allocate.
 func (d *meanDense) AddChunk(slots, rows []int32) {
 	fs := d.ev.floats
 	for i, s := range slots {

@@ -143,6 +143,7 @@ func (d *regDense) Grow(n int) {
 	}
 }
 
+//lint:hot AddChunk runs once per raw row; the fold must not allocate.
 func (d *regDense) AddChunk(slots, rows []int32) {
 	xs, ys := d.ev.xs, d.ev.ys
 	for i, s := range slots {

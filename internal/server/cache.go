@@ -118,6 +118,13 @@ const gzipMinBytes = 512
 func gzipBytes(b []byte) ([]byte, error) {
 	bp := getBuf()
 	w := bytesWriter{buf: *bp}
+	// Deferred so the (possibly re-grown) scratch returns to the pool on
+	// the error paths too; gzip encodes happen once per identity, so the
+	// closure is off the per-request path.
+	defer func() {
+		*bp = w.buf[:0]
+		putBuf(bp)
+	}()
 	zw, err := gzip.NewWriterLevel(&w, gzip.BestSpeed)
 	if err != nil {
 		return nil, err
@@ -130,8 +137,6 @@ func gzipBytes(b []byte) ([]byte, error) {
 	}
 	out := make([]byte, len(w.buf))
 	copy(out, w.buf)
-	*bp = w.buf[:0]
-	putBuf(bp)
 	return out, nil
 }
 
