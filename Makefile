@@ -1,7 +1,14 @@
 GO ?= go
 FUZZTIME ?= 10s
+# METRICS_OVERHEAD_MAX: the warm-path ns/op overhead (percent) the armed
+# metrics surface may cost over a nil registry before bench-serve fails.
+# The instruments are three atomics plus a pooled status writer, so the
+# true cost is ~1-2%; 10% leaves room for shared-VM timer noise while
+# still catching an accidental allocation or lock on the hot path (the
+# allocs/op delta is gated separately at 0.5 inside tabula-bench).
+METRICS_OVERHEAD_MAX ?= 10
 
-.PHONY: check build test race vet lint lint-json cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append bench-batch bench-init
+.PHONY: check build test race vet lint lint-json cover fuzz-smoke bench bench-smoke bench-concurrent bench-json bench-serve bench-append bench-batch bench-init metrics-smoke
 
 ## check: the full gate — vet, the project linter, build everything, and
 ## run the test suite under the race detector. CI and pre-commit should
@@ -70,10 +77,19 @@ bench-json:
 	$(GO) run ./cmd/tabula-bench -init-json BENCH_init.json -rows 30000 -seed 42 -workers 1,2,4,8
 
 ## bench-serve: machine-readable serving-path throughput (warm cache,
-## cold cache, 100-cell batch viewport, pre-cache legacy baseline) at a
-## fixed seed and scale, written to BENCH_serve.json.
+## cold cache, 100-cell batch viewport, pre-cache legacy baseline, and
+## the warm_nometrics observability baseline) at a fixed seed and scale,
+## written to BENCH_serve.json. Fails if the metrics-armed warm path
+## costs more than METRICS_OVERHEAD_MAX percent over the nil-registry
+## run, or if instrumentation allocates on the hot path.
 bench-serve:
-	$(GO) run ./cmd/tabula-bench -serve-json BENCH_serve.json -rows 30000 -seed 42
+	$(GO) run ./cmd/tabula-bench -serve-json BENCH_serve.json -rows 30000 -seed 42 -metrics-overhead-max $(METRICS_OVERHEAD_MAX)
+
+## metrics-smoke: boot a real tabula-server, scrape GET /v1/metrics, and
+## fail on a non-200 status or an empty exposition — the end-to-end
+## "is the observability surface actually wired" check CI runs.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
 
 ## bench-batch: the viewport hot path — warm 100-cell batch viewports
 ## and the cold full-domain variant whose per-cell payload encodes run

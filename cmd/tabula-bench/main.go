@@ -26,17 +26,18 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (fig8a..fig14b, table1, table2) or 'all'")
-		rows       = flag.Int("rows", harness.DefaultScale.Rows, "synthetic NYCtaxi rows")
-		queries    = flag.Int("queries", harness.DefaultScale.Queries, "queries per workload")
-		seed       = flag.Int64("seed", harness.DefaultScale.Seed, "random seed")
-		out        = flag.String("out", "", "also write reports to this file")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		quiet      = flag.Bool("quiet", false, "suppress progress output")
-		initJSON   = flag.String("init-json", "", "write an initialization stage-timing sweep to this JSON file and exit")
-		workers    = flag.String("workers", "", "comma-separated worker counts for -init-json (default 1,2,4,GOMAXPROCS)")
-		serveJSON  = flag.String("serve-json", "", "write serving-path throughput measurements to this JSON file and exit")
-		appendJSON = flag.String("append-json", "", "write append-latency and cache-retention measurements to this JSON file and exit")
+		experiment  = flag.String("experiment", "", "experiment id (fig8a..fig14b, table1, table2) or 'all'")
+		rows        = flag.Int("rows", harness.DefaultScale.Rows, "synthetic NYCtaxi rows")
+		queries     = flag.Int("queries", harness.DefaultScale.Queries, "queries per workload")
+		seed        = flag.Int64("seed", harness.DefaultScale.Seed, "random seed")
+		out         = flag.String("out", "", "also write reports to this file")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+		initJSON    = flag.String("init-json", "", "write an initialization stage-timing sweep to this JSON file and exit")
+		workers     = flag.String("workers", "", "comma-separated worker counts for -init-json (default 1,2,4,GOMAXPROCS)")
+		serveJSON   = flag.String("serve-json", "", "write serving-path throughput measurements to this JSON file and exit")
+		overheadMax = flag.Float64("metrics-overhead-max", 0, "with -serve-json: fail if warm metrics overhead exceeds this percent (0 disables the gate)")
+		appendJSON  = flag.String("append-json", "", "write append-latency and cache-retention measurements to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -120,6 +121,20 @@ func main() {
 		if batch := rep.Scenario("batch"); batch != nil {
 			fmt.Printf("  batch viewport: %.0f req/s, %.0f ns/op, %.0f allocs/op; cold parallel fill p1→p4: %.2fx\n",
 				batch.ReqPerSec, batch.NsPerOp, batch.AllocsPerOp, rep.BatchParallelSpeedup)
+		}
+		fmt.Printf("  metrics overhead: %+.1f%% ns/op, %+.1f allocs/op (warm vs warm_nometrics)\n",
+			rep.MetricsOverheadNsPct, rep.MetricsOverheadAllocsPerOp)
+		if *overheadMax > 0 {
+			if rep.MetricsOverheadNsPct > *overheadMax {
+				fmt.Fprintf(os.Stderr, "tabula-bench: metrics overhead %.1f%% exceeds -metrics-overhead-max %.1f%%\n",
+					rep.MetricsOverheadNsPct, *overheadMax)
+				os.Exit(1)
+			}
+			if rep.MetricsOverheadAllocsPerOp > 0.5 {
+				fmt.Fprintf(os.Stderr, "tabula-bench: metrics added %.2f allocs/op on the warm path; the instrumentation contract is 0\n",
+					rep.MetricsOverheadAllocsPerOp)
+				os.Exit(1)
+			}
 		}
 		return
 	}

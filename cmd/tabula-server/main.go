@@ -9,7 +9,8 @@
 //
 // then:
 //
-//	curl -s localhost:8080/query -d '{"cube":"taxi_cube","where":{"payment_type":"cash"}}'
+//	curl -s localhost:8080/v1/query -d '{"cube":"taxi_cube","where":{"payment_type":"cash"}}'
+//	curl -s localhost:8080/v1/metrics
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests get a drain window, and request contexts
@@ -44,15 +45,19 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker budget for every cube-initialization stage (0 = GOMAXPROCS)")
 		cacheBytes = flag.Int64("cache-bytes", server.DefaultCacheBytes, "response-cache byte budget (0 disables caching)")
 		gzipOn     = flag.Bool("gzip", true, "serve cached gzip response variants to clients that accept them")
+		metricsOn  = flag.Bool("metrics", true, "record metrics and expose them at GET /v1/metrics")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	db := tabula.Open(tabula.WithBuildParams(func(p *tabula.Params) {
-		p.Workers = *workers
-	}))
+	var registry *tabula.MetricsRegistry // nil = metrics off end to end
+	if *metricsOn {
+		registry = tabula.NewMetricsRegistry()
+	}
+	db := tabula.Open(tabula.WithWorkers(*workers), tabula.WithMetrics(registry))
 	if *taxiRows > 0 {
 		log.Printf("generating %d synthetic taxi rides ...", *taxiRows)
 		db.RegisterTable("nyctaxi", tabula.GenerateTaxi(*taxiRows, *seed))
@@ -89,8 +94,12 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: server.New(db, server.WithCacheBytes(*cacheBytes), server.WithGzip(*gzipOn)),
+		Addr: *addr,
+		Handler: server.New(db,
+			server.WithCacheBytes(*cacheBytes),
+			server.WithGzip(*gzipOn),
+			server.WithMetrics(registry),
+			server.WithPprof(*pprofOn)),
 		// Cancel request contexts when the serve loop exits, so shutdown
 		// aborts in-flight scans that exceed the drain window.
 		BaseContext: func(net.Listener) context.Context { return ctx },

@@ -12,6 +12,7 @@ import (
 	"github.com/tabula-db/tabula/internal/engine"
 	"github.com/tabula-db/tabula/internal/geo"
 	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/obs"
 )
 
 var errNotCreateAggregate = fmt.Errorf("tabula: statement is not CREATE AGGREGATE")
@@ -75,16 +76,52 @@ type DB struct {
 	cubes      *cubeRegistry
 	aggregates map[string]*engine.CreateAggregate
 	// Options applied to cube builds.
-	metric geo.Metric
-	params func(p *Params) // optional hook to adjust build params
+	metric  geo.Metric
+	workers int             // default Params.Workers for Exec-built cubes
+	params  func(p *Params) // optional hook to adjust build params
+	// Observability (nil when metrics are off — every instrument below
+	// is then a nil no-op, so the query path never branches on it).
+	metrics  *obs.Registry
+	stages   *obs.Stages  // build-stage tracer installed into build ctx
+	qConds   *obs.Counter // tabula_db_queries_total{kind="conds"}
+	qValues  *obs.Counter // tabula_db_queries_total{kind="values"}
+	qBatch   *obs.Counter // tabula_db_queries_total{kind="batch"}
+	qBatched *obs.Counter // tabula_db_batched_queries_total
 }
 
-// Option configures a DB.
+// Option configures a DB. Options follow one functional-options idiom
+// across the public surface (see doc.go "Configuration"): tabula.Open
+// takes tabula.Option values (WithMetric, WithWorkers, WithMetrics,
+// WithBuildParams) and server.New takes server.Option values
+// (WithCacheBytes, WithGzip, WithMetrics, WithPprof, WithLogger).
 type Option func(*DB)
 
 // WithMetric sets the distance metric used by heatmap_loss and the DSL's
 // AVGMINDIST on POINT targets (default Euclidean).
 func WithMetric(m Metric) Option { return func(db *DB) { db.metric = m } }
+
+// WithWorkers sets the default worker budget for every initialization
+// stage of cubes built via Exec (0 = GOMAXPROCS). A WithBuildParams
+// hook runs afterwards and may override it per build.
+func WithWorkers(n int) Option { return func(db *DB) { db.workers = n } }
+
+// WithMetrics arms the DB's observability surface on the given registry
+// (nil leaves metrics off): query counters by kind, per-cube append and
+// snapshot-generation metrics (registered as cubes are created or
+// registered), and build-stage wall-time histograms recorded via a
+// stage tracer installed into every Exec build's context. Metrics are
+// recorded with single atomic ops — never an allocation — on the query
+// path, and a DB without WithMetrics pays nothing at all.
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(db *DB) {
+		db.metrics = reg
+		db.stages = obs.NewStages(reg)
+		db.qConds = reg.Counter("tabula_db_queries_total", "DB queries answered, by request kind.", obs.Label{Name: "kind", Value: "conds"})
+		db.qValues = reg.Counter("tabula_db_queries_total", "DB queries answered, by request kind.", obs.Label{Name: "kind", Value: "values"})
+		db.qBatch = reg.Counter("tabula_db_queries_total", "DB queries answered, by request kind.", obs.Label{Name: "kind", Value: "batch"})
+		db.qBatched = reg.Counter("tabula_db_batched_queries_total", "Individual queries inside batch requests.")
+	}
+}
 
 // WithBuildParams installs a hook that adjusts the Params of every cube
 // built via Exec (e.g. to tune sampler options).
@@ -111,9 +148,13 @@ func (db *DB) RegisterTable(name string, t *Table) {
 	db.catalog.Register(name, t)
 }
 
-// RegisterCube names an already-built (or loaded) sampling cube.
+// RegisterCube names an already-built (or loaded) sampling cube. When
+// the DB was opened WithMetrics, the cube's append and snapshot metrics
+// are registered under the (lowercased) name.
 func (db *DB) RegisterCube(name string, c *Cube) {
-	db.cubes.set(strings.ToLower(name), c)
+	name = strings.ToLower(name)
+	db.cubes.set(name, c)
+	c.RegisterMetrics(db.metrics, name)
 }
 
 // CubeByName returns a registered cube.
@@ -128,39 +169,142 @@ func (db *DB) Cubes() []string {
 	return db.cubes.names()
 }
 
-// Query answers a structured dashboard query against a registered cube:
-// a conjunction of equality predicates over its cubed attributes. It is
-// the native (non-SQL) serving path dashboards hammer; ctx cancellation
-// (e.g. a disconnected HTTP client) aborts the query.
-func (db *DB) Query(ctx context.Context, cube string, conds []Condition) (*QueryResult, error) {
-	c, ok := db.CubeByName(cube)
-	if !ok {
-		return nil, fmt.Errorf("tabula: unknown cube %q", cube)
+// QueryRequest names one unit of serving work for DB.Do: which cube to
+// answer from and, via exactly one of the three predicate fields, what
+// kind of request it is.
+//
+//   - Where: a single query with predicate values in display form,
+//     parsed against the cube's schema (the shape JSON clients send).
+//   - Batch: a whole viewport of display-form queries answered against
+//     ONE atomically loaded snapshot.
+//   - Conds: a single query with pre-typed predicate values.
+//
+// Setting more than one predicate field is an error. Setting none asks
+// for the apex cell (no predicates) via the Conds path.
+type QueryRequest struct {
+	// Cube names the registered cube to answer from.
+	Cube string
+	// Where holds display-form predicate values for a single query.
+	Where map[string]string
+	// Batch holds display-form predicates for a snapshot-consistent
+	// batch; the response's Results is index-aligned with it.
+	Batch []map[string]string
+	// Conds holds typed equality predicates for a single query.
+	Conds []Condition
+}
+
+// QueryResponse is the outcome of DB.Do. Exactly one field is set:
+// Result for single-query requests (Where or Conds), Results for Batch
+// requests.
+type QueryResponse struct {
+	// Result answers Where and Conds requests.
+	Result *QueryResult
+	// Results answers Batch requests, index-aligned with the request's
+	// Batch. Every result shares one Version (the snapshot's), while
+	// per-result Generations may differ — each names the answering
+	// shard's age, not the snapshot's.
+	Results []*QueryResult
+}
+
+// Do answers a dashboard query request against a registered cube. It is
+// the native (non-SQL) serving entry point: the request kind is picked
+// by which predicate field is set (see QueryRequest), queries are
+// lock-free end to end, and ctx cancellation (e.g. a disconnected HTTP
+// client) aborts the work. Query, QueryByValues and QueryBatchByValues
+// are deprecated wrappers over Do.
+func (db *DB) Do(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	set := 0
+	if req.Where != nil {
+		set++
 	}
-	return c.Query(ctx, conds)
+	if req.Batch != nil {
+		set++
+	}
+	if req.Conds != nil {
+		set++
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("tabula: ambiguous QueryRequest for cube %q: exactly one of Where, Batch or Conds may be set", req.Cube)
+	}
+	c, ok := db.CubeByName(req.Cube)
+	if !ok {
+		return nil, fmt.Errorf("tabula: unknown cube %q", req.Cube)
+	}
+	switch {
+	case req.Batch != nil:
+		db.qBatch.Inc()
+		db.qBatched.Add(uint64(len(req.Batch)))
+		results, err := c.QueryBatchByValues(ctx, req.Batch)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Results: results}, nil
+	case req.Where != nil:
+		db.qValues.Inc()
+		res, err := c.QueryByValues(ctx, req.Where)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Result: res}, nil
+	default:
+		db.qConds.Inc()
+		res, err := c.Query(ctx, req.Conds)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResponse{Result: res}, nil
+	}
+}
+
+// emptyWhere and emptyBatch keep the deprecated wrappers' nil arguments
+// on the request kind the caller named (a nil map or slice would
+// otherwise dispatch as a Conds apex query — same answer, different
+// response shape for batches).
+var (
+	emptyWhere = map[string]string{}
+	emptyBatch = []map[string]string{}
+)
+
+// Query answers a structured dashboard query against a registered cube:
+// a conjunction of equality predicates over its cubed attributes.
+//
+// Deprecated: use Do with QueryRequest.Conds.
+func (db *DB) Query(ctx context.Context, cube string, conds []Condition) (*QueryResult, error) {
+	resp, err := db.Do(ctx, QueryRequest{Cube: cube, Conds: conds})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
 }
 
 // QueryByValues is Query with predicate values in display form, parsed
 // against the cube's schema (the shape JSON clients send).
+//
+// Deprecated: use Do with QueryRequest.Where.
 func (db *DB) QueryByValues(ctx context.Context, cube string, where map[string]string) (*QueryResult, error) {
-	c, ok := db.CubeByName(cube)
-	if !ok {
-		return nil, fmt.Errorf("tabula: unknown cube %q", cube)
+	if where == nil {
+		where = emptyWhere
 	}
-	return c.QueryByValues(ctx, where)
+	resp, err := db.Do(ctx, QueryRequest{Cube: cube, Where: where})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
 }
 
 // QueryBatchByValues answers a whole viewport of display-form queries
-// against ONE atomically loaded snapshot of the cube, so every result
-// shares a Version and the dashboard sees a consistent cube snapshot
-// even while appends land concurrently (per-result Generations may
-// differ — each names the answering shard's age, not the snapshot's).
+// against ONE atomically loaded snapshot of the cube.
+//
+// Deprecated: use Do with QueryRequest.Batch.
 func (db *DB) QueryBatchByValues(ctx context.Context, cube string, queries []map[string]string) ([]*QueryResult, error) {
-	c, ok := db.CubeByName(cube)
-	if !ok {
-		return nil, fmt.Errorf("tabula: unknown cube %q", cube)
+	if queries == nil {
+		queries = emptyBatch
 	}
-	return c.QueryBatchByValues(ctx, queries)
+	resp, err := db.Do(ctx, QueryRequest{Cube: cube, Batch: queries})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // Append ingests a batch into an appendable registered cube under that
@@ -263,22 +407,27 @@ func (db *DB) execCreateCube(ctx context.Context, s *engine.CreateSamplingCube) 
 		return nil, err
 	}
 	p := core.DefaultParams(f, s.Threshold, s.CubedAttrs...)
+	if db.workers > 0 {
+		p.Workers = db.workers
+	}
 	if db.params != nil {
 		db.params(&p)
 	}
 	// Serialize builds of the same cube name; builds of different cubes
 	// (and all queries) proceed concurrently.
-	entry, _ := db.cubes.entry(strings.ToLower(s.CubeName), true)
+	name := strings.ToLower(s.CubeName)
+	entry, _ := db.cubes.entry(name, true)
 	entry.buildMu.Lock()
 	defer entry.buildMu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cube, err := core.Build(ctx, tbl, p)
+	cube, err := core.Build(obs.WithStages(ctx, db.stages), tbl, p)
 	if err != nil {
 		return nil, err
 	}
 	entry.cube.Store(cube)
+	cube.RegisterMetrics(db.metrics, name)
 	st := cube.Stats()
 	return &Result{Message: fmt.Sprintf(
 		"sampling cube %s created: %d/%d iceberg cells, %d samples persisted, %s",

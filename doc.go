@@ -45,4 +45,41 @@
 // Built-in loss functions mirror the paper: NewMeanLoss (Function 1),
 // NewHeatmapLoss (Function 2, the VAS/POIsam visualization-aware loss),
 // NewRegressionLoss (Function 3), and NewHistogramLoss.
+//
+// # Configuration
+//
+// The public surface uses one functional-options idiom everywhere.
+// tabula.Open takes tabula.Option values:
+//
+//	db := tabula.Open(
+//	    tabula.WithWorkers(8),           // build parallelism for Exec-built cubes
+//	    tabula.WithMetric(tabula.Haversine),
+//	    tabula.WithMetrics(registry),    // observability, see below
+//	)
+//
+// and the HTTP layer (internal/server) mirrors it with server.Option
+// values (WithCacheBytes, WithGzip, WithMetrics, WithPprof, WithLogger).
+// Zero options always means a working default: Open() serves queries,
+// server.New(db) serves HTTP.
+//
+// # Observability
+//
+// Passing a NewMetricsRegistry to WithMetrics (and to the server's
+// option of the same name) arms a stdlib-only metrics surface: query
+// counters by request kind, per-cube append latency and shards-touched
+// histograms, snapshot-generation gauges, build-stage wall times, HTTP
+// per-route request/latency/status metrics and response-cache
+// effectiveness counters. The server exposes everything in Prometheus
+// text format at GET /v1/metrics. Instruments are single atomic
+// operations on the hot path — a query allocates nothing extra with
+// metrics on — and a nil registry is a true no-op: every instrument
+// registered on it is nil-safe, so disabled metrics cost nothing.
+//
+// # Serving API
+//
+// DB.Do is the unified dashboard entry point: one request struct
+// (QueryRequest) selects single display-form queries, typed-predicate
+// queries, or snapshot-consistent viewport batches. The older Query,
+// QueryByValues and QueryBatchByValues methods remain as deprecated
+// wrappers over Do.
 package tabula

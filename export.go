@@ -8,6 +8,7 @@ import (
 	"github.com/tabula-db/tabula/internal/geo"
 	"github.com/tabula-db/tabula/internal/loss"
 	"github.com/tabula-db/tabula/internal/nyctaxi"
+	"github.com/tabula-db/tabula/internal/obs"
 	"github.com/tabula-db/tabula/internal/sampling"
 	"github.com/tabula-db/tabula/internal/viz"
 )
@@ -45,7 +46,21 @@ type (
 	QueryResult = core.QueryResult
 	// GreedyOptions tunes the accuracy-loss-aware sampler.
 	GreedyOptions = sampling.GreedyOptions
+	// MetricsRegistry collects the observability surface: pass one
+	// NewMetricsRegistry to tabula.WithMetrics and server.WithMetrics and
+	// scrape it via the server's GET /v1/metrics (Prometheus text
+	// exposition) or MetricsRegistry.WritePrometheus.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one name="value" pair of a metric series, for
+	// registering custom instruments on a MetricsRegistry and for
+	// reading series with MetricsRegistry.Value.
+	MetricLabel = obs.Label
 )
+
+// NewMetricsRegistry creates an empty metrics registry. A nil
+// *MetricsRegistry is the disabled mode: every instrument registered on
+// it is a nil no-op, so metrics cost nothing when off.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Column type constants.
 const (
@@ -129,7 +144,10 @@ func DefaultParams(f LossFunc, theta float64, cubedAttrs ...string) Params {
 }
 
 // Build initializes a sampling cube over the table (the Go-native
-// equivalent of the CREATE TABLE … SAMPLING(*, θ) … statement).
+// equivalent of the CREATE TABLE … SAMPLING(*, θ) … statement). It is
+// exactly BuildContext(context.Background(), tbl, p) — uncancellable.
+// Builds run through DB.Exec on a DB opened WithMetrics additionally
+// record per-stage wall times (tabula_build_stage_seconds).
 func Build(tbl *Table, p Params) (*Cube, error) { return core.Build(context.Background(), tbl, p) }
 
 // BuildContext is Build with cancellation: every initialization stage

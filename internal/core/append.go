@@ -376,6 +376,7 @@ func (t *Tabula) Append(ctx context.Context, batch *dataset.Table) (*AppendStats
 	}
 	t.snap.Store(next)
 	stats.Elapsed = time.Since(start)
+	t.observeAppend(stats)
 	return stats, nil
 }
 

@@ -38,6 +38,7 @@ import (
 	"github.com/tabula-db/tabula/internal/dataset"
 	"github.com/tabula-db/tabula/internal/engine"
 	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/obs"
 	"github.com/tabula-db/tabula/internal/samgraph"
 	"github.com/tabula-db/tabula/internal/sampling"
 )
@@ -284,6 +285,9 @@ type Tabula struct {
 	maintMu sync.Mutex
 	// maint is non-nil for appendable cubes (Params.EnableAppend).
 	maint *maintenance
+	// metrics is the cube's armed observability instruments (nil until
+	// RegisterMetrics). Recorded only on the maintenance path.
+	metrics atomic.Pointer[appendMetrics]
 }
 
 // lossName returns the configured or persisted loss name.
@@ -348,6 +352,9 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 		p.Shards = DefaultShards
 	}
 	t := &Tabula{params: p}
+	// Stage wall times flow to the context-carried tracer (obs.Stages)
+	// when one is installed; stats keep their own timings regardless.
+	doneAll := obs.StartStage(ctx, "build_total")
 	sn := newSnapshot(tbl.Schema().Clone(), p.CubedAttrs, p.Shards)
 	cols := make([]int, len(p.CubedAttrs))
 	for i, name := range p.CubedAttrs {
@@ -358,6 +365,7 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 		cols[i] = idx
 	}
 	start := time.Now()
+	doneGlobal := obs.StartStage(ctx, "global_sample")
 
 	// Stage 0: encode attributes and draw the global random sample.
 	enc, err := engine.NewCatEncoding(tbl, cols)
@@ -390,6 +398,7 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 	sn.global = globalView.Materialize()
 	sn.stats.GlobalSampleSize = sn.global.NumRows()
 	sn.stats.GlobalSampleTime = time.Since(start)
+	doneGlobal()
 
 	// Stage 1: dry run — iceberg cell lookup from one scan.
 	dr, ok := p.Loss.(loss.DryRunner)
@@ -433,6 +442,7 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 	// structures first; sharding is a pure partitioning step afterwards,
 	// so query answers are identical at any shard count.
 	selStart := time.Now()
+	doneSelection := obs.StartStage(ctx, "selection")
 	cubeTable := make(map[uint64]int32, len(real.Cells))
 	var samples []*dataset.Table
 	if p.SampleSelection && len(real.Cells) > 0 {
@@ -517,8 +527,10 @@ func Build(ctx context.Context, tbl *dataset.Table, p Params) (*Tabula, error) {
 		sh.cubeTable[k] = lid
 	}
 	sn.stats.SelectionTime = time.Since(selStart)
+	doneSelection()
 	sn.stats.NumPersistedSamples = len(samples)
 	sn.stats.InitTime = time.Since(start)
+	doneAll()
 
 	// Memory accounting (Figure 9's three components). Samples shared
 	// across shards are counted once (distinctSamples dedupes by

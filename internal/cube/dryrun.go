@@ -11,6 +11,7 @@ import (
 	"github.com/tabula-db/tabula/internal/dataset"
 	"github.com/tabula-db/tabula/internal/engine"
 	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/obs"
 )
 
 // cancelCheckRows is how many raw rows a scan worker processes between
@@ -114,6 +115,7 @@ func DryRunKeep(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding
 // DryRunResult — inventories, losses, StateBytes — is byte-identical
 // whichever path runs (TestDryRunVectorizedMatchesScalar enforces it).
 func DryRunKeepOpts(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, codec *engine.KeyCodec, ev loss.CellEvaluator, theta float64, keep bool, opts ScanOptions) (*DryRunResult, map[uint64]loss.CellState, error) {
+	defer obs.StartStage(ctx, "dry_run")()
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/tabula-db/tabula/internal/dataset"
 	"github.com/tabula-db/tabula/internal/engine"
 	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/obs"
 	"github.com/tabula-db/tabula/internal/sampling"
 )
 
@@ -114,6 +115,7 @@ func RealRun(ctx context.Context, tbl *dataset.Table, enc *engine.CatEncoding, c
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	defer obs.StartStage(ctx, "real_run")()
 	res := &RealRunResult{PathChosen: make(map[int]PathChoice)}
 	lat := dry.Lattice
 	view := dataset.FullView(tbl)

@@ -8,12 +8,13 @@ import (
 // ServeRow is one measured serving scenario of BENCH_serve.json.
 type ServeRow struct {
 	// Name identifies the scenario: "warm" (cached repeated-cell
-	// traffic), "cold" (every request a first hit), "batch" (100-cell
-	// viewport per request), "legacy" (the pre-cache per-request
-	// encoder, the comparison baseline), "batch_parallel_p1" /
-	// "batch_parallel_p4" (a cold full-domain viewport per request —
-	// every distinct payload re-encoded through the parallel miss-fill —
-	// at GOMAXPROCS 1 and 4).
+	// traffic, metrics armed), "warm_nometrics" (the same workload on a
+	// nil-registry server — the observability-overhead baseline), "cold"
+	// (every request a first hit), "batch" (100-cell viewport per
+	// request), "legacy" (the pre-cache per-request encoder, the
+	// comparison baseline), "batch_parallel_p1" / "batch_parallel_p4" (a
+	// cold full-domain viewport per request — every distinct payload
+	// re-encoded through the parallel miss-fill — at GOMAXPROCS 1 and 4).
 	Name        string  `json:"name"`
 	ReqPerSec   float64 `json:"req_per_sec"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -42,6 +43,15 @@ type ServeReport struct {
 	// from 1 → 4 processors on the measuring host (≈1.0 on a single-CPU
 	// machine, where extra workers can only time-slice one core).
 	BatchParallelSpeedup float64 `json:"batch_parallel_speedup_p1_to_p4"`
+	// MetricsOverheadNsPct is the warm-path cost of the armed metrics
+	// surface: (warm ns/op − warm_nometrics ns/op) ÷ warm_nometrics, as a
+	// percent. Negative values are measurement noise. `make bench-serve`
+	// gates this under METRICS_OVERHEAD_MAX.
+	MetricsOverheadNsPct float64 `json:"warm_metrics_overhead_ns_pct"`
+	// MetricsOverheadAllocsPerOp is warm allocs/op − warm_nometrics
+	// allocs/op — the zero-allocation instrumentation contract makes this
+	// ≈0, and the bench gate fails the run if it drifts above 0.5.
+	MetricsOverheadAllocsPerOp float64 `json:"warm_metrics_overhead_allocs_per_op"`
 }
 
 // Scenario returns the named row, or nil.

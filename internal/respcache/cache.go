@@ -22,6 +22,8 @@ package respcache
 import (
 	"container/list"
 	"sync"
+
+	"github.com/tabula-db/tabula/internal/obs"
 )
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -176,6 +178,38 @@ func (c *Cache) Reset() {
 	c.order.Init()
 	c.entries = make(map[string]*list.Element)
 	c.bytes = 0
+}
+
+// RegisterMetrics registers the cache's effectiveness counters into reg
+// as sampled series read from Stats() at scrape time:
+//
+//	tabula_respcache_hits_total / _misses_total / _evictions_total
+//	tabula_respcache_coalesced_total   (singleflight waiters that shared
+//	                                    an in-flight fill)
+//	tabula_respcache_entries / tabula_respcache_bytes (residency gauges)
+//
+// Sampling at scrape time means the metrics surface costs the Get hot
+// path nothing — the counters the cache already maintains under its
+// mutex ARE the exported numbers, so benchmark reports (MeasureServing)
+// and /metrics can be asserted against each other without drift. Both
+// receivers are nil-safe: a nil cache (caching disabled) registers
+// all-zero series, a nil registry registers nothing.
+func (c *Cache) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("tabula_respcache_hits_total", "Response-cache hits.",
+		func() float64 { return float64(c.Stats().Hits) })
+	reg.CounterFunc("tabula_respcache_misses_total", "Response-cache misses (fills run).",
+		func() float64 { return float64(c.Stats().Misses) })
+	reg.CounterFunc("tabula_respcache_evictions_total", "Response-cache LRU evictions.",
+		func() float64 { return float64(c.Stats().Evictions) })
+	reg.CounterFunc("tabula_respcache_coalesced_total", "Requests that joined an in-flight singleflight fill.",
+		func() float64 { return float64(c.Stats().Shared) })
+	reg.GaugeFunc("tabula_respcache_entries", "Response-cache resident entries.",
+		func() float64 { return float64(c.Stats().Entries) })
+	reg.GaugeFunc("tabula_respcache_bytes", "Response-cache resident payload bytes.",
+		func() float64 { return float64(c.Stats().Bytes) })
 }
 
 // Stats returns current counters.

@@ -15,6 +15,7 @@ import (
 
 	"github.com/tabula-db/tabula/internal/dataset"
 	"github.com/tabula-db/tabula/internal/loss"
+	"github.com/tabula-db/tabula/internal/obs"
 )
 
 // Vertex is one iceberg cell as seen by the selection stage: its raw
@@ -104,6 +105,7 @@ func buildOrder(vertices []Vertex) []int {
 // worker count (pinned by TestParallelBuildMatchesSequential). ctx
 // cancellation aborts the join with ctx.Err().
 func Build(ctx context.Context, tbl *dataset.Table, vertices []Vertex, f loss.Func, theta float64, opts BuildOptions) (*Graph, error) {
+	defer obs.StartStage(ctx, "samgraph_join")()
 	n := len(vertices)
 	g := &Graph{Out: make([][]int, n)}
 	for v := range g.Out {

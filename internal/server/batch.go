@@ -63,11 +63,12 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
 		return
 	}
-	results, err := s.db.QueryBatchByValues(r.Context(), req.Cube, req.Queries)
+	resp, err := s.db.Do(r.Context(), tabula.QueryRequest{Cube: req.Cube, Batch: req.Queries})
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	results := resp.Results
 
 	// Dedup: one payload per distinct {shard, generation, class}
 	// identity, in first-appearance order. (A sample shared across
@@ -179,16 +180,16 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			h.Set("Content-Length", strconv.Itoa(len(gz)))
 			w.WriteHeader(http.StatusOK)
 			if n, err := w.Write(gz); err != nil {
-				s.logf("server: response write failed after %d/%d bytes: %v", n, len(gz), err)
+				s.rlogf(r.Context(), "server: response write failed after %d/%d bytes: %v", n, len(gz), err)
 			}
 			return
 		}
-		s.logf("server: gzip variant failed, serving identity: %v", err)
+		s.rlogf(r.Context(), "server: gzip variant failed, serving identity: %v", err)
 	}
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	if n, err := w.Write(body); err != nil {
-		s.logf("server: response write failed after %d/%d bytes: %v", n, len(body), err)
+		s.rlogf(r.Context(), "server: response write failed after %d/%d bytes: %v", n, len(body), err)
 	}
 }
 

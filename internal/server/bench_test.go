@@ -94,10 +94,10 @@ func BenchmarkServeQuery(b *testing.B) {
 	bodies := marshalQueryBodies(b)
 	// Warm every cell once.
 	for i := range bodies {
-		req, _ := http.NewRequest("POST", "/query", bytes.NewReader(bodies[i]))
+		req, _ := http.NewRequest("POST", "/v1/query", bytes.NewReader(bodies[i]))
 		s.ServeHTTP(&nullResponseWriter{h: make(http.Header)}, req)
 	}
-	serveBench(b, s, "/query", bodies, false)
+	serveBench(b, s, "/v1/query", bodies, false)
 }
 
 // BenchmarkServeQueryCold: every request is a first hit — the cache is
@@ -105,7 +105,7 @@ func BenchmarkServeQuery(b *testing.B) {
 // + insert).
 func BenchmarkServeQueryCold(b *testing.B) {
 	s := benchCubeServer(b)
-	serveBench(b, s, "/query", marshalQueryBodies(b), true)
+	serveBench(b, s, "/v1/query", marshalQueryBodies(b), true)
 }
 
 // BenchmarkServeQueryBatch: a 100-cell viewport per request, warm.
@@ -120,9 +120,9 @@ func BenchmarkServeQueryBatch(b *testing.B) {
 		b.Fatal(err)
 	}
 	bodies := [][]byte{body}
-	req, _ := http.NewRequest("POST", "/query/batch", bytes.NewReader(body))
+	req, _ := http.NewRequest("POST", "/v1/query/batch", bytes.NewReader(body))
 	s.ServeHTTP(&nullResponseWriter{h: make(http.Header)}, req)
-	serveBench(b, s, "/query/batch", bodies, false)
+	serveBench(b, s, "/v1/query/batch", bodies, false)
 }
 
 // BenchmarkServeQueryBatchCold: a full-domain 100-query viewport with
@@ -135,7 +135,28 @@ func BenchmarkServeQueryBatchCold(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	serveBench(b, s, "/query/batch", [][]byte{body}, true)
+	serveBench(b, s, "/v1/query/batch", [][]byte{body}, true)
+}
+
+// BenchmarkServeQueryMetrics is BenchmarkServeQuery with the full
+// observability surface armed (per-route instruments, request counters,
+// latency histogram). Comparing its ns/op and allocs/op against
+// BenchmarkServeQuery is the metrics-overhead contract: the delta must
+// be atomic-ops-only — 0 extra allocs — because every instrument is
+// pre-registered and the status writer is pooled.
+func BenchmarkServeQueryMetrics(b *testing.B) {
+	reg := tabula.NewMetricsRegistry()
+	s := benchCubeServer(b, WithMetrics(reg))
+	bodies := marshalQueryBodies(b)
+	for i := range bodies {
+		req, _ := http.NewRequest("POST", "/v1/query", bytes.NewReader(bodies[i]))
+		s.ServeHTTP(&nullResponseWriter{h: make(http.Header)}, req)
+	}
+	serveBench(b, s, "/v1/query", bodies, false)
+	if v, ok := reg.Value("tabula_http_request_duration_seconds",
+		tabula.MetricLabel{Name: "route", Value: "/v1/query"}); !ok || v < float64(b.N) {
+		b.Fatalf("histogram recorded %v observations of at least %d", v, b.N)
+	}
 }
 
 // BenchmarkServeQueryLegacy is the pre-PR serving path, kept verbatim
@@ -149,7 +170,7 @@ func BenchmarkServeQueryLegacy(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		req, err := http.NewRequest("POST", "/query", bytes.NewReader(bodies[i%len(bodies)]))
+		req, err := http.NewRequest("POST", "/v1/query", bytes.NewReader(bodies[i%len(bodies)]))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,17 +2,28 @@
 // the paper describes: a middleware between visualization dashboards
 // (which speak JSON over HTTP) and the data system.
 //
-// Endpoints:
+// Endpoints (the versioned surface; every /v1/* route also answers at
+// its legacy unversioned path, which additionally emits a
+// "Deprecation: true" header plus a Link to its successor):
 //
-//	POST /exec         {"sql": "..."}                      → DDL / SELECT
-//	POST /query        {"cube": "c", "where": {"a": "v"}}  → materialized sample
-//	POST /query/batch  {"cube": "c", "queries": [{...},…]} → a viewport in one round trip
-//	POST /append       {"cube": "c", "rows": [[...], …]}   → incremental ingest
-//	GET  /cubes                                            → registered cubes
-//	GET  /stats?cube=c                                     → initialization stats
-//	GET  /cache                                            → response-cache stats
-//	GET  /healthz                                          → liveness
-//	GET  /                                                 → built-in dashboard demo page
+//	POST /v1/exec         {"sql": "..."}                      → DDL / SELECT
+//	POST /v1/query        {"cube": "c", "where": {"a": "v"}}  → materialized sample
+//	POST /v1/query/batch  {"cube": "c", "queries": [{...},…]} → a viewport in one round trip
+//	POST /v1/append       {"cube": "c", "rows": [[...], …]}   → incremental ingest
+//	GET  /v1/cubes                                            → registered cubes
+//	GET  /v1/stats?cube=c                                     → initialization stats
+//	GET  /v1/cache                                            → response-cache stats
+//	GET  /v1/metrics                                          → Prometheus text exposition (404 when disabled)
+//	GET  /healthz                                             → liveness (unversioned, never deprecated)
+//	GET  /                                                    → built-in dashboard demo page
+//	GET  /debug/pprof/…                                       → net/http/pprof (only WithPprof(true))
+//
+// Observability: with WithMetrics, every route records request counts
+// by status class, a latency histogram and response bytes; the response
+// cache and each cube export their counters through the same registry
+// (see internal/obs). Each request carries an ID — X-Request-Id or
+// generated — echoed in the response and threaded through the request
+// context into error logs.
 //
 // The serving path is built around the cube's snapshot immutability:
 // query responses are encoded once per {cube, shard, shard generation,
@@ -30,10 +41,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 
 	"github.com/tabula-db/tabula"
 	"github.com/tabula-db/tabula/internal/dataset"
+	"github.com/tabula-db/tabula/internal/obs"
 	"github.com/tabula-db/tabula/internal/respcache"
 )
 
@@ -45,14 +59,17 @@ const DefaultCacheBytes = 64 << 20
 // server shutdown aborts in-flight scans instead of letting them run to
 // completion against a closed socket.
 type Server struct {
-	db    *tabula.DB
-	mux   *http.ServeMux
-	cache *respcache.Cache
-	gzip  bool
-	logf  func(format string, args ...any)
+	db      *tabula.DB
+	mux     *http.ServeMux
+	cache   *respcache.Cache
+	gzip    bool
+	metrics *obs.Registry
+	pprof   bool
+	logf    func(format string, args ...any)
 }
 
-// Option configures a Server.
+// Option configures a Server. The server mirrors tabula.Open's
+// functional-options idiom; zero options is a working default.
 type Option func(*Server)
 
 // WithCacheBytes sets the response cache's byte budget. A budget <= 0
@@ -65,6 +82,22 @@ func WithCacheBytes(n int64) Option {
 // WithGzip enables or disables gzip response variants (default on).
 func WithGzip(enabled bool) Option {
 	return func(s *Server) { s.gzip = enabled }
+}
+
+// WithMetrics arms per-route HTTP metrics and the GET /v1/metrics
+// exposition on the given registry (nil leaves metrics off — routes
+// serve identically and /v1/metrics 404s). Pass the same registry to
+// tabula.WithMetrics to expose the DB's query, append and build-stage
+// metrics through the same endpoint.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithPprof mounts net/http/pprof under GET /debug/pprof/ (default
+// off: profiling endpoints expose heap contents and must be opted
+// into).
+func WithPprof(enabled bool) Option {
+	return func(s *Server) { s.pprof = enabled }
 }
 
 // WithLogger redirects the server's error log (short writes, encode
@@ -85,22 +118,82 @@ func New(db *tabula.DB, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc("POST /exec", s.handleExec)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /query/batch", s.handleQueryBatch)
-	s.mux.HandleFunc("POST /append", s.handleAppend)
-	s.mux.HandleFunc("GET /cubes", s.handleCubes)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /cache", s.handleCacheStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	s.mux.HandleFunc("GET /{$}", s.handleDemo)
+	s.cache.RegisterMetrics(s.metrics)
+
+	// Each API route serves under /v1 and, for compatibility, at its
+	// pre-versioning path; the legacy alias answers identically but
+	// marks itself superseded. Both carry their own metrics series, so
+	// client migration off the legacy paths is visible in /v1/metrics.
+	routes := []struct {
+		v1     string
+		legacy string
+		h      http.HandlerFunc
+	}{
+		{"POST /v1/exec", "POST /exec", s.handleExec},
+		{"POST /v1/query", "POST /query", s.handleQuery},
+		{"POST /v1/query/batch", "POST /query/batch", s.handleQueryBatch},
+		{"POST /v1/append", "POST /append", s.handleAppend},
+		{"GET /v1/cubes", "GET /cubes", s.handleCubes},
+		{"GET /v1/stats", "GET /stats", s.handleStats},
+		{"GET /v1/cache", "GET /cache", s.handleCacheStats},
+		{"GET /v1/metrics", "GET /metrics", s.handleMetrics},
+	}
+	for _, rt := range routes {
+		v1Path := routePath(rt.v1)
+		s.mux.HandleFunc(rt.v1, s.instrument(v1Path, rt.h))
+		s.mux.HandleFunc(rt.legacy, s.instrument(routePath(rt.legacy), deprecate(v1Path, rt.h)))
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /{$}", s.instrument("/", s.handleDemo))
+	if s.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// routePath strips the method from a ServeMux pattern, yielding the
+// route label used in metrics series.
+func routePath(pattern string) string {
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		return pattern[i+1:]
+	}
+	return pattern
+}
+
+// deprecate marks a legacy route superseded: responses gain a
+// "Deprecation: true" header (draft-ietf-httpapi-deprecation-header
+// shape) and a Link pointing at the versioned successor. Behavior is
+// otherwise byte-identical to the successor, ETags included.
+func deprecate(successor string, h http.HandlerFunc) http.HandlerFunc {
+	link := "<" + successor + `>; rel="successor-version"`
+	return func(w http.ResponseWriter, r *http.Request) {
+		hd := w.Header()
+		hd.Set("Deprecation", "true")
+		hd.Set("Link", link)
+		h(w, r)
+	}
+}
+
+// ServeHTTP implements http.Handler. It assigns the request its ID
+// (X-Request-Id, or generated), echoes it in the response, and threads
+// it through the context for log correlation before routing.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = nextRequestID()
+	}
+	w.Header().Set("X-Request-Id", id)
+	r = r.WithContext(withRequestID(r.Context(), id))
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
 
 type execRequest struct {
 	SQL string `json:"sql"`
@@ -204,11 +297,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown cube %q", req.Cube))
 		return
 	}
-	res, err := s.db.QueryByValues(r.Context(), req.Cube, req.Where)
+	where := req.Where
+	if where == nil {
+		where = map[string]string{}
+	}
+	resp, err := s.db.Do(r.Context(), tabula.QueryRequest{Cube: req.Cube, Where: where})
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	res := resp.Result
 	ident := identityOf(res)
 	etag := etagFor(req.Cube, ident)
 	h := w.Header()
@@ -243,11 +341,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			h.Set("Content-Length", strconv.Itoa(len(gz)))
 			w.WriteHeader(http.StatusOK)
 			if n, err := w.Write(gz); err != nil {
-				s.logf("server: response write failed after %d/%d bytes: %v", n, len(gz), err)
+				s.rlogf(r.Context(), "server: response write failed after %d/%d bytes: %v", n, len(gz), err)
 			}
 			return
 		}
-		s.logf("server: gzip variant failed, serving identity: %v", err)
+		s.rlogf(r.Context(), "server: gzip variant failed, serving identity: %v", err)
 	}
 
 	h.Set("Content-Length", strconv.Itoa(bodyLen))
@@ -257,7 +355,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		n, err := w.Write(part)
 		written += n
 		if err != nil {
-			s.logf("server: response write failed after %d/%d bytes: %v", written, bodyLen, err)
+			s.rlogf(r.Context(), "server: response write failed after %d/%d bytes: %v", written, bodyLen, err)
 			return
 		}
 	}
